@@ -1,0 +1,54 @@
+#![allow(dead_code)] // each bench uses a subset of the shared fixtures
+//! Shared fixtures for the per-figure Criterion benches.
+//!
+//! Bench workloads are deliberately small (hundreds of sites) so `cargo
+//! bench` finishes quickly; the `reproduce` binary runs the full scaled
+//! experiments. What the benches pin down is the *relative* cost of the
+//! competing implementations, which is the unit of every figure.
+
+use gsnp_core::counting::SparseWindow;
+use gsnp_core::likelihood::{sort_sparse_cpu, DeviceTables};
+use gsnp_core::model::ModelParams;
+use gsnp_core::tables::{LogTable, NewPMatrix, PMatrix};
+use gpu_sim::Device;
+use seqio::synth::{Dataset, SynthConfig};
+use seqio::window::WindowReader;
+
+/// Standard bench dataset: ~4,000 sites at ~10x depth, 60 bp reads.
+pub fn dataset() -> Dataset {
+    let mut cfg = SynthConfig::tiny(0xBEEF);
+    cfg.num_sites = 4_000;
+    cfg.read_len = 60;
+    cfg.depth = 10.0;
+    Dataset::generate(cfg)
+}
+
+/// The dataset's single sparse window (optionally canonically sorted).
+pub fn sparse_window(d: &Dataset, sorted: bool) -> SparseWindow {
+    let mut reader = WindowReader::new(
+        d.reads.iter().cloned().map(Ok),
+        d.config.num_sites,
+        d.config.num_sites as usize,
+    );
+    let w = reader.next_window().expect("ok").expect("one window");
+    let mut sw = SparseWindow::count(&w);
+    if sorted {
+        sort_sparse_cpu(&mut sw);
+    }
+    sw
+}
+
+/// Calibrated tables for the dataset.
+pub fn tables(d: &Dataset) -> (PMatrix, NewPMatrix, LogTable) {
+    let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+    let np = NewPMatrix::precompute(&p);
+    (p, np, LogTable::new())
+}
+
+/// Device + uploaded tables.
+pub fn device_setup(d: &Dataset) -> (Device, DeviceTables) {
+    let (p, np, lt) = tables(d);
+    let dev = Device::m2050();
+    let t = DeviceTables::upload(&dev, &p, &np, &lt);
+    (dev, t)
+}

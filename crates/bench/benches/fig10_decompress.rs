@@ -1,0 +1,36 @@
+//! Fig. 10: decompression / sequential-read speed of the three result
+//! representations, plus the temporary-input codec.
+
+mod common;
+
+use compress::column::{compress_table, decompress_table};
+use compress::input_codec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::pipeline::{GsnpConfig, GsnpCpuPipeline};
+use seqio::result::SnpTable;
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let out = GsnpCpuPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors);
+    let table = &out.tables[0];
+    let mut text = Vec::new();
+    table.write_text(&mut text).unwrap();
+    let gz = compress::lz::compress(&text);
+    let col = compress_table(table);
+    let temp = input_codec::compress_reads(&d.config.chr_name, &d.reads);
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("reparse_text", |b| {
+        b.iter(|| SnpTable::read_text(std::io::Cursor::new(&text[..])).unwrap())
+    });
+    g.bench_function("lz_decompress", |b| b.iter(|| compress::lz::decompress(&gz).unwrap()));
+    g.bench_function("column_decompress", |b| b.iter(|| decompress_table(&col).unwrap()));
+    g.bench_function("input_codec_decompress", |b| {
+        b.iter(|| input_codec::decompress_reads(&temp).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

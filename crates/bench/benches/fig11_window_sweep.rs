@@ -1,0 +1,27 @@
+//! Fig. 11: GSNP end-to-end cost as the window size varies.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for window in [256usize, 1_000, 4_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                GsnpPipeline::new(GsnpConfig {
+                    window_size: w,
+                    ..Default::default()
+                })
+                .run(&d.reads, &d.reference, &d.priors)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 12: the three pipelines end to end on one chromosome model.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::model::ModelParams;
+use gsnp_core::pipeline::{GsnpConfig, GsnpCpuPipeline, GsnpPipeline};
+use soapsnp::{SoapSnpConfig, SoapSnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("soapsnp", |b| {
+        b.iter(|| {
+            SoapSnpPipeline::new(SoapSnpConfig {
+                window_size: 1_000,
+                read_len: d.config.read_len,
+                params: ModelParams::default(),
+            })
+            .run(&d.reads, &d.reference, &d.priors)
+        })
+    });
+    g.bench_function("gsnp_cpu", |b| {
+        b.iter(|| {
+            GsnpCpuPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors)
+        })
+    });
+    g.bench_function("gsnp", |b| {
+        b.iter(|| GsnpPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

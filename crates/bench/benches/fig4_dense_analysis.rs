@@ -1,0 +1,31 @@
+//! Fig. 4: the dense representation's memory behaviour — the full-matrix
+//! recycle (4a) and the per-site sparsity computation (4b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::counting::{nonzero_cells_per_site, DenseWindow};
+use seqio::window::WindowReader;
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let mut reader = WindowReader::new(
+        d.reads.iter().cloned().map(Ok),
+        d.config.num_sites,
+        d.config.num_sites as usize,
+    );
+    let w = reader.next_window().unwrap().unwrap();
+    let mut dense = DenseWindow::alloc(w.len());
+    dense.count(&w);
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("recycle_dense_4k_sites", |b| b.iter(|| dense.recycle_sites(w.len())));
+    g.bench_function("sparsity_histogram_4k_sites", |b| {
+        b.iter(|| nonzero_cells_per_site(&w))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 5: likelihood under dense/sparse representations on host and
+//! simulated device.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::counting::DenseWindow;
+use gsnp_core::likelihood::{
+    likelihood_comp_gpu, likelihood_dense_gpu, likelihood_dense_site, likelihood_sparse_site,
+    upload_dense_transposed, KernelVariant,
+};
+use seqio::window::WindowReader;
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let sw = common::sparse_window(&d, true);
+    let (p, np, lt) = common::tables(&d);
+    let (dev, tables) = common::device_setup(&d);
+
+    let mut reader = WindowReader::new(d.reads.iter().cloned().map(Ok), 256, 256);
+    let w = reader.next_window().unwrap().unwrap();
+    let mut dense = DenseWindow::alloc(w.len());
+    dense.count(&w);
+    let occ = upload_dense_transposed(&dev, &dense, w.len());
+    let words = dev.upload(&sw.words);
+    let spans256 = &sw.spans[..256.min(sw.spans.len())];
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("dense_cpu_256_sites", |b| {
+        b.iter(|| {
+            (0..w.len())
+                .map(|s| likelihood_dense_site(dense.site(s), &p, &lt))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("sparse_cpu_256_sites", |b| {
+        b.iter(|| {
+            (0..256.min(sw.num_sites()))
+                .map(|s| likelihood_sparse_site(sw.site_words(s), d.config.read_len, &np, &lt))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("dense_gpu_256_sites", |b| {
+        b.iter(|| likelihood_dense_gpu(&dev, &occ, w.len(), &tables))
+    });
+    g.bench_function("sparse_gpu_256_sites", |b| {
+        b.iter(|| {
+            likelihood_comp_gpu(
+                &dev,
+                KernelVariant::Optimized,
+                &words,
+                spans256,
+                d.config.read_len,
+                &tables,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

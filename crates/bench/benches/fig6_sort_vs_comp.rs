@@ -1,0 +1,48 @@
+//! Fig. 6: the likelihood_sort / likelihood_comp split on CPU and device.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::likelihood::{likelihood_comp_gpu, sort_sparse_cpu, KernelVariant};
+use sortnet::multipass_sort;
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let unsorted = common::sparse_window(&d, false);
+    let sorted = common::sparse_window(&d, true);
+    let (dev, tables) = common::device_setup(&d);
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("sort_cpu", |b| {
+        b.iter_batched(
+            || unsorted.clone(),
+            |mut sw| sort_sparse_cpu(&mut sw),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sort_gpu", |b| {
+        b.iter_batched(
+            || dev.upload(&unsorted.words),
+            |words| multipass_sort(&dev, &words, &unsorted.spans),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let words = dev.upload(&sorted.words);
+    g.bench_function("comp_gpu", |b| {
+        b.iter(|| {
+            likelihood_comp_gpu(
+                &dev,
+                KernelVariant::Optimized,
+                &words,
+                &sorted.spans,
+                d.config.read_len,
+                &tables,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

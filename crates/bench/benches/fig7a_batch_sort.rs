@@ -1,0 +1,50 @@
+//! Fig. 7(a): the batch-sort primitive against the CPU and radix baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortnet::Span;
+
+fn workload(size: usize, n_arrays: usize) -> (Vec<u32>, Vec<Span>) {
+    let mut rng = StdRng::seed_from_u64(size as u64);
+    let host: Vec<u32> = (0..n_arrays * size).map(|_| rng.gen()).collect();
+    let spans: Vec<Span> = (0..n_arrays).map(|i| (i * size, size)).collect();
+    (host, spans)
+}
+
+fn bench(c: &mut Criterion) {
+    let dev = Device::m2050();
+    let mut g = c.benchmark_group("fig7a");
+    g.sample_size(10);
+    for size in [16usize, 64, 256] {
+        let n_arrays = 20_000 / size;
+        let (host, spans) = workload(size, n_arrays);
+        g.throughput(Throughput::Elements((n_arrays * size) as u64));
+        g.bench_with_input(BenchmarkId::new("gpu_batch", size), &size, |b, _| {
+            b.iter_batched(
+                || dev.upload(&host),
+                |buf| sortnet::batch_sort(&dev, &buf, &spans, size, 8),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("cpu_qsort", size), &size, |b, _| {
+            b.iter_batched(
+                || host.clone(),
+                |mut data| sortnet::baselines::parallel_cpu_qsort(&mut data, &spans),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("seq_radix", size), &size, |b, _| {
+            b.iter_batched(
+                || host.clone(),
+                |mut data| sortnet::baselines::sequential_radix(&mut data, &spans),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

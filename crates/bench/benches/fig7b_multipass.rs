@@ -1,0 +1,40 @@
+//! Fig. 7(b): multipass vs single-pass vs non-equal scheduling on the
+//! real base_word size distribution.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortnet::{multipass_sort, noneq_sort, single_pass_sort};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let sw = common::sparse_window(&d, false);
+    let dev = gpu_sim::Device::m2050();
+    let mut g = c.benchmark_group("fig7b");
+    g.sample_size(10);
+    g.bench_function("multipass", |b| {
+        b.iter_batched(
+            || dev.upload(&sw.words),
+            |buf| multipass_sort(&dev, &buf, &sw.spans),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("single_pass", |b| {
+        b.iter_batched(
+            || dev.upload(&sw.words),
+            |buf| single_pass_sort(&dev, &buf, &sw.spans),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("noneq", |b| {
+        b.iter_batched(
+            || dev.upload(&sw.words),
+            |buf| noneq_sort(&dev, &buf, &sw.spans),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

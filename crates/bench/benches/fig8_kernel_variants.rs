@@ -1,0 +1,26 @@
+//! Fig. 8: the four likelihood_comp kernel variants head to head.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::likelihood::{likelihood_comp_gpu, KernelVariant};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let sw = common::sparse_window(&d, true);
+    let (dev, tables) = common::device_setup(&d);
+    let words = dev.upload(&sw.words);
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for variant in KernelVariant::ALL {
+        g.bench_function(variant.label().replace([' ', '/'], "_"), |b| {
+            b.iter(|| {
+                likelihood_comp_gpu(&dev, variant, &words, &sw.spans, d.config.read_len, &tables)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 9: output compression — size is reported by `reproduce fig9`;
+//! the bench pins the relative speed of the three output paths.
+
+mod common;
+
+use compress::column::{compress_table, compress_table_gpu};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::pipeline::{GsnpConfig, GsnpCpuPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let out = GsnpCpuPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors);
+    let table = &out.tables[0];
+    let mut text = Vec::new();
+    table.write_text(&mut text).unwrap();
+    let dev = gpu_sim::Device::m2050();
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("plain_text_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            table.write_text(&mut buf).unwrap();
+            buf
+        })
+    });
+    g.bench_function("lz_gzip_class", |b| b.iter(|| compress::lz::compress(&text)));
+    g.bench_function("column_codec_cpu", |b| b.iter(|| compress_table(table)));
+    g.bench_function("column_codec_gpu", |b| b.iter(|| compress_table_gpu(&dev, table)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table I: the SOAPsnp baseline's end-to-end cost (whose breakdown the
+//! `reproduce table1` report itemizes per component).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::model::ModelParams;
+use soapsnp::{SoapSnpConfig, SoapSnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("soapsnp_pipeline_4k_sites", |b| {
+        b.iter(|| {
+            SoapSnpPipeline::new(SoapSnpConfig {
+                window_size: 1_000,
+                read_len: d.config.read_len,
+                params: ModelParams::default(),
+            })
+            .run(&d.reads, &d.reference, &d.priors)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table IV: the GSNP pipeline's end-to-end cost (componentized by the
+//! `reproduce table4` report).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("gsnp_pipeline_4k_sites", |b| {
+        b.iter(|| {
+            GsnpPipeline::new(GsnpConfig {
+                window_size: 1_000,
+                ..Default::default()
+            })
+            .run(&d.reads, &d.reference, &d.priors)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

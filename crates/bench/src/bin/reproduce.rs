@@ -1,0 +1,64 @@
+//! Regenerate every table and figure of the GSNP paper's evaluation.
+//!
+//! ```text
+//! reproduce [all | <experiment>...] [--scale X] [--list]
+//! ```
+//!
+//! Experiments: table1 table2 table3 table4 fig4a fig4b fig5 fig6 fig7a
+//! fig7b fig8 fig9 fig10 fig11 fig12. Default scale: 0.02 (datasets are
+//! 1/100-scale "mini" models shrunk a further 50x; see DESIGN.md §2).
+
+use std::time::Instant;
+
+use bench::experiments::all_experiments;
+use bench::DEFAULT_SCALE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = DEFAULT_SCALE;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = iter.next().unwrap_or_else(|| usage("missing value for --scale"));
+                scale = v.parse().unwrap_or_else(|_| usage("--scale expects a number"));
+            }
+            "--list" => {
+                for (name, desc, _) in all_experiments() {
+                    println!("{name:8}  {desc}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(""),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = all_experiments().iter().map(|(n, _, _)| n.to_string()).collect();
+    }
+
+    let registry = all_experiments();
+    println!("GSNP reproduction harness — scale {scale}\n");
+    for name in &selected {
+        let Some((_, desc, f)) = registry.iter().find(|(n, _, _)| n == name) else {
+            usage(&format!("unknown experiment {name:?}"));
+        };
+        println!("=== {name}: {desc} ===");
+        let t0 = Instant::now();
+        let report = f(scale);
+        println!("{report}");
+        println!("[{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: reproduce [all | <experiment>...] [--scale X] [--list]\n       \
+         e.g.: reproduce table4 fig5 --scale 0.01"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,25 @@
+//! # bench — the reproduction harness
+//!
+//! One function per table/figure of the paper's evaluation (§VI), all
+//! runnable through the `reproduce` binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- all --scale 0.02
+//! ```
+//!
+//! Workloads are scale models of the paper's datasets (see `seqio::synth`
+//! and DESIGN.md §2). "GPU" series report the simulated device time from
+//! the `gpu-sim` cost model; "CPU" series report host wall-clock. Absolute
+//! numbers are not comparable to the paper's testbed — the *shapes*
+//! (ratios, orderings, crossovers) are the reproduction target, and
+//! `EXPERIMENTS.md` records both side by side.
+
+pub mod bandwidth;
+pub mod data;
+pub mod experiments;
+pub mod report;
+
+/// Default scale factor for the `reproduce` binary: `mini` datasets are
+/// 1/100 of the paper's, and this shrinks them by a further 1/50 so the
+/// full suite completes in minutes on a laptop-class machine.
+pub const DEFAULT_SCALE: f64 = 0.02;

@@ -1,0 +1,184 @@
+//! Dictionary (least-bits) encoding.
+//!
+//! The second level of RLE-DICT: a column with `< 100` distinct values is
+//! replaced by a sorted dictionary plus `ceil(log2(|dict|))`-bit indices.
+//! The same scheme, byte for byte, is produced by the GPU path in
+//! [`crate::gpu`], which builds the dictionary with sort/unique primitives
+//! and resolves indices with parallel binary search.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// Bits needed to index a dictionary of `n` entries (0 for n ≤ 1).
+pub fn index_bits(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Build the sorted deduplicated dictionary of a column.
+pub fn build_dict(data: &[u32]) -> Vec<u32> {
+    let mut dict: Vec<u32> = data.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    dict
+}
+
+/// Encode `data` against `dict` (sorted, covering every value) into `w`.
+///
+/// Layout: `[count u32][dict_len u32][dict u32…][indices bit-packed]`.
+///
+/// # Panics
+/// Panics (debug) if a value is absent from the dictionary.
+pub fn encode_with_dict(data: &[u32], dict: &[u32], w: &mut BitWriter) {
+    w.write_u32(data.len() as u32);
+    w.write_u32(dict.len() as u32);
+    for &d in dict {
+        w.write_u32(d);
+    }
+    let bits = index_bits(dict.len());
+    if bits == 0 {
+        return;
+    }
+    for &v in data {
+        let idx = dict.binary_search(&v).expect("value missing from dictionary");
+        w.write_bits(idx as u64, bits);
+    }
+}
+
+/// Encode a column, building its dictionary first.
+pub fn encode(data: &[u32], w: &mut BitWriter) {
+    let dict = build_dict(data);
+    encode_with_dict(data, &dict, w);
+}
+
+/// Encode from precomputed dictionary indices (the GPU path computes the
+/// indices with a binary-search kernel and hands them here for packing).
+pub fn encode_indices(indices: &[u32], dict: &[u32], w: &mut BitWriter) {
+    w.write_u32(indices.len() as u32);
+    w.write_u32(dict.len() as u32);
+    for &d in dict {
+        w.write_u32(d);
+    }
+    let bits = index_bits(dict.len());
+    if bits == 0 {
+        return;
+    }
+    for &i in indices {
+        debug_assert!((i as usize) < dict.len());
+        w.write_bits(i as u64, bits);
+    }
+}
+
+/// Decode a dictionary-encoded column.
+pub fn decode(r: &mut BitReader<'_>) -> Result<Vec<u32>, CodecError> {
+    let count = r.read_u32()? as usize;
+    let dict_len = r.read_u32()? as usize;
+    if dict_len == 0 && count > 0 {
+        return Err(CodecError::corrupt("empty dictionary with nonzero count"));
+    }
+    // Reject corrupted length fields before allocating for them: the
+    // dictionary and the packed indices must fit in the remaining bytes.
+    if count > crate::error::MAX_ELEMENTS || dict_len > crate::error::MAX_ELEMENTS {
+        return Err(CodecError::corrupt("implausible element count"));
+    }
+    if dict_len * 4 > r.remaining_bytes() {
+        return Err(CodecError::corrupt("dictionary larger than remaining stream"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(r.read_u32()?);
+    }
+    let bits = index_bits(dict_len);
+    if count as u64 * u64::from(bits) > r.remaining_bytes() as u64 * 8 + 7 {
+        return Err(CodecError::corrupt("index payload larger than remaining stream"));
+    }
+    let mut out = Vec::with_capacity(count);
+    if bits == 0 {
+        out.resize(count, dict.first().copied().unwrap_or(0));
+        return Ok(out);
+    }
+    for _ in 0..count {
+        let idx = r.read_bits(bits)? as usize;
+        let v = *dict
+            .get(idx)
+            .ok_or_else(|| CodecError::corrupt(format!("dictionary index {idx} out of range")))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u32]) -> Vec<u32> {
+        let mut w = BitWriter::new();
+        encode(data, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        decode(&mut r).unwrap()
+    }
+
+    #[test]
+    fn index_bit_widths() {
+        assert_eq!(index_bits(0), 0);
+        assert_eq!(index_bits(1), 0);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(4), 2);
+        assert_eq!(index_bits(5), 3);
+        assert_eq!(index_bits(256), 8);
+        assert_eq!(index_bits(257), 9);
+    }
+
+    #[test]
+    fn single_value_column_costs_no_index_bits() {
+        let data = vec![9u32; 100];
+        let mut w = BitWriter::new();
+        encode(&data, &mut w);
+        let bytes = w.finish();
+        // count + dict_len + one dict entry = 12 bytes, no index payload.
+        assert_eq!(bytes.len(), 12);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decode(&mut r).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_column() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn compresses_small_alphabets() {
+        // 1000 values from an alphabet of 4 → 2 bits each = 250 bytes + header.
+        let data: Vec<u32> = (0..1000).map(|i| (i % 4) * 1000).collect();
+        let mut w = BitWriter::new();
+        encode(&data, &mut w);
+        let bytes = w.finish();
+        assert!(bytes.len() < 300, "{} bytes", bytes.len());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decode(&mut r).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let mut w = BitWriter::new();
+        encode(&[1, 2, 3], &mut w);
+        let mut bytes = w.finish();
+        // Indices live in the final byte; force an out-of-range pattern.
+        *bytes.last_mut().unwrap() = 0xFF;
+        let mut r = BitReader::new(&bytes);
+        assert!(decode(&mut r).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u32>(), 0..300)) {
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+    }
+}

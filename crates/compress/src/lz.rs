@@ -1,0 +1,512 @@
+//! LZSS + canonical Huffman: the general-purpose comparator.
+//!
+//! The paper benchmarks its customized codecs against gzip (zlib). This
+//! module is the from-scratch stand-in: an LZ77 stage with a 32 KiB
+//! sliding window and hash-chain match finding, followed by canonical
+//! Huffman coding of deflate-style literal/length and distance alphabets.
+//! It plays gzip's role in every comparison: a real dictionary+entropy
+//! coder with a competitive ratio on text and a markedly higher CPU cost
+//! than the table-aware column schemes.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+const MAGIC: &[u8; 4] = b"GZL1";
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const MAX_CHAIN: usize = 48;
+const MAX_CODE_LEN: u32 = 15;
+
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size (256 literals + EOB + 29 length codes).
+const NUM_LITLEN: usize = 286;
+/// Distance alphabet size.
+const NUM_DIST: usize = 30;
+
+/// (base, extra_bits) for length codes 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+];
+
+/// (base, extra_bits) for distance codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+fn len_code(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut code = 0;
+    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
+        if len >= base as usize {
+            code = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = LEN_TABLE[code];
+    (257 + code, len as u16 - base, extra)
+}
+
+fn dist_code(dist: usize) -> (usize, u16, u8) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut code = 0;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if dist >= base as usize {
+            code = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[code];
+    (code, dist as u16 - base, extra)
+}
+
+// ---------------------------------------------------------------------
+// Huffman coding
+// ---------------------------------------------------------------------
+
+/// Compute code lengths (≤ 15) for the given symbol frequencies via a
+/// heap-built Huffman tree; over-deep trees are handled by halving the
+/// frequencies and rebuilding (zlib's practical strategy).
+fn huffman_code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = build_lengths(&f, n);
+        if lengths.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN) {
+            return lengths;
+        }
+        for v in f.iter_mut() {
+            *v = (*v / 2).max(u64::from(*v > 0));
+        }
+    }
+}
+
+fn build_lengths(freqs: &[u64], n: usize) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone)]
+    struct Node {
+        kids: Option<(usize, usize)>,
+        sym: usize,
+    }
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (s, &fq) in freqs.iter().enumerate() {
+        if fq > 0 {
+            nodes.push(Node { kids: None, sym: s });
+            heap.push(Reverse((fq, nodes.len() - 1)));
+        }
+    }
+    let mut lengths = vec![0u8; n];
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            // A single distinct symbol still needs a 1-bit code.
+            let Reverse((_, idx)) = heap.pop().expect("one node");
+            lengths[nodes[idx].sym] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("heap");
+        let Reverse((fb, b)) = heap.pop().expect("heap");
+        nodes.push(Node {
+            kids: Some((a, b)),
+            sym: usize::MAX,
+        });
+        heap.push(Reverse((fa + fb, nodes.len() - 1)));
+    }
+    // Depth-first assignment of depths.
+    let root = heap.pop().expect("root").0 .1;
+    let mut stack = vec![(root, 0u8)];
+    while let Some((i, depth)) = stack.pop() {
+        match nodes[i].kids {
+            Some((a, b)) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            None => lengths[nodes[i].sym] = depth,
+        }
+    }
+    lengths
+}
+
+/// Canonical codes from code lengths: `codes[s]` valid when `lengths[s]>0`.
+fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u16; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u16; max_len + 2];
+    let mut code = 0u16;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Write a canonical code MSB-first (the canonical ordering property
+/// requires MSB-first comparison).
+fn write_code(w: &mut BitWriter, code: u16, len: u8) {
+    for i in (0..len).rev() {
+        w.write_bits(u64::from((code >> i) & 1), 1);
+    }
+}
+
+/// Canonical decoder: per-length first-code/first-symbol tables.
+struct Decoder {
+    /// symbols sorted by (length, symbol)
+    symbols: Vec<u16>,
+    first_code: [u32; MAX_CODE_LEN as usize + 2],
+    first_index: [u32; MAX_CODE_LEN as usize + 2],
+    counts: [u16; MAX_CODE_LEN as usize + 2],
+}
+
+impl Decoder {
+    fn new(lengths: &[u8]) -> Result<Decoder, CodecError> {
+        let mut counts = [0u16; MAX_CODE_LEN as usize + 2];
+        for &l in lengths {
+            if u32::from(l) > MAX_CODE_LEN {
+                return Err(CodecError::corrupt("code length exceeds 15"));
+            }
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        let mut symbols = Vec::new();
+        for bits in 1..=MAX_CODE_LEN as usize {
+            for (s, &l) in lengths.iter().enumerate() {
+                if l as usize == bits {
+                    symbols.push(s as u16);
+                }
+            }
+        }
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 2];
+        let mut first_index = [0u32; MAX_CODE_LEN as usize + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for bits in 1..=MAX_CODE_LEN as usize {
+            code = (code + u32::from(counts[bits - 1])) << 1;
+            first_code[bits] = code;
+            first_index[bits] = index;
+            index += u32::from(counts[bits]);
+        }
+        Ok(Decoder {
+            symbols,
+            first_code,
+            first_index,
+            counts,
+        })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for bits in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            let count = u32::from(self.counts[bits]);
+            if count > 0 && code < self.first_code[bits] + count {
+                if code < self.first_code[bits] {
+                    return Err(CodecError::corrupt("invalid Huffman code"));
+                }
+                let idx = self.first_index[bits] + (code - self.first_code[bits]);
+                return Ok(self.symbols[idx as usize]);
+            }
+        }
+        Err(CodecError::corrupt("Huffman code longer than 15 bits"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// LZ77 tokenization
+// ---------------------------------------------------------------------
+
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add(data[i + 2] as u32);
+    (h.wrapping_mul(2654435761) >> 16) as usize & 0xFFFF
+}
+
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::new();
+    let mut head = vec![usize::MAX; 65536];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len,
+                dist: best_dist,
+            });
+            // Insert the skipped positions into the hash chains.
+            for k in (i + 1)..(i + best_len).min(n.saturating_sub(MIN_MATCH - 1)) {
+                let h = hash3(data, k);
+                prev[k] = head[h];
+                head[h] = k;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Compress a byte slice.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    lit_freq[EOB] = 1;
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[len_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    let lit_lens = huffman_code_lengths(&lit_freq);
+    let dist_lens = huffman_code_lengths(&dist_freq);
+    let lit_codes = canonical_codes(&lit_lens);
+    let dist_codes = canonical_codes(&dist_lens);
+
+    let mut w = BitWriter::new();
+    w.write_bytes(MAGIC);
+    w.write_u64(data.len() as u64);
+    w.write_bytes(&lit_lens);
+    w.write_bytes(&dist_lens);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                write_code(&mut w, lit_codes[b as usize], lit_lens[b as usize]);
+            }
+            Token::Match { len, dist } => {
+                let (lc, lextra, lebits) = len_code(len);
+                write_code(&mut w, lit_codes[lc], lit_lens[lc]);
+                w.write_bits(u64::from(lextra), u32::from(lebits));
+                let (dc, dextra, debits) = dist_code(dist);
+                write_code(&mut w, dist_codes[dc], dist_lens[dc]);
+                w.write_bits(u64::from(dextra), u32::from(debits));
+            }
+        }
+    }
+    write_code(&mut w, lit_codes[EOB], lit_lens[EOB]);
+    w.finish()
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = BitReader::new(bytes);
+    if r.read_bytes(4)? != MAGIC {
+        return Err(CodecError::corrupt("bad magic"));
+    }
+    let orig_len = r.read_u64()? as usize;
+    let lit_lens = r.read_bytes(NUM_LITLEN)?.to_vec();
+    let dist_lens = r.read_bytes(NUM_DIST)?.to_vec();
+    let lit_dec = Decoder::new(&lit_lens)?;
+    let dist_dec = Decoder::new(&dist_lens)?;
+
+    let mut out = Vec::with_capacity(orig_len);
+    loop {
+        let sym = lit_dec.decode(&mut r)? as usize;
+        if sym == EOB {
+            break;
+        }
+        if sym < 256 {
+            out.push(sym as u8);
+            continue;
+        }
+        let lidx = sym - 257;
+        if lidx >= LEN_TABLE.len() {
+            return Err(CodecError::corrupt("invalid length symbol"));
+        }
+        let (lbase, lebits) = LEN_TABLE[lidx];
+        let len = lbase as usize + r.read_bits(u32::from(lebits))? as usize;
+        let dsym = dist_dec.decode(&mut r)? as usize;
+        if dsym >= DIST_TABLE.len() {
+            return Err(CodecError::corrupt("invalid distance symbol"));
+        }
+        let (dbase, debits) = DIST_TABLE[dsym];
+        let dist = dbase as usize + r.read_bits(u32::from(debits))? as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(CodecError::corrupt("distance reaches before stream start"));
+        }
+        let start = out.len() - dist;
+        for k in 0..len {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > orig_len {
+            return Err(CodecError::corrupt("output exceeds declared length"));
+        }
+    }
+    if out.len() != orig_len {
+        return Err(CodecError::corrupt(format!(
+            "declared {} bytes, decoded {}",
+            orig_len,
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog again!"
+            .repeat(50);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"aaa", b"abcabcabc"] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u8> = (0..20_000).map(|_| rng.gen()).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // Random bytes shouldn't blow up by more than ~15%.
+        assert!(c.len() < data.len() * 115 / 100);
+    }
+
+    #[test]
+    fn long_runs_use_long_matches() {
+        let data = vec![b'Q'; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 2_000, "{} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn far_matches_within_window() {
+        let mut data = vec![0u8; 0];
+        let phrase: Vec<u8> = (0..=255u8).collect();
+        data.extend(&phrase);
+        data.extend(vec![7u8; 30_000]); // push the phrase near the window edge
+        data.extend(&phrase);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut c = compress(b"hello world hello world");
+        c[0] = b'X';
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let c = compress(&b"hello world, hello world, hello".repeat(20));
+        for cut in [5usize, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn declared_length_mismatch_detected() {
+        let mut c = compress(b"abcdefgh");
+        // Corrupt the declared original length.
+        c[4] ^= 0x01;
+        assert!(decompress(&c).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..4000)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Device memory buffers.
+//!
+//! [`GlobalBuffer`] models GPU global memory. Kernels running in different
+//! blocks may scatter into the same buffer concurrently, so the storage is
+//! backed by per-element atomics with relaxed ordering — which on x86-64
+//! compiles to plain loads and stores, costing nothing, while giving the
+//! same well-defined "last writer wins" semantics racing global-memory
+//! writes have on a real GPU (no Rust-level undefined behaviour).
+//!
+//! Accesses from inside a kernel must go through [`crate::BlockCtx`] so they
+//! are counted; the methods here are host-side (uncounted) conveniences.
+
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Scalar types that can live in device memory.
+///
+/// Each scalar maps to an atomic backing cell; loads/stores use `Relaxed`
+/// ordering. Floats are stored as their IEEE-754 bit patterns.
+pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {
+    /// Backing storage cell.
+    type Atomic: Send + Sync;
+    /// Size in bytes, used for bandwidth accounting.
+    const BYTES: u64;
+    /// Wrap a value into a fresh cell.
+    fn new_cell(v: Self) -> Self::Atomic;
+    /// Relaxed load.
+    fn load(cell: &Self::Atomic) -> Self;
+    /// Relaxed store.
+    fn store(cell: &Self::Atomic, v: Self);
+}
+
+macro_rules! int_scalar {
+    ($t:ty, $at:ty, $bytes:expr) => {
+        impl DeviceScalar for $t {
+            type Atomic = $at;
+            const BYTES: u64 = $bytes;
+            #[inline(always)]
+            fn new_cell(v: Self) -> $at {
+                <$at>::new(v)
+            }
+            #[inline(always)]
+            fn load(cell: &$at) -> Self {
+                cell.load(Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn store(cell: &$at, v: Self) {
+                cell.store(v, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+int_scalar!(u8, AtomicU8, 1);
+int_scalar!(u16, AtomicU16, 2);
+int_scalar!(u32, AtomicU32, 4);
+int_scalar!(u64, AtomicU64, 8);
+
+impl DeviceScalar for i32 {
+    type Atomic = AtomicU32;
+    const BYTES: u64 = 4;
+    #[inline(always)]
+    fn new_cell(v: Self) -> AtomicU32 {
+        AtomicU32::new(v as u32)
+    }
+    #[inline(always)]
+    fn load(cell: &AtomicU32) -> Self {
+        cell.load(Ordering::Relaxed) as i32
+    }
+    #[inline(always)]
+    fn store(cell: &AtomicU32, v: Self) {
+        cell.store(v as u32, Ordering::Relaxed)
+    }
+}
+
+impl DeviceScalar for f32 {
+    type Atomic = AtomicU32;
+    const BYTES: u64 = 4;
+    #[inline(always)]
+    fn new_cell(v: Self) -> AtomicU32 {
+        AtomicU32::new(v.to_bits())
+    }
+    #[inline(always)]
+    fn load(cell: &AtomicU32) -> Self {
+        f32::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline(always)]
+    fn store(cell: &AtomicU32, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+}
+
+impl DeviceScalar for f64 {
+    type Atomic = AtomicU64;
+    const BYTES: u64 = 8;
+    #[inline(always)]
+    fn new_cell(v: Self) -> AtomicU64 {
+        AtomicU64::new(v.to_bits())
+    }
+    #[inline(always)]
+    fn load(cell: &AtomicU64) -> Self {
+        f64::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline(always)]
+    fn store(cell: &AtomicU64, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+}
+
+/// A buffer in simulated device global memory.
+pub struct GlobalBuffer<T: DeviceScalar> {
+    cells: Box<[T::Atomic]>,
+}
+
+impl<T: DeviceScalar> GlobalBuffer<T> {
+    /// Allocate `len` zero-initialized elements.
+    pub fn zeroed(len: usize) -> Self {
+        GlobalBuffer {
+            cells: (0..len).map(|_| T::new_cell(T::default())).collect(),
+        }
+    }
+
+    /// Allocate from host data (an "upload"; byte accounting happens on the
+    /// [`crate::Device`] methods).
+    pub fn from_slice(data: &[T]) -> Self {
+        GlobalBuffer {
+            cells: data.iter().map(|&v| T::new_cell(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.cells.len() as u64 * T::BYTES
+    }
+
+    /// Uncounted host-side read (bounds-checked).
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Uncounted host-side write (bounds-checked).
+    #[inline(always)]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+
+    /// Download the whole buffer to a host `Vec` (uncounted; use
+    /// [`crate::Device::download`] for counted transfers).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.cells.iter().map(T::load).collect()
+    }
+
+    /// Overwrite the buffer contents from a host slice of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn write_from(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "host/device length mismatch");
+        for (cell, &v) in self.cells.iter().zip(data) {
+            T::store(cell, v);
+        }
+    }
+
+    /// Reset every element to the default value (the GSNP `recycle` step).
+    pub fn clear(&self) {
+        for cell in self.cells.iter() {
+            T::store(cell, T::default());
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn cell(&self, i: usize) -> &T::Atomic {
+        &self.cells[i]
+    }
+}
+
+/// Atomic read-modify-write support for integer device scalars (used by
+/// counting kernels that histogram into shared structures).
+pub trait DeviceInt: DeviceScalar {
+    /// Atomic fetch-add with relaxed ordering; returns the previous value.
+    fn fetch_add(cell: &Self::Atomic, v: Self) -> Self;
+}
+
+macro_rules! int_rmw {
+    ($t:ty) => {
+        impl DeviceInt for $t {
+            #[inline(always)]
+            fn fetch_add(cell: &Self::Atomic, v: Self) -> Self {
+                cell.fetch_add(v, Ordering::Relaxed)
+            }
+        }
+    };
+}
+int_rmw!(u8);
+int_rmw!(u16);
+int_rmw!(u32);
+int_rmw!(u64);
+
+/// Read-only cached constant memory (the M2050 has 64 KB). Stores plain
+/// values: constant memory is immutable during a launch, so no atomics are
+/// needed.
+pub struct ConstBuffer<T: Copy> {
+    data: Box<[T]>,
+}
+
+impl<T: Copy + Send + Sync + 'static> ConstBuffer<T> {
+    /// Build from host data. Capacity against the device configuration is
+    /// validated by [`crate::Device::upload_const`].
+    pub fn from_slice(data: &[T]) -> Self {
+        ConstBuffer { data: data.into() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bounds-checked read. Constant memory is cached on-chip, so reads are
+    /// counted as instructions only, not as global transactions.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Raw view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_roundtrip() {
+        let b: GlobalBuffer<u32> = GlobalBuffer::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.to_vec(), vec![0; 8]);
+        b.set(3, 42);
+        assert_eq!(b.get(3), 42);
+    }
+
+    #[test]
+    fn float_bitcast_roundtrip() {
+        let b = GlobalBuffer::from_slice(&[1.5f64, -0.0, f64::NEG_INFINITY]);
+        assert_eq!(b.get(0), 1.5);
+        assert!(b.get(1) == 0.0 && b.get(1).is_sign_negative());
+        assert_eq!(b.get(2), f64::NEG_INFINITY);
+        b.set(1, 2.25);
+        assert_eq!(b.to_vec(), vec![1.5, 2.25, f64::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn nan_survives_bitcast() {
+        let b = GlobalBuffer::from_slice(&[f64::NAN]);
+        assert!(b.get(0).is_nan());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let b = GlobalBuffer::from_slice(&[7u8, 8, 9]);
+        b.clear();
+        assert_eq!(b.to_vec(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn size_bytes_accounts_element_width() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::zeroed(10);
+        assert_eq!(b.size_bytes(), 80);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let b = GlobalBuffer::from_slice(&[10u32]);
+        let prev = u32::fetch_add(b.cell(0), 5);
+        assert_eq!(prev, 10);
+        assert_eq!(b.get(0), 15);
+    }
+
+    #[test]
+    fn write_from_overwrites() {
+        let b: GlobalBuffer<u16> = GlobalBuffer::zeroed(3);
+        b.write_from(&[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_from_length_mismatch_panics() {
+        let b: GlobalBuffer<u16> = GlobalBuffer::zeroed(3);
+        b.write_from(&[1, 2]);
+    }
+
+    #[test]
+    fn const_buffer_reads() {
+        let c = ConstBuffer::from_slice(&[0.5f64, 0.25]);
+        assert_eq!(c.get(1), 0.25);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-block execution context.
+//!
+//! A kernel body receives one [`BlockCtx`] per thread block. All device
+//! memory traffic inside a kernel flows through it so the hardware counters
+//! see every access. The counter fields are plain integers local to the
+//! block — the hot path is a register increment — and are flushed into the
+//! launch-wide atomic totals when the block retires.
+
+use crate::buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
+use crate::config::DeviceConfig;
+use crate::counters::HwCounters;
+
+/// Execution context handed to the kernel closure, one per block.
+pub struct BlockCtx<'a> {
+    /// Index of this block within the launch grid.
+    pub block_idx: usize,
+    /// Total number of blocks in the launch grid.
+    pub grid_dim: usize,
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) counters: HwCounters,
+    pub(crate) shared_used: usize,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(block_idx: usize, grid_dim: usize, cfg: &'a DeviceConfig) -> Self {
+        BlockCtx {
+            block_idx,
+            grid_dim,
+            cfg,
+            counters: HwCounters::default(),
+            shared_used: 0,
+        }
+    }
+
+    /// Device configuration this block runs under.
+    pub fn config(&self) -> &DeviceConfig {
+        self.cfg
+    }
+
+    /// Record `n` scalar arithmetic/control instructions. Memory accesses
+    /// are counted automatically and do not need to be reported here.
+    #[inline(always)]
+    pub fn add_inst(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    /// Coalesced global load: the warp reads consecutive addresses, so the
+    /// access is serviced at full memory bandwidth.
+    #[inline(always)]
+    pub fn ld_co<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize) -> T {
+        self.counters.instructions += 1;
+        self.counters.g_load_coalesced += 1;
+        self.counters.g_load_bytes_co += T::BYTES;
+        buf.get(i)
+    }
+
+    /// Random (non-coalesced) global load: each lane touches an unrelated
+    /// address; serviced at the device's random-access bandwidth.
+    #[inline(always)]
+    pub fn ld_rand<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize) -> T {
+        self.counters.instructions += 1;
+        self.counters.g_load_random += 1;
+        self.counters.g_load_bytes_rand += T::BYTES;
+        buf.get(i)
+    }
+
+    /// Coalesced global store.
+    #[inline(always)]
+    pub fn st_co<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
+        self.counters.instructions += 1;
+        self.counters.g_store_coalesced += 1;
+        self.counters.g_store_bytes_co += T::BYTES;
+        buf.set(i, v);
+    }
+
+    /// Random (non-coalesced) global store.
+    #[inline(always)]
+    pub fn st_rand<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
+        self.counters.instructions += 1;
+        self.counters.g_store_random += 1;
+        self.counters.g_store_bytes_rand += T::BYTES;
+        buf.set(i, v);
+    }
+
+    /// Atomic add on global memory (counts as one random load + one random
+    /// store, matching the cost of a global atomic on Fermi-class parts).
+    #[inline(always)]
+    pub fn atomic_add<T: DeviceInt>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) -> T {
+        self.counters.instructions += 1;
+        self.counters.g_load_random += 1;
+        self.counters.g_load_bytes_rand += T::BYTES;
+        self.counters.g_store_random += 1;
+        self.counters.g_store_bytes_rand += T::BYTES;
+        T::fetch_add(buf.cell(i), v)
+    }
+
+    /// Constant-memory read: cached on-chip, counted as an instruction only.
+    #[inline(always)]
+    pub fn ld_const<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        buf: &ConstBuffer<T>,
+        i: usize,
+    ) -> T {
+        self.counters.instructions += 1;
+        buf.get(i)
+    }
+
+    /// Allocate `len` elements of per-block shared memory.
+    ///
+    /// # Panics
+    /// Panics if the block's cumulative shared allocation would exceed the
+    /// device's `shared_mem_per_block` — the same failure mode as a CUDA
+    /// kernel that over-declares `__shared__` storage.
+    pub fn shared_alloc<T: DeviceScalar>(&mut self, len: usize) -> SharedMem<T> {
+        let bytes = len * T::BYTES as usize;
+        let new_used = self.shared_used + bytes;
+        assert!(
+            new_used <= self.cfg.shared_mem_per_block,
+            "shared memory overflow: {} + {} bytes > {} available on {}",
+            self.shared_used,
+            bytes,
+            self.cfg.shared_mem_per_block,
+            self.cfg.name
+        );
+        self.shared_used = new_used;
+        SharedMem {
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Release a shared allocation, returning its bytes to the block budget
+    /// (CUDA's static shared memory has block lifetime; this models dynamic
+    /// reuse across kernel phases, which the multipass sort relies on).
+    pub fn shared_free<T: DeviceScalar>(&mut self, mem: SharedMem<T>) {
+        let bytes = mem.data.len() * T::BYTES as usize;
+        self.shared_used = self.shared_used.saturating_sub(bytes);
+    }
+
+    pub(crate) fn take_counters(&mut self) -> HwCounters {
+        std::mem::take(&mut self.counters)
+    }
+}
+
+/// Per-block on-chip shared memory. Fast (counted separately from global
+/// traffic) and private to one block, exactly like CUDA `__shared__` arrays.
+/// All accesses go through the [`BlockCtx`] so they are tallied.
+pub struct SharedMem<T: DeviceScalar> {
+    data: Vec<T>,
+}
+
+impl<T: DeviceScalar> SharedMem<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Counted shared-memory load.
+    #[inline(always)]
+    pub fn read(&self, ctx: &mut BlockCtx<'_>, i: usize) -> T {
+        ctx.counters.instructions += 1;
+        ctx.counters.s_load += 1;
+        ctx.counters.s_bytes += T::BYTES;
+        self.data[i]
+    }
+
+    /// Counted shared-memory store.
+    #[inline(always)]
+    pub fn write(&mut self, ctx: &mut BlockCtx<'_>, i: usize, v: T) {
+        ctx.counters.instructions += 1;
+        ctx.counters.s_store += 1;
+        ctx.counters.s_bytes += T::BYTES;
+        self.data[i] = v;
+    }
+
+    /// Zero the allocation (counted as stores).
+    pub fn fill_default(&mut self, ctx: &mut BlockCtx<'_>) {
+        let n = self.data.len();
+        ctx.counters.instructions += n as u64;
+        ctx.counters.s_store += n as u64;
+        ctx.counters.s_bytes += n as u64 * T::BYTES;
+        self.data.fill(T::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn ctx(cfg: &DeviceConfig) -> BlockCtx<'_> {
+        BlockCtx::new(0, 1, cfg)
+    }
+
+    #[test]
+    fn loads_and_stores_are_counted() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        let buf = GlobalBuffer::from_slice(&[1u32, 2, 3]);
+        assert_eq!(c.ld_co(&buf, 1), 2);
+        assert_eq!(c.ld_rand(&buf, 2), 3);
+        c.st_co(&buf, 0, 9);
+        c.st_rand(&buf, 0, 10);
+        let counters = c.take_counters();
+        assert_eq!(counters.g_load_coalesced, 1);
+        assert_eq!(counters.g_load_random, 1);
+        assert_eq!(counters.g_store_coalesced, 1);
+        assert_eq!(counters.g_store_random, 1);
+        assert_eq!(counters.instructions, 4);
+        assert_eq!(counters.g_load_bytes_co, 4);
+        assert_eq!(buf.get(0), 10);
+    }
+
+    #[test]
+    fn shared_memory_capacity_enforced() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        // 48 KB of f64 = 6144 elements exactly fits.
+        let m: SharedMem<f64> = c.shared_alloc(6144);
+        assert_eq!(m.len(), 6144);
+        c.shared_free(m);
+        let _again: SharedMem<f64> = c.shared_alloc(6144);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn shared_memory_overflow_panics() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        let _m: SharedMem<f64> = c.shared_alloc(6145);
+    }
+
+    #[test]
+    fn shared_traffic_counted() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        let mut m: SharedMem<u32> = c.shared_alloc(4);
+        m.write(&mut c, 0, 5);
+        assert_eq!(m.read(&mut c, 0), 5);
+        m.fill_default(&mut c);
+        let counters = c.take_counters();
+        assert_eq!(counters.s_store, 1 + 4);
+        assert_eq!(counters.s_load, 1);
+    }
+
+    #[test]
+    fn atomic_add_counts_rmw() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        let buf = GlobalBuffer::from_slice(&[0u32]);
+        c.atomic_add(&buf, 0, 3);
+        c.atomic_add(&buf, 0, 4);
+        assert_eq!(buf.get(0), 7);
+        let counters = c.take_counters();
+        assert_eq!(counters.g_load_random, 2);
+        assert_eq!(counters.g_store_random, 2);
+    }
+
+    #[test]
+    fn const_reads_count_inst_only() {
+        let cfg = DeviceConfig::tesla_m2050();
+        let mut c = ctx(&cfg);
+        let cb = ConstBuffer::from_slice(&[1.0f64]);
+        let _ = c.ld_const(&cb, 0);
+        let counters = c.take_counters();
+        assert_eq!(counters.instructions, 1);
+        assert_eq!(counters.g_load(), 0);
+    }
+}

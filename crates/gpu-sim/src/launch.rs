@@ -1,0 +1,239 @@
+//! Kernel launching.
+//!
+//! [`Device`] owns a configuration and a cost model and executes kernels:
+//! the closure is invoked once per block, blocks are scheduled across a
+//! work-stealing thread pool, and each block's locally-tallied counters are
+//! flushed into the launch totals when it retires.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::buffer::{ConstBuffer, DeviceScalar, GlobalBuffer};
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
+use crate::ctx::BlockCtx;
+
+/// A simulated device: launch target for kernels and owner of the cost
+/// model. Cheap to construct; all state is the configuration.
+pub struct Device {
+    cfg: DeviceConfig,
+    cost: CostModel,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let cost = CostModel::new(cfg.clone());
+        Device { cfg, cost }
+    }
+
+    /// Convenience: the paper's Tesla M2050.
+    pub fn m2050() -> Self {
+        Self::new(DeviceConfig::tesla_m2050())
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The analytic cost model bound to this device.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Allocate a zeroed global buffer.
+    pub fn alloc<T: DeviceScalar>(&self, len: usize) -> GlobalBuffer<T> {
+        GlobalBuffer::zeroed(len)
+    }
+
+    /// Upload host data into a new global buffer (H2D bytes are charged to
+    /// the *next* launch via [`Device::launch_with_transfers`], or can be
+    /// accounted manually; plain `upload` is uncounted for setup data).
+    pub fn upload<T: DeviceScalar>(&self, data: &[T]) -> GlobalBuffer<T> {
+        GlobalBuffer::from_slice(data)
+    }
+
+    /// Download a buffer to the host (uncounted convenience).
+    pub fn download<T: DeviceScalar>(&self, buf: &GlobalBuffer<T>) -> Vec<T> {
+        buf.to_vec()
+    }
+
+    /// Upload into constant memory, enforcing the device's capacity.
+    ///
+    /// # Panics
+    /// Panics if the data exceeds the configured constant-memory size.
+    pub fn upload_const<T: Copy + Send + Sync + 'static>(&self, data: &[T]) -> ConstBuffer<T> {
+        let bytes = std::mem::size_of_val(data);
+        assert!(
+            bytes <= self.cfg.constant_mem,
+            "constant memory overflow: {} bytes > {} available on {}",
+            bytes,
+            self.cfg.constant_mem,
+            self.cfg.name
+        );
+        ConstBuffer::from_slice(data)
+    }
+
+    /// Launch `grid_dim` blocks of the kernel. The closure runs once per
+    /// block with a [`BlockCtx`]; blocks execute in parallel.
+    ///
+    /// `name` labels the launch for diagnostics only.
+    pub fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let _ = name;
+        let totals = AtomicCounters::default();
+        // Critical path: a block runs on one SM, so the launch can never
+        // finish before its heaviest block does. Tracked as f64 bits.
+        let max_block = std::sync::atomic::AtomicU64::new(0f64.to_bits());
+        let start = Instant::now();
+        (0..grid_dim).into_par_iter().for_each(|b| {
+            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg);
+            kernel(&mut ctx);
+            let counters = ctx.take_counters();
+            let block_time = self.cost.compute_time(&counters).max(self.cost.memory_time(&counters));
+            let _ = max_block.fetch_update(
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+                |cur| (f64::from_bits(cur) < block_time).then(|| block_time.to_bits()),
+            );
+            totals.flush(&counters);
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let counters = totals.snapshot();
+        let balanced = self.cost.kernel_time(&counters);
+        // One block's work executes at a single SM's share of the device.
+        let tail = f64::from_bits(max_block.load(std::sync::atomic::Ordering::Relaxed))
+            * self.cfg.num_sms as f64
+            + self.cfg.launch_overhead
+            + self.cost.transfer_time(&counters);
+        LaunchStats {
+            sim_time: balanced.max(tail),
+            counters,
+            wall_time: wall,
+            grid_dim,
+        }
+    }
+
+    /// Launch a kernel sequentially (block 0..grid in order, one host
+    /// thread). Used when a deterministic block order is required, e.g. for
+    /// bitwise-reproducible reductions.
+    pub fn launch_seq<F>(&self, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let _ = name;
+        let totals = AtomicCounters::default();
+        let start = Instant::now();
+        for b in 0..grid_dim {
+            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg);
+            kernel(&mut ctx);
+            totals.flush(&ctx.take_counters());
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let counters = totals.snapshot();
+        LaunchStats {
+            sim_time: self.cost.kernel_time(&counters),
+            counters,
+            wall_time: wall,
+            grid_dim,
+        }
+    }
+
+    /// Account an explicit host→device transfer into a stats record.
+    pub fn charge_h2d(&self, stats: &mut LaunchStats, bytes: u64) {
+        stats.counters.h2d_bytes += bytes;
+        stats.sim_time += bytes as f64 / self.cfg.pcie_bw;
+    }
+
+    /// Account an explicit device→host transfer into a stats record.
+    pub fn charge_d2h(&self, stats: &mut LaunchStats, bytes: u64) {
+        stats.counters.d2h_bytes += bytes;
+        stats.sim_time += bytes as f64 / self.cfg.pcie_bw;
+    }
+
+    /// Estimate time for a counter snapshot without launching.
+    pub fn estimate(&self, c: &HwCounters) -> f64 {
+        self.cost.kernel_time(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_launch_computes_and_counts() {
+        let dev = Device::m2050();
+        let n = 4096usize;
+        let input = dev.upload(&(0..n as u32).collect::<Vec<_>>());
+        let output: GlobalBuffer<u32> = dev.alloc(n);
+        let block = 256usize;
+        let stats = dev.launch("add_one", n / block, |ctx| {
+            let base = ctx.block_idx * block;
+            for t in 0..block {
+                let v = ctx.ld_co(&input, base + t);
+                ctx.st_co(&output, base + t, v + 1);
+            }
+        });
+        let out = dev.download(&output);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        assert_eq!(stats.counters.g_load_coalesced, n as u64);
+        assert_eq!(stats.counters.g_store_coalesced, n as u64);
+        assert_eq!(stats.grid_dim, 16);
+        assert!(stats.sim_time > 0.0);
+    }
+
+    #[test]
+    fn sequential_launch_is_deterministic() {
+        let dev = Device::m2050();
+        let acc: GlobalBuffer<u32> = dev.alloc(1);
+        dev.launch_seq("sum", 10, |ctx| {
+            let v = ctx.ld_co(&acc, 0);
+            ctx.st_co(&acc, 0, v + ctx.block_idx as u32);
+        });
+        assert_eq!(acc.get(0), 45);
+    }
+
+    #[test]
+    fn grid_dim_zero_is_a_noop() {
+        let dev = Device::m2050();
+        let stats = dev.launch("empty", 0, |_ctx| panic!("must not run"));
+        assert_eq!(stats.counters.instructions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant memory overflow")]
+    fn constant_memory_capacity_enforced() {
+        let dev = Device::m2050();
+        // 64 KB limit; 8193 f64 = 65544 bytes.
+        let big = vec![0.0f64; 8193];
+        let _ = dev.upload_const(&big);
+    }
+
+    #[test]
+    fn transfers_are_charged() {
+        let dev = Device::m2050();
+        let mut stats = LaunchStats::default();
+        dev.charge_h2d(&mut stats, 6_000_000_000);
+        assert!((stats.sim_time - 1.0).abs() < 1e-9);
+        assert_eq!(stats.counters.h2d_bytes, 6_000_000_000);
+    }
+
+    #[test]
+    fn concurrent_blocks_share_buffers_safely() {
+        // Many blocks atomically histogram into one cell.
+        let dev = Device::m2050();
+        let hist: GlobalBuffer<u64> = dev.alloc(1);
+        dev.launch("hist", 64, |ctx| {
+            for _ in 0..100 {
+                ctx.atomic_add(&hist, 0, 1u64);
+            }
+        });
+        assert_eq!(hist.get(0), 6400);
+    }
+}

@@ -1,0 +1,259 @@
+//! Data-parallel primitives on the simulated device.
+//!
+//! The GSNP output compressor builds on the classic GPU primitive set the
+//! paper cites (reduction, scan, sort+unique, parallel binary search). They
+//! are implemented here as ordinary kernels so that the compression path
+//! runs on the same executor — and is charged by the same cost model — as
+//! the likelihood kernels.
+
+use crate::buffer::GlobalBuffer;
+use crate::counters::LaunchStats;
+use crate::launch::Device;
+
+/// Elements processed per block by the primitives.
+pub const BLOCK: usize = 256;
+
+fn grid_for(n: usize) -> usize {
+    n.div_ceil(BLOCK).max(1)
+}
+
+/// Tree-reduce a `u64` buffer to its sum. Per-block partial sums are staged
+/// through shared memory; a final sequential pass combines the partials so
+/// the result is deterministic.
+pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats) {
+    let n = input.len();
+    if n == 0 {
+        return (0, LaunchStats::default());
+    }
+    let grid = grid_for(n);
+    let partials: GlobalBuffer<u64> = dev.alloc(grid);
+    let mut stats = dev.launch("reduce_sum", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        let mut tile = ctx.shared_alloc::<u64>(BLOCK);
+        for (t, i) in (base..end).enumerate() {
+            let v = ctx.ld_co(input, i);
+            tile.write(ctx, t, v);
+        }
+        // In-block tree reduction.
+        let mut width = end - base;
+        while width > 1 {
+            let half = width.div_ceil(2);
+            for t in 0..width / 2 {
+                let a = tile.read(ctx, t);
+                let b = tile.read(ctx, t + half);
+                tile.write(ctx, t, a.wrapping_add(b));
+                ctx.add_inst(1);
+            }
+            width = half;
+        }
+        let sum = tile.read(ctx, 0);
+        ctx.st_co(&partials, ctx.block_idx, sum);
+        ctx.shared_free(tile);
+    });
+    let mut total = 0u64;
+    let combine = dev.launch_seq("reduce_combine", 1, |ctx| {
+        for b in 0..grid {
+            total = total.wrapping_add(ctx.ld_co(&partials, b));
+            ctx.add_inst(1);
+        }
+    });
+    stats += combine;
+    (total, stats)
+}
+
+/// Exclusive prefix sum of a `u32` buffer. Returns the scanned buffer and
+/// the grand total. Three phases: per-block scan, scan of block totals
+/// (sequential — the totals array is tiny), then a uniform-add fixup.
+pub fn exclusive_scan(dev: &Device, input: &GlobalBuffer<u32>) -> (GlobalBuffer<u32>, u32, LaunchStats) {
+    let n = input.len();
+    let output: GlobalBuffer<u32> = dev.alloc(n);
+    if n == 0 {
+        return (output, 0, LaunchStats::default());
+    }
+    let grid = grid_for(n);
+    let block_totals: GlobalBuffer<u32> = dev.alloc(grid);
+
+    let mut stats = dev.launch("scan_blocks", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        let mut acc = 0u32;
+        for i in base..end {
+            let v = ctx.ld_co(input, i);
+            ctx.st_co(&output, i, acc);
+            acc = acc.wrapping_add(v);
+            ctx.add_inst(1);
+        }
+        ctx.st_co(&block_totals, ctx.block_idx, acc);
+    });
+
+    let mut total = 0u32;
+    stats += dev.launch_seq("scan_totals", 1, |ctx| {
+        for b in 0..grid {
+            let v = ctx.ld_co(&block_totals, b);
+            ctx.st_co(&block_totals, b, total);
+            total = total.wrapping_add(v);
+            ctx.add_inst(1);
+        }
+    });
+
+    stats += dev.launch("scan_fixup", grid, |ctx| {
+        let offset = ctx.ld_co(&block_totals, ctx.block_idx);
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let v = ctx.ld_co(&output, i);
+            ctx.st_co(&output, i, v.wrapping_add(offset));
+        }
+    });
+
+    (output, total, stats)
+}
+
+/// Compact the distinct values of a *sorted* buffer ("unique" primitive).
+/// Returns the dictionary values in order.
+pub fn unique_sorted(dev: &Device, sorted: &GlobalBuffer<u32>) -> (Vec<u32>, LaunchStats) {
+    let n = sorted.len();
+    if n == 0 {
+        return (Vec::new(), LaunchStats::default());
+    }
+    // Flags: 1 where a new run starts.
+    let flags: GlobalBuffer<u32> = dev.alloc(n);
+    let grid = grid_for(n);
+    let mut stats = dev.launch("unique_flags", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let v = ctx.ld_co(sorted, i);
+            let is_new = if i == 0 {
+                1
+            } else {
+                let prev = ctx.ld_co(sorted, i - 1);
+                ctx.add_inst(1);
+                u32::from(prev != v)
+            };
+            ctx.st_co(&flags, i, is_new);
+        }
+    });
+    let (positions, count, scan_stats) = exclusive_scan(dev, &flags);
+    stats += scan_stats;
+    let dict: GlobalBuffer<u32> = dev.alloc(count as usize);
+    stats += dev.launch("unique_scatter", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            if ctx.ld_co(&flags, i) == 1 {
+                let pos = ctx.ld_co(&positions, i);
+                let v = ctx.ld_co(sorted, i);
+                ctx.st_rand(&dict, pos as usize, v);
+            }
+        }
+    });
+    (dict.to_vec(), stats)
+}
+
+/// Parallel binary search: for each element of `queries`, find its index in
+/// the sorted `dict` (which is loaded to constant memory by the caller when
+/// it fits; here it is searched in global memory with random accesses,
+/// matching the paper's fallback path). Every query must be present.
+pub fn binary_search_indices(
+    dev: &Device,
+    dict: &GlobalBuffer<u32>,
+    queries: &GlobalBuffer<u32>,
+) -> (GlobalBuffer<u32>, LaunchStats) {
+    let n = queries.len();
+    let m = dict.len();
+    let out: GlobalBuffer<u32> = dev.alloc(n);
+    if n == 0 {
+        return (out, LaunchStats::default());
+    }
+    assert!(m > 0, "binary search over an empty dictionary");
+    let stats = dev.launch("binary_search", grid_for(n), |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let q = ctx.ld_co(queries, i);
+            let (mut lo, mut hi) = (0usize, m);
+            while lo + 1 < hi {
+                let mid = (lo + hi) / 2;
+                let v = ctx.ld_rand(dict, mid);
+                if v <= q {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                ctx.add_inst(2);
+            }
+            debug_assert_eq!(ctx.ld_rand(dict, lo), q, "query missing from dictionary");
+            ctx.st_co(&out, i, lo as u32);
+        }
+    });
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_matches_host() {
+        let dev = Device::m2050();
+        let data: Vec<u64> = (0..10_000).map(|i| i * i).collect();
+        let buf = dev.upload(&data);
+        let (sum, stats) = reduce_sum(&dev, &buf);
+        assert_eq!(sum, data.iter().sum::<u64>());
+        assert!(stats.counters.s_load > 0, "reduction must use shared memory");
+    }
+
+    #[test]
+    fn reduce_sum_empty_and_single() {
+        let dev = Device::m2050();
+        let empty: GlobalBuffer<u64> = dev.alloc(0);
+        assert_eq!(reduce_sum(&dev, &empty).0, 0);
+        let one = dev.upload(&[42u64]);
+        assert_eq!(reduce_sum(&dev, &one).0, 42);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_host() {
+        let dev = Device::m2050();
+        let data: Vec<u32> = (0..1000).map(|i| (i % 7) as u32).collect();
+        let buf = dev.upload(&data);
+        let (scanned, total, _) = exclusive_scan(&dev, &buf);
+        let got = scanned.to_vec();
+        let mut acc = 0u32;
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(got[i], acc, "at {i}");
+            acc += v;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn exclusive_scan_non_multiple_of_block() {
+        let dev = Device::m2050();
+        let data = vec![1u32; BLOCK * 3 + 17];
+        let buf = dev.upload(&data);
+        let (scanned, total, _) = exclusive_scan(&dev, &buf);
+        assert_eq!(total, data.len() as u32);
+        assert_eq!(scanned.get(data.len() - 1), data.len() as u32 - 1);
+    }
+
+    #[test]
+    fn unique_compacts_runs() {
+        let dev = Device::m2050();
+        let data = vec![1u32, 1, 1, 3, 3, 7, 9, 9, 9, 9];
+        let buf = dev.upload(&data);
+        let (dict, _) = unique_sorted(&dev, &buf);
+        assert_eq!(dict, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn binary_search_finds_all() {
+        let dev = Device::m2050();
+        let dict = dev.upload(&[2u32, 5, 8, 13, 21]);
+        let queries = dev.upload(&[21u32, 2, 8, 8, 5, 13]);
+        let (idx, _) = binary_search_indices(&dev, &dict, &queries);
+        assert_eq!(idx.to_vec(), vec![4, 0, 2, 2, 1, 3]);
+    }
+}

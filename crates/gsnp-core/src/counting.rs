@@ -1,0 +1,291 @@
+//! The `counting` component: per-site aligned-base collection.
+//!
+//! Two representations of the same information (§IV-B, Fig. 3):
+//!
+//! * **Sparse** ([`SparseWindow`]): one packed [`crate::baseword`] word per
+//!   occurrence, grouped by site — GSNP's representation. At ≤100× depth
+//!   the dense matrix is ~0.08% non-zero, so this shrinks memory traffic
+//!   by three orders of magnitude and makes `recycle` trivial.
+//! * **Dense** ([`DenseWindow`]): SOAPsnp's `base_occ` matrix, one byte of
+//!   occurrence count per `(base, score, coord, strand)` cell —
+//!   `4 × 64 × 256 × 2 = 131,072` cells *per site*.
+
+use seqio::window::Window;
+
+use crate::baseword;
+use crate::model::SiteSummary;
+
+/// Cells in one site's dense `base_occ` matrix.
+pub const SITE_CELLS: usize = 4 * 64 * 256 * 2;
+
+/// Dense cell index — the paper's Algorithm 1 line 7 packing:
+/// `base << 15 | score << 9 | coord << 1 | strand`.
+///
+/// Note the *uninverted* score: the dense scan controls iteration order
+/// with its loop structure, so no score inversion is needed there.
+#[inline(always)]
+pub fn base_occ_index(base: u8, score: u8, coord: u8, strand: u8) -> usize {
+    (usize::from(base) << 15) | (usize::from(score) << 9) | (usize::from(coord) << 1) | usize::from(strand)
+}
+
+/// Sparse representation of one window plus the per-site summaries that
+/// feed the non-likelihood result columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseWindow {
+    /// All sites' `base_word` arrays, concatenated (unsorted, in input
+    /// observation order — the multipass sort restores canonical order).
+    pub words: Vec<u32>,
+    /// `(offset, len)` of each site's array within `words`.
+    pub spans: Vec<(usize, usize)>,
+    /// Per-site observation summaries.
+    pub summaries: Vec<SiteSummary>,
+}
+
+impl SparseWindow {
+    /// Build from a loaded window.
+    pub fn count(window: &Window) -> SparseWindow {
+        let total: usize = window.obs.iter().map(Vec::len).sum();
+        let mut words = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(window.len());
+        let mut summaries = Vec::with_capacity(window.len());
+        for site_obs in &window.obs {
+            let start = words.len();
+            for o in site_obs {
+                words.push(baseword::pack(o.base, o.qual, o.coord, o.strand));
+            }
+            spans.push((start, site_obs.len()));
+            summaries.push(SiteSummary::from_obs(site_obs));
+        }
+        SparseWindow {
+            words,
+            spans,
+            summaries,
+        }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Bytes held by the sparse representation.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4 + self.spans.len() * 16
+    }
+
+    /// One site's (possibly unsorted) word array.
+    pub fn site_words(&self, site: usize) -> &[u32] {
+        let (off, len) = self.spans[site];
+        &self.words[off..off + len]
+    }
+}
+
+/// Dense `base_occ` for a whole window: `num_sites × 131,072` bytes,
+/// allocated once and re-zeroed by the `recycle` component each pass —
+/// exactly SOAPsnp's memory behaviour, including the cost the paper's
+/// Formula (1) estimates.
+#[derive(Debug)]
+pub struct DenseWindow {
+    occ: Vec<u8>,
+    num_sites: usize,
+}
+
+impl DenseWindow {
+    /// Allocate a zeroed dense window for `num_sites` sites.
+    pub fn alloc(num_sites: usize) -> DenseWindow {
+        DenseWindow {
+            occ: vec![0u8; num_sites * SITE_CELLS],
+            num_sites,
+        }
+    }
+
+    /// Number of sites this window can hold.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Bytes held by the dense representation.
+    pub fn size_bytes(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// Fill occurrence counts from a loaded window (sites beyond
+    /// `window.len()` keep their current contents).
+    ///
+    /// # Panics
+    /// Panics if the window has more sites than this allocation.
+    pub fn count(&mut self, window: &Window) -> Vec<SiteSummary> {
+        assert!(window.len() <= self.num_sites, "window exceeds dense allocation");
+        let mut summaries = Vec::with_capacity(window.len());
+        for (site, site_obs) in window.obs.iter().enumerate() {
+            let cell0 = site * SITE_CELLS;
+            for o in site_obs {
+                let idx = cell0 + base_occ_index(o.base, o.qual, o.coord, o.strand);
+                self.occ[idx] = self.occ[idx].saturating_add(1);
+            }
+            summaries.push(SiteSummary::from_obs(site_obs));
+        }
+        summaries
+    }
+
+    /// One site's 131,072-cell matrix.
+    pub fn site(&self, site: usize) -> &[u8] {
+        &self.occ[site * SITE_CELLS..(site + 1) * SITE_CELLS]
+    }
+
+    /// Mutable access to one site's matrix.
+    pub fn site_mut(&mut self, site: usize) -> &mut [u8] {
+        &mut self.occ[site * SITE_CELLS..(site + 1) * SITE_CELLS]
+    }
+
+    /// The `recycle` component: reinitialize every cell. Deliberately a
+    /// full-buffer write — this is the cost the sparse representation
+    /// eliminates (Table I vs Table IV, `recycle` column).
+    pub fn recycle(&mut self) {
+        self.occ.fill(0);
+    }
+
+    /// Recycle only the first `n` sites' matrices (the final window of a
+    /// chromosome is usually partial; Formula (1) counts exactly the used
+    /// sites).
+    pub fn recycle_sites(&mut self, n: usize) {
+        self.occ[..n * SITE_CELLS].fill(0);
+    }
+}
+
+/// Per-site count of non-zero `base_occ` cells (distinct observation
+/// tuples), the quantity Fig. 4(b) histograms.
+pub fn nonzero_cells_per_site(window: &Window) -> Vec<usize> {
+    window
+        .obs
+        .iter()
+        .map(|site_obs| {
+            let mut words: Vec<u32> = site_obs
+                .iter()
+                .map(|o| baseword::pack(o.base, o.qual, o.coord, o.strand))
+                .collect();
+            words.sort_unstable();
+            words.dedup();
+            words.len()
+        })
+        .collect()
+}
+
+/// Histogram of [`nonzero_cells_per_site`] into the buckets Fig. 4(b)
+/// plots: `[0, 1–10, 11–20, 21–40, 41–80, 81+]`. Returns the fraction of
+/// sites in each bucket.
+pub fn sparsity_histogram(nonzeros: &[usize]) -> [f64; 6] {
+    let mut buckets = [0usize; 6];
+    for &n in nonzeros {
+        let b = match n {
+            0 => 0,
+            1..=10 => 1,
+            11..=20 => 2,
+            21..=40 => 3,
+            41..=80 => 4,
+            _ => 5,
+        };
+        buckets[b] += 1;
+    }
+    let total = nonzeros.len().max(1) as f64;
+    buckets.map(|c| c as f64 / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio::window::SiteObs;
+
+    fn obs(base: u8, qual: u8, coord: u8, strand: u8) -> SiteObs {
+        SiteObs {
+            base,
+            qual,
+            coord,
+            strand,
+            uniq: true,
+        }
+    }
+
+    fn window() -> Window {
+        Window {
+            start: 100,
+            obs: vec![
+                vec![obs(0, 40, 3, 0), obs(0, 40, 3, 0), obs(2, 35, 7, 1)],
+                vec![],
+                vec![obs(3, 20, 0, 0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn sparse_counts_one_word_per_occurrence() {
+        let w = window();
+        let s = SparseWindow::count(&w);
+        assert_eq!(s.num_sites(), 3);
+        assert_eq!(s.spans, vec![(0, 3), (3, 0), (3, 1)]);
+        // Duplicate observations are stored twice (no occurrence counter —
+        // §IV-B: "each base_word element represents one occurrence").
+        assert_eq!(s.site_words(0)[0], s.site_words(0)[1]);
+        assert_eq!(s.summaries[0].depth, 3);
+        assert_eq!(s.summaries[1].depth, 0);
+    }
+
+    #[test]
+    fn dense_counts_occurrences_in_cells() {
+        let w = window();
+        let mut d = DenseWindow::alloc(3);
+        let summaries = d.count(&w);
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(d.site(0)[base_occ_index(0, 40, 3, 0)], 2);
+        assert_eq!(d.site(0)[base_occ_index(2, 35, 7, 1)], 1);
+        assert_eq!(d.site(2)[base_occ_index(3, 20, 0, 0)], 1);
+        assert_eq!(d.site(1).iter().map(|&x| x as u64).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn dense_recycle_zeroes_everything() {
+        let w = window();
+        let mut d = DenseWindow::alloc(3);
+        d.count(&w);
+        d.recycle();
+        assert!(d.site(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn dense_size_matches_paper() {
+        let d = DenseWindow::alloc(10);
+        assert_eq!(SITE_CELLS, 131_072);
+        assert_eq!(d.size_bytes(), 10 * 131_072);
+    }
+
+    #[test]
+    fn sparse_is_tiny_compared_to_dense() {
+        let w = window();
+        let s = SparseWindow::count(&w);
+        let d = DenseWindow::alloc(3);
+        assert!(s.size_bytes() * 1000 < d.size_bytes());
+    }
+
+    #[test]
+    fn nonzero_cells_dedup_duplicates() {
+        let w = window();
+        assert_eq!(nonzero_cells_per_site(&w), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = sparsity_histogram(&[0, 0, 5, 15, 30, 60, 100]);
+        assert!((h[0] - 2.0 / 7.0).abs() < 1e-12);
+        assert!((h[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((h[5] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds dense allocation")]
+    fn dense_overflow_panics() {
+        let w = window();
+        let mut d = DenseWindow::alloc(2);
+        d.count(&w);
+    }
+}

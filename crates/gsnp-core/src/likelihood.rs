@@ -1,0 +1,712 @@
+//! Likelihood calculation (§IV): the pipeline's dominant component.
+//!
+//! Host-side reference implementations:
+//!
+//! * [`likelihood_dense_site`] — the paper's Algorithm 1: scan the full
+//!   dense `base_occ` matrix in canonical order (SOAPsnp's inner loop).
+//! * [`likelihood_sparse_site_pmatrix`] — Algorithm 4 with the original
+//!   Algorithm-2 math (two `p_matrix` reads + a `log10` per genotype).
+//! * [`likelihood_sparse_site`] — Algorithm 4 with the Algorithm-3
+//!   optimized math (one `new_p_matrix` read per genotype).
+//!
+//! All three produce **bit-identical** `type_likely` vectors for the same
+//! site (property-tested), which is the §IV-G consistency requirement.
+//!
+//! Device-side: [`likelihood_sort_gpu`] (the multipass sorting network)
+//! and [`likelihood_comp_gpu`] with the four [`KernelVariant`]s of
+//! Fig. 8 / Table III, plus the dense strawman [`likelihood_dense_gpu`]
+//! of Fig. 5.
+
+use gpu_sim::{ConstBuffer, Device, GlobalBuffer, LaunchStats};
+use sortnet::multipass::{multipass_sort, MultipassReport};
+
+use crate::baseword;
+use crate::counting::{base_occ_index, SparseWindow, SITE_CELLS};
+use crate::model::{adjust, NUM_GENOTYPES};
+use crate::tables::{likely_update, new_p_cell, p_index, LogTable, NewPMatrix, PMatrix};
+
+/// Sites processed per thread block by the likelihood kernels.
+pub const SITES_PER_BLOCK: usize = 256;
+
+// ---------------------------------------------------------------------
+// Host reference implementations
+// ---------------------------------------------------------------------
+
+/// Algorithm 1: likelihood of one site from its dense `base_occ` matrix.
+///
+/// The canonical iteration order is base ↑, score ↓ (from `QUAL_MAX`
+/// down to 0), coord ↑, strand ↑, with the dependency counter reset per
+/// base and the quality adjustment applied per *occurrence*. The scan
+/// covers the full coordinate axis (256), as the paper's Formula (1)
+/// assumes — every one of the 131,072 cells is read. The inner two loops
+/// are a single contiguous 512-byte row (`coord`/`strand` are the low
+/// index bits), so the zero-skipping pass runs at memory-stream speed,
+/// which is what makes this baseline memory-bound like SOAPsnp.
+pub fn likelihood_dense_site(occ: &[u8], p: &PMatrix, lt: &LogTable) -> [f64; NUM_GENOTYPES] {
+    debug_assert_eq!(occ.len(), SITE_CELLS);
+    const ROW: usize = 2 * crate::tables::COORD_DIM;
+    let mut type_likely = [0f64; NUM_GENOTYPES];
+    let mut dep_count = [0u16; ROW];
+    for base in 0..4u8 {
+        dep_count.fill(0);
+        for score in (0..=baseword::QUAL_MAX).rev() {
+            let row0 = base_occ_index(base, score, 0, 0);
+            let row = &occ[row0..row0 + ROW];
+            // Zero-skip 64 cells at a time: the row is ~99.9% zeros, so
+            // the scan runs at memory-stream speed, as Formula (1) assumes.
+            for (c64, big) in row.chunks_exact(64).enumerate() {
+                let mut any = 0u64;
+                for w in big.chunks_exact(8) {
+                    any |= u64::from_le_bytes(w.try_into().expect("8 bytes"));
+                }
+                if any == 0 {
+                    continue;
+                }
+                for (k8, &count) in big.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let j = c64 * 64 + k8;
+                    let coord = (j >> 1) as u8;
+                    let strand = (j & 1) as u8;
+                    for _k in 0..count {
+                        let slot =
+                            usize::from(strand) * crate::tables::COORD_DIM + usize::from(coord);
+                        dep_count[slot] += 1;
+                        let q_adj = adjust(score, dep_count[slot], lt);
+                        let mut n = 0usize;
+                        for a1 in 0..4u8 {
+                            for a2 in a1..4u8 {
+                                type_likely[n] += likely_update(p, q_adj, coord, base, a1, a2);
+                                n += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    type_likely
+}
+
+/// Algorithm 4 with Algorithm-2 math: scan a canonically-sorted
+/// `base_word` array, computing each genotype term from two `p_matrix`
+/// reads and a `log10` (the *baseline* kernel's arithmetic).
+pub fn likelihood_sparse_site_pmatrix(
+    words_sorted: &[u32],
+    read_len: usize,
+    p: &PMatrix,
+    lt: &LogTable,
+) -> [f64; NUM_GENOTYPES] {
+    let mut type_likely = [0f64; NUM_GENOTYPES];
+    let mut dep_count = vec![0u16; 2 * read_len];
+    let mut last_base = 0u8;
+    for &w in words_sorted {
+        let (base, score, coord, strand) = baseword::unpack(w);
+        if base > last_base {
+            dep_count.fill(0);
+            last_base = base;
+        }
+        let slot = usize::from(strand) * read_len + usize::from(coord);
+        dep_count[slot] += 1;
+        let q_adj = adjust(score, dep_count[slot], lt);
+        let mut n = 0usize;
+        for a1 in 0..4u8 {
+            for a2 in a1..4u8 {
+                type_likely[n] += likely_update(p, q_adj, coord, base, a1, a2);
+                n += 1;
+            }
+        }
+    }
+    type_likely
+}
+
+/// Algorithm 4 with Algorithm-3 math: one `new_p_matrix` lookup per
+/// genotype (the *optimized* arithmetic; GSNP and GSNP_CPU use this).
+pub fn likelihood_sparse_site(
+    words_sorted: &[u32],
+    read_len: usize,
+    np: &NewPMatrix,
+    lt: &LogTable,
+) -> [f64; NUM_GENOTYPES] {
+    let mut type_likely = [0f64; NUM_GENOTYPES];
+    let mut dep_count = vec![0u16; 2 * read_len];
+    let mut last_base = 0u8;
+    for &w in words_sorted {
+        let (base, score, coord, strand) = baseword::unpack(w);
+        if base > last_base {
+            dep_count.fill(0);
+            last_base = base;
+        }
+        let slot = usize::from(strand) * read_len + usize::from(coord);
+        dep_count[slot] += 1;
+        let q_adj = adjust(score, dep_count[slot], lt);
+        for (n, tl) in type_likely.iter_mut().enumerate() {
+            *tl += np.get(q_adj, coord, base, n);
+        }
+    }
+    type_likely
+}
+
+/// `likelihood_sort` on the host (GSNP_CPU): per-site unstable sort —
+/// the quicksort counterpart of Fig. 6.
+pub fn sort_sparse_cpu(sw: &mut SparseWindow) {
+    for &(off, len) in &sw.spans {
+        sw.words[off..off + len].sort_unstable();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device tables
+// ---------------------------------------------------------------------
+
+/// Score tables resident in simulated device memory.
+pub struct DeviceTables {
+    /// `p_matrix` in global memory (8 MB-class: too big for shared or
+    /// constant memory — §IV-D).
+    pub p_matrix: GlobalBuffer<f64>,
+    /// `new_p_matrix` in global memory.
+    pub new_p: GlobalBuffer<f64>,
+    /// `log_table` in constant memory (65 doubles, trivially fits).
+    pub log_table: ConstBuffer<f64>,
+    host_log: LogTable,
+}
+
+impl DeviceTables {
+    /// Upload the three tables.
+    pub fn upload(dev: &Device, p: &PMatrix, np: &NewPMatrix, lt: &LogTable) -> DeviceTables {
+        DeviceTables {
+            p_matrix: dev.upload(p.as_slice()),
+            new_p: dev.upload(np.as_slice()),
+            log_table: dev.upload_const(lt.as_slice()),
+            host_log: lt.clone(),
+        }
+    }
+
+    /// H2D bytes the upload represents (charged to `cal_p_matrix` time).
+    pub fn upload_bytes(&self) -> u64 {
+        (self.p_matrix.len() + self.new_p.len()) as u64 * 8 + self.log_table.len() as u64 * 8
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device kernels
+// ---------------------------------------------------------------------
+
+/// The four `likelihood_comp` implementations of Fig. 8 / Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// `p_matrix` math, `type_likely` in global memory.
+    Baseline,
+    /// `p_matrix` math, `type_likely` in shared memory.
+    WithShared,
+    /// `new_p_matrix` math, `type_likely` in global memory.
+    WithNewTable,
+    /// `new_p_matrix` math, `type_likely` in shared memory (GSNP).
+    Optimized,
+}
+
+impl KernelVariant {
+    /// All four variants in the paper's presentation order.
+    pub const ALL: [KernelVariant; 4] = [
+        KernelVariant::Baseline,
+        KernelVariant::WithShared,
+        KernelVariant::WithNewTable,
+        KernelVariant::Optimized,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelVariant::Baseline => "baseline",
+            KernelVariant::WithShared => "w/ shared",
+            KernelVariant::WithNewTable => "w/ new table",
+            KernelVariant::Optimized => "optimized",
+        }
+    }
+
+    fn uses_shared(self) -> bool {
+        matches!(self, KernelVariant::WithShared | KernelVariant::Optimized)
+    }
+
+    fn uses_new_table(self) -> bool {
+        matches!(self, KernelVariant::WithNewTable | KernelVariant::Optimized)
+    }
+}
+
+/// `likelihood_sort` on the device: the multipass bitonic sorting network
+/// over every site's `base_word` array.
+pub fn likelihood_sort_gpu(
+    dev: &Device,
+    words: &GlobalBuffer<u32>,
+    spans: &[(usize, usize)],
+) -> MultipassReport {
+    multipass_sort(dev, words, spans)
+}
+
+/// `likelihood_comp` on the device: one logical thread per site, blocks of
+/// [`SITES_PER_BLOCK`]. Returns the per-site `type_likely` vectors and the
+/// launch statistics.
+///
+/// The computation is bit-identical across variants and identical to the
+/// host implementations; the variants differ in *where* `type_likely`
+/// accumulates and *which* table supplies the per-genotype terms — which
+/// is precisely what the Table III counters measure.
+pub fn likelihood_comp_gpu(
+    dev: &Device,
+    variant: KernelVariant,
+    words: &GlobalBuffer<u32>,
+    spans: &[(usize, usize)],
+    read_len: usize,
+    tables: &DeviceTables,
+) -> (Vec<[f64; NUM_GENOTYPES]>, LaunchStats) {
+    let num_sites = spans.len();
+    let type_likely: GlobalBuffer<f64> = dev.alloc(num_sites * NUM_GENOTYPES);
+    // Per-site dependency counters live in global memory (§IV-E): the
+    // array is too large for shared memory and is touched an order of
+    // magnitude less often than type_likely.
+    let dep_count: GlobalBuffer<u16> = dev.alloc(num_sites * 2 * read_len);
+    let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
+    let lt = &tables.host_log;
+
+    let stats = dev.launch("likelihood_comp", grid, |ctx| {
+        let first = ctx.block_idx * SITES_PER_BLOCK;
+        let last = (first + SITES_PER_BLOCK).min(num_sites);
+        for site in first..last {
+            let (off, len) = spans[site];
+            let dep0 = site * 2 * read_len;
+            let tl0 = site * NUM_GENOTYPES;
+
+            // type_likely accumulator: shared tile or global slots.
+            let mut shared_tl = if variant.uses_shared() {
+                let mut t = ctx.shared_alloc::<f64>(NUM_GENOTYPES);
+                t.fill_default(ctx);
+                Some(t)
+            } else {
+                for n in 0..NUM_GENOTYPES {
+                    ctx.st_rand(&type_likely, tl0 + n, 0.0f64);
+                }
+                None
+            };
+
+            let mut last_base = 0u8;
+            // Track which dep_count slots this base segment dirtied so the
+            // reset touches only live entries (sparse recycle, §IV-B).
+            let mut touched_from = off;
+            for i in off..off + len {
+                let w = ctx.ld_co(words, i);
+                let (base, score, coord, strand) = baseword::unpack(w);
+                ctx.add_inst(12); // field extraction + loop bookkeeping
+
+                if base > last_base {
+                    for j in touched_from..i {
+                        let (_, _, tc, ts) = baseword::unpack(ctx.ld_co(words, j));
+                        let slot = dep0 + usize::from(ts) * read_len + usize::from(tc);
+                        ctx.st_rand(&dep_count, slot, 0u16);
+                    }
+                    touched_from = i;
+                    last_base = base;
+                }
+
+                let slot = dep0 + usize::from(strand) * read_len + usize::from(coord);
+                let dc = ctx.ld_rand(&dep_count, slot) + 1;
+                ctx.st_rand(&dep_count, slot, dc);
+                let q_adj = {
+                    // adjust(): one constant-memory log read + arithmetic.
+                    let k = dc.clamp(1, 64);
+                    let penalty =
+                        (10.0 * ctx.ld_const(&tables.log_table, k as usize)).round() as i32;
+                    ctx.add_inst(8);
+                    (i32::from(score) - penalty).max(0) as u8
+                };
+                debug_assert_eq!(q_adj, adjust(score, dc, lt));
+
+                if variant.uses_new_table() {
+                    let cell = new_p_cell(q_adj, coord, base) * NUM_GENOTYPES;
+                    for n in 0..NUM_GENOTYPES {
+                        let term = ctx.ld_rand(&tables.new_p, cell + n);
+                        // Fixed per-update cost: addressing + accumulate +
+                        // loop control (calibrated against Table III).
+                        ctx.add_inst(20);
+                        accumulate(ctx, &type_likely, shared_tl.as_mut(), tl0, n, term);
+                    }
+                } else {
+                    let mut n = 0usize;
+                    for a1 in 0..4u8 {
+                        for a2 in a1..4u8 {
+                            let p1 = ctx.ld_rand(&tables.p_matrix, p_index(q_adj, coord, a1, base));
+                            let p2 = ctx.ld_rand(&tables.p_matrix, p_index(q_adj, coord, a2, base));
+                            let term = (0.5 * p1 + 0.5 * p2).log10();
+                            // Fixed per-update cost (20) + the mul/add +
+                            // log10 sequence the new table eliminates (8).
+                            ctx.add_inst(28);
+                            accumulate(ctx, &type_likely, shared_tl.as_mut(), tl0, n, term);
+                            n += 1;
+                        }
+                    }
+                }
+            }
+
+            // Reset the final base segment's dep_count slots.
+            for j in touched_from..off + len {
+                let (_, _, tc, ts) = baseword::unpack(ctx.ld_co(words, j));
+                let slot = dep0 + usize::from(ts) * read_len + usize::from(tc);
+                ctx.st_rand(&dep_count, slot, 0u16);
+            }
+
+            // Shared accumulators flush to global through coalesced writes.
+            if let Some(tile) = shared_tl.take() {
+                for n in 0..NUM_GENOTYPES {
+                    let v = tile.read(ctx, n);
+                    ctx.st_co(&type_likely, tl0 + n, v);
+                }
+                ctx.shared_free(tile);
+            }
+        }
+    });
+
+    let flat = type_likely.to_vec();
+    let out = (0..num_sites)
+        .map(|s| {
+            let mut a = [0f64; NUM_GENOTYPES];
+            a.copy_from_slice(&flat[s * NUM_GENOTYPES..(s + 1) * NUM_GENOTYPES]);
+            a
+        })
+        .collect();
+    (out, stats)
+}
+
+#[inline(always)]
+fn accumulate(
+    ctx: &mut gpu_sim::BlockCtx<'_>,
+    type_likely: &GlobalBuffer<f64>,
+    shared: Option<&mut gpu_sim::SharedMem<f64>>,
+    tl0: usize,
+    n: usize,
+    term: f64,
+) {
+    match shared {
+        Some(tile) => {
+            let cur = tile.read(ctx, n);
+            tile.write(ctx, n, cur + term);
+        }
+        None => {
+            let cur = ctx.ld_rand(type_likely, tl0 + n);
+            ctx.st_rand(type_likely, tl0 + n, cur + term);
+        }
+    }
+}
+
+/// The Fig. 5 "GPU dense" strawman: one thread per site scanning the full
+/// dense matrix. The matrix is laid out `[cell][site]` so warp lanes read
+/// consecutive addresses (coalesced) — the representation is still 14–17×
+/// slower than sparse because it must *move* three orders of magnitude
+/// more bytes.
+pub fn likelihood_dense_gpu(
+    dev: &Device,
+    occ: &GlobalBuffer<u8>,
+    num_sites: usize,
+    tables: &DeviceTables,
+) -> (Vec<[f64; NUM_GENOTYPES]>, LaunchStats) {
+    assert_eq!(occ.len(), num_sites * SITE_CELLS, "dense buffer size mismatch");
+    const ROW: usize = 2 * crate::tables::COORD_DIM;
+    let type_likely: GlobalBuffer<f64> = dev.alloc(num_sites * NUM_GENOTYPES);
+    let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
+
+    let stats = dev.launch("likelihood_dense", grid, |ctx| {
+        let first = ctx.block_idx * SITES_PER_BLOCK;
+        let last = (first + SITES_PER_BLOCK).min(num_sites);
+        for site in first..last {
+            let mut tl = ctx.shared_alloc::<f64>(NUM_GENOTYPES);
+            tl.fill_default(ctx);
+            let mut dep_count = [0u16; ROW];
+            for base in 0..4u8 {
+                dep_count.fill(0);
+                for score in (0..=baseword::QUAL_MAX).rev() {
+                    let row0 = base_occ_index(base, score, 0, 0);
+                    for j in 0..ROW {
+                        // Transposed layout: [cell][site].
+                        let count = ctx.ld_co(occ, (row0 + j) * num_sites + site);
+                        if count == 0 {
+                            continue;
+                        }
+                        let coord = (j >> 1) as u8;
+                        let strand = (j & 1) as u8;
+                        for _k in 0..count {
+                            let slot = usize::from(strand) * crate::tables::COORD_DIM
+                                + usize::from(coord);
+                            dep_count[slot] += 1;
+                            let k = dep_count[slot].clamp(1, 64);
+                            let penalty = (10.0
+                                * ctx.ld_const(&tables.log_table, k as usize))
+                            .round() as i32;
+                            ctx.add_inst(3);
+                            let q_adj = (i32::from(score) - penalty).max(0) as u8;
+                            let cell10 = new_p_cell(q_adj, coord, base) * NUM_GENOTYPES;
+                            for n in 0..NUM_GENOTYPES {
+                                let term = ctx.ld_rand(&tables.new_p, cell10 + n);
+                                let cur = tl.read(ctx, n);
+                                tl.write(ctx, n, cur + term);
+                            }
+                        }
+                    }
+                }
+            }
+            let tl0 = site * NUM_GENOTYPES;
+            for n in 0..NUM_GENOTYPES {
+                let v = tl.read(ctx, n);
+                ctx.st_co(&type_likely, tl0 + n, v);
+            }
+            ctx.shared_free(tl);
+        }
+    });
+
+    let flat = type_likely.to_vec();
+    let out = (0..num_sites)
+        .map(|s| {
+            let mut a = [0f64; NUM_GENOTYPES];
+            a.copy_from_slice(&flat[s * NUM_GENOTYPES..(s + 1) * NUM_GENOTYPES]);
+            a
+        })
+        .collect();
+    (out, stats)
+}
+
+/// Upload a dense window in the `[cell][site]` transposed layout
+/// [`likelihood_dense_gpu`] expects.
+pub fn upload_dense_transposed(
+    dev: &Device,
+    dense: &crate::counting::DenseWindow,
+    num_sites: usize,
+) -> GlobalBuffer<u8> {
+    let mut host = vec![0u8; num_sites * SITE_CELLS];
+    for site in 0..num_sites {
+        let m = dense.site(site);
+        for (cell, &v) in m.iter().enumerate() {
+            if v != 0 {
+                host[cell * num_sites + site] = v;
+            }
+        }
+    }
+    dev.upload(&host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::DenseWindow;
+    use crate::model::ModelParams;
+    use seqio::synth::{Dataset, SynthConfig};
+    use seqio::window::WindowReader;
+
+    struct Fixture {
+        sw: SparseWindow,
+        dense: DenseWindow,
+        p: PMatrix,
+        np: NewPMatrix,
+        lt: LogTable,
+        read_len: usize,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let d = Dataset::generate(SynthConfig::tiny(seed));
+        let read_len = d.config.read_len;
+        let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+        let np = NewPMatrix::precompute(&p);
+        let mut wr = WindowReader::new(
+            d.reads.iter().cloned().map(Ok),
+            d.config.num_sites,
+            1000,
+        );
+        let w = wr.next_window().unwrap().unwrap();
+        let mut dense = DenseWindow::alloc(w.len());
+        dense.count(&w);
+        let mut sw = SparseWindow::count(&w);
+        sort_sparse_cpu(&mut sw);
+        Fixture {
+            sw,
+            dense,
+            p,
+            np,
+            lt: LogTable::new(),
+            read_len,
+        }
+    }
+
+    #[test]
+    fn sparse_equals_dense_bitwise() {
+        let f = fixture(41);
+        for site in 0..f.sw.num_sites() {
+            let dense = likelihood_dense_site(f.dense.site(site), &f.p, &f.lt);
+            let sparse = likelihood_sparse_site(f.sw.site_words(site), f.read_len, &f.np, &f.lt);
+            for n in 0..NUM_GENOTYPES {
+                assert_eq!(
+                    dense[n].to_bits(),
+                    sparse[n].to_bits(),
+                    "site {site} genotype {n}: {} vs {}",
+                    dense[n],
+                    sparse[n]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmatrix_math_equals_new_table_math() {
+        let f = fixture(42);
+        for site in 0..f.sw.num_sites().min(200) {
+            let words = f.sw.site_words(site);
+            let a = likelihood_sparse_site_pmatrix(words, f.read_len, &f.p, &f.lt);
+            let b = likelihood_sparse_site(words, f.read_len, &f.np, &f.lt);
+            for n in 0..NUM_GENOTYPES {
+                assert_eq!(a[n].to_bits(), b[n].to_bits(), "site {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_site_has_zero_likelihood() {
+        let f = fixture(43);
+        let tl = likelihood_sparse_site(&[], f.read_len, &f.np, &f.lt);
+        assert_eq!(tl, [0.0; NUM_GENOTYPES]);
+    }
+
+    #[test]
+    fn all_kernel_variants_match_host_bitwise() {
+        let f = fixture(44);
+        let dev = Device::m2050();
+        let tables = DeviceTables::upload(&dev, &f.p, &f.np, &f.lt);
+        let words = dev.upload(&f.sw.words);
+        let expected: Vec<[f64; NUM_GENOTYPES]> = (0..f.sw.num_sites())
+            .map(|s| likelihood_sparse_site(f.sw.site_words(s), f.read_len, &f.np, &f.lt))
+            .collect();
+        for variant in KernelVariant::ALL {
+            let (got, _) =
+                likelihood_comp_gpu(&dev, variant, &words, &f.sw.spans, f.read_len, &tables);
+            for (site, (g, e)) in got.iter().zip(&expected).enumerate() {
+                for n in 0..NUM_GENOTYPES {
+                    assert_eq!(
+                        g[n].to_bits(),
+                        e[n].to_bits(),
+                        "{} site {site} genotype {n}",
+                        variant.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_counters_reflect_the_optimizations() {
+        let f = fixture(45);
+        let dev = Device::m2050();
+        let tables = DeviceTables::upload(&dev, &f.p, &f.np, &f.lt);
+        let words = dev.upload(&f.sw.words);
+        let run = |v: KernelVariant| {
+            likelihood_comp_gpu(&dev, v, &words, &f.sw.spans, f.read_len, &tables).1
+        };
+        let base = run(KernelVariant::Baseline);
+        let shared = run(KernelVariant::WithShared);
+        let table = run(KernelVariant::WithNewTable);
+        let opt = run(KernelVariant::Optimized);
+
+        // Table III structure: shared removes global type_likely traffic…
+        assert!(shared.counters.g_load() < base.counters.g_load());
+        assert!(shared.counters.g_store() < base.counters.g_store());
+        assert!(shared.counters.s_load > 0 && base.counters.s_load == 0);
+        // …the new table halves the table reads and cuts instructions…
+        assert!(table.counters.g_load() < base.counters.g_load());
+        assert!(table.counters.instructions < base.counters.instructions);
+        // …and the optimized kernel is cheapest on both axes.
+        assert!(opt.counters.g_load() <= table.counters.g_load());
+        assert!(opt.counters.instructions <= shared.counters.instructions);
+        assert!(opt.sim_time < base.sim_time);
+    }
+
+    #[test]
+    fn sorting_on_device_enables_bit_exact_comp() {
+        // Unsorted words → device multipass sort → kernel == host reference.
+        let d = Dataset::generate(SynthConfig::tiny(46));
+        let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+        let np = NewPMatrix::precompute(&p);
+        let lt = LogTable::new();
+        let mut wr = WindowReader::new(
+            d.reads.iter().cloned().map(Ok),
+            d.config.num_sites,
+            800,
+        );
+        let w = wr.next_window().unwrap().unwrap();
+        let sw = SparseWindow::count(&w); // NOT host-sorted
+        let dev = Device::m2050();
+        let words = dev.upload(&sw.words);
+        likelihood_sort_gpu(&dev, &words, &sw.spans);
+        let tables = DeviceTables::upload(&dev, &p, &np, &lt);
+        let (got, _) = likelihood_comp_gpu(
+            &dev,
+            KernelVariant::Optimized,
+            &words,
+            &sw.spans,
+            d.config.read_len,
+            &tables,
+        );
+        let mut host_sorted = sw.clone();
+        sort_sparse_cpu(&mut host_sorted);
+        for site in 0..sw.num_sites() {
+            let e = likelihood_sparse_site(
+                host_sorted.site_words(site),
+                d.config.read_len,
+                &np,
+                &lt,
+            );
+            for n in 0..NUM_GENOTYPES {
+                assert_eq!(got[site][n].to_bits(), e[n].to_bits(), "site {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_gpu_matches_host_and_moves_more_bytes() {
+        let f = fixture(47);
+        let sites = 16usize; // dense is expensive; a slice suffices
+        let dev = Device::m2050();
+        let tables = DeviceTables::upload(&dev, &f.p, &f.np, &f.lt);
+
+        let mut small = DenseWindow::alloc(sites);
+        // Rebuild a small dense window from the sparse one.
+        for site in 0..sites {
+            let words: Vec<u32> = f.sw.site_words(site).to_vec();
+            let m = small.site_mut(site);
+            for w in words {
+                let (b, s, c, st) = baseword::unpack(w);
+                let idx = base_occ_index(b, s, c, st);
+                m[idx] = m[idx].saturating_add(1);
+            }
+        }
+        let occ = upload_dense_transposed(&dev, &small, sites);
+        let (got, dense_stats) = likelihood_dense_gpu(&dev, &occ, sites, &tables);
+        for site in 0..sites {
+            let e = likelihood_dense_site(small.site(site), &f.p, &f.lt);
+            for n in 0..NUM_GENOTYPES {
+                assert_eq!(got[site][n].to_bits(), e[n].to_bits(), "site {site}");
+            }
+        }
+        // Same sites through the sparse kernel: orders of magnitude less traffic.
+        let spans: Vec<(usize, usize)> = f.sw.spans[..sites].to_vec();
+        let words = dev.upload(&f.sw.words);
+        let (_, sparse_stats) = likelihood_comp_gpu(
+            &dev,
+            KernelVariant::Optimized,
+            &words,
+            &spans,
+            f.read_len,
+            &tables,
+        );
+        assert!(
+            dense_stats.counters.g_load() > 50 * sparse_stats.counters.g_load(),
+            "dense {} vs sparse {}",
+            dense_stats.counters.g_load(),
+            sparse_stats.counters.g_load()
+        );
+        assert!(dense_stats.sim_time > sparse_stats.sim_time);
+    }
+}

@@ -1,0 +1,645 @@
+//! The GSNP windowed pipeline (Fig. 2).
+//!
+//! ```text
+//! cal_p_matrix ──► load_table ──► [ read_site → counting → likelihood
+//!        │                          → posterior → output → recycle ]*
+//!        └── compressed temporary input ──────────┘
+//! ```
+//!
+//! Every device component reports both the **host wall-clock** of the
+//! simulation and the **modelled device time** from the cost model; the
+//! reproduction harness reports the latter for "GPU" series and wall time
+//! for CPU series (see `EXPERIMENTS.md`).
+
+use std::time::Instant;
+
+use compress::{column, input_codec};
+use gpu_sim::{Device, DeviceConfig, LaunchStats};
+use seqio::fasta::Reference;
+use seqio::prior::PriorMap;
+use seqio::result::{SnpRow, SnpTable};
+use seqio::soap::AlignedRead;
+use seqio::window::WindowReader;
+
+use crate::counting::SparseWindow;
+use crate::likelihood::{likelihood_comp_gpu, likelihood_sort_gpu, DeviceTables, KernelVariant};
+use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
+use crate::tables::{LogTable, NewPMatrix, PMatrix};
+
+/// Per-component elapsed time in seconds, matching the columns of the
+/// paper's Tables I and IV.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentTimes {
+    /// `cal_p_matrix` (+ table generation and upload in GSNP).
+    pub cal_p: f64,
+    /// `read_site` (window loading; includes temporary-input decompression).
+    pub read_site: f64,
+    /// `counting`.
+    pub counting: f64,
+    /// `likelihood_sort` (zero for the dense baseline).
+    pub likelihood_sort: f64,
+    /// `likelihood_comp`.
+    pub likelihood_comp: f64,
+    /// `posterior`.
+    pub posterior: f64,
+    /// `output` (compression + serialization).
+    pub output: f64,
+    /// `recycle`.
+    pub recycle: f64,
+}
+
+impl ComponentTimes {
+    /// Total of the likelihood sub-steps (the paper's `likeli.` column).
+    pub fn likelihood(&self) -> f64 {
+        self.likelihood_sort + self.likelihood_comp
+    }
+
+    /// End-to-end total.
+    pub fn total(&self) -> f64 {
+        self.cal_p
+            + self.read_site
+            + self.counting
+            + self.likelihood()
+            + self.posterior
+            + self.output
+            + self.recycle
+    }
+}
+
+/// Aggregate pipeline statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Sites processed.
+    pub num_sites: u64,
+    /// Aligned-base observations processed.
+    pub num_obs: u64,
+    /// Windows processed.
+    pub windows: u64,
+    /// Variant calls emitted.
+    pub snp_count: u64,
+    /// Peak simulated-device memory, bytes.
+    pub peak_device_bytes: u64,
+    /// Peak host memory attributable to the pipeline's buffers, bytes.
+    pub peak_host_bytes: u64,
+}
+
+/// GSNP configuration.
+#[derive(Debug, Clone)]
+pub struct GsnpConfig {
+    /// Sites per window (the paper's default: 256,000).
+    pub window_size: usize,
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Bayesian model parameters.
+    pub params: ModelParams,
+    /// Which `likelihood_comp` kernel to run (GSNP uses `Optimized`).
+    pub variant: KernelVariant,
+    /// Write + re-read the compressed temporary input (§V-A). Disabling
+    /// reads the in-memory alignments directly (used by ablations).
+    pub compress_input: bool,
+    /// Run output RLE-DICT columns on the device (§V-B).
+    pub gpu_output: bool,
+}
+
+impl Default for GsnpConfig {
+    fn default() -> Self {
+        GsnpConfig {
+            window_size: 256_000,
+            device: DeviceConfig::tesla_m2050(),
+            params: ModelParams::default(),
+            variant: KernelVariant::Optimized,
+            compress_input: true,
+            gpu_output: true,
+        }
+    }
+}
+
+/// Everything a GSNP run produces.
+#[derive(Debug)]
+pub struct GsnpOutput {
+    /// Per-window result tables (kept for verification against SOAPsnp).
+    pub tables: Vec<SnpTable>,
+    /// The compressed result file (sequence of length-prefixed windows).
+    pub compressed: Vec<u8>,
+    /// Modelled component times: device components use the cost model's
+    /// device time, host-side components use wall clock.
+    pub times: ComponentTimes,
+    /// Pure host wall-clock per component (what the simulation itself cost).
+    pub wall: ComponentTimes,
+    /// Aggregate statistics.
+    pub stats: PipelineStats,
+}
+
+impl GsnpOutput {
+    /// Flatten all windows into rows (for comparisons).
+    pub fn all_rows(&self) -> Vec<SnpRow> {
+        self.tables.iter().flat_map(|t| t.rows.iter().copied()).collect()
+    }
+}
+
+/// The GSNP pipeline driver.
+pub struct GsnpPipeline {
+    config: GsnpConfig,
+}
+
+impl GsnpPipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: GsnpConfig) -> Self {
+        GsnpPipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GsnpConfig {
+        &self.config
+    }
+
+    /// Run over in-memory inputs.
+    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> GsnpOutput {
+        let cfg = &self.config;
+        let dev = Device::new(cfg.device.clone());
+        let mut times = ComponentTimes::default();
+        let mut wall = ComponentTimes::default();
+        let mut stats = PipelineStats::default();
+
+        // ---- cal_p_matrix + load_table (Fig. 2 left column) ----
+        let t0 = Instant::now();
+        let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
+        let new_p = NewPMatrix::precompute(&p_matrix);
+        let log_table = LogTable::new();
+        let tables = DeviceTables::upload(&dev, &p_matrix, &new_p, &log_table);
+        // Temporary compressed input written during the first pass (§V-A).
+        let temp_input = if cfg.compress_input {
+            Some(input_codec::compress_reads(&reference.name, reads))
+        } else {
+            None
+        };
+        let cal_wall = t0.elapsed().as_secs_f64();
+        wall.cal_p = cal_wall;
+        // Device time: table upload over PCIe on top of the host compute.
+        times.cal_p = cal_wall + tables.upload_bytes() as f64 / cfg.device.pcie_bw;
+        stats.peak_host_bytes += temp_input.as_ref().map_or(0, |t| t.len() as u64);
+
+        // ---- read_site source: decompress the temporary input ----
+        let t0 = Instant::now();
+        let owned_reads;
+        let read_source: &[AlignedRead] = match &temp_input {
+            Some(bytes) => {
+                owned_reads = input_codec::decompress_reads(bytes)
+                    .expect("pipeline-internal temporary input must decode");
+                &owned_reads
+            }
+            None => reads,
+        };
+        let decompress_wall = t0.elapsed().as_secs_f64();
+
+        let mut reader = WindowReader::new(
+            read_source.iter().cloned().map(Ok),
+            reference.len() as u64,
+            cfg.window_size,
+        );
+        wall.read_site += decompress_wall;
+        times.read_site += decompress_wall;
+
+        let mut out_tables = Vec::new();
+        let mut compressed = Vec::new();
+        let device_table_bytes = tables.upload_bytes();
+
+        loop {
+            // ---- read_site ----
+            let t0 = Instant::now();
+            let window = match reader.next_window().expect("in-memory reads are valid") {
+                Some(w) => w,
+                None => break,
+            };
+            let dt = t0.elapsed().as_secs_f64();
+            wall.read_site += dt;
+            times.read_site += dt;
+
+            // ---- counting ----
+            let t0 = Instant::now();
+            let sw = SparseWindow::count(&window);
+            let words = dev.upload(&sw.words);
+            let mut count_stats = LaunchStats::default();
+            dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
+            let dt = t0.elapsed().as_secs_f64();
+            wall.counting += dt;
+            times.counting += dt + count_stats.sim_time;
+
+            let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
+            let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
+            stats.peak_device_bytes = stats.peak_device_bytes.max(
+                device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes,
+            );
+            stats.peak_host_bytes = stats
+                .peak_host_bytes
+                .max(sw.size_bytes() as u64 + window.total_obs() as u64 * 8);
+
+            // ---- likelihood: sort + comp ----
+            let t0 = Instant::now();
+            let sort_report = likelihood_sort_gpu(&dev, &words, &sw.spans);
+            wall.likelihood_sort += t0.elapsed().as_secs_f64();
+            times.likelihood_sort += sort_report.total().sim_time;
+
+            let read_len = max_read_len(&sw);
+            let t0 = Instant::now();
+            let (type_likely, comp_stats) =
+                likelihood_comp_gpu(&dev, cfg.variant, &words, &sw.spans, read_len, &tables);
+            wall.likelihood_comp += t0.elapsed().as_secs_f64();
+            times.likelihood_comp += comp_stats.sim_time;
+
+            // ---- posterior ----
+            let t0 = Instant::now();
+            let mut rows = Vec::with_capacity(sw.num_sites());
+            for site in 0..sw.num_sites() {
+                let pos = window.start + site as u64;
+                let ref_base = reference.seq[pos as usize];
+                let known = priors.get(pos);
+                let row = posterior(
+                    &type_likely[site],
+                    &sw.summaries[site],
+                    ref_base,
+                    known,
+                    &cfg.params,
+                );
+                if row.is_variant() {
+                    stats.snp_count += 1;
+                }
+                rows.push(row);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            wall.posterior += dt;
+            // Device model for posterior: the per-site arithmetic is cheap;
+            // the cost is dominated by moving type_likely down and result
+            // columns back (the paper attributes its modest posterior
+            // speedup to exactly this transfer overhead).
+            let mut post_stats = LaunchStats::default();
+            dev.charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
+            times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
+
+            // ---- output ----
+            let t0 = Instant::now();
+            let table = SnpTable::new(reference.name.clone(), window.start, rows);
+            let out_stats = if cfg.gpu_output {
+                column::write_window_gpu(&dev, &mut compressed, &table)
+            } else {
+                column::write_window(&mut compressed, &table);
+                LaunchStats::default()
+            };
+            let dt = t0.elapsed().as_secs_f64();
+            wall.output += dt;
+            times.output += if cfg.gpu_output {
+                // Device columns overlap host columns; charge the slower
+                // plus the (dominant) host write of the compressed bytes.
+                out_stats.sim_time + dt * 0.25
+            } else {
+                dt
+            };
+
+            // ---- recycle ----
+            let t0 = Instant::now();
+            words.clear();
+            let dt = t0.elapsed().as_secs_f64();
+            wall.recycle += dt;
+            times.recycle += (sw.words.len() as u64 * 4) as f64 / cfg.device.coalesced_bw;
+
+            stats.num_sites += sw.num_sites() as u64;
+            stats.num_obs += sw.words.len() as u64;
+            stats.windows += 1;
+            out_tables.push(table);
+        }
+
+        GsnpOutput {
+            tables: out_tables,
+            compressed,
+            times,
+            wall,
+            stats,
+        }
+    }
+}
+
+/// GSNP_CPU (§VI-A): the same sparse algorithm — `base_word`, per-site
+/// sort, `new_p_matrix` — executed sequentially on the host with no
+/// simulated device. The paper reports it 4–5× faster than SOAPsnp on
+/// likelihood; it is the middle series of Figs. 5 and 12.
+pub struct GsnpCpuPipeline {
+    config: GsnpConfig,
+}
+
+impl GsnpCpuPipeline {
+    /// Create a CPU pipeline (the `device`, `variant`, and `gpu_output`
+    /// fields of the config are ignored).
+    pub fn new(config: GsnpConfig) -> Self {
+        GsnpCpuPipeline { config }
+    }
+
+    /// Run over in-memory inputs. Produces results identical to
+    /// [`GsnpPipeline::run`] and to SOAPsnp.
+    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> GsnpOutput {
+        let cfg = &self.config;
+        let mut times = ComponentTimes::default();
+        let mut stats = PipelineStats::default();
+
+        let t0 = Instant::now();
+        let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
+        let new_p = NewPMatrix::precompute(&p_matrix);
+        let log_table = LogTable::new();
+        let temp_input = if cfg.compress_input {
+            Some(input_codec::compress_reads(&reference.name, reads))
+        } else {
+            None
+        };
+        times.cal_p = t0.elapsed().as_secs_f64();
+        stats.peak_host_bytes =
+            p_matrix.size_bytes() as u64 + new_p.size_bytes() as u64;
+
+        let t0 = Instant::now();
+        let owned_reads;
+        let read_source: &[AlignedRead] = match &temp_input {
+            Some(bytes) => {
+                owned_reads = input_codec::decompress_reads(bytes)
+                    .expect("pipeline-internal temporary input must decode");
+                &owned_reads
+            }
+            None => reads,
+        };
+        let mut reader = WindowReader::new(
+            read_source.iter().cloned().map(Ok),
+            reference.len() as u64,
+            cfg.window_size,
+        );
+        times.read_site += t0.elapsed().as_secs_f64();
+
+        let mut out_tables = Vec::new();
+        let mut compressed = Vec::new();
+        loop {
+            let t0 = Instant::now();
+            let window = match reader.next_window().expect("in-memory reads are valid") {
+                Some(w) => w,
+                None => break,
+            };
+            times.read_site += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let mut sw = SparseWindow::count(&window);
+            times.counting += t0.elapsed().as_secs_f64();
+            stats.peak_host_bytes = stats.peak_host_bytes.max(
+                p_matrix.size_bytes() as u64
+                    + new_p.size_bytes() as u64
+                    + sw.size_bytes() as u64
+                    + window.total_obs() as u64 * 8,
+            );
+
+            let t0 = Instant::now();
+            crate::likelihood::sort_sparse_cpu(&mut sw);
+            times.likelihood_sort += t0.elapsed().as_secs_f64();
+
+            let read_len = max_read_len(&sw);
+            let t0 = Instant::now();
+            let type_likely: Vec<_> = (0..sw.num_sites())
+                .map(|s| {
+                    crate::likelihood::likelihood_sparse_site(
+                        sw.site_words(s),
+                        read_len,
+                        &new_p,
+                        &log_table,
+                    )
+                })
+                .collect();
+            times.likelihood_comp += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let mut rows = Vec::with_capacity(sw.num_sites());
+            for site in 0..sw.num_sites() {
+                let pos = window.start + site as u64;
+                let row = posterior(
+                    &type_likely[site],
+                    &sw.summaries[site],
+                    reference.seq[pos as usize],
+                    priors.get(pos),
+                    &cfg.params,
+                );
+                if row.is_variant() {
+                    stats.snp_count += 1;
+                }
+                rows.push(row);
+            }
+            times.posterior += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let table = SnpTable::new(reference.name.clone(), window.start, rows);
+            column::write_window(&mut compressed, &table);
+            times.output += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            drop(sw); // sparse recycle: release the tiny word arrays
+            times.recycle += t0.elapsed().as_secs_f64();
+
+            stats.num_sites += window.len() as u64;
+            stats.num_obs += window.total_obs() as u64;
+            stats.windows += 1;
+            out_tables.push(table);
+        }
+
+        GsnpOutput {
+            tables: out_tables,
+            compressed,
+            times,
+            wall: times,
+            stats,
+        }
+    }
+}
+
+fn max_read_len(sw: &SparseWindow) -> usize {
+    // The coordinate field bounds the read length; derive the per-window
+    // maximum so dep_count arrays are sized tightly.
+    let mut max_coord = 0u8;
+    for &w in &sw.words {
+        let (_, _, coord, _) = crate::baseword::unpack(w);
+        max_coord = max_coord.max(coord);
+    }
+    usize::from(max_coord) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio::synth::{Dataset, SynthConfig};
+
+    fn run_tiny(seed: u64, cfg: GsnpConfig) -> (Dataset, GsnpOutput) {
+        let d = Dataset::generate(SynthConfig::tiny(seed));
+        let out = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
+        (d, out)
+    }
+
+    fn tiny_cfg() -> GsnpConfig {
+        GsnpConfig {
+            window_size: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn processes_every_site_in_windows() {
+        let (d, out) = run_tiny(61, tiny_cfg());
+        assert_eq!(out.stats.num_sites, d.config.num_sites);
+        assert_eq!(out.stats.windows, 5); // 5000 sites / 1000
+        assert_eq!(
+            out.tables.iter().map(|t| t.len() as u64).sum::<u64>(),
+            d.config.num_sites
+        );
+        // Windows tile the chromosome.
+        for (i, t) in out.tables.iter().enumerate() {
+            assert_eq!(t.start_pos, i as u64 * 1_000);
+        }
+    }
+
+    #[test]
+    fn detects_planted_snps() {
+        // Higher SNP rate than `tiny` for statistical power.
+        let mut cfg = SynthConfig::tiny(62);
+        cfg.num_sites = 20_000;
+        cfg.snp_rate = 5e-3;
+        let d = Dataset::generate(cfg);
+        let out = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let rows = out.all_rows();
+        let mut hits = 0usize;
+        let mut covered = 0usize;
+        for t in &d.truth {
+            let row = &rows[t.pos as usize];
+            if row.depth >= 6 {
+                covered += 1;
+                if row.is_variant() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(covered >= 20, "expected well-covered truth sites, got {covered}");
+        let recall = hits as f64 / covered as f64;
+        assert!(
+            recall > 0.8,
+            "recall {recall:.2} over {covered} covered truth sites"
+        );
+    }
+
+    #[test]
+    fn few_false_positives_at_high_quality() {
+        let (d, out) = run_tiny(63, tiny_cfg());
+        let truth: std::collections::HashSet<u64> = d.truth.iter().map(|t| t.pos).collect();
+        let rows = out.all_rows();
+        let fp = rows
+            .iter()
+            .enumerate()
+            .filter(|(pos, r)| r.is_variant() && r.quality >= 20 && !truth.contains(&(*pos as u64)))
+            .count();
+        let calls = rows
+            .iter()
+            .filter(|r| r.is_variant() && r.quality >= 20)
+            .count();
+        assert!(calls > 0);
+        let fdr = fp as f64 / calls as f64;
+        assert!(fdr < 0.1, "false-discovery rate {fdr:.3} ({fp}/{calls})");
+    }
+
+    #[test]
+    fn compressed_output_roundtrips() {
+        let (_, out) = run_tiny(64, tiny_cfg());
+        let windows: Vec<SnpTable> = column::WindowStream::new(&out.compressed)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(windows, out.tables);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let d = Dataset::generate(SynthConfig::tiny(65));
+        let a = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let b = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(a.tables, b.tables);
+        assert_eq!(a.compressed, b.compressed);
+    }
+
+    #[test]
+    fn window_size_does_not_change_results() {
+        let d = Dataset::generate(SynthConfig::tiny(66));
+        let small = GsnpPipeline::new(GsnpConfig {
+            window_size: 333,
+            ..Default::default()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        let large = GsnpPipeline::new(GsnpConfig {
+            window_size: 10_000,
+            ..Default::default()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(small.all_rows(), large.all_rows());
+    }
+
+    #[test]
+    fn kernel_variants_do_not_change_results() {
+        let d = Dataset::generate(SynthConfig::tiny(67));
+        let rows: Vec<Vec<SnpRow>> = KernelVariant::ALL
+            .iter()
+            .map(|&variant| {
+                GsnpPipeline::new(GsnpConfig {
+                    window_size: 1_000,
+                    variant,
+                    ..Default::default()
+                })
+                .run(&d.reads, &d.reference, &d.priors)
+                .all_rows()
+            })
+            .collect();
+        for r in &rows[1..] {
+            assert_eq!(r, &rows[0]);
+        }
+    }
+
+    #[test]
+    fn input_compression_does_not_change_results() {
+        let d = Dataset::generate(SynthConfig::tiny(68));
+        let with = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let without = GsnpPipeline::new(GsnpConfig {
+            compress_input: false,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(with.all_rows(), without.all_rows());
+    }
+
+    #[test]
+    fn gpu_output_is_byte_identical_to_cpu_output() {
+        let d = Dataset::generate(SynthConfig::tiny(69));
+        let gpu = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let cpu = GsnpPipeline::new(GsnpConfig {
+            gpu_output: false,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(gpu.compressed, cpu.compressed);
+    }
+
+    #[test]
+    fn cpu_pipeline_matches_device_pipeline_bitwise() {
+        let d = Dataset::generate(SynthConfig::tiny(71));
+        let dev_out = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let cpu_out = GsnpCpuPipeline::new(GsnpConfig {
+            window_size: 777, // different windowing must not matter
+            ..Default::default()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(dev_out.all_rows(), cpu_out.all_rows());
+    }
+
+    #[test]
+    fn times_and_stats_are_populated() {
+        let (_, out) = run_tiny(70, tiny_cfg());
+        assert!(out.times.total() > 0.0);
+        assert!(out.wall.total() > 0.0);
+        assert!(out.times.cal_p > 0.0);
+        assert!(out.times.likelihood() > 0.0);
+        assert!(out.stats.peak_device_bytes > 0);
+        assert!(out.stats.num_obs > 0);
+    }
+}

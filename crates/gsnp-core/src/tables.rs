@@ -1,0 +1,342 @@
+//! Score tables: `p_matrix`, `new_p_matrix`, and `log_table`.
+//!
+//! * [`PMatrix`] — the recalibrated per-base probability matrix produced
+//!   by the `cal_p_matrix` workflow component: `P(observed base | true
+//!   allele, adjusted quality, read coordinate)`, estimated empirically
+//!   from the whole input with quality-model pseudocounts.
+//! * [`NewPMatrix`] — §IV-D: the 10×-expanded table holding, for every
+//!   `(quality, coordinate, observed base)` cell, the ten precomputed
+//!   `log10(0.5·p(allele1) + 0.5·p(allele2))` genotype values. One random
+//!   read replaces two random reads plus a `log10` per `likely_update`.
+//! * [`LogTable`] — §IV-G: base-10 logarithms of the integers 0–64,
+//!   computed once on the host and shared by every execution path, so CPU
+//!   and simulated-GPU results are bit-identical.
+
+use seqio::fasta::Reference;
+use seqio::soap::AlignedRead;
+
+use crate::model::{ModelParams, GENOTYPES, NUM_GENOTYPES};
+
+/// Quality-score dimension (6 bits).
+pub const Q_DIM: usize = 64;
+/// Read-coordinate dimension (8 bits).
+pub const COORD_DIM: usize = 256;
+
+/// Base-10 logarithms of small integers, host-computed once (§IV-G).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogTable {
+    values: [f64; 65],
+}
+
+impl LogTable {
+    /// Build the table (`log10 0` is stored as 0 — the callers clamp the
+    /// argument to ≥ 1).
+    pub fn new() -> LogTable {
+        let mut values = [0.0f64; 65];
+        for (i, v) in values.iter_mut().enumerate().skip(1) {
+            *v = (i as f64).log10();
+        }
+        LogTable { values }
+    }
+
+    /// `log10(k)` for integer `k ≤ 64`.
+    #[inline(always)]
+    pub fn log10_int(&self, k: usize) -> f64 {
+        self.values[k]
+    }
+
+    /// Raw table contents (uploaded to constant memory by the kernels).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Default for LogTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The recalibration matrix: `P(observed base | allele, quality, coord)`.
+///
+/// Indexed as the paper's Algorithm 2 packs it:
+/// `idx = q << 12 | coord << 4 | allele << 2 | base`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PMatrix {
+    values: Vec<f64>,
+}
+
+/// Flat index into [`PMatrix`].
+#[inline(always)]
+pub fn p_index(q: u8, coord: u8, allele: u8, base: u8) -> usize {
+    (usize::from(q) << 12) | (usize::from(coord) << 4) | (usize::from(allele) << 2) | usize::from(base)
+}
+
+impl PMatrix {
+    /// Total number of entries (`64 × 256 × 4 × 4`).
+    pub const LEN: usize = Q_DIM * COORD_DIM * 4 * 4;
+
+    /// The quality model's prior probability of observing `base` given
+    /// `allele` at Phred quality `q`, with `e = 10^(−q/10)` modelled as
+    /// "on error, the observation is uniform over all four bases":
+    /// `1 − 3e/4` on a match, `e/4` otherwise. This keeps every entry
+    /// strictly positive even at `q = 0`.
+    pub fn prior_prob(q: u8, allele: u8, base: u8) -> f64 {
+        let e = 10f64.powf(-f64::from(q) / 10.0);
+        if allele == base {
+            1.0 - e * (3.0 / 4.0)
+        } else {
+            e / 4.0
+        }
+    }
+
+    /// Calibrate from the full input (the `cal_p_matrix` component): count
+    /// `(quality, coord, reference allele, observed base)` co-occurrences
+    /// over every aligned base, then blend with the quality-model prior
+    /// using `params.pseudocount` pseudo-observations.
+    pub fn calibrate<'a>(
+        reads: impl IntoIterator<Item = &'a AlignedRead>,
+        reference: &Reference,
+        params: &ModelParams,
+    ) -> PMatrix {
+        let mut counts = vec![0f64; Self::LEN];
+        for read in reads {
+            let end = ((read.pos as usize) + read.len()).min(reference.len());
+            for site in read.pos as usize..end {
+                let r = reference.seq[site];
+                if r >= 4 {
+                    continue; // unknown reference: no truth label
+                }
+                let offset = site - read.pos as usize;
+                let (base, qual, coord) = read.obs_at(offset);
+                counts[p_index(qual, coord, r, base.code())] += 1.0;
+            }
+        }
+        let mut values = vec![0f64; Self::LEN];
+        for q in 0..Q_DIM {
+            for coord in 0..COORD_DIM {
+                let (q, coord) = (q as u8, coord as u8);
+                for allele in 0..4u8 {
+                    let idx0 = p_index(q, coord, allele, 0);
+                    let total: f64 = (0..4).map(|b| counts[idx0 + b]).sum();
+                    for base in 0..4u8 {
+                        let prior = Self::prior_prob(q, allele, base);
+                        let v = (counts[idx0 + base as usize] + params.pseudocount * prior)
+                            / (total + params.pseudocount);
+                        values[idx0 + base as usize] = v.clamp(1e-12, 1.0);
+                    }
+                }
+            }
+        }
+        PMatrix { values }
+    }
+
+    /// An uncalibrated matrix holding the pure quality-model prior —
+    /// useful for tests and for running without a calibration pass.
+    pub fn from_prior() -> PMatrix {
+        let mut values = vec![0f64; Self::LEN];
+        for q in 0..Q_DIM {
+            for coord in 0..COORD_DIM {
+                let (q, coord) = (q as u8, coord as u8);
+                for allele in 0..4u8 {
+                    for base in 0..4u8 {
+                        values[p_index(q, coord, allele, base)] =
+                            Self::prior_prob(q, allele, base).clamp(1e-12, 1.0);
+                    }
+                }
+            }
+        }
+        PMatrix { values }
+    }
+
+    /// Probability lookup.
+    #[inline(always)]
+    pub fn get(&self, q: u8, coord: u8, allele: u8, base: u8) -> f64 {
+        self.values[p_index(q, coord, allele, base)]
+    }
+
+    /// Flat lookup by precomputed index.
+    #[inline(always)]
+    pub fn get_flat(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// Raw values (uploaded to device global memory by the kernels).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+/// The paper's Algorithm 2 (`likely_update`): the per-base log-likelihood
+/// contribution to genotype `(allele1, allele2)`, computed from two
+/// `p_matrix` lookups and one `log10`. The reference implementation the
+/// precomputed table must match bit for bit.
+#[inline(always)]
+pub fn likely_update(p: &PMatrix, q_adjusted: u8, coord: u8, base: u8, a1: u8, a2: u8) -> f64 {
+    let p1 = p.get_flat(p_index(q_adjusted, coord, a1, base));
+    let p2 = p.get_flat(p_index(q_adjusted, coord, a2, base));
+    (0.5 * p1 + 0.5 * p2).log10()
+}
+
+/// The 10×-expanded precomputed score table (§IV-D).
+///
+/// Indexed as Algorithm 3: `idx = (q << 10 | coord << 2 | base) * 10 + n`
+/// where `n` is the genotype index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewPMatrix {
+    values: Vec<f64>,
+}
+
+/// Flat cell index (before the ×10 genotype expansion).
+#[inline(always)]
+pub fn new_p_cell(q: u8, coord: u8, base: u8) -> usize {
+    (usize::from(q) << 10) | (usize::from(coord) << 2) | usize::from(base)
+}
+
+impl NewPMatrix {
+    /// Number of `(q, coord, base)` cells.
+    pub const CELLS: usize = Q_DIM * COORD_DIM * 4;
+
+    /// Precompute from a calibrated [`PMatrix`]. Every entry is produced
+    /// by the *same* floating-point expression [`likely_update`] evaluates,
+    /// so replacing the on-the-fly computation with the table lookup is a
+    /// bit-exact transformation.
+    pub fn precompute(p: &PMatrix) -> NewPMatrix {
+        let mut values = vec![0f64; Self::CELLS * NUM_GENOTYPES];
+        for q in 0..Q_DIM {
+            for coord in 0..COORD_DIM {
+                let (q, coord) = (q as u8, coord as u8);
+                for base in 0..4u8 {
+                    let cell = new_p_cell(q, coord, base);
+                    for (n, &(a1, a2)) in GENOTYPES.iter().enumerate() {
+                        values[cell * NUM_GENOTYPES + n] = likely_update(p, q, coord, base, a1, a2);
+                    }
+                }
+            }
+        }
+        NewPMatrix { values }
+    }
+
+    /// Algorithm 3: one lookup replaces two reads and a `log10`.
+    #[inline(always)]
+    pub fn get(&self, q_adjusted: u8, coord: u8, base: u8, n: usize) -> f64 {
+        self.values[new_p_cell(q_adjusted, coord, base) * NUM_GENOTYPES + n]
+    }
+
+    /// Raw values (uploaded to device global memory).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Size in bytes (10× the `p_matrix`, as §IV-D notes).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio::synth::{Dataset, SynthConfig};
+
+    #[test]
+    fn log_table_values() {
+        let lt = LogTable::new();
+        assert_eq!(lt.log10_int(1), 0.0);
+        assert!((lt.log10_int(10) - 1.0).abs() < 1e-12);
+        assert!((lt.log10_int(2) - 2f64.log10()).abs() < 1e-15);
+        assert_eq!(lt.as_slice().len(), 65);
+    }
+
+    #[test]
+    fn p_index_matches_paper_packing() {
+        // Algorithm 2: p = q<<12 | coord<<4 | allele<<2 | base.
+        assert_eq!(p_index(0, 0, 0, 0), 0);
+        assert_eq!(p_index(1, 0, 0, 0), 1 << 12);
+        assert_eq!(p_index(0, 1, 0, 0), 1 << 4);
+        assert_eq!(p_index(0, 0, 1, 0), 1 << 2);
+        assert_eq!(p_index(63, 255, 3, 3), (63 << 12) | (255 << 4) | (3 << 2) | 3);
+        assert_eq!(PMatrix::LEN, 1 << 18);
+    }
+
+    #[test]
+    fn prior_matrix_is_a_distribution_over_bases() {
+        let p = PMatrix::from_prior();
+        for q in [0u8, 10, 40, 63] {
+            for allele in 0..4u8 {
+                let total: f64 = (0..4).map(|b| p.get(q, 0, allele, b)).sum();
+                assert!((total - 1.0).abs() < 1e-6, "q={q} allele={allele}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn prior_match_probability_grows_with_quality() {
+        let p = PMatrix::from_prior();
+        assert!(p.get(40, 0, 2, 2) > p.get(10, 0, 2, 2));
+        assert!(p.get(40, 0, 2, 0) < p.get(10, 0, 2, 0));
+    }
+
+    #[test]
+    fn calibration_learns_error_structure() {
+        let d = Dataset::generate(SynthConfig::tiny(31));
+        let params = ModelParams::default();
+        let p = PMatrix::calibrate(&d.reads, &d.reference, &params);
+        // Matches dominate mismatches at every common quality.
+        for q in [30u8, 34, 38] {
+            for allele in 0..4u8 {
+                let m = p.get(q, 5, allele, allele);
+                for b in 0..4u8 {
+                    if b != allele {
+                        assert!(m > p.get(q, 5, allele, b), "q={q} a={allele} b={b}");
+                    }
+                }
+            }
+        }
+        // Cells never observed fall back to the prior.
+        let prior = PMatrix::from_prior();
+        assert_eq!(p.get(63, 255, 0, 0), prior.get(63, 255, 0, 0));
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let d = Dataset::generate(SynthConfig::tiny(32));
+        let params = ModelParams::default();
+        let a = PMatrix::calibrate(&d.reads, &d.reference, &params);
+        let b = PMatrix::calibrate(&d.reads, &d.reference, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn new_p_matrix_is_bit_exact_with_likely_update() {
+        let d = Dataset::generate(SynthConfig::tiny(33));
+        let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+        let np = NewPMatrix::precompute(&p);
+        for q in [0u8, 17, 40, 63] {
+            for coord in [0u8, 49, 255] {
+                for base in 0..4u8 {
+                    for (n, &(a1, a2)) in GENOTYPES.iter().enumerate() {
+                        let direct = likely_update(&p, q, coord, base, a1, a2);
+                        let table = np.get(q, coord, base, n);
+                        assert_eq!(direct.to_bits(), table.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_p_matrix_is_ten_times_larger() {
+        let p = PMatrix::from_prior();
+        let np = NewPMatrix::precompute(&p);
+        assert_eq!(np.size_bytes(), 10 * Q_DIM * COORD_DIM * 4 * 8);
+        assert_eq!(np.size_bytes(), p.size_bytes() * 10 / 4);
+        // (p_matrix has a 4-wide base axis *and* a 4-wide allele axis; the
+        // expansion replaces the allele axis with the 10 genotypes.)
+    }
+}

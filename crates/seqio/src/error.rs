@@ -1,0 +1,76 @@
+//! Error type for sequence I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading or writing sequence data.
+#[derive(Debug)]
+pub enum SeqIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line or record did not match the expected format.
+    Parse {
+        /// 1-based line number where the problem was found, if known.
+        line: u64,
+        /// Description of what was wrong.
+        msg: String,
+    },
+    /// Records violated an ordering or consistency invariant (e.g. an
+    /// alignment file not sorted by position).
+    Invariant(String),
+}
+
+impl SeqIoError {
+    /// Convenience constructor for parse failures.
+    pub fn parse(line: u64, msg: impl Into<String>) -> Self {
+        SeqIoError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for SeqIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqIoError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SeqIoError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SeqIoError {
+    fn from(e: io::Error) -> Self {
+        SeqIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SeqIoError::parse(17, "bad column count");
+        assert_eq!(e.to_string(), "parse error at line 17: bad column count");
+        let e = SeqIoError::Invariant("unsorted".into());
+        assert!(e.to_string().contains("unsorted"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: SeqIoError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(e.to_string().contains("eof"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,162 @@
+//! FASTA reference sequences.
+//!
+//! GSNP's second input file is the reference sequence. References are held
+//! in memory as `u8` codes (`0..=3` for A/C/G/T, [`crate::base::N_CODE`]
+//! for N) so the hot paths never touch ASCII.
+
+use std::io::{BufRead, Write};
+
+use crate::base::{Base, N_CODE};
+use crate::error::SeqIoError;
+
+/// An in-memory reference sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reference {
+    /// Sequence name (FASTA header without `>`).
+    pub name: String,
+    /// Base codes: `0..=3` = A/C/G/T, `4` = N.
+    pub seq: Vec<u8>,
+}
+
+impl Reference {
+    /// Create from raw codes.
+    ///
+    /// # Panics
+    /// Panics if any code exceeds [`N_CODE`].
+    pub fn new(name: impl Into<String>, seq: Vec<u8>) -> Self {
+        assert!(
+            seq.iter().all(|&c| c <= N_CODE),
+            "reference contains invalid base codes"
+        );
+        Reference {
+            name: name.into(),
+            seq,
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The base at `pos`, or `None` if it is an N.
+    #[inline]
+    pub fn base_at(&self, pos: usize) -> Option<Base> {
+        let c = self.seq[pos];
+        (c < 4).then(|| Base::from_code(c))
+    }
+
+    /// Parse the first record of a FASTA stream.
+    pub fn read_fasta<R: BufRead>(reader: R) -> Result<Reference, SeqIoError> {
+        let mut name = None;
+        let mut seq = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let lineno = i as u64 + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(hdr) = line.strip_prefix('>') {
+                if name.is_some() {
+                    break; // Only the first record.
+                }
+                name = Some(hdr.split_whitespace().next().unwrap_or("").to_string());
+            } else {
+                if name.is_none() {
+                    return Err(SeqIoError::parse(lineno, "sequence data before FASTA header"));
+                }
+                for &c in line.as_bytes() {
+                    match Base::from_ascii(c) {
+                        Some(b) => seq.push(b.code()),
+                        None if c == b'N' || c == b'n' => seq.push(N_CODE),
+                        None => {
+                            return Err(SeqIoError::parse(
+                                lineno,
+                                format!("invalid base character {:?}", c as char),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        let name = name.ok_or_else(|| SeqIoError::parse(0, "no FASTA header found"))?;
+        Ok(Reference { name, seq })
+    }
+
+    /// Write as FASTA with 70-column wrapping.
+    pub fn write_fasta<W: Write>(&self, mut w: W) -> Result<(), SeqIoError> {
+        writeln!(w, ">{}", self.name)?;
+        for chunk in self.seq.chunks(70) {
+            let line: Vec<u8> = chunk
+                .iter()
+                .map(|&c| if c < 4 { Base::from_code(c).to_ascii() } else { b'N' })
+                .collect();
+            w.write_all(&line)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let r = Reference::new("chr21", vec![0, 1, 2, 3, 4, 0, 0, 1]);
+        let mut buf = Vec::new();
+        r.write_fasta(&mut buf).unwrap();
+        let back = Reference::read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wraps_long_sequences() {
+        let r = Reference::new("x", vec![0; 200]);
+        let mut buf = Vec::new();
+        r.write_fasta(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + 3); // header + ceil(200/70)
+        let back = Reference::read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(back.len(), 200);
+    }
+
+    #[test]
+    fn base_at_handles_n() {
+        let r = Reference::new("x", vec![2, 4]);
+        assert_eq!(r.base_at(0), Some(Base::G));
+        assert_eq!(r.base_at(1), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = Reference::read_fasta(Cursor::new(">x\nACGZ\n")).unwrap_err();
+        assert!(err.to_string().contains("invalid base"));
+    }
+
+    #[test]
+    fn rejects_headerless() {
+        let err = Reference::read_fasta(Cursor::new("ACGT\n")).unwrap_err();
+        assert!(err.to_string().contains("before FASTA header"));
+    }
+
+    #[test]
+    fn header_takes_first_token() {
+        let r = Reference::read_fasta(Cursor::new(">chr1 homo sapiens\nAC\n")).unwrap();
+        assert_eq!(r.name, "chr1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid base codes")]
+    fn constructor_validates_codes() {
+        let _ = Reference::new("x", vec![9]);
+    }
+}

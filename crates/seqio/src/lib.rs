@@ -1,0 +1,34 @@
+//! # seqio — sequence I/O and synthetic workloads for GSNP
+//!
+//! Everything GSNP reads or writes, plus the synthetic workload generator
+//! that stands in for BGI's operational human-genome data:
+//!
+//! * [`base`] — nucleotide codes (2-bit A/C/G/T plus N) and complements.
+//! * [`fasta`] — reference sequences.
+//! * [`soap`] — SOAP-style short-read alignment records (the paper's main
+//!   input: hundreds of GB of alignments sorted by matched position).
+//! * [`prior`] — known-SNP prior probabilities (dbSNP-like input).
+//! * [`result`] — the 17-column SNP result table produced by SOAPsnp and
+//!   GSNP, with its plain-text serialization.
+//! * [`synth`] — reproducible synthetic genome + short-read simulator with
+//!   planted SNPs, quality decay, and configurable depth/coverage.
+//! * [`window`] — the `read_site` component: streams alignments into
+//!   fixed-size windows of per-site aligned-base observations.
+
+pub mod base;
+pub mod error;
+pub mod fasta;
+pub mod prior;
+pub mod result;
+pub mod soap;
+pub mod synth;
+pub mod window;
+
+pub use base::{Base, Strand};
+pub use error::SeqIoError;
+pub use fasta::Reference;
+pub use prior::KnownSnp;
+pub use result::SnpRow;
+pub use soap::AlignedRead;
+pub use synth::{Dataset, SynthConfig};
+pub use window::{SiteObs, Window, WindowReader};

@@ -1,0 +1,358 @@
+//! The 17-column SNP result table.
+//!
+//! SOAPsnp (and therefore GSNP) emits one row per reference site. The paper
+//! describes the output as "a table containing 17 columns" and compresses
+//! it column-by-column; the columns here follow SOAPsnp's consensus format:
+//!
+//! | # | column | notes |
+//! |---|--------|-------|
+//! | 1 | chromosome name | constant within a file |
+//! | 2 | position (1-based) | consecutive within a window |
+//! | 3 | reference base | A/C/G/T/N |
+//! | 4 | consensus genotype | IUPAC code |
+//! | 5 | consensus quality | Phred, 0–99 |
+//! | 6 | best base | A/C/G/T/N |
+//! | 7 | average quality of best base | 0–63 |
+//! | 8 | count of unique reads supporting best | |
+//! | 9 | count of all reads supporting best | |
+//! | 10 | second-best base | A/C/G/T/N |
+//! | 11 | average quality of second-best | 0–63 |
+//! | 12 | count of unique reads supporting second | |
+//! | 13 | count of all reads supporting second | |
+//! | 14 | sequencing depth | |
+//! | 15 | allele-balance p-value | 3 decimals |
+//! | 16 | copy-number estimate | 3 decimals |
+//! | 17 | known-SNP flag | 0/1 |
+//!
+//! Columns 10–13 are the "second allele" columns the paper compresses with
+//! sparse encoding; columns 5, 7, 11, 14, 15, 16 are the six
+//! "quality-related" columns compressed with RLE-DICT.
+
+use std::io::{BufRead, Write};
+
+use crate::base::{Base, N_CODE};
+use crate::error::SeqIoError;
+
+/// One row of the result table (position is implied by the table).
+///
+/// Fractional columns are stored pre-discretized to 1/1000 units — this is
+/// both what the text format prints (3 decimals) and what makes the
+/// dictionary compression of the paper applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnpRow {
+    /// Reference base code (0..=3, or [`N_CODE`]).
+    pub ref_base: u8,
+    /// Consensus genotype as an IUPAC ASCII letter (`N` when uncalled).
+    pub genotype: u8,
+    /// Phred-scaled consensus quality, 0–99.
+    pub quality: u8,
+    /// Best-supported base code (or [`N_CODE`] when no coverage).
+    pub best_base: u8,
+    /// Rounded average quality of bases supporting the best base.
+    pub avg_qual_best: u8,
+    /// Unique reads supporting the best base.
+    pub count_uniq_best: u16,
+    /// All reads supporting the best base.
+    pub count_all_best: u16,
+    /// Second-best base code (or [`N_CODE`]).
+    pub second_base: u8,
+    /// Rounded average quality of bases supporting the second-best base.
+    pub avg_qual_second: u8,
+    /// Unique reads supporting the second-best base.
+    pub count_uniq_second: u16,
+    /// All reads supporting the second-best base.
+    pub count_all_second: u16,
+    /// Total aligned depth at the site.
+    pub depth: u16,
+    /// Allele-balance p-value in 1/1000 units (0–1000).
+    pub rank_sum_milli: u16,
+    /// Copy-number estimate in 1/1000 units.
+    pub copy_milli: u16,
+    /// 1 if the site appears in the known-SNP prior file.
+    pub is_known_snp: u8,
+}
+
+impl Default for SnpRow {
+    /// An uncalled site: genotype `N`, no coverage, p-value 1.000.
+    fn default() -> Self {
+        SnpRow {
+            ref_base: N_CODE,
+            genotype: b'N',
+            quality: 0,
+            best_base: N_CODE,
+            avg_qual_best: 0,
+            count_uniq_best: 0,
+            count_all_best: 0,
+            second_base: N_CODE,
+            avg_qual_second: 0,
+            count_uniq_second: 0,
+            count_all_second: 0,
+            depth: 0,
+            rank_sum_milli: 1000,
+            copy_milli: 0,
+            is_known_snp: 0,
+        }
+    }
+}
+
+impl SnpRow {
+    /// Whether this row calls a variant (consensus differs from reference).
+    pub fn is_variant(&self) -> bool {
+        self.ref_base < 4 && self.genotype != base_char(self.ref_base) && self.genotype != b'N'
+    }
+}
+
+fn base_char(code: u8) -> u8 {
+    if code < 4 {
+        Base::from_code(code).to_ascii()
+    } else {
+        b'N'
+    }
+}
+
+fn base_code(c: u8) -> Result<u8, ()> {
+    match Base::from_ascii(c) {
+        Some(b) => Ok(b.code()),
+        None if c == b'N' => Ok(N_CODE),
+        None => Err(()),
+    }
+}
+
+/// A contiguous run of result rows for one chromosome (one output window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnpTable {
+    /// Chromosome name (column 1 for every row).
+    pub chr: String,
+    /// 0-based position of the first row; rows cover consecutive sites.
+    pub start_pos: u64,
+    /// The rows.
+    pub rows: Vec<SnpRow>,
+}
+
+impl SnpTable {
+    /// Create a table.
+    pub fn new(chr: impl Into<String>, start_pos: u64, rows: Vec<SnpRow>) -> Self {
+        SnpTable {
+            chr: chr.into(),
+            start_pos,
+            rows,
+        }
+    }
+
+    /// Number of rows (sites).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize as SOAPsnp-style tab-separated text.
+    pub fn write_text<W: Write>(&self, w: &mut W) -> Result<(), SeqIoError> {
+        for (i, r) in self.rows.iter().enumerate() {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}.{:03}\t{}.{:03}\t{}",
+                self.chr,
+                self.start_pos + i as u64 + 1,
+                base_char(r.ref_base) as char,
+                r.genotype as char,
+                r.quality,
+                base_char(r.best_base) as char,
+                r.avg_qual_best,
+                r.count_uniq_best,
+                r.count_all_best,
+                base_char(r.second_base) as char,
+                r.avg_qual_second,
+                r.count_uniq_second,
+                r.count_all_second,
+                r.depth,
+                r.rank_sum_milli / 1000,
+                r.rank_sum_milli % 1000,
+                r.copy_milli / 1000,
+                r.copy_milli % 1000,
+                r.is_known_snp,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Parse text produced by [`SnpTable::write_text`]. Requires at least
+    /// one row (the chromosome name and start position come from the data).
+    pub fn read_text<R: BufRead>(reader: R) -> Result<SnpTable, SeqIoError> {
+        let mut chr: Option<String> = None;
+        let mut start_pos = 0u64;
+        let mut rows = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let lineno = i as u64 + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.trim_end().split('\t').collect();
+            if f.len() != 17 {
+                return Err(SeqIoError::parse(
+                    lineno,
+                    format!("expected 17 columns, found {}", f.len()),
+                ));
+            }
+            let pos1: u64 = f[1]
+                .parse()
+                .map_err(|_| SeqIoError::parse(lineno, "bad position"))?;
+            match &chr {
+                None => {
+                    chr = Some(f[0].to_string());
+                    start_pos = pos1 - 1;
+                }
+                Some(c) => {
+                    if c != f[0] {
+                        return Err(SeqIoError::parse(lineno, "chromosome changed mid-table"));
+                    }
+                    if pos1 - 1 != start_pos + rows.len() as u64 {
+                        return Err(SeqIoError::parse(lineno, "positions not consecutive"));
+                    }
+                }
+            }
+            let byte = |s: &str| s.bytes().next().unwrap_or(b'?');
+            let int = |s: &str, what: &str| -> Result<u64, SeqIoError> {
+                s.parse()
+                    .map_err(|_| SeqIoError::parse(lineno, format!("bad {what}")))
+            };
+            let milli = |s: &str, what: &str| -> Result<u16, SeqIoError> {
+                let (a, b) = s
+                    .split_once('.')
+                    .ok_or_else(|| SeqIoError::parse(lineno, format!("bad {what}")))?;
+                let whole: u16 = a
+                    .parse()
+                    .map_err(|_| SeqIoError::parse(lineno, format!("bad {what}")))?;
+                if b.len() != 3 {
+                    return Err(SeqIoError::parse(lineno, format!("bad {what} precision")));
+                }
+                let frac: u16 = b
+                    .parse()
+                    .map_err(|_| SeqIoError::parse(lineno, format!("bad {what}")))?;
+                Ok(whole * 1000 + frac)
+            };
+            rows.push(SnpRow {
+                ref_base: base_code(byte(f[2]))
+                    .map_err(|_| SeqIoError::parse(lineno, "bad reference base"))?,
+                genotype: byte(f[3]),
+                quality: int(f[4], "quality")? as u8,
+                best_base: base_code(byte(f[5]))
+                    .map_err(|_| SeqIoError::parse(lineno, "bad best base"))?,
+                avg_qual_best: int(f[6], "avg qual")? as u8,
+                count_uniq_best: int(f[7], "count")? as u16,
+                count_all_best: int(f[8], "count")? as u16,
+                second_base: base_code(byte(f[9]))
+                    .map_err(|_| SeqIoError::parse(lineno, "bad second base"))?,
+                avg_qual_second: int(f[10], "avg qual")? as u8,
+                count_uniq_second: int(f[11], "count")? as u16,
+                count_all_second: int(f[12], "count")? as u16,
+                depth: int(f[13], "depth")? as u16,
+                rank_sum_milli: milli(f[14], "p-value")?,
+                copy_milli: milli(f[15], "copy number")?,
+                is_known_snp: int(f[16], "known flag")? as u8,
+            });
+        }
+        let chr = chr.ok_or_else(|| SeqIoError::parse(0, "empty result table"))?;
+        Ok(SnpTable {
+            chr,
+            start_pos,
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn row(q: u8) -> SnpRow {
+        SnpRow {
+            ref_base: 0,
+            genotype: b'R',
+            quality: q,
+            best_base: 0,
+            avg_qual_best: 35,
+            count_uniq_best: 7,
+            count_all_best: 7,
+            second_base: 2,
+            avg_qual_second: 30,
+            count_uniq_second: 3,
+            count_all_second: 3,
+            depth: 10,
+            rank_sum_milli: 345,
+            copy_milli: 1021,
+            is_known_snp: 1,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = SnpTable::new("chr21", 1000, vec![row(40), row(50), SnpRow::default()]);
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        let back = SnpTable::read_text(Cursor::new(buf)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn text_has_17_columns() {
+        let t = SnpTable::new("c", 0, vec![row(1)]);
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.trim_end().split('\t').count(), 17);
+        assert!(text.contains("0.345"));
+        assert!(text.contains("1.021"));
+    }
+
+    #[test]
+    fn default_row_is_n_site() {
+        let r = SnpRow::default();
+        assert!(!r.is_variant());
+        let t = SnpTable::new("c", 0, vec![r]);
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        // Default best/second/ref base code 0 = 'A'; genotype 0 is NUL —
+        // pipelines always set genotype, but serialization must not panic.
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn variant_detection() {
+        let mut r = row(40);
+        r.ref_base = 0; // A
+        r.genotype = b'A';
+        assert!(!r.is_variant());
+        r.genotype = b'R';
+        assert!(r.is_variant());
+        r.genotype = b'N';
+        assert!(!r.is_variant());
+    }
+
+    #[test]
+    fn read_rejects_nonconsecutive() {
+        let t = SnpTable::new("c", 0, vec![row(1), row(2)]);
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("c\t2", "c\t9");
+        let err = SnpTable::read_text(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("not consecutive"));
+    }
+
+    #[test]
+    fn read_rejects_wrong_arity() {
+        let err = SnpTable::read_text(Cursor::new("a\tb\tc\n")).unwrap_err();
+        assert!(err.to_string().contains("expected 17 columns"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(SnpTable::read_text(Cursor::new("")).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! SOAP-style alignment records.
+//!
+//! GSNP's main input file holds short-read alignment results **ordered by
+//! matched position in the reference** — the format produced by the SOAP
+//! aligner. We model the columns the SNP caller consumes:
+//!
+//! ```text
+//! id  seq  qual  nhits  len  strand  chr  pos
+//! ```
+//!
+//! * `seq` — read bases as aligned to the **forward** reference strand
+//!   (reverse-strand reads are stored reverse-complemented, as SOAP does).
+//! * `qual` — Phred quality per base, ASCII offset 33, range 0–63,
+//!   in **sequencing order** (i.e. for reverse-strand reads the string is
+//!   reversed relative to `seq`).
+//! * `pos` — 1-based leftmost match position on the reference.
+//!
+//! Quality coordinates matter: the Bayesian model indexes its recalibration
+//! matrix by *sequencing cycle*, so [`AlignedRead::obs_at`] maps an offset
+//! on the reference back to the cycle it was sequenced in.
+
+use std::io::{BufRead, Write};
+
+use crate::base::{Base, Strand};
+use crate::error::SeqIoError;
+
+/// Maximum representable quality score (6 bits in the `base_word` packing).
+pub const MAX_QUAL: u8 = 63;
+
+/// One aligned short read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedRead {
+    /// Read identifier.
+    pub id: String,
+    /// Base codes (0..=3) as aligned to the forward strand.
+    pub seq: Vec<u8>,
+    /// Phred quality scores in sequencing order, 0..=63.
+    pub qual: Vec<u8>,
+    /// Number of equally-good alignment hits (1 = unique).
+    pub nhits: u32,
+    /// Strand the read aligned to.
+    pub strand: Strand,
+    /// Reference sequence name.
+    pub chr: String,
+    /// 0-based leftmost match position.
+    pub pos: u64,
+}
+
+impl AlignedRead {
+    /// Read length in base pairs.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the read is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Observation for the base covering reference position `pos + offset`:
+    /// `(base, quality, cycle)` where `cycle` is the 0-based position within
+    /// the read *in sequencing order*.
+    ///
+    /// For a forward read the cycle equals the offset; for a reverse read
+    /// the first sequenced base aligns at the rightmost reference position,
+    /// so `cycle = len - 1 - offset`.
+    #[inline]
+    pub fn obs_at(&self, offset: usize) -> (Base, u8, u8) {
+        debug_assert!(offset < self.seq.len());
+        let cycle = match self.strand {
+            Strand::Forward => offset,
+            Strand::Reverse => self.seq.len() - 1 - offset,
+        };
+        (
+            Base::from_code(self.seq[offset]),
+            self.qual[cycle],
+            cycle as u8,
+        )
+    }
+
+    /// Serialize one record as a tab-separated line.
+    pub fn write_line<W: Write>(&self, w: &mut W) -> Result<(), SeqIoError> {
+        let seq: Vec<u8> = self.seq.iter().map(|&c| Base::from_code(c).to_ascii()).collect();
+        let qual: Vec<u8> = self.qual.iter().map(|&q| q + 33).collect();
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.id,
+            std::str::from_utf8(&seq).expect("ASCII"),
+            std::str::from_utf8(&qual).expect("ASCII"),
+            self.nhits,
+            self.seq.len(),
+            self.strand.to_ascii() as char,
+            self.chr,
+            self.pos + 1,
+        )?;
+        Ok(())
+    }
+
+    /// Parse one tab-separated line (`lineno` is used in error messages).
+    pub fn parse_line(line: &str, lineno: u64) -> Result<AlignedRead, SeqIoError> {
+        let mut f = line.trim_end().split('\t');
+        let mut next = |what: &str| {
+            f.next()
+                .ok_or_else(|| SeqIoError::parse(lineno, format!("missing field: {what}")))
+        };
+        let id = next("id")?.to_string();
+        let seq_s = next("seq")?;
+        let qual_s = next("qual")?;
+        let nhits: u32 = next("nhits")?
+            .parse()
+            .map_err(|_| SeqIoError::parse(lineno, "nhits not an integer"))?;
+        let len: usize = next("len")?
+            .parse()
+            .map_err(|_| SeqIoError::parse(lineno, "len not an integer"))?;
+        let strand_s = next("strand")?;
+        let chr = next("chr")?.to_string();
+        let pos1: u64 = next("pos")?
+            .parse()
+            .map_err(|_| SeqIoError::parse(lineno, "pos not an integer"))?;
+        if pos1 == 0 {
+            return Err(SeqIoError::parse(lineno, "pos must be 1-based"));
+        }
+
+        let seq: Vec<u8> = seq_s
+            .bytes()
+            .map(|c| {
+                Base::from_ascii(c)
+                    .map(Base::code)
+                    .ok_or_else(|| SeqIoError::parse(lineno, format!("invalid base {:?}", c as char)))
+            })
+            .collect::<Result<_, _>>()?;
+        let qual: Vec<u8> = qual_s
+            .bytes()
+            .map(|c| {
+                c.checked_sub(33)
+                    .filter(|&q| q <= MAX_QUAL)
+                    .ok_or_else(|| SeqIoError::parse(lineno, "quality out of range"))
+            })
+            .collect::<Result<_, _>>()?;
+        if seq.len() != len || qual.len() != len {
+            return Err(SeqIoError::parse(lineno, "seq/qual length mismatch"));
+        }
+        let strand = strand_s
+            .bytes()
+            .next()
+            .and_then(Strand::from_ascii)
+            .ok_or_else(|| SeqIoError::parse(lineno, "invalid strand"))?;
+        Ok(AlignedRead {
+            id,
+            seq,
+            qual,
+            nhits,
+            strand,
+            chr,
+            pos: pos1 - 1,
+        })
+    }
+}
+
+/// Write a position-sorted batch of alignments.
+///
+/// # Errors
+/// Returns an error if the records are not sorted by `pos`.
+pub fn write_alignments<W: Write>(reads: &[AlignedRead], mut w: W) -> Result<(), SeqIoError> {
+    let sorted = reads.windows(2).all(|p| p[0].pos <= p[1].pos);
+    if !sorted {
+        return Err(SeqIoError::Invariant(
+            "alignment records must be sorted by position".into(),
+        ));
+    }
+    for r in reads {
+        r.write_line(&mut w)?;
+    }
+    Ok(())
+}
+
+/// Streaming reader over an alignment file that enforces position order.
+pub struct AlignmentReader<R: BufRead> {
+    reader: R,
+    line: String,
+    lineno: u64,
+    last_pos: u64,
+}
+
+impl<R: BufRead> AlignmentReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        AlignmentReader {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            last_pos: 0,
+        }
+    }
+
+    /// Read the next record, or `None` at end of stream.
+    pub fn next_read(&mut self) -> Result<Option<AlignedRead>, SeqIoError> {
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.lineno += 1;
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            let read = AlignedRead::parse_line(&self.line, self.lineno)?;
+            if read.pos < self.last_pos {
+                return Err(SeqIoError::Invariant(format!(
+                    "alignment file not sorted at line {}: pos {} after {}",
+                    self.lineno,
+                    read.pos + 1,
+                    self.last_pos + 1
+                )));
+            }
+            self.last_pos = read.pos;
+            return Ok(Some(read));
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for AlignmentReader<R> {
+    type Item = Result<AlignedRead, SeqIoError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_read().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> AlignedRead {
+        AlignedRead {
+            id: "r1".into(),
+            seq: vec![0, 1, 2, 3],
+            qual: vec![30, 31, 32, 33],
+            nhits: 1,
+            strand: Strand::Forward,
+            chr: "chr21".into(),
+            pos: 99,
+        }
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        r.write_line(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("r1\tACGT\t"));
+        let back = AlignedRead::parse_line(&text, 1).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn obs_at_forward() {
+        let r = sample();
+        let (b, q, cycle) = r.obs_at(2);
+        assert_eq!(b, Base::G);
+        assert_eq!(q, 32);
+        assert_eq!(cycle, 2);
+    }
+
+    #[test]
+    fn obs_at_reverse_maps_cycle() {
+        let mut r = sample();
+        r.strand = Strand::Reverse;
+        // Offset 0 on the reference was the *last* cycle sequenced.
+        let (_, q, cycle) = r.obs_at(0);
+        assert_eq!(cycle, 3);
+        assert_eq!(q, 33);
+        let (_, q, cycle) = r.obs_at(3);
+        assert_eq!(cycle, 0);
+        assert_eq!(q, 30);
+    }
+
+    #[test]
+    fn reader_enforces_sort_order() {
+        let mut a = sample();
+        a.pos = 10;
+        let mut b = sample();
+        b.pos = 5;
+        let mut buf = Vec::new();
+        a.write_line(&mut buf).unwrap();
+        b.write_line(&mut buf).unwrap();
+        let mut rd = AlignmentReader::new(Cursor::new(buf));
+        assert!(rd.next_read().unwrap().is_some());
+        let err = rd.next_read().unwrap_err();
+        assert!(matches!(err, SeqIoError::Invariant(_)), "{err}");
+    }
+
+    #[test]
+    fn write_alignments_rejects_unsorted() {
+        let mut a = sample();
+        a.pos = 10;
+        let mut b = sample();
+        b.pos = 5;
+        let err = write_alignments(&[a, b], Vec::new()).unwrap_err();
+        assert!(matches!(err, SeqIoError::Invariant(_)));
+    }
+
+    #[test]
+    fn parse_rejects_bad_quality() {
+        // Quality 64 (ASCII 97 = 'a') is out of the 6-bit range.
+        let line = "r\tA\ta\t1\t1\t+\tc\t1";
+        let err = AlignedRead::parse_line(line, 3).unwrap_err();
+        assert!(err.to_string().contains("quality out of range"));
+    }
+
+    #[test]
+    fn parse_rejects_length_mismatch() {
+        let line = "r\tAC\t5\t1\t2\t+\tc\t1";
+        let err = AlignedRead::parse_line(line, 1).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"));
+    }
+
+    #[test]
+    fn parse_rejects_zero_position() {
+        let line = "r\tA\t5\t1\t1\t+\tc\t0";
+        assert!(AlignedRead::parse_line(line, 1).is_err());
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let mut buf = Vec::new();
+        sample().write_line(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n");
+        let reads: Vec<_> = AlignmentReader::new(Cursor::new(buf))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(reads.len(), 1);
+    }
+}

@@ -1,0 +1,526 @@
+//! Synthetic genome and short-read workload generator.
+//!
+//! The paper evaluates GSNP on BGI's operational whole-human-genome data
+//! (142 GB of alignments; proprietary). This module is the substitution:
+//! a reproducible simulator producing *scale models* of those datasets —
+//! same sequencing depth, coverage ratio, read length, error behaviour and
+//! quality-score run structure, with the site count scaled down. Every
+//! per-site statistic the GSNP algorithms are sensitive to (`base_occ`
+//! sparsity, fraction of uncovered sites, quality-run lengths for RLE) is
+//! governed by these intensive parameters, not by genome size.
+//!
+//! The generator plants germline SNPs with a transition/transversion bias,
+//! builds a diploid donor, and sequences reads with a per-cycle
+//! quality-decay model; errors are drawn at the rate the quality scores
+//! promise (so the Bayesian caller's model is well-specified, as it is for
+//! real Illumina data after recalibration).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::{Base, Strand, N_CODE};
+use crate::fasta::Reference;
+use crate::prior::{KnownSnp, PriorMap};
+use crate::soap::AlignedRead;
+
+/// Configuration for one synthetic chromosome dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Chromosome name used in all records.
+    pub chr_name: String,
+    /// Number of reference sites.
+    pub num_sites: u64,
+    /// Target sequencing depth over covered regions.
+    pub depth: f64,
+    /// Read length in base pairs.
+    pub read_len: usize,
+    /// Fraction of sites covered by reads (the paper's "coverage ratio").
+    pub coverage: f64,
+    /// Rate at which germline SNPs are planted in the donor.
+    pub snp_rate: f64,
+    /// Fraction of planted SNPs that also appear in the known-SNP priors.
+    pub known_fraction: f64,
+    /// Fraction of reference N bases.
+    pub n_rate: f64,
+    /// RNG seed; identical configs generate identical datasets.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Tiny dataset for unit and property tests (milliseconds to generate).
+    pub fn tiny(seed: u64) -> Self {
+        SynthConfig {
+            chr_name: "tiny".into(),
+            num_sites: 5_000,
+            depth: 8.0,
+            read_len: 50,
+            coverage: 0.85,
+            snp_rate: 2e-3,
+            known_fraction: 0.5,
+            n_rate: 0.002,
+            seed,
+        }
+    }
+
+    /// Scale model of the paper's Chromosome 1 (Table II: 247 M sites,
+    /// 11×, 88% coverage, 100 bp reads) at `scale` × 1/100 of full size.
+    pub fn ch1_mini(scale: f64) -> Self {
+        SynthConfig {
+            chr_name: "chr1".into(),
+            num_sites: ((2_470_000.0 * scale) as u64).max(1),
+            depth: 11.0,
+            read_len: 100,
+            coverage: 0.88,
+            snp_rate: 1e-3,
+            known_fraction: 0.6,
+            n_rate: 0.005,
+            seed: 0x6510_0001,
+        }
+    }
+
+    /// Scale model of the paper's Chromosome 21 (47 M sites, 9.6×, 68%
+    /// coverage) at `scale` × 1/100 of full size.
+    pub fn ch21_mini(scale: f64) -> Self {
+        SynthConfig {
+            chr_name: "chr21".into(),
+            num_sites: ((470_000.0 * scale) as u64).max(1),
+            depth: 9.6,
+            read_len: 100,
+            coverage: 0.68,
+            snp_rate: 1e-3,
+            known_fraction: 0.6,
+            n_rate: 0.005,
+            seed: 0x6510_0021,
+        }
+    }
+
+    /// Scale model for human chromosome `i` (1-based, 1..=24 where 23 = X,
+    /// 24 = Y), interpolating real chromosome lengths, for the Fig. 12
+    /// whole-genome sweep.
+    pub fn chromosome(i: usize, scale: f64) -> Self {
+        assert!((1..=24).contains(&i), "chromosome index out of range");
+        // Approximate human chromosome lengths in Mbp (GRCh37).
+        const MBP: [f64; 24] = [
+            249.0, 243.0, 198.0, 191.0, 181.0, 171.0, 159.0, 146.0, 141.0, 135.0, 135.0, 134.0,
+            115.0, 107.0, 103.0, 90.0, 81.0, 78.0, 59.0, 63.0, 47.0, 51.0, 155.0, 59.0,
+        ];
+        let name = match i {
+            23 => "chrX".to_string(),
+            24 => "chrY".to_string(),
+            _ => format!("chr{i}"),
+        };
+        SynthConfig {
+            chr_name: name,
+            num_sites: ((MBP[i - 1] * 10_000.0 * scale) as u64).max(1),
+            depth: 10.0,
+            read_len: 100,
+            coverage: 0.85,
+            snp_rate: 1e-3,
+            known_fraction: 0.6,
+            n_rate: 0.005,
+            seed: 0x6510_0100 + i as u64,
+        }
+    }
+}
+
+/// A planted variant in the donor (ground truth for accuracy checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedSnp {
+    /// 0-based site.
+    pub pos: u64,
+    /// Donor genotype (unordered allele pair).
+    pub alleles: (Base, Base),
+}
+
+/// A complete synthetic dataset: the three input files of the SNP-calling
+/// workflow plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration that generated this dataset.
+    pub config: SynthConfig,
+    /// Reference sequence (input file 2).
+    pub reference: Reference,
+    /// Position-sorted alignments (input file 1).
+    pub reads: Vec<AlignedRead>,
+    /// Known-SNP priors (input file 3).
+    pub priors: PriorMap,
+    /// Planted variants.
+    pub truth: Vec<PlantedSnp>,
+}
+
+impl Dataset {
+    /// Generate a dataset from a configuration. Deterministic in the seed.
+    pub fn generate(config: SynthConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.num_sites as usize;
+
+        // --- Reference ---
+        let mut seq: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
+        // N bases arrive in short runs, as they do in real assemblies.
+        let mut i = 0usize;
+        while i < n {
+            if rng.gen_bool(config.n_rate / 8.0) {
+                let run = rng.gen_range(1..=16).min(n - i);
+                seq[i..i + run].fill(N_CODE);
+                i += run;
+            } else {
+                i += 1;
+            }
+        }
+        let reference = Reference::new(config.chr_name.clone(), seq);
+
+        // --- Covered intervals ---
+        let intervals = covered_intervals(&mut rng, n as u64, config.coverage, config.read_len);
+        let covered_sites: u64 = intervals.iter().map(|&(s, e)| e - s).sum();
+
+        // --- Diploid donor with planted SNPs ---
+        let mut truth = Vec::new();
+        let mut hap = [reference.seq.clone(), reference.seq.clone()];
+        for &(s, e) in &intervals {
+            for pos in s..e {
+                let r = reference.seq[pos as usize];
+                if r >= 4 || !rng.gen_bool(config.snp_rate) {
+                    continue;
+                }
+                let ref_base = Base::from_code(r);
+                let alt = sample_alt(&mut rng, ref_base);
+                // 2/3 heterozygous, 1/3 homozygous alternate.
+                let (a1, a2) = if rng.gen_bool(2.0 / 3.0) {
+                    (ref_base, alt)
+                } else {
+                    (alt, alt)
+                };
+                if a1 != ref_base {
+                    hap[0][pos as usize] = a1.code();
+                }
+                if a2 != ref_base {
+                    hap[1][pos as usize] = a2.code();
+                }
+                truth.push(PlantedSnp {
+                    pos,
+                    alleles: if a1 <= a2 { (a1, a2) } else { (a2, a1) },
+                });
+            }
+        }
+
+        // --- Known-SNP priors ---
+        let mut prior_sites = Vec::new();
+        for t in &truth {
+            if rng.gen_bool(config.known_fraction) {
+                let r = reference.seq[t.pos as usize];
+                if r >= 4 {
+                    continue;
+                }
+                let ref_base = Base::from_code(r);
+                let alt = if t.alleles.0 != ref_base { t.alleles.0 } else { t.alleles.1 };
+                let mut freqs = [0.0f64; 4];
+                let alt_f = rng.gen_range(0.05..0.5);
+                freqs[ref_base.code() as usize] = 1.0 - alt_f;
+                freqs[alt.code() as usize] += alt_f;
+                prior_sites.push(KnownSnp {
+                    pos: t.pos,
+                    ref_base,
+                    freqs,
+                });
+            }
+        }
+
+        // --- Reads ---
+        let num_reads = ((config.depth * covered_sites as f64) / config.read_len as f64) as usize;
+        let mut reads = Vec::with_capacity(num_reads);
+        let usable: Vec<&(u64, u64)> = intervals
+            .iter()
+            .filter(|&&(s, e)| (e - s) as usize >= config.read_len)
+            .collect();
+        if !usable.is_empty() {
+            let weights: Vec<u64> = usable
+                .iter()
+                .map(|&&(s, e)| e - s - config.read_len as u64 + 1)
+                .collect();
+            let total_weight: u64 = weights.iter().sum();
+            for ridx in 0..num_reads {
+                // Weighted interval choice, then uniform start within it.
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut iv = 0usize;
+                while pick >= weights[iv] {
+                    pick -= weights[iv];
+                    iv += 1;
+                }
+                let (s, _e) = *usable[iv];
+                let pos = s + pick;
+                reads.push(sequence_read(&mut rng, &config, &hap, pos, ridx));
+            }
+            // Pileup hotspots: real resequencing data has repeat-driven
+            // coverage spikes reaching hundreds of reads. They are what
+            // push the largest base_word arrays into the 128/256 sorting
+            // classes the paper observes (§VI-C, Fig. 7b).
+            let num_hotspots = (covered_sites / 25_000).max(1) as usize;
+            let hotspot_reads = num_reads / 25;
+            for h in 0..num_hotspots {
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut iv = 0usize;
+                while pick >= weights[iv] {
+                    pick -= weights[iv];
+                    iv += 1;
+                }
+                let (s, _e) = *usable[iv];
+                let center = s + pick;
+                let per_spot = (hotspot_reads / num_hotspots).clamp(8, 48);
+                for k in 0..per_spot {
+                    // Starts cluster tightly so per-site depth spikes.
+                    let span = (config.read_len as u64 / 2).max(1);
+                    let lo = center.saturating_sub(span).max(s);
+                    let pos = rng.gen_range(lo..=center).min(_e - config.read_len as u64);
+                    reads.push(sequence_read(
+                        &mut rng,
+                        &config,
+                        &hap,
+                        pos.max(s),
+                        num_reads + h * per_spot + k,
+                    ));
+                }
+            }
+        }
+        reads.sort_by_key(|r| r.pos);
+
+        Dataset {
+            config,
+            reference,
+            reads,
+            priors: PriorMap::from_sites(prior_sites),
+            truth,
+        }
+    }
+
+    /// Total aligned bases across all reads.
+    pub fn total_aligned_bases(&self) -> u64 {
+        self.reads.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Realized sequencing depth (aligned bases / sites).
+    pub fn realized_depth(&self) -> f64 {
+        self.total_aligned_bases() as f64 / self.config.num_sites as f64
+    }
+
+    /// Fraction of sites covered by at least one read.
+    pub fn realized_coverage(&self) -> f64 {
+        let n = self.config.num_sites as usize;
+        let mut covered = vec![false; n];
+        for r in &self.reads {
+            let end = ((r.pos as usize) + r.len()).min(n);
+            covered[r.pos as usize..end].fill(true);
+        }
+        covered.iter().filter(|&&c| c).count() as f64 / n as f64
+    }
+
+    /// Serialized size of the alignment input in bytes (Table II's "Input").
+    pub fn input_text_size(&self) -> u64 {
+        let mut buf = Vec::new();
+        for r in &self.reads {
+            r.write_line(&mut buf).expect("in-memory write");
+        }
+        buf.len() as u64
+    }
+}
+
+/// Draw an alternate allele with a 2:1 transition:transversion bias.
+fn sample_alt(rng: &mut StdRng, ref_base: Base) -> Base {
+    let transition = match ref_base {
+        Base::A => Base::G,
+        Base::G => Base::A,
+        Base::C => Base::T,
+        Base::T => Base::C,
+    };
+    if rng.gen_bool(0.5) {
+        transition
+    } else {
+        // One of the two transversions.
+        let others: Vec<Base> = Base::ALL
+            .into_iter()
+            .filter(|&b| b != ref_base && b != transition)
+            .collect();
+        others[rng.gen_range(0..others.len())]
+    }
+}
+
+/// Alternate covered/uncovered intervals hitting the target coverage ratio.
+fn covered_intervals(rng: &mut StdRng, n: u64, coverage: f64, read_len: usize) -> Vec<(u64, u64)> {
+    if coverage >= 0.999 {
+        return vec![(0, n)];
+    }
+    // Interval lengths shrink with the genome so scaled-down datasets
+    // still realize the target coverage ratio.
+    let mean_covered = (read_len as u64 * 40)
+        .max(2_000)
+        .min((n / 8).max(read_len as u64 * 4));
+    let mean_gap = ((mean_covered as f64) * (1.0 - coverage) / coverage.max(1e-6)) as u64;
+    let mut intervals = Vec::new();
+    let mut pos = 0u64;
+    while pos < n {
+        let run = rng.gen_range(mean_covered / 2..=mean_covered * 3 / 2).min(n - pos);
+        intervals.push((pos, pos + run));
+        pos += run;
+        if pos >= n {
+            break;
+        }
+        let gap = rng.gen_range(mean_gap / 2..=(mean_gap * 3 / 2).max(1)).min(n - pos);
+        pos += gap;
+    }
+    intervals
+}
+
+/// Simulate sequencing one read starting at `pos` from a random haplotype.
+fn sequence_read(
+    rng: &mut StdRng,
+    cfg: &SynthConfig,
+    hap: &[Vec<u8>; 2],
+    pos: u64,
+    ridx: usize,
+) -> AlignedRead {
+    let h = usize::from(rng.gen_bool(0.5));
+    let strand = if rng.gen_bool(0.5) { Strand::Forward } else { Strand::Reverse };
+    let len = cfg.read_len;
+
+    // Base quality is tied to the genomic region (sequencing batches and
+    // flowcell tiles give neighbouring reads near-identical quality), and
+    // decays in steps of 2 along the read. Together these reproduce the
+    // paper's §V-B observations: "bases on a short read usually have the
+    // same sequencing quality" and "usually around tens of repeats for
+    // consecutive sites" — the structure RLE-DICT exploits.
+    let q0: i32 = 32 + (((pos / 2048) % 6) as i32) * 2;
+    let qual: Vec<u8> = (0..len)
+        .map(|cycle| {
+            let q = q0 - (cycle as i32 * 8 / len as i32) * 2;
+            q.clamp(2, 63) as u8
+        })
+        .collect();
+
+    let mut seq = Vec::with_capacity(len);
+    for offset in 0..len {
+        let donor = hap[h][(pos + offset as u64) as usize];
+        // N in the donor (reference N) is sequenced as a random base.
+        let mut base = if donor >= 4 { rng.gen_range(0..4u8) } else { donor };
+        let cycle = match strand {
+            Strand::Forward => offset,
+            Strand::Reverse => len - 1 - offset,
+        };
+        let err_p = 10f64.powf(-(qual[cycle] as f64) / 10.0);
+        if rng.gen_bool(err_p.min(0.75)) {
+            base = (base + rng.gen_range(1..4u8)) % 4;
+        }
+        seq.push(base);
+    }
+
+    // ~5% of reads align non-uniquely (repeat regions).
+    let nhits = if rng.gen_bool(0.05) { rng.gen_range(2..=5) } else { 1 };
+
+    AlignedRead {
+        id: format!("{}_{}", cfg.chr_name, ridx),
+        seq,
+        qual,
+        nhits,
+        strand,
+        chr: cfg.chr_name.clone(),
+        pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(SynthConfig::tiny(7));
+        let b = Dataset::generate(SynthConfig::tiny(7));
+        assert_eq!(a.reads, b.reads);
+        assert_eq!(a.reference, b.reference);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(SynthConfig::tiny(1));
+        let b = Dataset::generate(SynthConfig::tiny(2));
+        assert_ne!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn reads_are_sorted_and_in_bounds() {
+        let d = Dataset::generate(SynthConfig::tiny(3));
+        assert!(!d.reads.is_empty());
+        for w in d.reads.windows(2) {
+            assert!(w[0].pos <= w[1].pos);
+        }
+        for r in &d.reads {
+            assert!(r.pos + r.len() as u64 <= d.config.num_sites);
+            assert!(r.qual.iter().all(|&q| q <= 63));
+            assert!(r.seq.iter().all(|&b| b < 4));
+        }
+    }
+
+    #[test]
+    fn depth_and_coverage_near_target() {
+        let d = Dataset::generate(SynthConfig::tiny(4));
+        let cov = d.realized_coverage();
+        assert!(
+            (cov - d.config.coverage).abs() < 0.15,
+            "coverage {cov} vs target {}",
+            d.config.coverage
+        );
+        // Depth over covered region ≈ configured depth.
+        let depth_covered = d.realized_depth() / cov;
+        assert!(
+            (depth_covered - d.config.depth).abs() / d.config.depth < 0.25,
+            "covered depth {depth_covered} vs {}",
+            d.config.depth
+        );
+    }
+
+    #[test]
+    fn truth_matches_priors_subset() {
+        let d = Dataset::generate(SynthConfig::tiny(5));
+        assert!(!d.truth.is_empty(), "expected planted SNPs");
+        assert!(d.priors.len() <= d.truth.len());
+        // Every prior site is a planted site.
+        let planted: std::collections::HashSet<u64> = d.truth.iter().map(|t| t.pos).collect();
+        for t in &d.truth {
+            if let Some(k) = d.priors.get(t.pos) {
+                k.validate().unwrap();
+                assert!(planted.contains(&k.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn chromosome_presets_cover_1_to_24() {
+        for i in 1..=24 {
+            let c = SynthConfig::chromosome(i, 0.01);
+            assert!(c.num_sites > 0);
+        }
+        assert_eq!(SynthConfig::chromosome(23, 1.0).chr_name, "chrX");
+    }
+
+    #[test]
+    #[should_panic(expected = "chromosome index out of range")]
+    fn chromosome_25_rejected() {
+        let _ = SynthConfig::chromosome(25, 1.0);
+    }
+
+    #[test]
+    fn ch1_is_larger_and_deeper_than_ch21() {
+        let c1 = SynthConfig::ch1_mini(1.0);
+        let c21 = SynthConfig::ch21_mini(1.0);
+        assert!(c1.num_sites > 5 * c21.num_sites);
+        assert!(c1.coverage > c21.coverage);
+    }
+
+    #[test]
+    fn quality_has_few_distinct_values() {
+        // The RLE-DICT scheme relies on <100 distinct quality values.
+        let d = Dataset::generate(SynthConfig::tiny(6));
+        let distinct: std::collections::HashSet<u8> =
+            d.reads.iter().flat_map(|r| r.qual.iter().copied()).collect();
+        assert!(distinct.len() < 100, "{} distinct", distinct.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Windowed site loading (the `read_site` component).
+//!
+//! Both SOAPsnp and GSNP process a chromosome window by window (§III-A):
+//! `read_site` loads a fixed number of sites per pass, collecting for each
+//! site the aligned-base observations from every read covering it. Reads
+//! spanning a window boundary contribute to both windows, so the reader
+//! keeps a carry-over buffer.
+
+use crate::error::SeqIoError;
+use crate::soap::AlignedRead;
+
+/// One aligned-base observation at a site: exactly the four attributes the
+/// `base_word`/`base_occ` representations encode, plus the uniqueness flag
+/// the result table's "unique read" counts need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteObs {
+    /// Observed base code (0..=3).
+    pub base: u8,
+    /// Phred quality (0..=63).
+    pub qual: u8,
+    /// Sequencing cycle: position in the read, in sequencing order.
+    pub coord: u8,
+    /// Strand code (0 = forward, 1 = reverse).
+    pub strand: u8,
+    /// Whether the read aligned uniquely (`nhits == 1`).
+    pub uniq: bool,
+}
+
+/// A window of consecutive sites and their observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// 0-based position of the first site.
+    pub start: u64,
+    /// Per-site observation lists; `obs[i]` covers site `start + i`.
+    pub obs: Vec<Vec<SiteObs>>,
+}
+
+impl Window {
+    /// Number of sites in the window.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Whether the window has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// Total observations (aligned bases) across all sites.
+    pub fn total_obs(&self) -> usize {
+        self.obs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Streams sorted alignments into windows of `window_size` sites.
+pub struct WindowReader<I> {
+    reads: I,
+    /// Read pulled from the stream but belonging to a future window.
+    lookahead: Option<AlignedRead>,
+    /// Reads that overlap the next window's sites.
+    carry: Vec<AlignedRead>,
+    window_size: usize,
+    ref_len: u64,
+    next_start: u64,
+}
+
+impl<I> WindowReader<I>
+where
+    I: Iterator<Item = Result<AlignedRead, SeqIoError>>,
+{
+    /// Create a reader over `ref_len` sites in windows of `window_size`.
+    ///
+    /// # Panics
+    /// Panics if `window_size` is zero.
+    pub fn new(reads: I, ref_len: u64, window_size: usize) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        WindowReader {
+            reads,
+            lookahead: None,
+            carry: Vec::new(),
+            window_size,
+            ref_len,
+            next_start: 0,
+        }
+    }
+
+    fn add_read(read: &AlignedRead, w_start: u64, obs: &mut [Vec<SiteObs>]) {
+        let w_end = w_start + obs.len() as u64;
+        let read_end = read.pos + read.len() as u64;
+        let from = read.pos.max(w_start);
+        let to = read_end.min(w_end);
+        for site in from..to {
+            let offset = (site - read.pos) as usize;
+            let (base, qual, coord) = read.obs_at(offset);
+            obs[(site - w_start) as usize].push(SiteObs {
+                base: base.code(),
+                qual,
+                coord,
+                strand: read.strand.code(),
+                uniq: read.nhits == 1,
+            });
+        }
+    }
+
+    /// Load the next window, or `None` once the reference is exhausted.
+    pub fn next_window(&mut self) -> Result<Option<Window>, SeqIoError> {
+        if self.next_start >= self.ref_len {
+            return Ok(None);
+        }
+        let w_start = self.next_start;
+        let len = self.window_size.min((self.ref_len - w_start) as usize);
+        let w_end = w_start + len as u64;
+        let mut obs = vec![Vec::new(); len];
+
+        // Reads carried over from the previous window.
+        let carried = std::mem::take(&mut self.carry);
+        for read in carried {
+            Self::add_read(&read, w_start, &mut obs);
+            if read.pos + (read.len() as u64) > w_end {
+                self.carry.push(read);
+            }
+        }
+
+        // New reads starting before the window's end.
+        loop {
+            let read = match self.lookahead.take() {
+                Some(r) => r,
+                None => match self.reads.next() {
+                    Some(r) => r?,
+                    None => break,
+                },
+            };
+            if read.pos >= w_end {
+                self.lookahead = Some(read);
+                break;
+            }
+            if read.pos + (read.len() as u64) <= w_start {
+                // Entirely before this window — possible only if the caller
+                // skipped windows; ignore defensively.
+                continue;
+            }
+            Self::add_read(&read, w_start, &mut obs);
+            if read.pos + (read.len() as u64) > w_end {
+                self.carry.push(read);
+            }
+        }
+
+        self.next_start = w_end;
+        Ok(Some(Window { start: w_start, obs }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Strand;
+
+    fn read(pos: u64, len: usize, nhits: u32) -> AlignedRead {
+        AlignedRead {
+            id: format!("r{pos}"),
+            seq: (0..len).map(|i| (i % 4) as u8).collect(),
+            qual: (0..len).map(|i| 30 + (i % 4) as u8).collect(),
+            nhits,
+            strand: Strand::Forward,
+            chr: "c".into(),
+            pos,
+        }
+    }
+
+    fn reader(reads: Vec<AlignedRead>, ref_len: u64, w: usize) -> WindowReader<impl Iterator<Item = Result<AlignedRead, SeqIoError>>> {
+        WindowReader::new(reads.into_iter().map(Ok), ref_len, w)
+    }
+
+    #[test]
+    fn single_window_collects_all_obs() {
+        let mut r = reader(vec![read(2, 4, 1)], 10, 10);
+        let w = r.next_window().unwrap().unwrap();
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.total_obs(), 4);
+        assert!(w.obs[0].is_empty());
+        assert_eq!(w.obs[2].len(), 1);
+        assert_eq!(w.obs[2][0].coord, 0);
+        assert_eq!(w.obs[5][0].coord, 3);
+        assert!(r.next_window().unwrap().is_none());
+    }
+
+    #[test]
+    fn read_spanning_boundary_contributes_to_both() {
+        let mut r = reader(vec![read(3, 4, 1)], 10, 5);
+        let w1 = r.next_window().unwrap().unwrap();
+        let w2 = r.next_window().unwrap().unwrap();
+        assert_eq!(w1.total_obs(), 2); // sites 3,4
+        assert_eq!(w2.total_obs(), 2); // sites 5,6
+        assert_eq!(w2.obs[0][0].coord, 2);
+    }
+
+    #[test]
+    fn read_spanning_three_windows() {
+        let mut r = reader(vec![read(1, 8, 1)], 9, 3);
+        let sums: Vec<usize> = std::iter::from_fn(|| r.next_window().unwrap())
+            .map(|w| w.total_obs())
+            .collect();
+        assert_eq!(sums, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn last_window_is_short() {
+        let mut r = reader(vec![], 7, 5);
+        assert_eq!(r.next_window().unwrap().unwrap().len(), 5);
+        assert_eq!(r.next_window().unwrap().unwrap().len(), 2);
+        assert!(r.next_window().unwrap().is_none());
+    }
+
+    #[test]
+    fn lookahead_read_lands_in_later_window() {
+        let mut r = reader(vec![read(0, 2, 1), read(8, 2, 1)], 10, 5);
+        let w1 = r.next_window().unwrap().unwrap();
+        let w2 = r.next_window().unwrap().unwrap();
+        assert_eq!(w1.total_obs(), 2);
+        assert_eq!(w2.total_obs(), 2);
+        assert_eq!(w2.obs[3].len(), 1);
+    }
+
+    #[test]
+    fn uniqueness_flag_propagates() {
+        let mut r = reader(vec![read(0, 2, 3)], 2, 2);
+        let w = r.next_window().unwrap().unwrap();
+        assert!(!w.obs[0][0].uniq);
+    }
+
+    #[test]
+    fn reverse_strand_coord_is_cycle() {
+        let mut rd = read(0, 4, 1);
+        rd.strand = Strand::Reverse;
+        let mut r = reader(vec![rd], 4, 4);
+        let w = r.next_window().unwrap().unwrap();
+        // Site 0 = last cycle (3), site 3 = first cycle (0).
+        assert_eq!(w.obs[0][0].coord, 3);
+        assert_eq!(w.obs[3][0].coord, 0);
+        assert_eq!(w.obs[0][0].strand, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        let _ = reader(vec![], 10, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Comparison sorters for Fig. 7(a).
+//!
+//! * [`parallel_cpu_qsort`] — the paper's OpenMP baseline: a pool of CPU
+//!   threads, each quicksorting one small array at a time.
+//! * [`sequential_radix`] — stands in for "GPU radix sort applied to many
+//!   arrays one after another" (Thrust-style): a correct LSD radix sort
+//!   whose per-array fixed costs dominate on tiny inputs, which is exactly
+//!   the underutilization the paper measures.
+
+use rayon::prelude::*;
+
+use crate::Span;
+
+/// Sort every span with the work-stealing CPU pool, one array per task.
+pub fn parallel_cpu_qsort(data: &mut [u32], spans: &[Span]) {
+    // Split the backing buffer into disjoint mutable sub-slices first so
+    // each task owns its span.
+    let mut slices: Vec<&mut [u32]> = Vec::with_capacity(spans.len());
+    let mut rest = data;
+    let mut consumed = 0usize;
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| spans[i].0);
+    for &i in &order {
+        let (off, len) = spans[i];
+        assert!(off >= consumed, "spans must be disjoint");
+        let (_gap, tail) = rest.split_at_mut(off - consumed);
+        let (span, tail) = tail.split_at_mut(len);
+        slices.push(span);
+        rest = tail;
+        consumed = off + len;
+    }
+    slices.par_iter_mut().for_each(|s| s.sort_unstable());
+}
+
+/// LSD radix sort (4 passes of 8 bits) applied to each span sequentially.
+pub fn sequential_radix(data: &mut [u32], spans: &[Span]) {
+    let max_len = spans.iter().map(|&(_, l)| l).max().unwrap_or(0);
+    let mut scratch = vec![0u32; max_len];
+    for &(off, len) in spans {
+        radix_sort_u32(&mut data[off..off + len], &mut scratch[..len]);
+    }
+}
+
+/// In-place (via scratch) LSD radix sort of one array.
+fn radix_sort_u32(data: &mut [u32], scratch: &mut [u32]) {
+    debug_assert_eq!(data.len(), scratch.len());
+    if data.len() <= 1 {
+        return;
+    }
+    for shift in [0u32, 8, 16, 24] {
+        let mut counts = [0usize; 256];
+        for &v in data.iter() {
+            counts[((v >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut pos = [0usize; 256];
+        let mut acc = 0;
+        for (p, &c) in pos.iter_mut().zip(&counts) {
+            *p = acc;
+            acc += c;
+        }
+        for &v in data.iter() {
+            let b = ((v >> shift) & 0xFF) as usize;
+            scratch[pos[b]] = v;
+            pos[b] += 1;
+        }
+        data.copy_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn workload(seed: u64) -> (Vec<u32>, Vec<Span>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut spans = Vec::new();
+        for _ in 0..100 {
+            let len = rng.gen_range(0..64);
+            spans.push((data.len(), len));
+            data.extend((0..len).map(|_| rng.gen::<u32>()));
+        }
+        (data, spans)
+    }
+
+    fn check(data: &[u32], spans: &[Span], original: &[u32]) {
+        for &(off, len) in spans {
+            let mut expect = original[off..off + len].to_vec();
+            expect.sort_unstable();
+            assert_eq!(&data[off..off + len], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn parallel_qsort_sorts_all_spans() {
+        let (mut data, spans) = workload(1);
+        let original = data.clone();
+        parallel_cpu_qsort(&mut data, &spans);
+        check(&data, &spans, &original);
+    }
+
+    #[test]
+    fn sequential_radix_sorts_all_spans() {
+        let (mut data, spans) = workload(2);
+        let original = data.clone();
+        sequential_radix(&mut data, &spans);
+        check(&data, &spans, &original);
+    }
+
+    #[test]
+    fn radix_handles_extremes() {
+        let mut v = vec![u32::MAX, 0, 1, u32::MAX - 1, 0];
+        let mut scratch = vec![0; 5];
+        radix_sort_u32(&mut v, &mut scratch);
+        assert_eq!(v, vec![0, 0, 1, u32::MAX - 1, u32::MAX]);
+    }
+
+    proptest! {
+        #[test]
+        fn radix_matches_std(mut v in proptest::collection::vec(any::<u32>(), 0..128)) {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let mut scratch = vec![0; v.len()];
+            radix_sort_u32(&mut v, &mut scratch);
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

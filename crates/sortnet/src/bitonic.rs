@@ -1,0 +1,128 @@
+//! The bitonic compare-exchange network.
+//!
+//! A bitonic sort over `m` elements (`m` a power of two) is a fixed
+//! sequence of `log²m` compare-exchange stages with no data-dependent
+//! control flow — which is exactly why it maps onto SIMD lanes so well
+//! and why the paper picks it for the batch primitive. Arrays whose
+//! length is not a power of two are padded with `u32::MAX`, which an
+//! ascending sort parks at the tail.
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+#[inline]
+pub fn pad_to_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Enumerate the network's compare-exchange pairs for `m` elements
+/// (`m` must be a power of two): yields `(i, j)` meaning "ascending
+/// compare-exchange positions i < j".
+///
+/// Exposed for the kernels, which replay exactly these pairs against
+/// shared memory.
+pub fn for_each_pair(m: usize, mut cx: impl FnMut(usize, usize)) {
+    debug_assert!(m.is_power_of_two());
+    let mut k = 2;
+    while k <= m {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..m {
+                let l = i ^ j;
+                if l > i {
+                    // Direction: ascending when bit k of i is clear.
+                    if i & k == 0 {
+                        cx(i, l);
+                    } else {
+                        cx(l, i);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Number of compare-exchange operations the network performs for `m`
+/// (power-of-two) elements: `m/2 · log m · (log m + 1) / 2`.
+pub fn network_ops(m: usize) -> u64 {
+    if m <= 1 {
+        return 0;
+    }
+    let lg = m.trailing_zeros() as u64;
+    (m as u64 / 2) * lg * (lg + 1) / 2
+}
+
+/// Sort a small slice in place via the bitonic network (host-side; the
+/// device kernels in [`crate::batch`] replay the same pair sequence).
+pub fn sort_u32(data: &mut [u32]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let m = pad_to_pow2(n);
+    let mut padded = vec![u32::MAX; m];
+    padded[..n].copy_from_slice(data);
+    for_each_pair(m, |lo, hi| {
+        if padded[lo] > padded[hi] {
+            padded.swap(lo, hi);
+        }
+    });
+    data.copy_from_slice(&padded[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pad_rounds_up() {
+        assert_eq!(pad_to_pow2(0), 1);
+        assert_eq!(pad_to_pow2(1), 1);
+        assert_eq!(pad_to_pow2(2), 2);
+        assert_eq!(pad_to_pow2(3), 4);
+        assert_eq!(pad_to_pow2(64), 64);
+        assert_eq!(pad_to_pow2(65), 128);
+    }
+
+    #[test]
+    fn network_op_counts() {
+        assert_eq!(network_ops(1), 0);
+        assert_eq!(network_ops(2), 1);
+        assert_eq!(network_ops(4), 6);
+        assert_eq!(network_ops(8), 24);
+        // Cross-check against the enumerated pairs.
+        for m in [2usize, 4, 8, 16, 64, 256] {
+            let mut count = 0u64;
+            for_each_pair(m, |_, _| count += 1);
+            assert_eq!(count, network_ops(m), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn sorts_fixed_cases() {
+        let mut v = vec![5u32, 1, 4, 2, 3];
+        sort_u32(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+
+        let mut v = vec![u32::MAX, 0, u32::MAX, 7];
+        sort_u32(&mut v);
+        assert_eq!(v, vec![0, 7, u32::MAX, u32::MAX]);
+
+        let mut v: Vec<u32> = vec![];
+        sort_u32(&mut v);
+        let mut v = vec![9u32];
+        sort_u32(&mut v);
+        assert_eq!(v, vec![9]);
+    }
+
+    proptest! {
+        #[test]
+        fn sorts_like_std(mut v in proptest::collection::vec(any::<u32>(), 0..200)) {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            sort_u32(&mut v);
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Multipass size-class scheduling (§IV-C, Fig. 7b).
+//!
+//! `base_word` arrays vary in size site by site. Feeding them all to the
+//! batch primitive padded to the *global* maximum wastes most of the
+//! compare-exchange work (the paper measures ~4× more elements sorted);
+//! sorting each array at its natural size unbalances the SIMD lanes. The
+//! multipass scheduler buckets arrays by size class and runs one
+//! uniformly-padded batch per class — the paper's six classes are
+//! `[0,1], (1,8], (8,16], (16,32], (32,64], (64,…]`.
+
+use gpu_sim::{Device, GlobalBuffer, LaunchStats};
+
+use crate::batch::batch_sort;
+use crate::bitonic::pad_to_pow2;
+use crate::Span;
+
+/// Upper bounds of the paper's six size classes. Arrays in `[0, 1]` are
+/// already sorted and never launched.
+pub const PASS_BOUNDS: [usize; 5] = [8, 16, 32, 64, usize::MAX];
+
+/// Default number of arrays packed into one block.
+const ARRAYS_PER_BLOCK: usize = 8;
+
+/// Outcome of a multipass (or strawman) sort.
+#[derive(Debug, Clone, Default)]
+pub struct MultipassReport {
+    /// Stats per executed pass, in class order.
+    pub passes: Vec<LaunchStats>,
+    /// Total padded elements staged through the network.
+    pub elements_sorted: u64,
+    /// Total real elements across all input spans.
+    pub elements_real: u64,
+}
+
+impl MultipassReport {
+    /// Aggregate stats across all passes.
+    pub fn total(&self) -> LaunchStats {
+        let mut acc = LaunchStats::default();
+        for p in &self.passes {
+            let mut p = *p;
+            // grid_dim sums below; avoid double-counting other fields.
+            std::mem::swap(&mut p, &mut acc);
+            acc += p;
+        }
+        acc
+    }
+
+    /// Padding overhead factor: padded elements / real elements.
+    pub fn padding_factor(&self) -> f64 {
+        if self.elements_real == 0 {
+            return 1.0;
+        }
+        self.elements_sorted as f64 / self.elements_real as f64
+    }
+}
+
+fn record_padding(report: &mut MultipassReport, spans: &[Span], capacity: usize) {
+    let m = pad_to_pow2(capacity) as u64;
+    report.elements_sorted += m * spans.len() as u64;
+    report.elements_real += spans.iter().map(|&(_, l)| l as u64).sum::<u64>();
+}
+
+/// The paper's multipass sort: one batch launch per size class.
+pub fn multipass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+    multipass_sort_with_bounds(dev, data, spans, &PASS_BOUNDS)
+}
+
+/// Multipass sort with caller-chosen class upper bounds (ascending; the
+/// final bound should be `usize::MAX`). Exposed for the class-boundary
+/// ablation study.
+pub fn multipass_sort_with_bounds(
+    dev: &Device,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+    bounds: &[usize],
+) -> MultipassReport {
+    assert!(!bounds.is_empty(), "at least one size class required");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "class bounds must be strictly ascending"
+    );
+    assert_eq!(*bounds.last().unwrap(), usize::MAX, "final bound must be open");
+    let mut report = MultipassReport::default();
+    report.elements_real += spans
+        .iter()
+        .filter(|&&(_, l)| l <= 1)
+        .map(|&(_, l)| l as u64)
+        .sum::<u64>();
+    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+
+    let mut lower = 1usize;
+    for &bound in bounds {
+        let class: Vec<Span> = spans
+            .iter()
+            .copied()
+            .filter(|&(_, l)| l > lower && l <= bound)
+            .collect();
+        if !class.is_empty() {
+            let capacity = if bound == usize::MAX {
+                class.iter().map(|&(_, l)| l).max().unwrap_or(1)
+            } else {
+                bound
+            };
+            record_padding(&mut report, &class, capacity);
+            report
+                .passes
+                .push(batch_sort(dev, data, &class, capacity, ARRAYS_PER_BLOCK));
+        }
+        lower = bound;
+    }
+    report
+}
+
+/// Strawman 1 ("bitonic SP"): a single pass with every array padded to the
+/// batch-wide maximum size.
+pub fn single_pass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+    let mut report = MultipassReport::default();
+    let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
+    report.elements_real += spans
+        .iter()
+        .filter(|&&(_, l)| l <= 1)
+        .map(|&(_, l)| l as u64)
+        .sum::<u64>();
+    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    if work.is_empty() {
+        return report;
+    }
+    let capacity = work.iter().map(|&(_, l)| l).max().unwrap();
+    record_padding(&mut report, &work, capacity);
+    report
+        .passes
+        .push(batch_sort(dev, data, &work, capacity, ARRAYS_PER_BLOCK));
+    report
+}
+
+/// Strawman 2 ("bitonic noneq"): arrays of different sizes dispatched
+/// directly; each block's SIMD lanes execute in lockstep, so every array in
+/// a block pays the network of the *largest* array grouped with it.
+pub fn noneq_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+    let mut report = MultipassReport::default();
+    let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
+    report.elements_real += spans
+        .iter()
+        .filter(|&&(_, l)| l <= 1)
+        .map(|&(_, l)| l as u64)
+        .sum::<u64>();
+    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    if work.is_empty() {
+        return report;
+    }
+    // Single launch; one array per SIMD lane, so every array in a warp
+    // (32 lanes) executes the network of the warp's largest array — the
+    // lockstep divergence the multipass scheduler removes.
+    let warp = dev.config().warp_size.max(1);
+    for group in work.chunks(warp) {
+        let capacity = group.iter().map(|&(_, l)| l).max().unwrap();
+        record_padding(&mut report, group, capacity);
+    }
+    report
+        .passes
+        .push(crate::batch::batch_sort_blockmax(dev, data, &work, warp));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A base_word-like size distribution: most arrays ~depth (tens),
+    /// plus empty and singleton sites.
+    fn workload(seed: u64, n_arrays: usize) -> (Vec<u32>, Vec<Span>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut spans = Vec::new();
+        for _ in 0..n_arrays {
+            let len = match rng.gen_range(0..10) {
+                0 => 0,
+                1 => 1,
+                2..=6 => rng.gen_range(2..=12),
+                7 | 8 => rng.gen_range(13..=40),
+                _ => rng.gen_range(41..=100),
+            };
+            spans.push((data.len(), len));
+            data.extend((0..len).map(|_| rng.gen::<u32>()));
+        }
+        (data, spans)
+    }
+
+    fn assert_all_sorted(dev: &Device, buf: &GlobalBuffer<u32>, spans: &[Span], host: &[u32]) {
+        let out = dev.download(buf);
+        for &(off, len) in spans {
+            let mut expect = host[off..off + len].to_vec();
+            expect.sort_unstable();
+            assert_eq!(&out[off..off + len], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn multipass_sorts_everything() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(11, 500);
+        let buf = dev.upload(&host);
+        let report = multipass_sort(&dev, &buf, &spans);
+        assert_all_sorted(&dev, &buf, &spans, &host);
+        assert!(report.passes.len() >= 4, "expected several classes to fire");
+        assert_eq!(
+            report.elements_real,
+            host.len() as u64 + spans.iter().filter(|&&(_, l)| l == 0).count() as u64 * 0
+        );
+    }
+
+    #[test]
+    fn single_pass_sorts_everything() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(12, 300);
+        let buf = dev.upload(&host);
+        single_pass_sort(&dev, &buf, &spans);
+        assert_all_sorted(&dev, &buf, &spans, &host);
+    }
+
+    #[test]
+    fn noneq_sorts_everything() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(13, 300);
+        let buf = dev.upload(&host);
+        noneq_sort(&dev, &buf, &spans);
+        assert_all_sorted(&dev, &buf, &spans, &host);
+    }
+
+    #[test]
+    fn multipass_pads_less_than_single_pass() {
+        let dev = Device::m2050();
+        // Large enough that network work dominates per-pass launch overhead.
+        let (host, spans) = workload(14, 20_000);
+        let buf1 = dev.upload(&host);
+        let mp = multipass_sort(&dev, &buf1, &spans);
+        let buf2 = dev.upload(&host);
+        let sp = single_pass_sort(&dev, &buf2, &spans);
+        assert!(
+            mp.elements_sorted < sp.elements_sorted,
+            "multipass {} vs single {}",
+            mp.elements_sorted,
+            sp.elements_sorted
+        );
+        // The paper: single pass sorts ~4x more elements.
+        assert!(sp.padding_factor() / mp.padding_factor() > 1.5);
+        // Fewer padded elements → cheaper simulated time.
+        assert!(mp.total().sim_time < sp.total().sim_time);
+    }
+
+    #[test]
+    fn noneq_between_multipass_and_single_pass_in_work() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(15, 2000);
+        let b1 = dev.upload(&host);
+        let mp = multipass_sort(&dev, &b1, &spans);
+        let b2 = dev.upload(&host);
+        let ne = noneq_sort(&dev, &b2, &spans);
+        let b3 = dev.upload(&host);
+        let sp = single_pass_sort(&dev, &b3, &spans);
+        assert!(mp.elements_sorted <= ne.elements_sorted);
+        assert!(ne.elements_sorted <= sp.elements_sorted);
+    }
+
+    #[test]
+    fn empty_and_singleton_only_needs_no_launch() {
+        let dev = Device::m2050();
+        let host = vec![5u32, 7];
+        let buf = dev.upload(&host);
+        let spans = vec![(0usize, 0usize), (0, 1), (1, 1)];
+        let report = multipass_sort(&dev, &buf, &spans);
+        assert!(report.passes.is_empty());
+        assert_eq!(dev.download(&buf), host);
+    }
+
+    #[test]
+    fn padding_factor_of_empty_workload_is_one() {
+        assert_eq!(MultipassReport::default().padding_factor(), 1.0);
+    }
+}

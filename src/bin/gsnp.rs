@@ -1,0 +1,196 @@
+//! `gsnp` — command-line SNP caller (the shape of the tool the paper
+//! released as a SOAPsnp drop-in).
+//!
+//! ```text
+//! gsnp synth  <out_dir> [--sites N] [--depth X] [--seed S]
+//! gsnp call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
+//!             [--window N] [--cpu] [--text <out.txt>]
+//! gsnp decode <in.gsnp> [<out.txt>]
+//! gsnp stats  <in.gsnp>
+//! ```
+
+use std::fs;
+use std::io::{BufReader, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use gsnp::compress::column::WindowStream;
+use gsnp::core::{GsnpConfig, GsnpCpuPipeline, GsnpPipeline};
+use gsnp::seqio::fasta::Reference;
+use gsnp::seqio::prior::PriorMap;
+use gsnp::seqio::soap::{write_alignments, AlignmentReader};
+use gsnp::seqio::synth::{Dataset, SynthConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("call") => cmd_call(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: gsnp <synth|call|decode|stats> ...\n\
+                 synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--cpu] [--text out.txt]\n\
+                 decode <in.gsnp> [<out.txt>]\n\
+                 stats  <in.gsnp>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gsnp: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = a != "--cpu"; // value-less flags don't consume the next arg
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn cmd_synth(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let dir = Path::new(pos.first().ok_or("synth requires an output directory")?);
+    fs::create_dir_all(dir)?;
+    let mut cfg = SynthConfig::tiny(
+        flag_value(args, "--seed").map_or(Ok(1), str::parse)?,
+    );
+    cfg.chr_name = "chrS".into();
+    cfg.num_sites = flag_value(args, "--sites").map_or(Ok(50_000), str::parse)?;
+    cfg.depth = flag_value(args, "--depth").map_or(Ok(10.0), str::parse)?;
+    cfg.read_len = 100;
+    let d = Dataset::generate(cfg);
+
+    let mut f = fs::File::create(dir.join("reads.soap"))?;
+    write_alignments(&d.reads, &mut f)?;
+    let mut f = fs::File::create(dir.join("reference.fa"))?;
+    d.reference.write_fasta(&mut f)?;
+    let mut f = fs::File::create(dir.join("priors.txt"))?;
+    d.priors.write(&d.config.chr_name, &mut f)?;
+    let mut f = fs::File::create(dir.join("truth.txt"))?;
+    for t in &d.truth {
+        writeln!(
+            f,
+            "{}\t{}\t{}{}",
+            d.config.chr_name,
+            t.pos + 1,
+            t.alleles.0.to_ascii() as char,
+            t.alleles.1.to_ascii() as char
+        )?;
+    }
+    println!(
+        "wrote {} reads over {} sites ({} planted SNPs) to {}",
+        d.reads.len(),
+        d.config.num_sites,
+        d.truth.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_call(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [aln, fa, prior, out] = pos.as_slice() else {
+        return Err("call requires <alignments> <reference> <priors> <out.gsnp>".into());
+    };
+    let reference = Reference::read_fasta(BufReader::new(fs::File::open(fa)?))?;
+    let priors = PriorMap::read(BufReader::new(fs::File::open(prior)?))?;
+    let reads: Vec<_> = AlignmentReader::new(BufReader::new(fs::File::open(aln)?))
+        .collect::<Result<_, _>>()?;
+
+    let cfg = GsnpConfig {
+        window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
+        ..Default::default()
+    };
+    let result = if args.iter().any(|a| a == "--cpu") {
+        GsnpCpuPipeline::new(cfg).run(&reads, &reference, &priors)
+    } else {
+        GsnpPipeline::new(cfg).run(&reads, &reference, &priors)
+    };
+    fs::write(out, &result.compressed)?;
+    if let Some(text_path) = flag_value(args, "--text") {
+        let mut f = fs::File::create(text_path)?;
+        for t in &result.tables {
+            t.write_text(&mut f)?;
+        }
+    }
+    println!(
+        "{} sites in {} windows, {} variants → {} ({} bytes)",
+        result.stats.num_sites,
+        result.stats.windows,
+        result.stats.snp_count,
+        out,
+        result.compressed.len()
+    );
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let input = pos.first().ok_or("decode requires an input file")?;
+    let bytes = fs::read(input)?;
+    let mut sink: Box<dyn Write> = match pos.get(1) {
+        Some(p) => Box::new(fs::File::create(p)?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for window in WindowStream::new(&bytes) {
+        window?.write_text(&mut sink)?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let input = pos.first().ok_or("stats requires an input file")?;
+    let bytes = fs::read(input)?;
+    let mut sites = 0u64;
+    let mut variants = 0u64;
+    let mut windows = 0u64;
+    let mut depth_sum = 0u64;
+    let mut chr = String::new();
+    for window in WindowStream::new(&bytes) {
+        let w = window?;
+        chr = w.chr.clone();
+        windows += 1;
+        sites += w.len() as u64;
+        for r in &w.rows {
+            depth_sum += u64::from(r.depth);
+            variants += u64::from(r.is_variant());
+        }
+    }
+    println!("{chr}: {sites} sites in {windows} windows");
+    println!("  mean depth : {:.2}", depth_sum as f64 / sites.max(1) as f64);
+    println!("  variants   : {variants}");
+    println!(
+        "  compressed : {} bytes ({:.2} bytes/site)",
+        bytes.len(),
+        bytes.len() as f64 / sites.max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! # gsnp — facade crate
+//!
+//! Re-exports the full GSNP reproduction: the paper's contribution
+//! ([`core`]), the SOAPsnp baseline ([`baseline`]), and the substrates it
+//! runs on (simulated GPU, sequence I/O, sorting networks, compression).
+//!
+//! See the repository README for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use compress;
+pub use gpu_sim;
+pub use gsnp_core as core;
+pub use seqio;
+pub use soapsnp as baseline;
+pub use sortnet;

@@ -1,0 +1,156 @@
+//! Failure injection: malformed files, corrupted streams, and boundary
+//! abuse must produce errors, never panics or silent corruption.
+
+use std::io::Cursor;
+
+use gsnp::compress::column::{compress_table, decompress_table, WindowStream};
+use gsnp::compress::{input_codec, lz, CodecError};
+use gsnp::seqio::fasta::Reference;
+use gsnp::seqio::prior::PriorMap;
+use gsnp::seqio::result::{SnpRow, SnpTable};
+use gsnp::seqio::soap::{AlignedRead, AlignmentReader};
+use gsnp::seqio::synth::{Dataset, SynthConfig};
+use gsnp::seqio::SeqIoError;
+
+fn sample_table() -> SnpTable {
+    SnpTable::new(
+        "chrF",
+        100,
+        (0..500)
+            .map(|i| SnpRow {
+                ref_base: (i % 4) as u8,
+                genotype: b"ACGT"[i % 4] as u8,
+                quality: (i % 80) as u8,
+                best_base: (i % 4) as u8,
+                avg_qual_best: 35,
+                count_uniq_best: 9,
+                count_all_best: 9,
+                depth: 9,
+                rank_sum_milli: 1000,
+                copy_milli: 900,
+                ..SnpRow::default()
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn corrupted_compressed_windows_error_not_panic() {
+    let t = sample_table();
+    let bytes = compress_table(&t);
+    // Flip every byte position one at a time; decode must never panic and
+    // must either error or produce *some* table (bit flips in payload data
+    // can decode to different-but-valid rows; structural fields error).
+    for i in 0..bytes.len() {
+        let mut dup = bytes.clone();
+        dup[i] ^= 0xA5;
+        let _ = decompress_table(&dup);
+    }
+    // Truncation at every length must error or be caught structurally.
+    for cut in 0..bytes.len() {
+        assert!(
+            decompress_table(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn window_stream_with_garbage_length_prefix() {
+    let mut file = Vec::new();
+    file.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+    file.extend_from_slice(b"junk");
+    let results: Vec<_> = WindowStream::new(&file).collect();
+    assert!(!results.is_empty());
+    assert!(results.iter().any(Result::is_err));
+}
+
+#[test]
+fn lz_rejects_malformed_streams() {
+    let good = lz::compress(b"the quick brown fox jumps over the lazy dog".as_slice());
+    // Magic corruption.
+    let mut bad = good.clone();
+    bad[2] ^= 0xFF;
+    assert!(matches!(lz::decompress(&bad), Err(CodecError::Corrupt(_))));
+    // Truncations.
+    for cut in [0usize, 3, 11, good.len() - 1] {
+        assert!(lz::decompress(&good[..cut]).is_err());
+    }
+    // Random garbage.
+    assert!(lz::decompress(&[0xAB; 64]).is_err());
+}
+
+#[test]
+fn input_codec_rejects_corruption() {
+    let d = Dataset::generate(SynthConfig::tiny(91));
+    let bytes = input_codec::compress_reads("x", &d.reads);
+    for cut in [0usize, 4, bytes.len() / 3, bytes.len() - 1] {
+        assert!(input_codec::decompress_reads(&bytes[..cut]).is_err());
+    }
+    let mut bad = bytes.clone();
+    bad[0] = b'?';
+    assert!(input_codec::decompress_reads(&bad).is_err());
+}
+
+#[test]
+fn alignment_parser_rejects_malformed_lines() {
+    let cases: &[&str] = &[
+        "only\tthree\tfields",
+        "id\tACGT\t5555\tx\t4\t+\tchr\t10",      // nhits not a number
+        "id\tACGT\t5555\t1\t4\t?\tchr\t10",      // bad strand
+        "id\tACGU\t5555\t1\t4\t+\tchr\t10",      // bad base
+        "id\tACGT\t555\t1\t4\t+\tchr\t10",       // qual length mismatch
+        "id\tACGT\t5555\t1\t4\t+\tchr\t0",       // 1-based position violated
+        "id\tACGT\t5555\t1\t4\t+\tchr\tnotnum",  // bad position
+    ];
+    for line in cases {
+        assert!(
+            AlignedRead::parse_line(line, 1).is_err(),
+            "accepted malformed line {line:?}"
+        );
+    }
+}
+
+#[test]
+fn alignment_reader_rejects_unsorted_files() {
+    let text = "a\tAC\t55\t1\t2\t+\tc\t50\nb\tAC\t55\t1\t2\t+\tc\t10\n";
+    let mut reader = AlignmentReader::new(Cursor::new(text));
+    assert!(reader.next_read().unwrap().is_some());
+    let err = reader.next_read().unwrap_err();
+    assert!(matches!(err, SeqIoError::Invariant(_)));
+}
+
+#[test]
+fn fasta_and_prior_parsers_reject_malformed_input() {
+    assert!(Reference::read_fasta(Cursor::new("ACGT")).is_err());
+    assert!(Reference::read_fasta(Cursor::new(">x\nAC!T")).is_err());
+    assert!(PriorMap::read(Cursor::new("chr\tnot-enough")).is_err());
+    assert!(PriorMap::read(Cursor::new("c\t1\tA\t0.9\t0.9\t0.0\t0.0\n")).is_err()); // sum > 1
+    assert!(PriorMap::read(Cursor::new("c\t0\tA\t1.0\t0\t0\t0\n")).is_err()); // 0-based pos
+}
+
+#[test]
+fn result_text_parser_rejects_structural_damage() {
+    let t = sample_table();
+    let mut text = Vec::new();
+    t.write_text(&mut text).unwrap();
+    let s = String::from_utf8(text).unwrap();
+
+    // Drop a column from one line.
+    let mut lines: Vec<String> = s.lines().map(String::from).collect();
+    let cut = lines[3].rsplit_once('\t').unwrap().0.to_string();
+    lines[3] = cut;
+    let broken = lines.join("\n");
+    assert!(SnpTable::read_text(Cursor::new(broken)).is_err());
+
+    // Skip a position.
+    let skipped: String = s.lines().enumerate().filter(|(i, _)| *i != 7).map(|(_, l)| format!("{l}\n")).collect();
+    assert!(SnpTable::read_text(Cursor::new(skipped)).is_err());
+}
+
+#[test]
+fn quality_above_six_bits_rejected_at_parse() {
+    // Packing would silently wrap a 7-bit quality; the parser must refuse.
+    let line = format!("r\tA\t{}\t1\t1\t+\tc\t5", char::from(33 + 64));
+    assert!(AlignedRead::parse_line(&line, 1).is_err());
+}
