@@ -6,11 +6,11 @@
 //! experiments. What the benches pin down is the *relative* cost of the
 //! competing implementations, which is the unit of every figure.
 
+use gpu_sim::Device;
 use gsnp_core::counting::SparseWindow;
 use gsnp_core::likelihood::{sort_sparse_cpu, DeviceTables};
 use gsnp_core::model::ModelParams;
 use gsnp_core::tables::{LogTable, NewPMatrix, PMatrix};
-use gpu_sim::Device;
 use seqio::synth::{Dataset, SynthConfig};
 use seqio::window::WindowReader;
 

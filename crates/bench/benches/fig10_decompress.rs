@@ -24,8 +24,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("reparse_text", |b| {
         b.iter(|| SnpTable::read_text(std::io::Cursor::new(&text[..])).unwrap())
     });
-    g.bench_function("lz_decompress", |b| b.iter(|| compress::lz::decompress(&gz).unwrap()));
-    g.bench_function("column_decompress", |b| b.iter(|| decompress_table(&col).unwrap()));
+    g.bench_function("lz_decompress", |b| {
+        b.iter(|| compress::lz::decompress(&gz).unwrap())
+    });
+    g.bench_function("column_decompress", |b| {
+        b.iter(|| decompress_table(&col).unwrap())
+    });
     g.bench_function("input_codec_decompress", |b| {
         b.iter(|| input_codec::decompress_reads(&temp).unwrap())
     });

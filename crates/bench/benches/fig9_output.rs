@@ -24,9 +24,13 @@ fn bench(c: &mut Criterion) {
             buf
         })
     });
-    g.bench_function("lz_gzip_class", |b| b.iter(|| compress::lz::compress(&text)));
+    g.bench_function("lz_gzip_class", |b| {
+        b.iter(|| compress::lz::compress(&text))
+    });
     g.bench_function("column_codec_cpu", |b| b.iter(|| compress_table(table)));
-    g.bench_function("column_codec_gpu", |b| b.iter(|| compress_table_gpu(&dev, table)));
+    g.bench_function("column_codec_gpu", |b| {
+        b.iter(|| compress_table_gpu(&dev, table))
+    });
     g.finish();
 }
 

@@ -1,0 +1,49 @@
+//! Streaming executor: window-loop wall-clock vs pipeline depth.
+//!
+//! The device is paced (launches occupy real time in proportion to their
+//! modelled cost) so the bench exposes the host/device overlap the
+//! bounded-channel pipeline exists to exploit; see the
+//! `pipeline_overlap` experiment for the calibrated full-size sweep.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let cfg = |depth: usize, pacing: f64| GsnpConfig {
+        window_size: 1_000,
+        device: DeviceConfig::tesla_m2050().paced(pacing),
+        pipeline_depth: depth,
+        ..Default::default()
+    };
+
+    // Calibrate pacing once from an unpaced serial probe: device occupancy
+    // ≈ 1.5× the host work of the non-device stages per window.
+    let probe = GsnpPipeline::new(cfg(1, 0.0)).run(&d.reads, &d.reference, &d.priors);
+    let o = probe.stats.overlap;
+    let host_other = o.read.busy + o.posterior.busy + o.output.busy;
+    let sim_device = (probe.times.counting - probe.wall.counting)
+        + probe.times.likelihood_sort
+        + probe.times.likelihood_comp
+        + probe.times.recycle;
+    let pacing = if sim_device > 0.0 {
+        1.5 * host_other / sim_device
+    } else {
+        0.0
+    };
+
+    let mut g = c.benchmark_group("pipeline_overlap");
+    g.sample_size(10);
+    for depth in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| GsnpPipeline::new(cfg(depth, pacing)).run(&d.reads, &d.reference, &d.priors))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,8 +21,12 @@ fn main() {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--scale" => {
-                let v = iter.next().unwrap_or_else(|| usage("missing value for --scale"));
-                scale = v.parse().unwrap_or_else(|_| usage("--scale expects a number"));
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+                scale = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale expects a number"));
             }
             "--list" => {
                 for (name, desc, _) in all_experiments() {
@@ -35,7 +39,10 @@ fn main() {
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected = all_experiments().iter().map(|(n, _, _)| n.to_string()).collect();
+        selected = all_experiments()
+            .iter()
+            .map(|(n, _, _)| n.to_string())
+            .collect();
     }
 
     let registry = all_experiments();
@@ -48,7 +55,10 @@ fn main() {
         let t0 = Instant::now();
         let report = f(scale);
         println!("{report}");
-        println!("[{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        println!(
+            "[{name} regenerated in {:.1}s]\n",
+            t0.elapsed().as_secs_f64()
+        );
     }
 }
 

@@ -42,9 +42,7 @@ pub fn decode(r: &mut BitReader<'_>) -> Result<Vec<u8>, CodecError> {
     if n_exc > count {
         return Err(CodecError::corrupt("more N exceptions than rows"));
     }
-    if count > crate::error::MAX_ELEMENTS
-        || n_exc * 4 + count / 4 > r.remaining_bytes() + 4
-    {
+    if count > crate::error::MAX_ELEMENTS || n_exc * 4 + count / 4 > r.remaining_bytes() + 4 {
         return Err(CodecError::corrupt("implausible base-column header"));
     }
     let mut exceptions = Vec::with_capacity(n_exc);

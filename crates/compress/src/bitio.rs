@@ -117,7 +117,11 @@ impl<'a> BitReader<'a> {
             self.nbits += 8;
             self.pos += 1;
         }
-        let v = if n == 0 { 0 } else { self.acc & ((1u64 << n) - 1) };
+        let v = if n == 0 {
+            0
+        } else {
+            self.acc & ((1u64 << n) - 1)
+        };
         self.acc >>= n;
         self.nbits -= n;
         Ok(v)
@@ -126,10 +130,7 @@ impl<'a> BitReader<'a> {
     /// Discard partial-byte state and read a whole byte.
     pub fn read_u8(&mut self) -> Result<u8, CodecError> {
         self.align();
-        let v = *self
-            .buf
-            .get(self.pos)
-            .ok_or(CodecError::Truncated("u8"))?;
+        let v = *self.buf.get(self.pos).ok_or(CodecError::Truncated("u8"))?;
         self.pos += 1;
         Ok(v)
     }

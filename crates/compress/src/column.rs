@@ -65,51 +65,69 @@ fn second_base_from_sparse(v: u32) -> Result<u8, CodecError> {
     }
 }
 
-/// Compress one result window.
-pub fn compress_table(table: &SnpTable) -> Vec<u8> {
-    let rows = &table.rows;
+fn collect_u8(rows: &[SnpRow], f: fn(&SnpRow) -> u8) -> Vec<u8> {
+    rows.iter().map(f).collect()
+}
+
+fn collect_u32(rows: &[SnpRow], f: fn(&SnpRow) -> u32) -> Vec<u32> {
+    rows.iter().map(f).collect()
+}
+
+/// Window header: magic, chromosome name, start position, row count. Ends
+/// byte-aligned, so the column groups below can be concatenated after it.
+fn header_bytes(table: &SnpTable) -> Vec<u8> {
     let mut w = BitWriter::new();
     w.write_bytes(MAGIC);
     w.write_u32(table.chr.len() as u32);
     w.write_bytes(table.chr.as_bytes());
     w.write_u64(table.start_pos);
-    w.write_u32(rows.len() as u32);
+    w.write_u32(table.rows.len() as u32);
+    w.finish()
+}
 
-    let collect_u8 = |f: fn(&SnpRow) -> u8| -> Vec<u8> { rows.iter().map(f).collect() };
-    let collect_u32 = |f: fn(&SnpRow) -> u32| -> Vec<u32> { rows.iter().map(f).collect() };
+/// Group 1 — reference bases, 2-bit packed.
+fn encode_base_group(rows: &[SnpRow]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    basepack::encode(&collect_u8(rows, |r| r.ref_base), &mut w);
+    w.finish()
+}
 
-    // Reference bases: 2-bit packed.
-    let ref_col = collect_u8(|r| r.ref_base);
-    basepack::encode(&ref_col, &mut w);
+/// Group 2 — the seven quality-related columns, two-level RLE-DICT.
+fn encode_rledict_group(rows: &[SnpRow]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.quality)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.avg_qual_best)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.count_uniq_best)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.count_all_best)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.depth)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.rank_sum_milli)), &mut w);
+    rledict::encode(&collect_u32(rows, |r| u32::from(r.copy_milli)), &mut w);
+    w.finish()
+}
 
-    // Quality-related columns: two-level RLE-DICT.
-    rledict::encode(&collect_u32(|r| u32::from(r.quality)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.avg_qual_best)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.count_uniq_best)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.count_all_best)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.depth)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.rank_sum_milli)), &mut w);
-    rledict::encode(&collect_u32(|r| u32::from(r.copy_milli)), &mut w);
-
-    // Genotype: exceptions against the homozygous-reference prediction
-    // (an uncovered site is predicted uncalled, so only true variants and
-    // edge cases land in the exception list — §V-B's "low probability of
-    // SNPs" argument). Encoded after depth, which the prediction needs.
+/// Group 3 — genotype and best base as exceptions against their
+/// coverage-aware predictions (an uncovered site is predicted uncalled, so
+/// only true variants and edge cases land in the exception list — §V-B's
+/// "low probability of SNPs" argument).
+fn encode_except_group(rows: &[SnpRow]) -> Vec<u8> {
+    let mut w = BitWriter::new();
     let predicted: Vec<u8> = rows
         .iter()
         .map(|r| genotype_prediction(r.ref_base, r.depth))
         .collect();
-    except::encode(&collect_u8(|r| r.genotype), &predicted, &mut w);
+    except::encode(&collect_u8(rows, |r| r.genotype), &predicted, &mut w);
 
-    // Best base: exceptions against the coverage-aware reference
-    // prediction (same §V-B argument as the genotype column).
     let predicted_best: Vec<u8> = rows
         .iter()
         .map(|r| best_base_prediction(r.ref_base, r.depth))
         .collect();
-    except::encode(&collect_u8(|r| r.best_base), &predicted_best, &mut w);
+    except::encode(&collect_u8(rows, |r| r.best_base), &predicted_best, &mut w);
+    w.finish()
+}
 
-    // Second-allele columns: sparse.
+/// Group 4 — second-allele columns and the known-SNP flag, sparse.
+fn encode_sparse_group(rows: &[SnpRow]) -> Vec<u8> {
+    let mut w = BitWriter::new();
     sparse::encode(
         &rows
             .iter()
@@ -117,14 +135,56 @@ pub fn compress_table(table: &SnpTable) -> Vec<u8> {
             .collect::<Vec<_>>(),
         &mut w,
     );
-    sparse::encode(&collect_u32(|r| u32::from(r.avg_qual_second)), &mut w);
-    sparse::encode(&collect_u32(|r| u32::from(r.count_uniq_second)), &mut w);
-    sparse::encode(&collect_u32(|r| u32::from(r.count_all_second)), &mut w);
-
-    // Known-SNP flag: sparse 0/1.
-    sparse::encode(&collect_u32(|r| u32::from(r.is_known_snp)), &mut w);
-
+    sparse::encode(&collect_u32(rows, |r| u32::from(r.avg_qual_second)), &mut w);
+    sparse::encode(
+        &collect_u32(rows, |r| u32::from(r.count_uniq_second)),
+        &mut w,
+    );
+    sparse::encode(
+        &collect_u32(rows, |r| u32::from(r.count_all_second)),
+        &mut w,
+    );
+    sparse::encode(&collect_u32(rows, |r| u32::from(r.is_known_snp)), &mut w);
     w.finish()
+}
+
+/// Compress one result window.
+///
+/// The four column groups have no data dependencies and every codec both
+/// starts and ends byte-aligned (each `encode` begins with a `u32` field,
+/// and `BitWriter::finish` pads to a byte), so the groups are encoded into
+/// independent buffers concurrently (rayon) and concatenated — the bytes
+/// are identical to the one-writer reference, [`compress_table_serial`]
+/// (tested).
+pub fn compress_table(table: &SnpTable) -> Vec<u8> {
+    let rows = &table.rows;
+    let mut out = header_bytes(table);
+    let (base, (rle, (exc, sparse))) = rayon::join(
+        || encode_base_group(rows),
+        || {
+            rayon::join(
+                || encode_rledict_group(rows),
+                || rayon::join(|| encode_except_group(rows), || encode_sparse_group(rows)),
+            )
+        },
+    );
+    out.extend_from_slice(&base);
+    out.extend_from_slice(&rle);
+    out.extend_from_slice(&exc);
+    out.extend_from_slice(&sparse);
+    out
+}
+
+/// Single-writer reference implementation of [`compress_table`]; the
+/// parallel version must produce these exact bytes.
+pub fn compress_table_serial(table: &SnpTable) -> Vec<u8> {
+    let rows = &table.rows;
+    let mut out = header_bytes(table);
+    out.extend_from_slice(&encode_base_group(rows));
+    out.extend_from_slice(&encode_rledict_group(rows));
+    out.extend_from_slice(&encode_except_group(rows));
+    out.extend_from_slice(&encode_sparse_group(rows));
+    out
 }
 
 /// Decompress one result window.
@@ -196,7 +256,9 @@ pub fn decompress_table(bytes: &[u8]) -> Result<SnpTable, CodecError> {
         is_known.len(),
     ];
     if cols.iter().any(|&c| c != n) {
-        return Err(CodecError::corrupt("column lengths disagree with row count"));
+        return Err(CodecError::corrupt(
+            "column lengths disagree with row count",
+        ));
     }
 
     let mut rows = Vec::with_capacity(n);
@@ -235,61 +297,45 @@ pub fn compress_table_gpu(
     table: &SnpTable,
 ) -> (Vec<u8>, gpu_sim::LaunchStats) {
     let rows = &table.rows;
-    let mut stats = gpu_sim::LaunchStats::default();
-    let mut w = BitWriter::new();
-    w.write_bytes(MAGIC);
-    w.write_u32(table.chr.len() as u32);
-    w.write_bytes(table.chr.as_bytes());
-    w.write_u64(table.start_pos);
-    w.write_u32(rows.len() as u32);
+    let mut out = header_bytes(table);
 
-    let collect_u8 = |f: fn(&SnpRow) -> u8| -> Vec<u8> { rows.iter().map(f).collect() };
-    let collect_u32 = |f: fn(&SnpRow) -> u32| -> Vec<u32> { rows.iter().map(f).collect() };
-
-    let ref_col = collect_u8(|r| r.ref_base);
-    basepack::encode(&ref_col, &mut w);
-
-    // RLE-DICT columns on the device. A standalone RLE-DICT stream starts
+    // RLE-DICT columns on the device; the three host-side groups run
+    // concurrently with it. A standalone RLE-DICT stream starts
     // byte-aligned (its first field is a u32), so splicing the device-
     // produced bytes preserves the CPU codec's exact layout.
-    let mut gpu_col = |col: Vec<u32>, w: &mut BitWriter| {
-        let (bytes, s) = crate::gpu::rledict_gpu(dev, &col);
-        stats += s;
-        w.write_bytes(&bytes);
-    };
-    gpu_col(collect_u32(|r| u32::from(r.quality)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.avg_qual_best)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.count_uniq_best)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.count_all_best)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.depth)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.rank_sum_milli)), &mut w);
-    gpu_col(collect_u32(|r| u32::from(r.copy_milli)), &mut w);
-
-    let predicted: Vec<u8> = rows
-        .iter()
-        .map(|r| genotype_prediction(r.ref_base, r.depth))
-        .collect();
-    except::encode(&collect_u8(|r| r.genotype), &predicted, &mut w);
-
-    let predicted_best: Vec<u8> = rows
-        .iter()
-        .map(|r| best_base_prediction(r.ref_base, r.depth))
-        .collect();
-    except::encode(&collect_u8(|r| r.best_base), &predicted_best, &mut w);
-
-    sparse::encode(
-        &rows
-            .iter()
-            .map(|r| second_base_to_sparse(r.second_base))
-            .collect::<Vec<_>>(),
-        &mut w,
+    let ((base, exc, sparse), (rle, stats)) = rayon::join(
+        || {
+            let (base, (exc, sparse)) = rayon::join(
+                || encode_base_group(rows),
+                || rayon::join(|| encode_except_group(rows), || encode_sparse_group(rows)),
+            );
+            (base, exc, sparse)
+        },
+        || {
+            let mut stats = gpu_sim::LaunchStats::default();
+            let mut bytes = Vec::new();
+            let cols: [fn(&SnpRow) -> u32; 7] = [
+                |r| u32::from(r.quality),
+                |r| u32::from(r.avg_qual_best),
+                |r| u32::from(r.count_uniq_best),
+                |r| u32::from(r.count_all_best),
+                |r| u32::from(r.depth),
+                |r| u32::from(r.rank_sum_milli),
+                |r| u32::from(r.copy_milli),
+            ];
+            for f in cols {
+                let (b, s) = crate::gpu::rledict_gpu(dev, &collect_u32(rows, f));
+                stats += s;
+                bytes.extend_from_slice(&b);
+            }
+            (bytes, stats)
+        },
     );
-    sparse::encode(&collect_u32(|r| u32::from(r.avg_qual_second)), &mut w);
-    sparse::encode(&collect_u32(|r| u32::from(r.count_uniq_second)), &mut w);
-    sparse::encode(&collect_u32(|r| u32::from(r.count_all_second)), &mut w);
-    sparse::encode(&collect_u32(|r| u32::from(r.is_known_snp)), &mut w);
-
-    (w.finish(), stats)
+    out.extend_from_slice(&base);
+    out.extend_from_slice(&rle);
+    out.extend_from_slice(&exc);
+    out.extend_from_slice(&sparse);
+    (out, stats)
 }
 
 /// Append one compressed window to an output file (length-prefixed).
@@ -352,10 +398,14 @@ mod tests {
     fn realistic_row(i: usize) -> SnpRow {
         // Mostly homozygous-reference, quality runs, few second alleles.
         let ref_base = (i % 4) as u8;
-        let is_snp = i % 211 == 0;
+        let is_snp = i.is_multiple_of(211);
         SnpRow {
             ref_base,
-            genotype: if is_snp { b'R' } else { genotype_prediction(ref_base, 10) },
+            genotype: if is_snp {
+                b'R'
+            } else {
+                genotype_prediction(ref_base, 10)
+            },
             quality: 40 + (i / 50 % 10) as u8,
             best_base: ref_base,
             avg_qual_best: 35 + (i / 80 % 5) as u8,
@@ -368,7 +418,7 @@ mod tests {
             depth: 10 + (i / 100 % 4) as u16,
             rank_sum_milli: if is_snp { 431 } else { 1000 },
             copy_milli: 1000,
-            is_known_snp: u8::from(is_snp && i % 2 == 0),
+            is_known_snp: u8::from(is_snp && i.is_multiple_of(2)),
         }
     }
 
@@ -429,6 +479,14 @@ mod tests {
         let results: Vec<_> = WindowStream::new(&file[..cut]).collect();
         assert_eq!(results.len(), 1);
         assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn parallel_groups_match_serial_reference() {
+        for n in [0usize, 1, 17, 3_000] {
+            let t = realistic_table(n);
+            assert_eq!(compress_table(&t), compress_table_serial(&t), "{n} rows");
+        }
     }
 
     #[test]

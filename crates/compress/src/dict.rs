@@ -43,7 +43,9 @@ pub fn encode_with_dict(data: &[u32], dict: &[u32], w: &mut BitWriter) {
         return;
     }
     for &v in data {
-        let idx = dict.binary_search(&v).expect("value missing from dictionary");
+        let idx = dict
+            .binary_search(&v)
+            .expect("value missing from dictionary");
         w.write_bits(idx as u64, bits);
     }
 }
@@ -85,7 +87,9 @@ pub fn decode(r: &mut BitReader<'_>) -> Result<Vec<u32>, CodecError> {
         return Err(CodecError::corrupt("implausible element count"));
     }
     if dict_len * 4 > r.remaining_bytes() {
-        return Err(CodecError::corrupt("dictionary larger than remaining stream"));
+        return Err(CodecError::corrupt(
+            "dictionary larger than remaining stream",
+        ));
     }
     let mut dict = Vec::with_capacity(dict_len);
     for _ in 0..dict_len {
@@ -93,7 +97,9 @@ pub fn decode(r: &mut BitReader<'_>) -> Result<Vec<u32>, CodecError> {
     }
     let bits = index_bits(dict_len);
     if count as u64 * u64::from(bits) > r.remaining_bytes() as u64 * 8 + 7 {
-        return Err(CodecError::corrupt("index payload larger than remaining stream"));
+        return Err(CodecError::corrupt(
+            "index payload larger than remaining stream",
+        ));
     }
     let mut out = Vec::with_capacity(count);
     if bits == 0 {

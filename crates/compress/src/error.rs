@@ -45,6 +45,8 @@ mod tests {
             CodecError::Truncated("header").to_string(),
             "truncated stream while reading header"
         );
-        assert!(CodecError::corrupt("bad magic").to_string().contains("bad magic"));
+        assert!(CodecError::corrupt("bad magic")
+            .to_string()
+            .contains("bad magic"));
     }
 }

@@ -119,7 +119,9 @@ pub fn decompress_reads(bytes: &[u8]) -> Result<Vec<AlignedRead>, CodecError> {
 
     let total_bases: usize = lens.iter().map(|&l| l as usize).sum();
     if total_bases as u64 * 2 > r.remaining_bytes() as u64 * 8 + 7 {
-        return Err(CodecError::corrupt("sequence payload larger than remaining stream"));
+        return Err(CodecError::corrupt(
+            "sequence payload larger than remaining stream",
+        ));
     }
     let mut seq_codes = Vec::with_capacity(total_bases);
     r.align();

@@ -29,7 +29,9 @@ pub fn decode(r: &mut BitReader<'_>) -> Result<Vec<u32>, CodecError> {
     let values = dict::decode(r)?;
     let lengths = dict::decode(r)?;
     if values.len() != lengths.len() {
-        return Err(CodecError::corrupt("RLE value/length arrays differ in size"));
+        return Err(CodecError::corrupt(
+            "RLE value/length arrays differ in size",
+        ));
     }
     // A corrupted run length must not expand into a multi-GiB column.
     let total: u64 = lengths.iter().map(|&l| u64::from(l)).sum();

@@ -107,7 +107,8 @@ pub(crate) struct AtomicCounters {
 impl AtomicCounters {
     pub(crate) fn flush(&self, c: &HwCounters) {
         // Relaxed is sufficient: the launch joins all blocks before reading.
-        self.instructions.fetch_add(c.instructions, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(c.instructions, Ordering::Relaxed);
         self.g_load_coalesced
             .fetch_add(c.g_load_coalesced, Ordering::Relaxed);
         self.g_load_random

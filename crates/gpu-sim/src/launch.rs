@@ -4,9 +4,15 @@
 //! the closure is invoked once per block, blocks are scheduled across a
 //! work-stealing thread pool, and each block's locally-tallied counters are
 //! flushed into the launch totals when it retires.
+//!
+//! Every launch and explicit transfer is also recorded in a thread-safe
+//! [`DeviceLedger`], so concurrent pipeline stages sharing one device (the
+//! streaming executor in `gsnp-core`) can interleave launches without
+//! losing cost accounting.
 
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use crate::buffer::{ConstBuffer, DeviceScalar, GlobalBuffer};
@@ -15,18 +21,57 @@ use crate::cost::CostModel;
 use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
 use crate::ctx::BlockCtx;
 
+/// Running totals across every launch and transfer on one [`Device`].
+///
+/// Unlike the per-call [`LaunchStats`] return values (which each stage
+/// aggregates privately), the ledger is shared device state: it is updated
+/// under a lock so launches issued from concurrent host threads interleave
+/// without dropping counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeviceLedger {
+    /// Kernel launches issued (sequential launches included).
+    pub launches: u64,
+    /// Explicit host↔device transfer charges recorded.
+    pub transfers: u64,
+    /// Total modelled device time, seconds.
+    pub sim_time: f64,
+    /// Total host wall-clock spent executing kernel bodies, seconds.
+    pub wall_time: f64,
+    /// Aggregated hardware counters.
+    pub counters: HwCounters,
+}
+
+impl DeviceLedger {
+    fn record(&mut self, stats: &LaunchStats, is_launch: bool) {
+        if is_launch {
+            self.launches += 1;
+        } else {
+            self.transfers += 1;
+        }
+        self.sim_time += stats.sim_time;
+        self.wall_time += stats.wall_time;
+        self.counters += stats.counters;
+    }
+}
+
 /// A simulated device: launch target for kernels and owner of the cost
-/// model. Cheap to construct; all state is the configuration.
+/// model. Cheap to construct; all state is the configuration plus the
+/// launch ledger.
 pub struct Device {
     cfg: DeviceConfig,
     cost: CostModel,
+    ledger: Mutex<DeviceLedger>,
 }
 
 impl Device {
     /// Create a device with the given configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
         let cost = CostModel::new(cfg.clone());
-        Device { cfg, cost }
+        Device {
+            cfg,
+            cost,
+            ledger: Mutex::new(DeviceLedger::default()),
+        }
     }
 
     /// Convenience: the paper's Tesla M2050.
@@ -42,6 +87,27 @@ impl Device {
     /// The analytic cost model bound to this device.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Snapshot of the running launch/transfer totals.
+    pub fn ledger(&self) -> DeviceLedger {
+        *self.ledger.lock()
+    }
+
+    /// Reset the launch ledger (e.g. between benchmark repetitions).
+    pub fn reset_ledger(&self) {
+        *self.ledger.lock() = DeviceLedger::default();
+    }
+
+    /// Model the device as *occupying* real time: when pacing is enabled,
+    /// sleep for the modelled duration, releasing the CPU exactly like a
+    /// host thread blocked on a stream synchronization.
+    fn pace(&self, sim_time: f64) {
+        if self.cfg.pacing > 0.0 && sim_time > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                sim_time * self.cfg.pacing,
+            ));
+        }
     }
 
     /// Allocate a zeroed global buffer.
@@ -95,7 +161,10 @@ impl Device {
             let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg);
             kernel(&mut ctx);
             let counters = ctx.take_counters();
-            let block_time = self.cost.compute_time(&counters).max(self.cost.memory_time(&counters));
+            let block_time = self
+                .cost
+                .compute_time(&counters)
+                .max(self.cost.memory_time(&counters));
             let _ = max_block.fetch_update(
                 std::sync::atomic::Ordering::Relaxed,
                 std::sync::atomic::Ordering::Relaxed,
@@ -111,12 +180,15 @@ impl Device {
             * self.cfg.num_sms as f64
             + self.cfg.launch_overhead
             + self.cost.transfer_time(&counters);
-        LaunchStats {
+        let stats = LaunchStats {
             sim_time: balanced.max(tail),
             counters,
             wall_time: wall,
             grid_dim,
-        }
+        };
+        self.ledger.lock().record(&stats, true);
+        self.pace(stats.sim_time);
+        stats
     }
 
     /// Launch a kernel sequentially (block 0..grid in order, one host
@@ -136,24 +208,49 @@ impl Device {
         }
         let wall = start.elapsed().as_secs_f64();
         let counters = totals.snapshot();
-        LaunchStats {
+        let stats = LaunchStats {
             sim_time: self.cost.kernel_time(&counters),
             counters,
             wall_time: wall,
             grid_dim,
-        }
+        };
+        self.ledger.lock().record(&stats, true);
+        self.pace(stats.sim_time);
+        stats
     }
 
     /// Account an explicit host→device transfer into a stats record.
     pub fn charge_h2d(&self, stats: &mut LaunchStats, bytes: u64) {
+        let dt = bytes as f64 / self.cfg.pcie_bw;
         stats.counters.h2d_bytes += bytes;
-        stats.sim_time += bytes as f64 / self.cfg.pcie_bw;
+        stats.sim_time += dt;
+        let charge = LaunchStats {
+            sim_time: dt,
+            counters: HwCounters {
+                h2d_bytes: bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        self.ledger.lock().record(&charge, false);
+        self.pace(dt);
     }
 
     /// Account an explicit device→host transfer into a stats record.
     pub fn charge_d2h(&self, stats: &mut LaunchStats, bytes: u64) {
+        let dt = bytes as f64 / self.cfg.pcie_bw;
         stats.counters.d2h_bytes += bytes;
-        stats.sim_time += bytes as f64 / self.cfg.pcie_bw;
+        stats.sim_time += dt;
+        let charge = LaunchStats {
+            sim_time: dt,
+            counters: HwCounters {
+                d2h_bytes: bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        self.ledger.lock().record(&charge, false);
+        self.pace(dt);
     }
 
     /// Estimate time for a counter snapshot without launching.
@@ -222,6 +319,69 @@ mod tests {
         dev.charge_h2d(&mut stats, 6_000_000_000);
         assert!((stats.sim_time - 1.0).abs() < 1e-9);
         assert_eq!(stats.counters.h2d_bytes, 6_000_000_000);
+    }
+
+    #[test]
+    fn ledger_records_launches_and_transfers() {
+        let dev = Device::m2050();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        dev.launch("a", 2, |ctx| {
+            ctx.st_co(&buf, ctx.block_idx, 1);
+        });
+        let mut stats = LaunchStats::default();
+        dev.charge_h2d(&mut stats, 1000);
+        let led = dev.ledger();
+        assert_eq!(led.launches, 1);
+        assert_eq!(led.transfers, 1);
+        assert_eq!(led.counters.h2d_bytes, 1000);
+        assert!(led.sim_time > 0.0);
+        dev.reset_ledger();
+        assert_eq!(dev.ledger().launches, 0);
+    }
+
+    #[test]
+    fn ledger_survives_concurrent_stage_launches() {
+        // Launches interleaved from several host threads (as the streaming
+        // pipeline's stages do) must all land in the ledger exactly once.
+        let dev = Device::m2050();
+        let threads = 4;
+        let per_thread = 8;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let buf: GlobalBuffer<u64> = dev.alloc(16);
+                    for _ in 0..per_thread {
+                        dev.launch("inc", 4, |ctx| {
+                            ctx.atomic_add(&buf, 0, 1u64);
+                        });
+                        let mut st = LaunchStats::default();
+                        dev.charge_d2h(&mut st, 128);
+                    }
+                });
+            }
+        });
+        let led = dev.ledger();
+        assert_eq!(led.launches, (threads * per_thread) as u64);
+        assert_eq!(led.transfers, (threads * per_thread) as u64);
+        assert_eq!(led.counters.d2h_bytes, (threads * per_thread * 128) as u64);
+    }
+
+    #[test]
+    fn pacing_occupies_real_time() {
+        let mut cfg = DeviceConfig::tesla_m2050();
+        cfg.pcie_bw = 1e6; // 1 MB/s so a small transfer is visible
+        let paced = Device::new(cfg.clone().paced(1.0));
+        let mut st = LaunchStats::default();
+        let t0 = Instant::now();
+        paced.charge_h2d(&mut st, 10_000); // 10 ms modelled
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.009, "paced transfer returned in {elapsed}s");
+
+        let unpaced = Device::new(cfg);
+        let mut st = LaunchStats::default();
+        let t0 = Instant::now();
+        unpaced.charge_h2d(&mut st, 10_000);
+        assert!(t0.elapsed().as_secs_f64() < 0.009);
     }
 
     #[test]

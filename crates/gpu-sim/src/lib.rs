@@ -57,4 +57,4 @@ pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
-pub use launch::Device;
+pub use launch::{Device, DeviceLedger};

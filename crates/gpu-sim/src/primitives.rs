@@ -65,7 +65,10 @@ pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats)
 /// Exclusive prefix sum of a `u32` buffer. Returns the scanned buffer and
 /// the grand total. Three phases: per-block scan, scan of block totals
 /// (sequential — the totals array is tiny), then a uniform-add fixup.
-pub fn exclusive_scan(dev: &Device, input: &GlobalBuffer<u32>) -> (GlobalBuffer<u32>, u32, LaunchStats) {
+pub fn exclusive_scan(
+    dev: &Device,
+    input: &GlobalBuffer<u32>,
+) -> (GlobalBuffer<u32>, u32, LaunchStats) {
     let n = input.len();
     let output: GlobalBuffer<u32> = dev.alloc(n);
     if n == 0 {
@@ -202,7 +205,10 @@ mod tests {
         let buf = dev.upload(&data);
         let (sum, stats) = reduce_sum(&dev, &buf);
         assert_eq!(sum, data.iter().sum::<u64>());
-        assert!(stats.counters.s_load > 0, "reduction must use shared memory");
+        assert!(
+            stats.counters.s_load > 0,
+            "reduction must use shared memory"
+        );
     }
 
     #[test]

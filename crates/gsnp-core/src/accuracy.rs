@@ -220,7 +220,11 @@ mod tests {
             },
         );
         assert!(c.true_positives >= 20, "{c:?}");
-        assert!(c.precision() > 0.9, "precision {:.3} ({c:?})", c.precision());
+        assert!(
+            c.precision() > 0.9,
+            "precision {:.3} ({c:?})",
+            c.precision()
+        );
         assert!(c.recall() > 0.75, "recall {:.3} ({c:?})", c.recall());
         assert!(
             c.genotype_concordance() > 0.85,

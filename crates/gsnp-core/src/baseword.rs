@@ -30,7 +30,10 @@ pub fn pack(base: u8, score: u8, coord: u8, strand: u8) -> u32 {
     debug_assert!(score <= QUAL_MAX, "score out of range");
     debug_assert!(strand < 2, "strand out of range");
     let inv_score = QUAL_MAX - score;
-    (u32::from(base) << 15) | (u32::from(inv_score) << 9) | (u32::from(coord) << 1) | u32::from(strand)
+    (u32::from(base) << 15)
+        | (u32::from(inv_score) << 9)
+        | (u32::from(coord) << 1)
+        | u32::from(strand)
 }
 
 /// Unpack a word into `(base, score, coord, strand)`.

@@ -25,7 +25,10 @@ pub const SITE_CELLS: usize = 4 * 64 * 256 * 2;
 /// with its loop structure, so no score inversion is needed there.
 #[inline(always)]
 pub fn base_occ_index(base: u8, score: u8, coord: u8, strand: u8) -> usize {
-    (usize::from(base) << 15) | (usize::from(score) << 9) | (usize::from(coord) << 1) | usize::from(strand)
+    (usize::from(base) << 15)
+        | (usize::from(score) << 9)
+        | (usize::from(coord) << 1)
+        | usize::from(strand)
 }
 
 /// Sparse representation of one window plus the per-site summaries that
@@ -115,7 +118,10 @@ impl DenseWindow {
     /// # Panics
     /// Panics if the window has more sites than this allocation.
     pub fn count(&mut self, window: &Window) -> Vec<SiteSummary> {
-        assert!(window.len() <= self.num_sites, "window exceeds dense allocation");
+        assert!(
+            window.len() <= self.num_sites,
+            "window exceeds dense allocation"
+        );
         let mut summaries = Vec::with_capacity(window.len());
         for (site, site_obs) in window.obs.iter().enumerate() {
             let cell0 = site * SITE_CELLS;

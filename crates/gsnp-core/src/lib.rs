@@ -27,8 +27,10 @@ pub mod counting;
 pub mod likelihood;
 pub mod model;
 pub mod pipeline;
+pub mod stream;
 pub mod tables;
 
 pub use model::{ModelParams, SiteSummary};
 pub use pipeline::{ComponentTimes, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
+pub use stream::{OrderedReassembler, OverlapStats, StageStats};
 pub use tables::{LogTable, NewPMatrix, PMatrix};

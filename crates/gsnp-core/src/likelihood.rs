@@ -269,6 +269,7 @@ pub fn likelihood_comp_gpu(
     let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
     let lt = &tables.host_log;
 
+    #[allow(clippy::needless_range_loop)] // kernel-style: site indexes several parallel arrays
     let stats = dev.launch("likelihood_comp", grid, |ctx| {
         let first = ctx.block_idx * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
@@ -408,7 +409,11 @@ pub fn likelihood_dense_gpu(
     num_sites: usize,
     tables: &DeviceTables,
 ) -> (Vec<[f64; NUM_GENOTYPES]>, LaunchStats) {
-    assert_eq!(occ.len(), num_sites * SITE_CELLS, "dense buffer size mismatch");
+    assert_eq!(
+        occ.len(),
+        num_sites * SITE_CELLS,
+        "dense buffer size mismatch"
+    );
     const ROW: usize = 2 * crate::tables::COORD_DIM;
     let type_likely: GlobalBuffer<f64> = dev.alloc(num_sites * NUM_GENOTYPES);
     let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
@@ -433,13 +438,12 @@ pub fn likelihood_dense_gpu(
                         let coord = (j >> 1) as u8;
                         let strand = (j & 1) as u8;
                         for _k in 0..count {
-                            let slot = usize::from(strand) * crate::tables::COORD_DIM
-                                + usize::from(coord);
+                            let slot =
+                                usize::from(strand) * crate::tables::COORD_DIM + usize::from(coord);
                             dep_count[slot] += 1;
                             let k = dep_count[slot].clamp(1, 64);
-                            let penalty = (10.0
-                                * ctx.ld_const(&tables.log_table, k as usize))
-                            .round() as i32;
+                            let penalty =
+                                (10.0 * ctx.ld_const(&tables.log_table, k as usize)).round() as i32;
                             ctx.add_inst(3);
                             let q_adj = (i32::from(score) - penalty).max(0) as u8;
                             let cell10 = new_p_cell(q_adj, coord, base) * NUM_GENOTYPES;
@@ -513,11 +517,7 @@ mod tests {
         let read_len = d.config.read_len;
         let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
         let np = NewPMatrix::precompute(&p);
-        let mut wr = WindowReader::new(
-            d.reads.iter().cloned().map(Ok),
-            d.config.num_sites,
-            1000,
-        );
+        let mut wr = WindowReader::new(d.reads.iter().cloned().map(Ok), d.config.num_sites, 1000);
         let w = wr.next_window().unwrap().unwrap();
         let mut dense = DenseWindow::alloc(w.len());
         dense.count(&w);
@@ -630,11 +630,7 @@ mod tests {
         let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
         let np = NewPMatrix::precompute(&p);
         let lt = LogTable::new();
-        let mut wr = WindowReader::new(
-            d.reads.iter().cloned().map(Ok),
-            d.config.num_sites,
-            800,
-        );
+        let mut wr = WindowReader::new(d.reads.iter().cloned().map(Ok), d.config.num_sites, 800);
         let w = wr.next_window().unwrap().unwrap();
         let sw = SparseWindow::count(&w); // NOT host-sorted
         let dev = Device::m2050();
@@ -651,15 +647,11 @@ mod tests {
         );
         let mut host_sorted = sw.clone();
         sort_sparse_cpu(&mut host_sorted);
-        for site in 0..sw.num_sites() {
-            let e = likelihood_sparse_site(
-                host_sorted.site_words(site),
-                d.config.read_len,
-                &np,
-                &lt,
-            );
+        for (site, g) in got.iter().enumerate() {
+            let e =
+                likelihood_sparse_site(host_sorted.site_words(site), d.config.read_len, &np, &lt);
             for n in 0..NUM_GENOTYPES {
-                assert_eq!(got[site][n].to_bits(), e[n].to_bits(), "site {site}");
+                assert_eq!(g[n].to_bits(), e[n].to_bits(), "site {site}");
             }
         }
     }
@@ -684,10 +676,10 @@ mod tests {
         }
         let occ = upload_dense_transposed(&dev, &small, sites);
         let (got, dense_stats) = likelihood_dense_gpu(&dev, &occ, sites, &tables);
-        for site in 0..sites {
+        for (site, g) in got.iter().enumerate() {
             let e = likelihood_dense_site(small.site(site), &f.p, &f.lt);
             for n in 0..NUM_GENOTYPES {
-                assert_eq!(got[site][n].to_bits(), e[n].to_bits(), "site {site}");
+                assert_eq!(g[n].to_bits(), e[n].to_bits(), "site {site}");
             }
         }
         // Same sites through the sparse kernel: orders of magnitude less traffic.

@@ -29,9 +29,15 @@ pub const NUM_GENOTYPES: usize = 10;
 /// enumerated exactly as the paper's double loop (Algorithm 1 lines
 /// 11–12) visits them.
 pub const GENOTYPES: [(u8, u8); NUM_GENOTYPES] = [
-    (0, 0), (0, 1), (0, 2), (0, 3),
-    (1, 1), (1, 2), (1, 3),
-    (2, 2), (2, 3),
+    (0, 0),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (1, 1),
+    (1, 2),
+    (1, 3),
+    (2, 2),
+    (2, 3),
     (3, 3),
 ];
 
@@ -219,9 +225,7 @@ pub fn binomial_two_sided_p(k: u32, n: u32) -> f64 {
         return 1.0;
     }
     // pmf(i) computed in log space for stability at large n.
-    let ln_pmf = |i: u32| -> f64 {
-        ln_choose(n, i) + (n as f64) * 0.5f64.ln()
-    };
+    let ln_pmf = |i: u32| -> f64 { ln_choose(n, i) + (n as f64) * 0.5f64.ln() };
     let threshold = ln_pmf(k) + 1e-9;
     let mut p = 0.0;
     for i in 0..=n {
@@ -272,8 +276,8 @@ pub fn posterior(
     let mut second = usize::MAX;
     let mut best_post = f64::NEG_INFINITY;
     let mut second_post = f64::NEG_INFINITY;
-    for g in 0..NUM_GENOTYPES {
-        let post = genotype_log_prior(g, ref_base, known, params) + type_likely[g];
+    for (g, &tl) in type_likely.iter().enumerate() {
+        let post = genotype_log_prior(g, ref_base, known, params) + tl;
         if post > best_post {
             second = best;
             second_post = best_post;
@@ -478,7 +482,13 @@ mod tests {
     #[test]
     fn posterior_zero_depth_is_uncalled() {
         let tl = [0.0f64; NUM_GENOTYPES];
-        let row = posterior(&tl, &SiteSummary::default(), 1, None, &ModelParams::default());
+        let row = posterior(
+            &tl,
+            &SiteSummary::default(),
+            1,
+            None,
+            &ModelParams::default(),
+        );
         assert_eq!(row.genotype, b'N');
         assert_eq!(row.quality, 0);
         assert_eq!(row.depth, 0);
@@ -491,7 +501,7 @@ mod tests {
         let mut tl = [-60.0f64; NUM_GENOTYPES];
         tl[genotype_index(2, 2)] = -1.0;
         tl[genotype_index(0, 2)] = -20.0;
-        let s = SiteSummary::from_obs(&vec![obs(2, 40); 12]);
+        let s = SiteSummary::from_obs(&[obs(2, 40); 12]);
         let row = posterior(&tl, &s, 0, None, &ModelParams::default());
         assert_eq!(row.genotype, b'G');
         assert!(row.quality > 50);
@@ -523,7 +533,13 @@ mod tests {
             freqs: [0.5, 0.0, 0.5, 0.0],
         };
         let tl = [0.0f64; NUM_GENOTYPES];
-        let row = posterior(&tl, &SiteSummary::default(), 0, Some(&k), &ModelParams::default());
+        let row = posterior(
+            &tl,
+            &SiteSummary::default(),
+            0,
+            Some(&k),
+            &ModelParams::default(),
+        );
         assert_eq!(row.is_known_snp, 1);
     }
 
@@ -531,7 +547,7 @@ mod tests {
     fn copy_number_scales_with_depth() {
         let mut tl = [-10.0f64; NUM_GENOTYPES];
         tl[0] = -1.0;
-        let s = SiteSummary::from_obs(&vec![obs(0, 40); 20]);
+        let s = SiteSummary::from_obs(&[obs(0, 40); 20]);
         let params = ModelParams {
             expected_depth: 10.0,
             ..Default::default()

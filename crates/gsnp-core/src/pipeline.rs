@@ -6,6 +6,15 @@
 //!        └── compressed temporary input ──────────┘
 //! ```
 //!
+//! The window loop runs either serially (`pipeline_depth = 1`) or as a
+//! bounded four-stage streaming pipeline (`pipeline_depth ≥ 2`, the
+//! default): producer (`read_site`), device (`counting` + likelihood),
+//! `posterior`, and output each on a dedicated host thread, connected by
+//! bounded channels so successive windows overlap. The output stage
+//! reassembles windows in index order, keeping results and the compressed
+//! file byte-identical to a serial run (§IV-G); per-stage busy/stall time
+//! is reported in [`PipelineStats::overlap`].
+//!
 //! Every device component reports both the **host wall-clock** of the
 //! simulation and the **modelled device time** from the cost model; the
 //! reproduction harness reports the latter for "GPU" series and wall time
@@ -14,16 +23,19 @@
 use std::time::Instant;
 
 use compress::{column, input_codec};
+use crossbeam::channel::bounded;
 use gpu_sim::{Device, DeviceConfig, LaunchStats};
+use rayon::prelude::*;
 use seqio::fasta::Reference;
 use seqio::prior::PriorMap;
 use seqio::result::{SnpRow, SnpTable};
 use seqio::soap::AlignedRead;
-use seqio::window::WindowReader;
+use seqio::window::{Window, WindowReader};
 
 use crate::counting::SparseWindow;
 use crate::likelihood::{likelihood_comp_gpu, likelihood_sort_gpu, DeviceTables, KernelVariant};
 use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
+use crate::stream::{OrderedReassembler, OverlapStats, StageStats};
 use crate::tables::{LogTable, NewPMatrix, PMatrix};
 
 /// Per-component elapsed time in seconds, matching the columns of the
@@ -81,6 +93,8 @@ pub struct PipelineStats {
     pub peak_device_bytes: u64,
     /// Peak host memory attributable to the pipeline's buffers, bytes.
     pub peak_host_bytes: u64,
+    /// Per-stage busy/stall accounting for the window loop.
+    pub overlap: OverlapStats,
 }
 
 /// GSNP configuration.
@@ -99,6 +113,11 @@ pub struct GsnpConfig {
     pub compress_input: bool,
     /// Run output RLE-DICT columns on the device (§V-B).
     pub gpu_output: bool,
+    /// Bounded-channel depth of the streaming window loop. `1` runs the
+    /// stages serially on one thread; `2` (the default) double-buffers —
+    /// window *k*'s host stages overlap window *k+1*'s device stage.
+    /// Results are byte-identical at every depth (§IV-G).
+    pub pipeline_depth: usize,
 }
 
 impl Default for GsnpConfig {
@@ -110,6 +129,7 @@ impl Default for GsnpConfig {
             variant: KernelVariant::Optimized,
             compress_input: true,
             gpu_output: true,
+            pipeline_depth: 2,
         }
     }
 }
@@ -133,7 +153,10 @@ pub struct GsnpOutput {
 impl GsnpOutput {
     /// Flatten all windows into rows (for comparisons).
     pub fn all_rows(&self) -> Vec<SnpRow> {
-        self.tables.iter().flat_map(|t| t.rows.iter().copied()).collect()
+        self.tables
+            .iter()
+            .flat_map(|t| t.rows.iter().copied())
+            .collect()
     }
 }
 
@@ -154,7 +177,12 @@ impl GsnpPipeline {
     }
 
     /// Run over in-memory inputs.
-    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> GsnpOutput {
+    pub fn run(
+        &self,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+    ) -> GsnpOutput {
         let cfg = &self.config;
         let dev = Device::new(cfg.device.clone());
         let mut times = ComponentTimes::default();
@@ -178,6 +206,35 @@ impl GsnpPipeline {
         // Device time: table upload over PCIe on top of the host compute.
         times.cal_p = cal_wall + tables.upload_bytes() as f64 / cfg.device.pcie_bw;
         stats.peak_host_bytes += temp_input.as_ref().map_or(0, |t| t.len() as u64);
+
+        if cfg.pipeline_depth <= 1 {
+            self.window_loop_serial(
+                &dev, &tables, temp_input, reads, reference, priors, times, wall, stats,
+            )
+        } else {
+            self.window_loop_streamed(
+                &dev, &tables, temp_input, reads, reference, priors, times, wall, stats,
+            )
+        }
+    }
+
+    /// The window loop at `pipeline_depth = 1`: every stage on the caller's
+    /// thread, one window at a time.
+    #[allow(clippy::too_many_arguments)]
+    fn window_loop_serial(
+        &self,
+        dev: &Device,
+        tables: &DeviceTables,
+        temp_input: Option<Vec<u8>>,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+        mut times: ComponentTimes,
+        mut wall: ComponentTimes,
+        mut stats: PipelineStats,
+    ) -> GsnpOutput {
+        let cfg = &self.config;
+        let loop_start = Instant::now();
 
         // ---- read_site source: decompress the temporary input ----
         let t0 = Instant::now();
@@ -227,45 +284,37 @@ impl GsnpPipeline {
 
             let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
             let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
-            stats.peak_device_bytes = stats.peak_device_bytes.max(
-                device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes,
-            );
+            stats.peak_device_bytes = stats
+                .peak_device_bytes
+                .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
             stats.peak_host_bytes = stats
                 .peak_host_bytes
                 .max(sw.size_bytes() as u64 + window.total_obs() as u64 * 8);
 
             // ---- likelihood: sort + comp ----
             let t0 = Instant::now();
-            let sort_report = likelihood_sort_gpu(&dev, &words, &sw.spans);
+            let sort_report = likelihood_sort_gpu(dev, &words, &sw.spans);
             wall.likelihood_sort += t0.elapsed().as_secs_f64();
             times.likelihood_sort += sort_report.total().sim_time;
 
             let read_len = max_read_len(&sw);
             let t0 = Instant::now();
             let (type_likely, comp_stats) =
-                likelihood_comp_gpu(&dev, cfg.variant, &words, &sw.spans, read_len, &tables);
+                likelihood_comp_gpu(dev, cfg.variant, &words, &sw.spans, read_len, tables);
             wall.likelihood_comp += t0.elapsed().as_secs_f64();
             times.likelihood_comp += comp_stats.sim_time;
 
             // ---- posterior ----
             let t0 = Instant::now();
-            let mut rows = Vec::with_capacity(sw.num_sites());
-            for site in 0..sw.num_sites() {
-                let pos = window.start + site as u64;
-                let ref_base = reference.seq[pos as usize];
-                let known = priors.get(pos);
-                let row = posterior(
-                    &type_likely[site],
-                    &sw.summaries[site],
-                    ref_base,
-                    known,
-                    &cfg.params,
-                );
-                if row.is_variant() {
-                    stats.snp_count += 1;
-                }
-                rows.push(row);
-            }
+            let rows = posterior_rows(
+                window.start,
+                &type_likely,
+                &sw.summaries,
+                reference,
+                priors,
+                &cfg.params,
+            );
+            stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
             let dt = t0.elapsed().as_secs_f64();
             wall.posterior += dt;
             // Device model for posterior: the per-site arithmetic is cheap;
@@ -280,7 +329,7 @@ impl GsnpPipeline {
             let t0 = Instant::now();
             let table = SnpTable::new(reference.name.clone(), window.start, rows);
             let out_stats = if cfg.gpu_output {
-                column::write_window_gpu(&dev, &mut compressed, &table)
+                column::write_window_gpu(dev, &mut compressed, &table)
             } else {
                 column::write_window(&mut compressed, &table);
                 LaunchStats::default()
@@ -308,6 +357,28 @@ impl GsnpPipeline {
             out_tables.push(table);
         }
 
+        // A serial run is, by definition, one stage busy at a time.
+        stats.overlap = OverlapStats {
+            depth: 1,
+            read: StageStats {
+                busy: wall.read_site,
+                ..Default::default()
+            },
+            device: StageStats {
+                busy: wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle,
+                ..Default::default()
+            },
+            posterior: StageStats {
+                busy: wall.posterior,
+                ..Default::default()
+            },
+            output: StageStats {
+                busy: wall.output,
+                ..Default::default()
+            },
+            wall: loop_start.elapsed().as_secs_f64(),
+        };
+
         GsnpOutput {
             tables: out_tables,
             compressed,
@@ -316,6 +387,334 @@ impl GsnpPipeline {
             stats,
         }
     }
+
+    /// The window loop at `pipeline_depth ≥ 2`: four stages on dedicated
+    /// threads connected by bounded channels of that depth, so successive
+    /// windows are in flight concurrently. The output stage reassembles
+    /// windows in index order — results and the compressed stream are
+    /// byte-identical to [`Self::window_loop_serial`] (§IV-G, tested).
+    #[allow(clippy::too_many_arguments)]
+    fn window_loop_streamed(
+        &self,
+        dev: &Device,
+        tables: &DeviceTables,
+        temp_input: Option<Vec<u8>>,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+        mut times: ComponentTimes,
+        mut wall: ComponentTimes,
+        mut stats: PipelineStats,
+    ) -> GsnpOutput {
+        let cfg = &self.config;
+        let depth = cfg.pipeline_depth;
+        let params = &cfg.params;
+        let variant = cfg.variant;
+        let gpu_output = cfg.gpu_output;
+        let window_size = cfg.window_size;
+        let coalesced_bw = cfg.device.coalesced_bw;
+        let ref_len = reference.len() as u64;
+        let device_table_bytes = tables.upload_bytes();
+
+        let (win_tx, win_rx) = bounded::<Produced>(depth);
+        let (score_tx, score_rx) = bounded::<Scored>(depth);
+        let (call_tx, call_rx) = bounded::<Called>(depth);
+
+        let mut out_tables = Vec::new();
+        let mut compressed = Vec::new();
+        let mut out_rep = StageReport::default();
+        let loop_start = Instant::now();
+
+        let (read_rep, device_rep, post_rep) = std::thread::scope(|s| {
+            // ---- producer stage: read_site ----
+            let producer = s.spawn(move || {
+                let mut rep = StageReport::default();
+                let t0 = Instant::now();
+                let owned: Vec<AlignedRead> = match temp_input {
+                    Some(bytes) => input_codec::decompress_reads(&bytes)
+                        .expect("pipeline-internal temporary input must decode"),
+                    None => reads.to_vec(),
+                };
+                let mut reader = WindowReader::from_reads(owned, ref_len, window_size);
+                let dt = t0.elapsed().as_secs_f64();
+                rep.wall.read_site += dt;
+                rep.times.read_site += dt;
+                rep.stage.busy += dt;
+                let mut idx = 0usize;
+                loop {
+                    let t0 = Instant::now();
+                    let window = match reader.next_window().expect("in-memory reads are valid") {
+                        Some(w) => w,
+                        None => break,
+                    };
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.wall.read_site += dt;
+                    rep.times.read_site += dt;
+                    rep.stage.busy += dt;
+
+                    let t0 = Instant::now();
+                    if win_tx.send(Produced { idx, window }).is_err() {
+                        break; // downstream died; its panic surfaces at join
+                    }
+                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                    idx += 1;
+                }
+                rep
+            });
+
+            // ---- device stage: counting + likelihood + recycle ----
+            let device_stage = s.spawn(move || {
+                let mut rep = StageReport::default();
+                loop {
+                    let t0 = Instant::now();
+                    let Produced { idx, window } = match win_rx.recv() {
+                        Ok(p) => p,
+                        Err(_) => break,
+                    };
+                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                    let busy_start = Instant::now();
+
+                    // counting
+                    let t0 = Instant::now();
+                    let sw = SparseWindow::count(&window);
+                    let words = dev.upload(&sw.words);
+                    let mut count_stats = LaunchStats::default();
+                    dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.wall.counting += dt;
+                    rep.times.counting += dt + count_stats.sim_time;
+
+                    let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
+                    let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
+                    rep.stats.peak_device_bytes = rep
+                        .stats
+                        .peak_device_bytes
+                        .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
+                    rep.stats.peak_host_bytes = rep
+                        .stats
+                        .peak_host_bytes
+                        .max(sw.size_bytes() as u64 + window.total_obs() as u64 * 8);
+
+                    // likelihood: sort + comp
+                    let t0 = Instant::now();
+                    let sort_report = likelihood_sort_gpu(dev, &words, &sw.spans);
+                    rep.wall.likelihood_sort += t0.elapsed().as_secs_f64();
+                    rep.times.likelihood_sort += sort_report.total().sim_time;
+
+                    let read_len = max_read_len(&sw);
+                    let t0 = Instant::now();
+                    let (type_likely, comp_stats) =
+                        likelihood_comp_gpu(dev, variant, &words, &sw.spans, read_len, tables);
+                    rep.wall.likelihood_comp += t0.elapsed().as_secs_f64();
+                    rep.times.likelihood_comp += comp_stats.sim_time;
+
+                    // recycle
+                    let t0 = Instant::now();
+                    words.clear();
+                    rep.wall.recycle += t0.elapsed().as_secs_f64();
+                    rep.times.recycle += (sw.words.len() as u64 * 4) as f64 / coalesced_bw;
+
+                    rep.stats.num_sites += sw.num_sites() as u64;
+                    rep.stats.num_obs += sw.words.len() as u64;
+                    rep.stats.windows += 1;
+                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
+
+                    let t0 = Instant::now();
+                    let scored = Scored {
+                        idx,
+                        start: window.start,
+                        summaries: sw.summaries,
+                        type_likely,
+                        tl_bytes,
+                    };
+                    if score_tx.send(scored).is_err() {
+                        break;
+                    }
+                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                }
+                rep
+            });
+
+            // ---- posterior stage ----
+            let posterior_stage = s.spawn(move || {
+                let mut rep = StageReport::default();
+                loop {
+                    let t0 = Instant::now();
+                    let scored = match score_rx.recv() {
+                        Ok(sc) => sc,
+                        Err(_) => break,
+                    };
+                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                    let busy_start = Instant::now();
+
+                    let t0 = Instant::now();
+                    let rows = posterior_rows(
+                        scored.start,
+                        &scored.type_likely,
+                        &scored.summaries,
+                        reference,
+                        priors,
+                        params,
+                    );
+                    rep.stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.wall.posterior += dt;
+                    let mut post_stats = LaunchStats::default();
+                    dev.charge_d2h(&mut post_stats, scored.tl_bytes + rows.len() as u64 * 32);
+                    rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
+                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
+
+                    let t0 = Instant::now();
+                    let called = Called {
+                        idx: scored.idx,
+                        start: scored.start,
+                        rows,
+                    };
+                    if call_tx.send(called).is_err() {
+                        break;
+                    }
+                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                }
+                rep
+            });
+
+            // ---- output stage (this thread): reassemble + compress ----
+            let mut reasm = OrderedReassembler::new();
+            loop {
+                let t0 = Instant::now();
+                let called = match call_rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                };
+                out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                let busy_start = Instant::now();
+                for (start, rows) in reasm.push(called.idx, (called.start, called.rows)) {
+                    let t0 = Instant::now();
+                    let table = SnpTable::new(reference.name.clone(), start, rows);
+                    let out_stats = if gpu_output {
+                        column::write_window_gpu(dev, &mut compressed, &table)
+                    } else {
+                        column::write_window(&mut compressed, &table);
+                        LaunchStats::default()
+                    };
+                    let dt = t0.elapsed().as_secs_f64();
+                    out_rep.wall.output += dt;
+                    out_rep.times.output += if gpu_output {
+                        out_stats.sim_time + dt * 0.25
+                    } else {
+                        dt
+                    };
+                    out_tables.push(table);
+                }
+                out_rep.stage.busy += busy_start.elapsed().as_secs_f64();
+            }
+            assert!(reasm.is_drained(), "streamed pipeline lost a window");
+
+            let join = |h: std::thread::ScopedJoinHandle<'_, StageReport>| {
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+            };
+            (join(producer), join(device_stage), join(posterior_stage))
+        });
+        let loop_wall = loop_start.elapsed().as_secs_f64();
+
+        for rep in [&read_rep, &device_rep, &post_rep, &out_rep] {
+            add_times(&mut times, &rep.times);
+            add_times(&mut wall, &rep.wall);
+            merge_stats(&mut stats, &rep.stats);
+        }
+        stats.overlap = OverlapStats {
+            depth,
+            read: read_rep.stage,
+            device: device_rep.stage,
+            posterior: post_rep.stage,
+            output: out_rep.stage,
+            wall: loop_wall,
+        };
+
+        GsnpOutput {
+            tables: out_tables,
+            compressed,
+            times,
+            wall,
+            stats,
+        }
+    }
+}
+
+/// Window handed from the producer to the device stage.
+struct Produced {
+    idx: usize,
+    window: Window,
+}
+
+/// Likelihood-scored window handed from the device stage to `posterior`.
+struct Scored {
+    idx: usize,
+    start: u64,
+    summaries: Vec<crate::model::SiteSummary>,
+    type_likely: Vec<[f64; NUM_GENOTYPES]>,
+    tl_bytes: u64,
+}
+
+/// Called window handed from `posterior` to the output stage.
+struct Called {
+    idx: usize,
+    start: u64,
+    rows: Vec<SnpRow>,
+}
+
+/// Per-stage partial accumulators, merged into the run totals at join.
+#[derive(Default)]
+struct StageReport {
+    times: ComponentTimes,
+    wall: ComponentTimes,
+    stats: PipelineStats,
+    stage: StageStats,
+}
+
+fn add_times(a: &mut ComponentTimes, b: &ComponentTimes) {
+    a.cal_p += b.cal_p;
+    a.read_site += b.read_site;
+    a.counting += b.counting;
+    a.likelihood_sort += b.likelihood_sort;
+    a.likelihood_comp += b.likelihood_comp;
+    a.posterior += b.posterior;
+    a.output += b.output;
+    a.recycle += b.recycle;
+}
+
+fn merge_stats(a: &mut PipelineStats, b: &PipelineStats) {
+    a.num_sites += b.num_sites;
+    a.num_obs += b.num_obs;
+    a.windows += b.windows;
+    a.snp_count += b.snp_count;
+    a.peak_device_bytes = a.peak_device_bytes.max(b.peak_device_bytes);
+    a.peak_host_bytes = a.peak_host_bytes.max(b.peak_host_bytes);
+}
+
+/// The per-site posterior loop, parallelized over sites (rayon). The map
+/// is order-preserving, so results are identical to the sequential loop.
+fn posterior_rows(
+    start: u64,
+    type_likely: &[[f64; NUM_GENOTYPES]],
+    summaries: &[crate::model::SiteSummary],
+    reference: &Reference,
+    priors: &PriorMap,
+    params: &ModelParams,
+) -> Vec<SnpRow> {
+    (0..summaries.len())
+        .into_par_iter()
+        .map(|site| {
+            let pos = start + site as u64;
+            posterior(
+                &type_likely[site],
+                &summaries[site],
+                reference.seq[pos as usize],
+                priors.get(pos),
+                params,
+            )
+        })
+        .collect()
 }
 
 /// GSNP_CPU (§VI-A): the same sparse algorithm — `base_word`, per-site
@@ -335,7 +734,12 @@ impl GsnpCpuPipeline {
 
     /// Run over in-memory inputs. Produces results identical to
     /// [`GsnpPipeline::run`] and to SOAPsnp.
-    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> GsnpOutput {
+    pub fn run(
+        &self,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+    ) -> GsnpOutput {
         let cfg = &self.config;
         let mut times = ComponentTimes::default();
         let mut stats = PipelineStats::default();
@@ -350,8 +754,7 @@ impl GsnpCpuPipeline {
             None
         };
         times.cal_p = t0.elapsed().as_secs_f64();
-        stats.peak_host_bytes =
-            p_matrix.size_bytes() as u64 + new_p.size_bytes() as u64;
+        stats.peak_host_bytes = p_matrix.size_bytes() as u64 + new_p.size_bytes() as u64;
 
         let t0 = Instant::now();
         let owned_reads;
@@ -410,11 +813,11 @@ impl GsnpCpuPipeline {
 
             let t0 = Instant::now();
             let mut rows = Vec::with_capacity(sw.num_sites());
-            for site in 0..sw.num_sites() {
+            for (site, (tl, summary)) in type_likely.iter().zip(&sw.summaries).enumerate() {
                 let pos = window.start + site as u64;
                 let row = posterior(
-                    &type_likely[site],
-                    &sw.summaries[site],
+                    tl,
+                    summary,
                     reference.seq[pos as usize],
                     priors.get(pos),
                     &cfg.params,
@@ -515,7 +918,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered >= 20, "expected well-covered truth sites, got {covered}");
+        assert!(
+            covered >= 20,
+            "expected well-covered truth sites, got {covered}"
+        );
         let recall = hits as f64 / covered as f64;
         assert!(
             recall > 0.8,
@@ -641,5 +1047,64 @@ mod tests {
         assert!(out.times.likelihood() > 0.0);
         assert!(out.stats.peak_device_bytes > 0);
         assert!(out.stats.num_obs > 0);
+    }
+
+    #[test]
+    fn streamed_depths_are_byte_identical_to_serial() {
+        let d = Dataset::generate(SynthConfig::tiny(72));
+        let serial = GsnpPipeline::new(GsnpConfig {
+            pipeline_depth: 1,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        for depth in [2usize, 3, 4] {
+            let streamed = GsnpPipeline::new(GsnpConfig {
+                pipeline_depth: depth,
+                ..tiny_cfg()
+            })
+            .run(&d.reads, &d.reference, &d.priors);
+            assert_eq!(
+                streamed.tables, serial.tables,
+                "tables differ at depth {depth}"
+            );
+            assert_eq!(
+                streamed.compressed, serial.compressed,
+                "compressed file differs at depth {depth}"
+            );
+            assert_eq!(streamed.stats.num_sites, serial.stats.num_sites);
+            assert_eq!(streamed.stats.snp_count, serial.stats.snp_count);
+            assert_eq!(streamed.stats.windows, serial.stats.windows);
+        }
+    }
+
+    #[test]
+    fn overlap_stats_are_populated() {
+        // Default config streams at depth 2.
+        let (d, out) = run_tiny(73, tiny_cfg());
+        let o = out.stats.overlap;
+        assert_eq!(o.depth, 2);
+        assert!(o.wall > 0.0);
+        assert!(o.read.busy > 0.0);
+        assert!(o.device.busy > 0.0);
+        assert!(o.output.busy > 0.0);
+        assert!(o.achieved_depth() > 0.0);
+
+        let serial = GsnpPipeline::new(GsnpConfig {
+            pipeline_depth: 1,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        let o = serial.stats.overlap;
+        assert_eq!(o.depth, 1);
+        assert!(o.wall > 0.0);
+        // One stage at a time: busy time cannot exceed the loop wall-clock
+        // (allow a sliver of timer noise).
+        assert!(
+            o.achieved_depth() <= 1.05,
+            "serial achieved depth {}",
+            o.achieved_depth()
+        );
+        assert_eq!(o.read.stall_in, 0.0);
+        assert_eq!(o.device.stall_out, 0.0);
     }
 }

@@ -1,0 +1,234 @@
+//! Streaming pipeline executor support (§IV overlap, DESIGN.md §4).
+//!
+//! The GSNP window loop decomposes into four stages with no data
+//! dependencies *across* windows:
+//!
+//! ```text
+//! producer (read_site) ─► device (counting+likelihood) ─► posterior ─► output
+//! ```
+//!
+//! [`crate::pipeline::GsnpPipeline`] runs these stages on dedicated host
+//! threads connected by bounded channels of configurable depth
+//! (`GsnpConfig::pipeline_depth`), so window *k*'s host-side work overlaps
+//! window *k+1*'s device work — the double-buffering a CUDA implementation
+//! gets from streams. This module holds the pieces shared by that executor
+//! and by the parallel SOAPsnp serializer:
+//!
+//! * [`OrderedReassembler`] — restores window-index order on the output
+//!   side, which is what keeps the compressed result file byte-identical
+//!   to a serial run (§IV-G).
+//! * [`StageStats`] / [`OverlapStats`] — per-stage busy and stall time,
+//!   from which the achieved pipeline depth is derived.
+
+use std::collections::BTreeMap;
+
+/// Restores stream order at a pipeline's ordered sink.
+///
+/// Stages may hand windows over in any order (and a future multi-worker
+/// stage certainly would); the sink pushes each `(index, item)` pair here
+/// and receives back every item that is now ready to be emitted, strictly
+/// in index order starting at 0.
+#[derive(Debug)]
+pub struct OrderedReassembler<T> {
+    next: usize,
+    pending: BTreeMap<usize, T>,
+}
+
+impl<T> Default for OrderedReassembler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OrderedReassembler<T> {
+    /// An empty reassembler expecting index 0 first.
+    pub fn new() -> Self {
+        OrderedReassembler {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Offer item `idx`; returns all items that became emittable, in
+    /// index order.
+    ///
+    /// # Panics
+    /// Panics if an index is offered twice.
+    pub fn push(&mut self, idx: usize, item: T) -> Vec<T> {
+        let prev = self.pending.insert(idx, item);
+        assert!(prev.is_none(), "window index {idx} reassembled twice");
+        let mut ready = Vec::new();
+        while let Some(item) = self.pending.remove(&self.next) {
+            ready.push(item);
+            self.next += 1;
+        }
+        ready
+    }
+
+    /// Items buffered out of order, awaiting a predecessor.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Next index the sink is waiting for.
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// True once everything offered has also been emitted.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Busy/stall breakdown for one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Seconds spent doing the stage's own work.
+    pub busy: f64,
+    /// Seconds blocked waiting to receive from the upstream channel.
+    pub stall_in: f64,
+    /// Seconds blocked waiting for capacity in the downstream channel.
+    pub stall_out: f64,
+}
+
+impl StageStats {
+    /// Busy plus both stall components.
+    pub fn total(&self) -> f64 {
+        self.busy + self.stall_in + self.stall_out
+    }
+}
+
+/// Pipeline-overlap accounting for one run of the window loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Configured channel depth (1 = serial execution).
+    pub depth: usize,
+    /// Producer stage (`read_site`).
+    pub read: StageStats,
+    /// Device stage (`counting` + `likelihood_sort` + `likelihood_comp`
+    /// + `recycle`).
+    pub device: StageStats,
+    /// Posterior stage.
+    pub posterior: StageStats,
+    /// Output stage (column compression + serialization).
+    pub output: StageStats,
+    /// Wall-clock of the window loop, start of first window to last byte
+    /// written.
+    pub wall: f64,
+}
+
+impl OverlapStats {
+    /// Total busy time across all stages.
+    pub fn busy_total(&self) -> f64 {
+        self.read.busy + self.device.busy + self.posterior.busy + self.output.busy
+    }
+
+    /// Achieved pipeline depth: how many stages were busy at once, on
+    /// average. 1.0 means no overlap (serial); the upper bound is the
+    /// number of stages.
+    pub fn achieved_depth(&self) -> f64 {
+        if self.wall > 0.0 {
+            self.busy_total() / self.wall
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_input_passes_through() {
+        let mut r = OrderedReassembler::new();
+        for i in 0..5 {
+            let ready = r.push(i, i * 10);
+            assert_eq!(ready, vec![i * 10]);
+        }
+        assert!(r.is_drained());
+        assert_eq!(r.next_index(), 5);
+    }
+
+    #[test]
+    fn out_of_order_input_is_buffered_until_ready() {
+        let mut r = OrderedReassembler::new();
+        assert!(r.push(2, "c").is_empty());
+        assert!(r.push(1, "b").is_empty());
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.push(0, "a"), vec!["a", "b", "c"]);
+        assert!(r.is_drained());
+        assert_eq!(r.push(4, "e"), Vec::<&str>::new());
+        assert_eq!(r.push(3, "d"), vec!["d", "e"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reassembled twice")]
+    fn duplicate_index_panics() {
+        let mut r = OrderedReassembler::new();
+        let _ = r.push(1, ());
+        let _ = r.push(1, ());
+    }
+
+    /// A bounded channel between a fast producer and a reordering consumer
+    /// must neither deadlock nor emit out of order — the exact topology the
+    /// streaming executor's output stage uses.
+    #[test]
+    fn bounded_channel_reassembly_is_ordered_under_stall() {
+        use crossbeam::channel::bounded;
+        let (tx, rx) = bounded::<(usize, u32)>(2);
+        let producer = std::thread::spawn(move || {
+            // Emit with a scrambled order inside each group of three; the
+            // bounded channel forces the producer to stall on a full
+            // buffer while the consumer is busy reassembling.
+            for group in 0u32..40 {
+                let base = (group * 3) as usize;
+                for off in [2usize, 0, 1] {
+                    tx.send((base + off, (base + off) as u32)).unwrap();
+                }
+            }
+        });
+        let mut r = OrderedReassembler::new();
+        let mut emitted = Vec::new();
+        for (idx, v) in rx.iter() {
+            emitted.extend(r.push(idx, v));
+            if emitted.len() < 6 {
+                // Hold the consumer back long enough for the channel to fill.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        producer.join().unwrap();
+        assert!(r.is_drained());
+        assert_eq!(emitted, (0u32..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overlap_stats_report_achieved_depth() {
+        let s = OverlapStats {
+            depth: 2,
+            read: StageStats {
+                busy: 1.0,
+                ..Default::default()
+            },
+            device: StageStats {
+                busy: 2.0,
+                stall_in: 0.5,
+                stall_out: 0.25,
+            },
+            posterior: StageStats {
+                busy: 0.5,
+                ..Default::default()
+            },
+            output: StageStats {
+                busy: 0.5,
+                ..Default::default()
+            },
+            wall: 2.5,
+        };
+        assert!((s.busy_total() - 4.0).abs() < 1e-12);
+        assert!((s.achieved_depth() - 1.6).abs() < 1e-12);
+        assert!((s.device.total() - 2.75).abs() < 1e-12);
+        assert_eq!(OverlapStats::default().achieved_depth(), 0.0);
+    }
+}

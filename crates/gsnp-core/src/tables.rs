@@ -69,7 +69,10 @@ pub struct PMatrix {
 /// Flat index into [`PMatrix`].
 #[inline(always)]
 pub fn p_index(q: u8, coord: u8, allele: u8, base: u8) -> usize {
-    (usize::from(q) << 12) | (usize::from(coord) << 4) | (usize::from(allele) << 2) | usize::from(base)
+    (usize::from(q) << 12)
+        | (usize::from(coord) << 4)
+        | (usize::from(allele) << 2)
+        | usize::from(base)
 }
 
 impl PMatrix {
@@ -260,7 +263,10 @@ mod tests {
         assert_eq!(p_index(1, 0, 0, 0), 1 << 12);
         assert_eq!(p_index(0, 1, 0, 0), 1 << 4);
         assert_eq!(p_index(0, 0, 1, 0), 1 << 2);
-        assert_eq!(p_index(63, 255, 3, 3), (63 << 12) | (255 << 4) | (3 << 2) | 3);
+        assert_eq!(
+            p_index(63, 255, 3, 3),
+            (63 << 12) | (255 << 4) | (3 << 2) | 3
+        );
         assert_eq!(PMatrix::LEN, 1 << 18);
     }
 

@@ -69,7 +69,10 @@ impl Reference {
                 name = Some(hdr.split_whitespace().next().unwrap_or("").to_string());
             } else {
                 if name.is_none() {
-                    return Err(SeqIoError::parse(lineno, "sequence data before FASTA header"));
+                    return Err(SeqIoError::parse(
+                        lineno,
+                        "sequence data before FASTA header",
+                    ));
                 }
                 for &c in line.as_bytes() {
                     match Base::from_ascii(c) {
@@ -95,7 +98,13 @@ impl Reference {
         for chunk in self.seq.chunks(70) {
             let line: Vec<u8> = chunk
                 .iter()
-                .map(|&c| if c < 4 { Base::from_code(c).to_ascii() } else { b'N' })
+                .map(|&c| {
+                    if c < 4 {
+                        Base::from_code(c).to_ascii()
+                    } else {
+                        b'N'
+                    }
+                })
                 .collect();
             w.write_all(&line)?;
             w.write_all(b"\n")?;

@@ -80,7 +80,11 @@ impl AlignedRead {
 
     /// Serialize one record as a tab-separated line.
     pub fn write_line<W: Write>(&self, w: &mut W) -> Result<(), SeqIoError> {
-        let seq: Vec<u8> = self.seq.iter().map(|&c| Base::from_code(c).to_ascii()).collect();
+        let seq: Vec<u8> = self
+            .seq
+            .iter()
+            .map(|&c| Base::from_code(c).to_ascii())
+            .collect();
         let qual: Vec<u8> = self.qual.iter().map(|&q| q + 33).collect();
         writeln!(
             w,
@@ -125,9 +129,9 @@ impl AlignedRead {
         let seq: Vec<u8> = seq_s
             .bytes()
             .map(|c| {
-                Base::from_ascii(c)
-                    .map(Base::code)
-                    .ok_or_else(|| SeqIoError::parse(lineno, format!("invalid base {:?}", c as char)))
+                Base::from_ascii(c).map(Base::code).ok_or_else(|| {
+                    SeqIoError::parse(lineno, format!("invalid base {:?}", c as char))
+                })
             })
             .collect::<Result<_, _>>()?;
         let qual: Vec<u8> = qual_s

@@ -160,7 +160,7 @@ impl Dataset {
         let mut i = 0usize;
         while i < n {
             if rng.gen_bool(config.n_rate / 8.0) {
-                let run = rng.gen_range(1..=16).min(n - i);
+                let run = rng.gen_range(1..=16usize).min(n - i);
                 seq[i..i + run].fill(N_CODE);
                 i += run;
             } else {
@@ -212,7 +212,11 @@ impl Dataset {
                     continue;
                 }
                 let ref_base = Base::from_code(r);
-                let alt = if t.alleles.0 != ref_base { t.alleles.0 } else { t.alleles.1 };
+                let alt = if t.alleles.0 != ref_base {
+                    t.alleles.0
+                } else {
+                    t.alleles.1
+                };
                 let mut freqs = [0.0f64; 4];
                 let alt_f = rng.gen_range(0.05..0.5);
                 freqs[ref_base.code() as usize] = 1.0 - alt_f;
@@ -331,7 +335,9 @@ fn sample_alt(rng: &mut StdRng, ref_base: Base) -> Base {
         Base::C => Base::T,
         Base::T => Base::C,
     };
-    if rng.gen_bool(0.5) {
+    // 2/3 transition, 1/3 transversion: overall ti/tv of the planted set
+    // is 2.0, matching the documented 2:1 bias.
+    if rng.gen_bool(2.0 / 3.0) {
         transition
     } else {
         // One of the two transversions.
@@ -357,13 +363,17 @@ fn covered_intervals(rng: &mut StdRng, n: u64, coverage: f64, read_len: usize) -
     let mut intervals = Vec::new();
     let mut pos = 0u64;
     while pos < n {
-        let run = rng.gen_range(mean_covered / 2..=mean_covered * 3 / 2).min(n - pos);
+        let run = rng
+            .gen_range(mean_covered / 2..=mean_covered * 3 / 2)
+            .min(n - pos);
         intervals.push((pos, pos + run));
         pos += run;
         if pos >= n {
             break;
         }
-        let gap = rng.gen_range(mean_gap / 2..=(mean_gap * 3 / 2).max(1)).min(n - pos);
+        let gap = rng
+            .gen_range(mean_gap / 2..=(mean_gap * 3 / 2).max(1))
+            .min(n - pos);
         pos += gap;
     }
     intervals
@@ -378,7 +388,11 @@ fn sequence_read(
     ridx: usize,
 ) -> AlignedRead {
     let h = usize::from(rng.gen_bool(0.5));
-    let strand = if rng.gen_bool(0.5) { Strand::Forward } else { Strand::Reverse };
+    let strand = if rng.gen_bool(0.5) {
+        Strand::Forward
+    } else {
+        Strand::Reverse
+    };
     let len = cfg.read_len;
 
     // Base quality is tied to the genomic region (sequencing batches and
@@ -399,7 +413,11 @@ fn sequence_read(
     for offset in 0..len {
         let donor = hap[h][(pos + offset as u64) as usize];
         // N in the donor (reference N) is sequenced as a random base.
-        let mut base = if donor >= 4 { rng.gen_range(0..4u8) } else { donor };
+        let mut base = if donor >= 4 {
+            rng.gen_range(0..4u8)
+        } else {
+            donor
+        };
         let cycle = match strand {
             Strand::Forward => offset,
             Strand::Reverse => len - 1 - offset,
@@ -412,7 +430,11 @@ fn sequence_read(
     }
 
     // ~5% of reads align non-uniquely (repeat regions).
-    let nhits = if rng.gen_bool(0.05) { rng.gen_range(2..=5) } else { 1 };
+    let nhits = if rng.gen_bool(0.05) {
+        rng.gen_range(2..=5u32)
+    } else {
+        1
+    };
 
     AlignedRead {
         id: format!("{}_{}", cfg.chr_name, ridx),
@@ -519,8 +541,11 @@ mod tests {
     fn quality_has_few_distinct_values() {
         // The RLE-DICT scheme relies on <100 distinct quality values.
         let d = Dataset::generate(SynthConfig::tiny(6));
-        let distinct: std::collections::HashSet<u8> =
-            d.reads.iter().flat_map(|r| r.qual.iter().copied()).collect();
+        let distinct: std::collections::HashSet<u8> = d
+            .reads
+            .iter()
+            .flat_map(|r| r.qual.iter().copied())
+            .collect();
         assert!(distinct.len() < 100, "{} distinct", distinct.len());
     }
 }

@@ -52,6 +52,34 @@ impl Window {
     }
 }
 
+/// Infallible iterator over an owned read vector, for handing a decoded
+/// read set to a [`WindowReader`] without re-cloning every read (the
+/// pipeline producer stage owns the decompressed temporary input).
+pub struct OwnedReads {
+    inner: std::vec::IntoIter<AlignedRead>,
+}
+
+impl Iterator for OwnedReads {
+    type Item = Result<AlignedRead, SeqIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(Ok)
+    }
+}
+
+impl WindowReader<OwnedReads> {
+    /// Reader over an owned, already-decoded read vector.
+    pub fn from_reads(reads: Vec<AlignedRead>, ref_len: u64, window_size: usize) -> Self {
+        WindowReader::new(
+            OwnedReads {
+                inner: reads.into_iter(),
+            },
+            ref_len,
+            window_size,
+        )
+    }
+}
+
 /// Streams sorted alignments into windows of `window_size` sites.
 pub struct WindowReader<I> {
     reads: I,
@@ -146,7 +174,10 @@ where
         }
 
         self.next_start = w_end;
-        Ok(Some(Window { start: w_start, obs }))
+        Ok(Some(Window {
+            start: w_start,
+            obs,
+        }))
     }
 }
 
@@ -167,7 +198,11 @@ mod tests {
         }
     }
 
-    fn reader(reads: Vec<AlignedRead>, ref_len: u64, w: usize) -> WindowReader<impl Iterator<Item = Result<AlignedRead, SeqIoError>>> {
+    fn reader(
+        reads: Vec<AlignedRead>,
+        ref_len: u64,
+        w: usize,
+    ) -> WindowReader<impl Iterator<Item = Result<AlignedRead, SeqIoError>>> {
         WindowReader::new(reads.into_iter().map(Ok), ref_len, w)
     }
 
@@ -244,5 +279,20 @@ mod tests {
     #[should_panic(expected = "window size must be positive")]
     fn zero_window_panics() {
         let _ = reader(vec![], 10, 0);
+    }
+
+    #[test]
+    fn owned_reader_matches_borrowed() {
+        let reads = vec![read(1, 4, 1), read(3, 4, 2), read(8, 2, 1)];
+        let mut borrowed = reader(reads.clone(), 10, 4);
+        let mut owned = WindowReader::from_reads(reads, 10, 4);
+        loop {
+            let a = borrowed.next_window().unwrap();
+            let b = owned.next_window().unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -62,7 +62,10 @@ pub struct SoapSnpOutput {
 impl SoapSnpOutput {
     /// Flatten all windows into rows (for comparisons).
     pub fn all_rows(&self) -> Vec<SnpRow> {
-        self.tables.iter().flat_map(|t| t.rows.iter().copied()).collect()
+        self.tables
+            .iter()
+            .flat_map(|t| t.rows.iter().copied())
+            .collect()
     }
 }
 
@@ -91,7 +94,12 @@ impl SoapSnpPipeline {
     }
 
     /// Run over in-memory inputs.
-    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> SoapSnpOutput {
+    pub fn run(
+        &self,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+    ) -> SoapSnpOutput {
         let cfg = &self.config;
         let mut times = ComponentTimes::default();
         let mut stats = PipelineStats::default();
@@ -131,9 +139,7 @@ impl SoapSnpPipeline {
             // ---- likelihood (Algorithm 1, site by site) ----
             let t0 = Instant::now();
             let type_likely: Vec<_> = (0..window.len())
-                .map(|site| {
-                    likelihood_dense_site(dense.site(site), &p_matrix, &log_table)
-                })
+                .map(|site| likelihood_dense_site(dense.site(site), &p_matrix, &log_table))
                 .collect();
             times.likelihood_comp += t0.elapsed().as_secs_f64();
 
@@ -187,7 +193,9 @@ impl SoapSnpPipeline {
 /// port of SOAPsnp gains only 3–4x because the algorithm is bound by
 /// memory bandwidth, which justifies the move to the GPU. This variant
 /// parallelizes the per-site likelihood scans (sites are independent)
-/// while keeping the dense representation; results stay bit-identical.
+/// and moves text serialization to a writer thread fed through a bounded
+/// channel with ordered reassembly, while keeping the dense
+/// representation; results stay bit-identical.
 pub struct SoapSnpParallelPipeline {
     config: SoapSnpConfig,
 }
@@ -199,7 +207,14 @@ impl SoapSnpParallelPipeline {
     }
 
     /// Run over in-memory inputs; same output as [`SoapSnpPipeline`].
-    pub fn run(&self, reads: &[AlignedRead], reference: &Reference, priors: &PriorMap) -> SoapSnpOutput {
+    pub fn run(
+        &self,
+        reads: &[AlignedRead],
+        reference: &Reference,
+        priors: &PriorMap,
+    ) -> SoapSnpOutput {
+        use crossbeam::channel::bounded;
+        use gsnp_core::stream::OrderedReassembler;
         use rayon::prelude::*;
         let cfg = &self.config;
         let mut times = ComponentTimes::default();
@@ -218,61 +233,91 @@ impl SoapSnpParallelPipeline {
             reference.len() as u64,
             cfg.window_size,
         );
-        let mut tables = Vec::new();
-        let mut text = Vec::new();
-        loop {
-            let t0 = Instant::now();
-            let window = match reader.next_window().expect("in-memory reads are valid") {
-                Some(w) => w,
-                None => break,
-            };
-            times.read_site += t0.elapsed().as_secs_f64();
 
-            let t0 = Instant::now();
-            let summaries = dense.count(&window);
-            times.counting += t0.elapsed().as_secs_f64();
-
-            // Parallel per-site dense scans: sites are independent, so the
-            // parallel result is bit-identical to the sequential one.
-            let t0 = Instant::now();
-            let type_likely: Vec<_> = (0..window.len())
-                .into_par_iter()
-                .map(|site| likelihood_dense_site(dense.site(site), &p_matrix, &log_table))
-                .collect();
-            times.likelihood_comp += t0.elapsed().as_secs_f64();
-
-            let t0 = Instant::now();
-            let mut rows = Vec::with_capacity(window.len());
-            for site in 0..window.len() {
-                let pos = window.start + site as u64;
-                let row = posterior(
-                    &type_likely[site],
-                    &summaries[site],
-                    reference.seq[pos as usize],
-                    priors.get(pos),
-                    &cfg.params,
-                );
-                if row.is_variant() {
-                    stats.snp_count += 1;
+        // Writer thread: serializes completed windows to text while the
+        // main loop scans the next window. The reassembler guarantees the
+        // emitted file is in window order — byte-identical to the
+        // sequential pipeline's output (tested).
+        let (table_tx, table_rx) = bounded::<(usize, SnpTable)>(2);
+        let (tables, text, output_time) = std::thread::scope(|s| {
+            let writer = s.spawn(move || {
+                let mut reasm = OrderedReassembler::new();
+                let mut tables = Vec::new();
+                let mut text = Vec::new();
+                let mut output_time = 0.0f64;
+                for (idx, table) in table_rx.iter() {
+                    for table in reasm.push(idx, table) {
+                        let t0 = Instant::now();
+                        table.write_text(&mut text).expect("in-memory write");
+                        output_time += t0.elapsed().as_secs_f64();
+                        tables.push(table);
+                    }
                 }
-                rows.push(row);
+                assert!(reasm.is_drained(), "parallel SOAPsnp writer lost a window");
+                (tables, text, output_time)
+            });
+
+            let mut idx = 0usize;
+            loop {
+                let t0 = Instant::now();
+                let window = match reader.next_window().expect("in-memory reads are valid") {
+                    Some(w) => w,
+                    None => break,
+                };
+                times.read_site += t0.elapsed().as_secs_f64();
+
+                let t0 = Instant::now();
+                let summaries = dense.count(&window);
+                times.counting += t0.elapsed().as_secs_f64();
+
+                // Parallel per-site dense scans: sites are independent, so
+                // the parallel result is bit-identical to the sequential
+                // one.
+                let t0 = Instant::now();
+                let type_likely: Vec<_> = (0..window.len())
+                    .into_par_iter()
+                    .map(|site| likelihood_dense_site(dense.site(site), &p_matrix, &log_table))
+                    .collect();
+                times.likelihood_comp += t0.elapsed().as_secs_f64();
+
+                let t0 = Instant::now();
+                let mut rows = Vec::with_capacity(window.len());
+                for site in 0..window.len() {
+                    let pos = window.start + site as u64;
+                    let row = posterior(
+                        &type_likely[site],
+                        &summaries[site],
+                        reference.seq[pos as usize],
+                        priors.get(pos),
+                        &cfg.params,
+                    );
+                    if row.is_variant() {
+                        stats.snp_count += 1;
+                    }
+                    rows.push(row);
+                }
+                times.posterior += t0.elapsed().as_secs_f64();
+
+                let table = SnpTable::new(reference.name.clone(), window.start, rows);
+                if table_tx.send((idx, table)).is_err() {
+                    break; // writer died; its panic surfaces at join
+                }
+                idx += 1;
+
+                let t0 = Instant::now();
+                dense.recycle_sites(window.len());
+                times.recycle += t0.elapsed().as_secs_f64();
+
+                stats.num_sites += window.len() as u64;
+                stats.num_obs += window.total_obs() as u64;
+                stats.windows += 1;
             }
-            times.posterior += t0.elapsed().as_secs_f64();
-
-            let t0 = Instant::now();
-            let table = SnpTable::new(reference.name.clone(), window.start, rows);
-            table.write_text(&mut text).expect("in-memory write");
-            times.output += t0.elapsed().as_secs_f64();
-
-            let t0 = Instant::now();
-            dense.recycle_sites(window.len());
-            times.recycle += t0.elapsed().as_secs_f64();
-
-            stats.num_sites += window.len() as u64;
-            stats.num_obs += window.total_obs() as u64;
-            stats.windows += 1;
-            tables.push(table);
-        }
+            drop(table_tx);
+            writer
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e))
+        });
+        times.output = output_time;
 
         SoapSnpOutput {
             tables,

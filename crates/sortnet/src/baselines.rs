@@ -79,7 +79,7 @@ mod tests {
         let mut data = Vec::new();
         let mut spans = Vec::new();
         for _ in 0..100 {
-            let len = rng.gen_range(0..64);
+            let len = rng.gen_range(0..64usize);
             spans.push((data.len(), len));
             data.extend((0..len).map(|_| rng.gen::<u32>()));
         }

@@ -198,7 +198,10 @@ mod tests {
         let spans: Vec<Span> = (0..64).map(|i| (i * 16, 16)).collect();
         let stats = batch_sort(&dev, &data, &spans, 16, 4);
         check_sorted(&dev, &data, &spans, &host);
-        assert!(stats.counters.s_load > 0, "must stage through shared memory");
+        assert!(
+            stats.counters.s_load > 0,
+            "must stage through shared memory"
+        );
         assert_eq!(stats.grid_dim, 16);
     }
 

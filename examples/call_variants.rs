@@ -55,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let priors = PriorMap::read(BufReader::new(fs::File::open(&prior_path)?))?;
     let reads: Vec<_> = AlignmentReader::new(BufReader::new(fs::File::open(&aln_path)?))
         .collect::<Result<_, _>>()?;
-    println!("parsed {} alignments against {} ({} sites)", reads.len(), reference.name, reference.len());
+    println!(
+        "parsed {} alignments against {} ({} sites)",
+        reads.len(),
+        reference.name,
+        reference.len()
+    );
 
     // --- Call variants ---
     let out = GsnpPipeline::new(GsnpConfig::default()).run(&reads, &reference, &priors);
@@ -86,7 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Verify the compressed file decodes to identical rows ---
     let bytes = fs::read(&gsnp_path)?;
     let decoded: Vec<_> = WindowStream::new(&bytes).collect::<Result<_, _>>()?;
-    assert_eq!(decoded, out.tables, "compressed file must decode losslessly");
-    println!("verified: compressed result decodes to the identical {} windows", decoded.len());
+    assert_eq!(
+        decoded, out.tables,
+        "compressed file must decode losslessly"
+    );
+    println!(
+        "verified: compressed result decodes to the identical {} windows",
+        decoded.len()
+    );
     Ok(())
 }

@@ -38,8 +38,16 @@ fn main() {
     let gsnp = GsnpPipeline::new(gsnp_cfg).run(&d.reads, &d.reference, &d.priors);
 
     // The paper's consistency requirement: identical output, bit for bit.
-    assert_eq!(soap.all_rows(), cpu.all_rows(), "GSNP_CPU diverged from SOAPsnp");
-    assert_eq!(soap.all_rows(), gsnp.all_rows(), "GSNP diverged from SOAPsnp");
+    assert_eq!(
+        soap.all_rows(),
+        cpu.all_rows(),
+        "GSNP_CPU diverged from SOAPsnp"
+    );
+    assert_eq!(
+        soap.all_rows(),
+        gsnp.all_rows(),
+        "GSNP diverged from SOAPsnp"
+    );
     println!("consistency: all three pipelines produced identical rows ✓\n");
 
     let ms = |t: f64| format!("{:9.2}", t * 1e3);

@@ -39,7 +39,10 @@ fn main() {
         dataset.truth.iter().map(|t| (t.pos, t.alleles)).collect();
     let mut called = 0;
     let mut confirmed = 0;
-    println!("\n{:>9}  {:>4}  {:>8}  {:>5}  {:>5}  truth", "position", "ref", "genotype", "qual", "depth");
+    println!(
+        "\n{:>9}  {:>4}  {:>8}  {:>5}  {:>5}  truth",
+        "position", "ref", "genotype", "qual", "depth"
+    );
     for (i, row) in out.all_rows().iter().enumerate() {
         if !row.is_variant() || row.quality < 20 {
             continue;
@@ -53,7 +56,11 @@ fn main() {
             println!(
                 "{:>9}  {:>4}  {:>8}  {:>5}  {:>5}  {}",
                 i + 1,
-                char::from(if row.ref_base < 4 { b"ACGT"[row.ref_base as usize] } else { b'N' }),
+                char::from(if row.ref_base < 4 {
+                    b"ACGT"[row.ref_base as usize]
+                } else {
+                    b'N'
+                }),
                 char::from(row.genotype),
                 row.quality,
                 row.depth,

@@ -1,0 +1,324 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A small timed harness exposing the API the workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Reporting prints the median, mean, and spread of per-iteration times;
+//! there is no statistical regression analysis, plotting, or baseline
+//! store. Sample counts are honoured but capped (benches here simulate
+//! whole pipelines, and the harness must stay usable on small hosts).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliminating a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]. The shim runs one input
+/// per batch regardless of variant, which is `PerIteration` semantics —
+/// correct for every variant, merely less amortized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Work-rate annotation attached to a group (printed with results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs the measured closure and records per-sample times.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("duration is finite"));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:.3e} elem/s", n as f64 / median),
+        Some(Throughput::Bytes(n)) => format!("  {:.3e} B/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: median {} mean {} range [{} .. {}] ({} samples){rate}",
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(lo),
+        fmt_time(hi),
+        sorted.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Max samples per benchmark; the full criterion default (100) is far too
+/// slow for pipeline-scale benches under simulation.
+const MAX_SAMPLES: usize = 10;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: MAX_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Default sample count for benches registered on this driver.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, MAX_SAMPLES);
+        self
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report("bench", id, &b.samples, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group (capped by the shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, MAX_SAMPLES);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id.into_id(), &b.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.into_id(), &b.samples, self.throughput);
+        self
+    }
+
+    /// End the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_bench_with_input_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        let data = vec![1u32, 2, 3, 4];
+        g.bench_with_input(BenchmarkId::new("sum", 4), &data, |b, d| {
+            b.iter_batched(
+                || d.clone(),
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("a", 16).into_id(), "a/16");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the subset this workspace uses — `into_par_iter()` on ranges
+//! and vectors, `par_iter_mut()` on slices, `map`/`for_each`/`collect`,
+//! and [`join`] — on top of `std::thread::scope`. Work is split into
+//! chunks pulled from a shared queue (dynamic load balancing, like rayon's
+//! work stealing at chunk granularity); `map` results are reassembled in
+//! input order, so ordered `collect` matches rayon semantics.
+//!
+//! On a single-CPU host every operation degrades to a straight serial
+//! loop with no thread spawns, which is both the fast path and keeps
+//! behaviour deterministic under `taskset -c 0`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn run_mapped<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // More chunks than workers so a slow chunk doesn't serialize the tail.
+    let nchunks = (threads * 4).min(n);
+    let chunk_size = n.div_ceil(nchunks);
+    let mut queue: VecDeque<(usize, Vec<T>)> = VecDeque::new();
+    let mut it = items.into_iter();
+    let mut idx = 0;
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        queue.push_back((idx, chunk));
+        idx += 1;
+    }
+    let queue = Mutex::new(queue);
+    let results: Mutex<Vec<Option<Vec<R>>>> = Mutex::new((0..idx).map(|_| None).collect());
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((i, chunk)) = job else { break };
+                let mapped: Vec<R> = chunk.into_iter().map(f).collect();
+                results.lock().unwrap()[i] = Some(mapped);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .flat_map(|r| r.expect("worker completed every chunk"))
+        .collect()
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = run_mapped(self.items, f);
+    }
+
+    /// Lazily map; consumed by [`ParMap::collect`] or [`ParMap::for_each`].
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Chunk-size hint — accepted for API compatibility, ignored.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator (the result of [`ParIter::map`]).
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_mapped(self.items, self.f).into_iter().collect()
+    }
+
+    /// Execute the map for its side effects.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        let _ = run_mapped(self.items, move |t| g(f(t)));
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` over shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (an exclusive reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// The traits users import wholesale.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParMap,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 4950);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u32> = (0..64).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

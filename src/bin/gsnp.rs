@@ -78,9 +78,7 @@ fn cmd_synth(args: &[String]) -> CliResult {
     let pos = positional(args);
     let dir = Path::new(pos.first().ok_or("synth requires an output directory")?);
     fs::create_dir_all(dir)?;
-    let mut cfg = SynthConfig::tiny(
-        flag_value(args, "--seed").map_or(Ok(1), str::parse)?,
-    );
+    let mut cfg = SynthConfig::tiny(flag_value(args, "--seed").map_or(Ok(1), str::parse)?);
     cfg.chr_name = "chrS".into();
     cfg.num_sites = flag_value(args, "--sites").map_or(Ok(50_000), str::parse)?;
     cfg.depth = flag_value(args, "--depth").map_or(Ok(10.0), str::parse)?;
@@ -121,8 +119,8 @@ fn cmd_call(args: &[String]) -> CliResult {
     };
     let reference = Reference::read_fasta(BufReader::new(fs::File::open(fa)?))?;
     let priors = PriorMap::read(BufReader::new(fs::File::open(prior)?))?;
-    let reads: Vec<_> = AlignmentReader::new(BufReader::new(fs::File::open(aln)?))
-        .collect::<Result<_, _>>()?;
+    let reads: Vec<_> =
+        AlignmentReader::new(BufReader::new(fs::File::open(aln)?)).collect::<Result<_, _>>()?;
 
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
@@ -185,7 +183,10 @@ fn cmd_stats(args: &[String]) -> CliResult {
         }
     }
     println!("{chr}: {sites} sites in {windows} windows");
-    println!("  mean depth : {:.2}", depth_sum as f64 / sites.max(1) as f64);
+    println!(
+        "  mean depth : {:.2}",
+        depth_sum as f64 / sites.max(1) as f64
+    );
     println!("  variants   : {variants}");
     println!(
         "  compressed : {} bytes ({:.2} bytes/site)",

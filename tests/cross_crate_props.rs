@@ -3,11 +3,10 @@
 
 use proptest::prelude::*;
 
-use gsnp::core::likelihood::{
-    likelihood_dense_site, likelihood_sparse_site, likelihood_sparse_site_pmatrix,
-    sort_sparse_cpu,
-};
 use gsnp::core::counting::{base_occ_index, DenseWindow, SparseWindow};
+use gsnp::core::likelihood::{
+    likelihood_dense_site, likelihood_sparse_site, likelihood_sparse_site_pmatrix, sort_sparse_cpu,
+};
 use gsnp::core::model::NUM_GENOTYPES;
 use gsnp::core::tables::{LogTable, NewPMatrix, PMatrix};
 use gsnp::gpu_sim::Device;
@@ -104,10 +103,10 @@ proptest! {
         let rows: Vec<SnpRow> = quals
             .iter()
             .map(|&(q, depth, milli)| SnpRow {
-                ref_base: (q % 4) as u8,
+                ref_base: q % 4,
                 genotype: if depth == 0 { b'N' } else { b'W' },
                 quality: q,
-                best_base: (q % 4) as u8,
+                best_base: q % 4,
                 avg_qual_best: q.min(63),
                 count_uniq_best: depth,
                 count_all_best: depth,

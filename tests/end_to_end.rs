@@ -149,7 +149,14 @@ fn empty_chromosome_with_no_reads() {
     let out = GsnpPipeline::new(GsnpConfig::default()).run(&[], &d.reference, &d.priors);
     assert_eq!(out.stats.num_sites, d.config.num_sites);
     assert_eq!(out.stats.snp_count, 0);
-    assert!(out.all_rows().iter().all(|r| r.depth == 0 && r.genotype == b'N'));
+    assert!(out
+        .all_rows()
+        .iter()
+        .all(|r| r.depth == 0 && r.genotype == b'N'));
     // And the compressed form of an all-uncalled chromosome is tiny.
-    assert!(out.compressed.len() < 2_000, "{} bytes", out.compressed.len());
+    assert!(
+        out.compressed.len() < 2_000,
+        "{} bytes",
+        out.compressed.len()
+    );
 }

@@ -19,7 +19,7 @@ fn sample_table() -> SnpTable {
         (0..500)
             .map(|i| SnpRow {
                 ref_base: (i % 4) as u8,
-                genotype: b"ACGT"[i % 4] as u8,
+                genotype: b"ACGT"[i % 4],
                 quality: (i % 80) as u8,
                 best_base: (i % 4) as u8,
                 avg_qual_best: 35,
@@ -96,12 +96,12 @@ fn input_codec_rejects_corruption() {
 fn alignment_parser_rejects_malformed_lines() {
     let cases: &[&str] = &[
         "only\tthree\tfields",
-        "id\tACGT\t5555\tx\t4\t+\tchr\t10",      // nhits not a number
-        "id\tACGT\t5555\t1\t4\t?\tchr\t10",      // bad strand
-        "id\tACGU\t5555\t1\t4\t+\tchr\t10",      // bad base
-        "id\tACGT\t555\t1\t4\t+\tchr\t10",       // qual length mismatch
-        "id\tACGT\t5555\t1\t4\t+\tchr\t0",       // 1-based position violated
-        "id\tACGT\t5555\t1\t4\t+\tchr\tnotnum",  // bad position
+        "id\tACGT\t5555\tx\t4\t+\tchr\t10", // nhits not a number
+        "id\tACGT\t5555\t1\t4\t?\tchr\t10", // bad strand
+        "id\tACGU\t5555\t1\t4\t+\tchr\t10", // bad base
+        "id\tACGT\t555\t1\t4\t+\tchr\t10",  // qual length mismatch
+        "id\tACGT\t5555\t1\t4\t+\tchr\t0",  // 1-based position violated
+        "id\tACGT\t5555\t1\t4\t+\tchr\tnotnum", // bad position
     ];
     for line in cases {
         assert!(
@@ -144,7 +144,12 @@ fn result_text_parser_rejects_structural_damage() {
     assert!(SnpTable::read_text(Cursor::new(broken)).is_err());
 
     // Skip a position.
-    let skipped: String = s.lines().enumerate().filter(|(i, _)| *i != 7).map(|(_, l)| format!("{l}\n")).collect();
+    let skipped: String = s
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i != 7)
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
     assert!(SnpTable::read_text(Cursor::new(skipped)).is_err());
 }
 
