@@ -20,6 +20,15 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Writer that appends to `buf`'s existing bytes — lets callers encode
+    /// straight into an output file without an intermediate copy.
+    pub fn with_buf(buf: Vec<u8>) -> Self {
+        BitWriter {
+            buf,
+            ..Self::default()
+        }
+    }
+
     /// Append the low `n` bits of `v` (LSB-first). `n` may be 0..=57.
     #[inline]
     pub fn write_bits(&mut self, v: u64, n: u32) {

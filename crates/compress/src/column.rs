@@ -65,43 +65,62 @@ fn second_base_from_sparse(v: u32) -> Result<u8, CodecError> {
     }
 }
 
-fn collect_u8(rows: &[SnpRow], f: fn(&SnpRow) -> u8) -> Vec<u8> {
-    rows.iter().map(f).collect()
+/// Fill `scratch` with one projected column and hand back a borrowed
+/// slice — one buffer per group, reused across its columns, instead of a
+/// fresh `Vec` per column per call.
+fn fill_u8<'a>(rows: &[SnpRow], f: fn(&SnpRow) -> u8, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+    scratch.clear();
+    scratch.extend(rows.iter().map(f));
+    scratch
 }
 
-fn collect_u32(rows: &[SnpRow], f: fn(&SnpRow) -> u32) -> Vec<u32> {
-    rows.iter().map(f).collect()
+/// `u32` counterpart of [`fill_u8`].
+fn fill_u32<'a>(rows: &[SnpRow], f: fn(&SnpRow) -> u32, scratch: &'a mut Vec<u32>) -> &'a [u32] {
+    scratch.clear();
+    scratch.extend(rows.iter().map(f));
+    scratch
 }
 
-/// Window header: magic, chromosome name, start position, row count. Ends
-/// byte-aligned, so the column groups below can be concatenated after it.
-fn header_bytes(table: &SnpTable) -> Vec<u8> {
-    let mut w = BitWriter::new();
+/// The seven quality-related columns, in stream order — shared between
+/// the CPU and GPU RLE-DICT group encoders so their bytes agree.
+const RLEDICT_COLS: [fn(&SnpRow) -> u32; 7] = [
+    |r| u32::from(r.quality),
+    |r| u32::from(r.avg_qual_best),
+    |r| u32::from(r.count_uniq_best),
+    |r| u32::from(r.count_all_best),
+    |r| u32::from(r.depth),
+    |r| u32::from(r.rank_sum_milli),
+    |r| u32::from(r.copy_milli),
+];
+
+/// Window header: magic, chromosome name, start position, row count,
+/// appended to `out`. Ends byte-aligned, so the column groups below can
+/// be concatenated after it.
+fn write_header(table: &SnpTable, out: &mut Vec<u8>) {
+    let mut w = BitWriter::with_buf(std::mem::take(out));
     w.write_bytes(MAGIC);
     w.write_u32(table.chr.len() as u32);
     w.write_bytes(table.chr.as_bytes());
     w.write_u64(table.start_pos);
     w.write_u32(table.rows.len() as u32);
-    w.finish()
+    *out = w.finish();
 }
 
 /// Group 1 — reference bases, 2-bit packed.
 fn encode_base_group(rows: &[SnpRow]) -> Vec<u8> {
     let mut w = BitWriter::new();
-    basepack::encode(&collect_u8(rows, |r| r.ref_base), &mut w);
+    let mut scratch = Vec::new();
+    basepack::encode(fill_u8(rows, |r| r.ref_base, &mut scratch), &mut w);
     w.finish()
 }
 
 /// Group 2 — the seven quality-related columns, two-level RLE-DICT.
 fn encode_rledict_group(rows: &[SnpRow]) -> Vec<u8> {
     let mut w = BitWriter::new();
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.quality)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.avg_qual_best)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.count_uniq_best)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.count_all_best)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.depth)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.rank_sum_milli)), &mut w);
-    rledict::encode(&collect_u32(rows, |r| u32::from(r.copy_milli)), &mut w);
+    let mut scratch = Vec::new();
+    for f in RLEDICT_COLS {
+        rledict::encode(fill_u32(rows, f, &mut scratch), &mut w);
+    }
     w.finish()
 }
 
@@ -111,40 +130,47 @@ fn encode_rledict_group(rows: &[SnpRow]) -> Vec<u8> {
 /// "low probability of SNPs" argument).
 fn encode_except_group(rows: &[SnpRow]) -> Vec<u8> {
     let mut w = BitWriter::new();
-    let predicted: Vec<u8> = rows
-        .iter()
-        .map(|r| genotype_prediction(r.ref_base, r.depth))
-        .collect();
-    except::encode(&collect_u8(rows, |r| r.genotype), &predicted, &mut w);
+    let mut values = Vec::new();
+    let mut predicted = Vec::new();
+    predicted.extend(
+        rows.iter()
+            .map(|r| genotype_prediction(r.ref_base, r.depth)),
+    );
+    except::encode(
+        fill_u8(rows, |r| r.genotype, &mut values),
+        &predicted,
+        &mut w,
+    );
 
-    let predicted_best: Vec<u8> = rows
-        .iter()
-        .map(|r| best_base_prediction(r.ref_base, r.depth))
-        .collect();
-    except::encode(&collect_u8(rows, |r| r.best_base), &predicted_best, &mut w);
+    predicted.clear();
+    predicted.extend(
+        rows.iter()
+            .map(|r| best_base_prediction(r.ref_base, r.depth)),
+    );
+    except::encode(
+        fill_u8(rows, |r| r.best_base, &mut values),
+        &predicted,
+        &mut w,
+    );
     w.finish()
 }
 
 /// Group 4 — second-allele columns and the known-SNP flag, sparse.
 fn encode_sparse_group(rows: &[SnpRow]) -> Vec<u8> {
     let mut w = BitWriter::new();
+    let mut scratch = Vec::new();
     sparse::encode(
-        &rows
-            .iter()
-            .map(|r| second_base_to_sparse(r.second_base))
-            .collect::<Vec<_>>(),
+        fill_u32(rows, |r| second_base_to_sparse(r.second_base), &mut scratch),
         &mut w,
     );
-    sparse::encode(&collect_u32(rows, |r| u32::from(r.avg_qual_second)), &mut w);
-    sparse::encode(
-        &collect_u32(rows, |r| u32::from(r.count_uniq_second)),
-        &mut w,
-    );
-    sparse::encode(
-        &collect_u32(rows, |r| u32::from(r.count_all_second)),
-        &mut w,
-    );
-    sparse::encode(&collect_u32(rows, |r| u32::from(r.is_known_snp)), &mut w);
+    for f in [
+        (|r: &SnpRow| u32::from(r.avg_qual_second)) as fn(&SnpRow) -> u32,
+        |r| u32::from(r.count_uniq_second),
+        |r| u32::from(r.count_all_second),
+        |r| u32::from(r.is_known_snp),
+    ] {
+        sparse::encode(fill_u32(rows, f, &mut scratch), &mut w);
+    }
     w.finish()
 }
 
@@ -157,8 +183,16 @@ fn encode_sparse_group(rows: &[SnpRow]) -> Vec<u8> {
 /// are identical to the one-writer reference, [`compress_table_serial`]
 /// (tested).
 pub fn compress_table(table: &SnpTable) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_table_into(table, &mut out);
+    out
+}
+
+/// [`compress_table`], appending to an existing buffer (the window
+/// loop's output file) instead of returning a fresh allocation.
+pub fn compress_table_into(table: &SnpTable, out: &mut Vec<u8>) {
     let rows = &table.rows;
-    let mut out = header_bytes(table);
+    write_header(table, out);
     let (base, (rle, (exc, sparse))) = rayon::join(
         || encode_base_group(rows),
         || {
@@ -172,14 +206,14 @@ pub fn compress_table(table: &SnpTable) -> Vec<u8> {
     out.extend_from_slice(&rle);
     out.extend_from_slice(&exc);
     out.extend_from_slice(&sparse);
-    out
 }
 
 /// Single-writer reference implementation of [`compress_table`]; the
 /// parallel version must produce these exact bytes.
 pub fn compress_table_serial(table: &SnpTable) -> Vec<u8> {
     let rows = &table.rows;
-    let mut out = header_bytes(table);
+    let mut out = Vec::new();
+    write_header(table, &mut out);
     out.extend_from_slice(&encode_base_group(rows));
     out.extend_from_slice(&encode_rledict_group(rows));
     out.extend_from_slice(&encode_except_group(rows));
@@ -296,8 +330,19 @@ pub fn compress_table_gpu(
     dev: &gpu_sim::Device,
     table: &SnpTable,
 ) -> (Vec<u8>, gpu_sim::LaunchStats) {
+    let mut out = Vec::new();
+    let stats = compress_table_gpu_into(dev, table, &mut out);
+    (out, stats)
+}
+
+/// [`compress_table_gpu`], appending to an existing buffer.
+pub fn compress_table_gpu_into(
+    dev: &gpu_sim::Device,
+    table: &SnpTable,
+    out: &mut Vec<u8>,
+) -> gpu_sim::LaunchStats {
     let rows = &table.rows;
-    let mut out = header_bytes(table);
+    write_header(table, out);
 
     // RLE-DICT columns on the device; the three host-side groups run
     // concurrently with it. A standalone RLE-DICT stream starts
@@ -314,17 +359,9 @@ pub fn compress_table_gpu(
         || {
             let mut stats = gpu_sim::LaunchStats::default();
             let mut bytes = Vec::new();
-            let cols: [fn(&SnpRow) -> u32; 7] = [
-                |r| u32::from(r.quality),
-                |r| u32::from(r.avg_qual_best),
-                |r| u32::from(r.count_uniq_best),
-                |r| u32::from(r.count_all_best),
-                |r| u32::from(r.depth),
-                |r| u32::from(r.rank_sum_milli),
-                |r| u32::from(r.copy_milli),
-            ];
-            for f in cols {
-                let (b, s) = crate::gpu::rledict_gpu(dev, &collect_u32(rows, f));
+            let mut scratch = Vec::new();
+            for f in RLEDICT_COLS {
+                let (b, s) = crate::gpu::rledict_gpu(dev, fill_u32(rows, f, &mut scratch));
                 stats += s;
                 bytes.extend_from_slice(&b);
             }
@@ -335,14 +372,16 @@ pub fn compress_table_gpu(
     out.extend_from_slice(&rle);
     out.extend_from_slice(&exc);
     out.extend_from_slice(&sparse);
-    (out, stats)
+    stats
 }
 
-/// Append one compressed window to an output file (length-prefixed).
+/// Append one compressed window to an output file (length-prefixed). The
+/// payload is encoded in place after a reserved length slot that is
+/// backfilled once its size is known — no intermediate payload buffer.
 pub fn write_window(out: &mut Vec<u8>, table: &SnpTable) {
-    let payload = compress_table(table);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    let slot = reserve_len_slot(out);
+    compress_table_into(table, out);
+    backfill_len_slot(out, slot);
 }
 
 /// Append one compressed window, running RLE-DICT columns on the device.
@@ -351,10 +390,21 @@ pub fn write_window_gpu(
     out: &mut Vec<u8>,
     table: &SnpTable,
 ) -> gpu_sim::LaunchStats {
-    let (payload, stats) = compress_table_gpu(dev, table);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    let slot = reserve_len_slot(out);
+    let stats = compress_table_gpu_into(dev, table, out);
+    backfill_len_slot(out, slot);
     stats
+}
+
+fn reserve_len_slot(out: &mut Vec<u8>) -> usize {
+    let slot = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    slot
+}
+
+fn backfill_len_slot(out: &mut [u8], slot: usize) {
+    let payload_len = (out.len() - slot - 4) as u32;
+    out[slot..slot + 4].copy_from_slice(&payload_len.to_le_bytes());
 }
 
 /// Streaming decompressor over a multi-window compressed file.

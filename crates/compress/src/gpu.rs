@@ -22,8 +22,9 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     }
     let grid = n.div_ceil(BLOCK).max(1);
 
-    // Flag run heads.
-    let flags: GlobalBuffer<u32> = dev.alloc(n);
+    // Flag run heads. All three scratch buffers below are fully written
+    // before they are read, so dirty pooled acquisitions are safe.
+    let flags = dev.alloc_pooled_dirty::<u32>(n);
     let mut stats = dev.launch("rle_flags", grid, |ctx| {
         let base = ctx.block_idx * BLOCK;
         let end = (base + BLOCK).min(n);
@@ -44,8 +45,8 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     let (positions, num_runs, scan_stats) = exclusive_scan(dev, &flags);
     stats += scan_stats;
     let num_runs = num_runs as usize;
-    let values: GlobalBuffer<u32> = dev.alloc(num_runs);
-    let starts: GlobalBuffer<u32> = dev.alloc(num_runs);
+    let values = dev.alloc_pooled_dirty::<u32>(num_runs);
+    let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
     stats += dev.launch("rle_scatter", grid, |ctx| {
         let base = ctx.block_idx * BLOCK;
         let end = (base + BLOCK).min(n);
@@ -60,7 +61,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     });
 
     // Lengths from consecutive starts.
-    let lengths: GlobalBuffer<u32> = dev.alloc(num_runs);
+    let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
     let run_grid = num_runs.div_ceil(BLOCK).max(1);
     stats += dev.launch("rle_lengths", run_grid, |ctx| {
         let base = ctx.block_idx * BLOCK;
@@ -91,11 +92,11 @@ pub fn dict_gpu(dev: &Device, data: &[u32], w: &mut BitWriter) -> LaunchStats {
     // coalesced pass each way, dominated by downstream stages here).
     let mut sorted = data.to_vec();
     sorted.sort_unstable();
-    let sorted_buf = dev.upload(&sorted);
+    let sorted_buf = dev.upload_pooled(&sorted);
     let (dict_values, mut stats) = unique_sorted(dev, &sorted_buf);
 
-    let dict_buf = dev.upload(&dict_values);
-    let queries = dev.upload(data);
+    let dict_buf = dev.upload_pooled(&dict_values);
+    let queries = dev.upload_pooled(data);
     let (indices, bs_stats) = binary_search_indices(dev, &dict_buf, &queries);
     stats += bs_stats;
 
@@ -106,7 +107,7 @@ pub fn dict_gpu(dev: &Device, data: &[u32], w: &mut BitWriter) -> LaunchStats {
 /// Full RLE-DICT on the device; output is byte-identical to
 /// [`crate::rledict::encode_to_vec`].
 pub fn rledict_gpu(dev: &Device, data: &[u32]) -> (Vec<u8>, LaunchStats) {
-    let input = dev.upload(data);
+    let input = dev.upload_pooled(data);
     let (values, lengths, mut stats) = rle_gpu(dev, &input);
     let mut w = BitWriter::new();
     stats += dict_gpu(dev, &values, &mut w);

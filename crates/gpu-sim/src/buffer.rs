@@ -7,115 +7,117 @@
 //! same well-defined "last writer wins" semantics racing global-memory
 //! writes have on a real GPU (no Rust-level undefined behaviour).
 //!
+//! Storage is type-erased: every scalar is held in an `AtomicU64` cell via
+//! its raw bit pattern. This keeps one untyped free-list per size class in
+//! the [`crate::BufferPool`], so recycling a `u32` word buffer as an `f64`
+//! likelihood buffer needs no re-allocation. Logical length is tracked
+//! separately from cell capacity for the same reason.
+//!
 //! Accesses from inside a kernel must go through [`crate::BlockCtx`] so they
 //! are counted; the methods here are host-side (uncounted) conveniences.
 
-use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Raw type-erased device cells (shared with the buffer pool).
+pub(crate) type RawCells = Box<[AtomicU64]>;
+
+/// Allocate `cells` zeroed raw cells (zero is the raw encoding of every
+/// scalar's default value).
+pub(crate) fn raw_zeroed(cells: usize) -> RawCells {
+    (0..cells).map(|_| AtomicU64::new(0)).collect()
+}
 
 /// Scalar types that can live in device memory.
 ///
-/// Each scalar maps to an atomic backing cell; loads/stores use `Relaxed`
-/// ordering. Floats are stored as their IEEE-754 bit patterns.
+/// Each scalar is stored as a `u64` bit pattern in an atomic backing cell;
+/// loads/stores use `Relaxed` ordering. Floats are stored as their IEEE-754
+/// bit patterns, narrower integers zero-extended.
 pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {
-    /// Backing storage cell.
-    type Atomic: Send + Sync;
-    /// Size in bytes, used for bandwidth accounting.
+    /// Size in bytes of the *modelled* scalar (used for bandwidth
+    /// accounting; the simulator's backing cell is always 8 bytes).
     const BYTES: u64;
-    /// Wrap a value into a fresh cell.
-    fn new_cell(v: Self) -> Self::Atomic;
-    /// Relaxed load.
-    fn load(cell: &Self::Atomic) -> Self;
-    /// Relaxed store.
-    fn store(cell: &Self::Atomic, v: Self);
+    /// Encode into the raw cell representation.
+    fn to_raw(self) -> u64;
+    /// Decode from the raw cell representation.
+    fn from_raw(raw: u64) -> Self;
 }
 
 macro_rules! int_scalar {
-    ($t:ty, $at:ty, $bytes:expr) => {
+    ($t:ty, $bytes:expr) => {
         impl DeviceScalar for $t {
-            type Atomic = $at;
             const BYTES: u64 = $bytes;
             #[inline(always)]
-            fn new_cell(v: Self) -> $at {
-                <$at>::new(v)
+            fn to_raw(self) -> u64 {
+                self as u64
             }
             #[inline(always)]
-            fn load(cell: &$at) -> Self {
-                cell.load(Ordering::Relaxed)
-            }
-            #[inline(always)]
-            fn store(cell: &$at, v: Self) {
-                cell.store(v, Ordering::Relaxed)
+            fn from_raw(raw: u64) -> Self {
+                raw as $t
             }
         }
     };
 }
 
-int_scalar!(u8, AtomicU8, 1);
-int_scalar!(u16, AtomicU16, 2);
-int_scalar!(u32, AtomicU32, 4);
-int_scalar!(u64, AtomicU64, 8);
+int_scalar!(u8, 1);
+int_scalar!(u16, 2);
+int_scalar!(u32, 4);
+int_scalar!(u64, 8);
 
 impl DeviceScalar for i32 {
-    type Atomic = AtomicU32;
     const BYTES: u64 = 4;
     #[inline(always)]
-    fn new_cell(v: Self) -> AtomicU32 {
-        AtomicU32::new(v as u32)
+    fn to_raw(self) -> u64 {
+        self as u32 as u64
     }
     #[inline(always)]
-    fn load(cell: &AtomicU32) -> Self {
-        cell.load(Ordering::Relaxed) as i32
-    }
-    #[inline(always)]
-    fn store(cell: &AtomicU32, v: Self) {
-        cell.store(v as u32, Ordering::Relaxed)
+    fn from_raw(raw: u64) -> Self {
+        raw as u32 as i32
     }
 }
 
 impl DeviceScalar for f32 {
-    type Atomic = AtomicU32;
     const BYTES: u64 = 4;
     #[inline(always)]
-    fn new_cell(v: Self) -> AtomicU32 {
-        AtomicU32::new(v.to_bits())
+    fn to_raw(self) -> u64 {
+        self.to_bits() as u64
     }
     #[inline(always)]
-    fn load(cell: &AtomicU32) -> Self {
-        f32::from_bits(cell.load(Ordering::Relaxed))
-    }
-    #[inline(always)]
-    fn store(cell: &AtomicU32, v: Self) {
-        cell.store(v.to_bits(), Ordering::Relaxed)
+    fn from_raw(raw: u64) -> Self {
+        f32::from_bits(raw as u32)
     }
 }
 
 impl DeviceScalar for f64 {
-    type Atomic = AtomicU64;
     const BYTES: u64 = 8;
     #[inline(always)]
-    fn new_cell(v: Self) -> AtomicU64 {
-        AtomicU64::new(v.to_bits())
+    fn to_raw(self) -> u64 {
+        self.to_bits()
     }
     #[inline(always)]
-    fn load(cell: &AtomicU64) -> Self {
-        f64::from_bits(cell.load(Ordering::Relaxed))
-    }
-    #[inline(always)]
-    fn store(cell: &AtomicU64, v: Self) {
-        cell.store(v.to_bits(), Ordering::Relaxed)
+    fn from_raw(raw: u64) -> Self {
+        f64::from_bits(raw)
     }
 }
 
 /// A buffer in simulated device global memory.
+///
+/// The logical length may be smaller than the backing capacity when the
+/// buffer came from a size-classed pool; all indexing is bounds-checked
+/// against the logical length.
 pub struct GlobalBuffer<T: DeviceScalar> {
-    cells: Box<[T::Atomic]>,
+    cells: RawCells,
+    len: usize,
+    _marker: PhantomData<T>,
 }
 
 impl<T: DeviceScalar> GlobalBuffer<T> {
     /// Allocate `len` zero-initialized elements.
     pub fn zeroed(len: usize) -> Self {
         GlobalBuffer {
-            cells: (0..len).map(|_| T::new_cell(T::default())).collect(),
+            cells: raw_zeroed(len),
+            len,
+            _marker: PhantomData,
         }
     }
 
@@ -123,41 +125,99 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     /// [`crate::Device`] methods).
     pub fn from_slice(data: &[T]) -> Self {
         GlobalBuffer {
-            cells: data.iter().map(|&v| T::new_cell(v)).collect(),
+            cells: data.iter().map(|&v| AtomicU64::new(v.to_raw())).collect(),
+            len: data.len(),
+            _marker: PhantomData,
         }
     }
 
-    /// Number of elements.
+    /// Rewrap recycled raw cells with a (possibly shorter) logical length.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the cell capacity.
+    pub(crate) fn from_raw_cells(cells: RawCells, len: usize) -> Self {
+        assert!(len <= cells.len(), "logical length exceeds cell capacity");
+        GlobalBuffer {
+            cells,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Unwrap into the raw backing cells (for return to a pool).
+    pub(crate) fn into_raw_cells(self) -> RawCells {
+        self.cells
+    }
+
+    /// Number of (logical) elements.
     pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Backing capacity in elements (≥ `len()` for pooled buffers).
+    pub fn capacity(&self) -> usize {
         self.cells.len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
-    /// Size in bytes.
+    /// Size in bytes of the modelled allocation (logical length × scalar
+    /// width, matching what a real device allocation would occupy).
     pub fn size_bytes(&self) -> u64 {
-        self.cells.len() as u64 * T::BYTES
+        self.len as u64 * T::BYTES
     }
 
     /// Uncounted host-side read (bounds-checked).
     #[inline(always)]
     pub fn get(&self, i: usize) -> T {
-        T::load(&self.cells[i])
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        T::from_raw(self.cells[i].load(Ordering::Relaxed))
     }
 
     /// Uncounted host-side write (bounds-checked).
     #[inline(always)]
     pub fn set(&self, i: usize, v: T) {
-        T::store(&self.cells[i], v)
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.cells[i].store(v.to_raw(), Ordering::Relaxed)
+    }
+
+    /// Uncounted host-side read of `out.len()` consecutive elements
+    /// starting at `start` (bounds-checked once for the whole span).
+    #[inline]
+    pub fn read_span(&self, start: usize, out: &mut [T]) {
+        let end = start + out.len();
+        assert!(
+            end <= self.len,
+            "span {start}..{end} out of bounds (len {})",
+            self.len
+        );
+        for (o, c) in out.iter_mut().zip(&self.cells[start..end]) {
+            *o = T::from_raw(c.load(Ordering::Relaxed));
+        }
     }
 
     /// Download the whole buffer to a host `Vec` (uncounted; use
     /// [`crate::Device::download`] for counted transfers).
     pub fn to_vec(&self) -> Vec<T> {
-        self.cells.iter().map(T::load).collect()
+        let mut out = Vec::new();
+        self.read_into(&mut out);
+        out
+    }
+
+    /// Download into a caller-owned `Vec`, reusing its capacity. The vector
+    /// is cleared first; after the call it holds exactly `len()` elements.
+    /// This is the zero-allocation readback path: once the vector has grown
+    /// to the steady-state window size no heap traffic occurs.
+    pub fn read_into(&self, out: &mut Vec<T>) {
+        out.clear();
+        out.extend(
+            self.cells[..self.len]
+                .iter()
+                .map(|c| T::from_raw(c.load(Ordering::Relaxed))),
+        );
     }
 
     /// Overwrite the buffer contents from a host slice of the same length.
@@ -165,46 +225,75 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     /// # Panics
     /// Panics if lengths differ.
     pub fn write_from(&self, data: &[T]) {
-        assert_eq!(data.len(), self.len(), "host/device length mismatch");
-        for (cell, &v) in self.cells.iter().zip(data) {
-            T::store(cell, v);
+        assert_eq!(data.len(), self.len, "host/device length mismatch");
+        for (cell, &v) in self.cells[..self.len].iter().zip(data) {
+            cell.store(v.to_raw(), Ordering::Relaxed);
         }
     }
 
     /// Reset every element to the default value (the GSNP `recycle` step).
     pub fn clear(&self) {
-        for cell in self.cells.iter() {
-            T::store(cell, T::default());
+        for cell in self.cells[..self.len].iter() {
+            cell.store(0, Ordering::Relaxed);
         }
     }
 
     #[inline(always)]
-    pub(crate) fn cell(&self, i: usize) -> &T::Atomic {
+    pub(crate) fn cell(&self, i: usize) -> &AtomicU64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         &self.cells[i]
+    }
+
+    #[inline(always)]
+    pub(crate) fn cells_span(&self, start: usize, len: usize) -> &[AtomicU64] {
+        let end = start + len;
+        assert!(
+            end <= self.len,
+            "span {start}..{end} out of bounds (len {})",
+            self.len
+        );
+        &self.cells[start..end]
+    }
+}
+
+impl GlobalBuffer<f64> {
+    /// Uncounted host-side read-add-write of a consecutive span:
+    /// `self[start + n] += terms[n]` for each `n`, in index order. The
+    /// per-element addition sequence is identical to a `get`/`set` pair,
+    /// so results are bit-exact with the scalar path.
+    #[inline]
+    pub fn add_assign_span(&self, start: usize, terms: &[f64]) {
+        let end = start + terms.len();
+        assert!(
+            end <= self.len,
+            "span {start}..{end} out of bounds (len {})",
+            self.len
+        );
+        for (c, &t) in self.cells[start..end].iter().zip(terms) {
+            let cur = f64::from_bits(c.load(Ordering::Relaxed));
+            c.store((cur + t).to_bits(), Ordering::Relaxed);
+        }
     }
 }
 
 /// Atomic read-modify-write support for integer device scalars (used by
 /// counting kernels that histogram into shared structures).
+///
+/// The raw cells are 64-bit; carries past the scalar's width land in raw
+/// bits that [`DeviceScalar::from_raw`] masks off, so a plain 64-bit
+/// `fetch_add` gives exact wrapping semantics at every width.
 pub trait DeviceInt: DeviceScalar {
     /// Atomic fetch-add with relaxed ordering; returns the previous value.
-    fn fetch_add(cell: &Self::Atomic, v: Self) -> Self;
+    #[inline(always)]
+    fn fetch_add(cell: &AtomicU64, v: Self) -> Self {
+        Self::from_raw(cell.fetch_add(v.to_raw(), Ordering::Relaxed))
+    }
 }
 
-macro_rules! int_rmw {
-    ($t:ty) => {
-        impl DeviceInt for $t {
-            #[inline(always)]
-            fn fetch_add(cell: &Self::Atomic, v: Self) -> Self {
-                cell.fetch_add(v, Ordering::Relaxed)
-            }
-        }
-    };
-}
-int_rmw!(u8);
-int_rmw!(u16);
-int_rmw!(u32);
-int_rmw!(u64);
+impl DeviceInt for u8 {}
+impl DeviceInt for u16 {}
+impl DeviceInt for u32 {}
+impl DeviceInt for u64 {}
 
 /// Read-only cached constant memory (the M2050 has 64 KB). Stores plain
 /// values: constant memory is immutable during a launch, so no atomics are
@@ -294,6 +383,18 @@ mod tests {
     }
 
     #[test]
+    fn fetch_add_wraps_at_scalar_width() {
+        let b = GlobalBuffer::from_slice(&[u8::MAX]);
+        let prev = u8::fetch_add(b.cell(0), 3);
+        assert_eq!(prev, u8::MAX);
+        assert_eq!(b.get(0), 2, "u8 histogram must wrap at 8 bits");
+        // And keep wrapping correctly after the first carry.
+        u8::fetch_add(b.cell(0), 250);
+        u8::fetch_add(b.cell(0), 250);
+        assert_eq!(b.get(0), ((2u32 + 250 + 250) % 256) as u8);
+    }
+
+    #[test]
     fn write_from_overwrites() {
         let b: GlobalBuffer<u16> = GlobalBuffer::zeroed(3);
         b.write_from(&[1, 2, 3]);
@@ -305,6 +406,32 @@ mod tests {
     fn write_from_length_mismatch_panics() {
         let b: GlobalBuffer<u16> = GlobalBuffer::zeroed(3);
         b.write_from(&[1, 2]);
+    }
+
+    #[test]
+    fn read_into_reuses_capacity() {
+        let b = GlobalBuffer::from_slice(&[1u32, 2, 3]);
+        let mut out = Vec::with_capacity(16);
+        let ptr = out.as_ptr();
+        b.read_into(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(out.as_ptr(), ptr, "readback must reuse the allocation");
+    }
+
+    #[test]
+    fn logical_len_hides_pool_capacity() {
+        let b: GlobalBuffer<u32> = GlobalBuffer::from_raw_cells(raw_zeroed(8), 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.size_bytes(), 20);
+        assert_eq!(b.to_vec().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn access_past_logical_len_panics() {
+        let b: GlobalBuffer<u32> = GlobalBuffer::from_raw_cells(raw_zeroed(8), 5);
+        b.get(5);
     }
 
     #[test]

@@ -64,6 +64,41 @@ impl<'a> BlockCtx<'a> {
         buf.get(i)
     }
 
+    /// Batched random global load of `out.len()` consecutive elements.
+    ///
+    /// Counter-identical to calling [`BlockCtx::ld_rand`] once per element
+    /// (the addresses are consecutive for *one* thread, so across warp
+    /// lanes the accesses still diverge), but the tally and bounds check
+    /// happen once per span — the simulator's hot-kernel fast path.
+    #[inline]
+    pub fn ld_rand_span<T: DeviceScalar>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        start: usize,
+        out: &mut [T],
+    ) {
+        let n = out.len() as u64;
+        self.counters.instructions += n;
+        self.counters.g_load_random += n;
+        self.counters.g_load_bytes_rand += n * T::BYTES;
+        buf.read_span(start, out);
+    }
+
+    /// Batched random global read-modify-write: `buf[start + n] += terms[n]`
+    /// for each `n`. Counter-identical to a [`BlockCtx::ld_rand`] +
+    /// [`BlockCtx::st_rand`] pair per element, and bit-exact with that
+    /// sequence (same per-element addition order).
+    #[inline]
+    pub fn add_rand_span(&mut self, buf: &GlobalBuffer<f64>, start: usize, terms: &[f64]) {
+        let n = terms.len() as u64;
+        self.counters.instructions += 2 * n;
+        self.counters.g_load_random += n;
+        self.counters.g_load_bytes_rand += n * <f64 as DeviceScalar>::BYTES;
+        self.counters.g_store_random += n;
+        self.counters.g_store_bytes_rand += n * <f64 as DeviceScalar>::BYTES;
+        buf.add_assign_span(start, terms);
+    }
+
     /// Coalesced global store.
     #[inline(always)]
     pub fn st_co<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
@@ -107,6 +142,11 @@ impl<'a> BlockCtx<'a> {
 
     /// Allocate `len` elements of per-block shared memory.
     ///
+    /// Backing storage comes from a thread-local scratch pool: on-chip
+    /// shared memory is *hardware*, so repeated kernel launches reusing the
+    /// same tile sizes must not show up as host heap churn (see the
+    /// allocation-free window loop in `gsnp-core`).
+    ///
     /// # Panics
     /// Panics if the block's cumulative shared allocation would exceed the
     /// device's `shared_mem_per_block` — the same failure mode as a CUDA
@@ -123,14 +163,19 @@ impl<'a> BlockCtx<'a> {
             self.cfg.name
         );
         self.shared_used = new_used;
+        let mut data = scratch_take();
+        data.clear();
+        data.resize(len, 0);
         SharedMem {
-            data: vec![T::default(); len],
+            data,
+            _marker: std::marker::PhantomData,
         }
     }
 
     /// Release a shared allocation, returning its bytes to the block budget
     /// (CUDA's static shared memory has block lifetime; this models dynamic
     /// reuse across kernel phases, which the multipass sort relies on).
+    /// The backing storage returns to the scratch pool when `mem` drops.
     pub fn shared_free<T: DeviceScalar>(&mut self, mem: SharedMem<T>) {
         let bytes = mem.data.len() * T::BYTES as usize;
         self.shared_used = self.shared_used.saturating_sub(bytes);
@@ -141,11 +186,42 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
+thread_local! {
+    /// Recycled shared-memory backing vectors. Tiles are type-erased into
+    /// raw `u64` lanes (the same encoding `GlobalBuffer` cells use), so one
+    /// pool serves every scalar type and every kernel on the thread.
+    static SHARED_SCRATCH: std::cell::RefCell<Vec<Vec<u64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Cap on parked scratch vectors per thread.
+const MAX_SCRATCH_PARKED: usize = 64;
+
+fn scratch_take() -> Vec<u64> {
+    SHARED_SCRATCH.with(|p| p.borrow_mut().pop().unwrap_or_default())
+}
+
+fn scratch_put(v: Vec<u64>) {
+    SHARED_SCRATCH.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_SCRATCH_PARKED {
+            pool.push(v);
+        }
+    });
+}
+
 /// Per-block on-chip shared memory. Fast (counted separately from global
 /// traffic) and private to one block, exactly like CUDA `__shared__` arrays.
 /// All accesses go through the [`BlockCtx`] so they are tallied.
 pub struct SharedMem<T: DeviceScalar> {
-    data: Vec<T>,
+    data: Vec<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: DeviceScalar> Drop for SharedMem<T> {
+    fn drop(&mut self) {
+        scratch_put(std::mem::take(&mut self.data));
+    }
 }
 
 impl<T: DeviceScalar> SharedMem<T> {
@@ -165,7 +241,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += 1;
         ctx.counters.s_load += 1;
         ctx.counters.s_bytes += T::BYTES;
-        self.data[i]
+        T::from_raw(self.data[i])
     }
 
     /// Counted shared-memory store.
@@ -174,7 +250,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += 1;
         ctx.counters.s_store += 1;
         ctx.counters.s_bytes += T::BYTES;
-        self.data[i] = v;
+        self.data[i] = v.to_raw();
     }
 
     /// Zero the allocation (counted as stores).
@@ -183,7 +259,118 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += n as u64;
         ctx.counters.s_store += n as u64;
         ctx.counters.s_bytes += n as u64 * T::BYTES;
-        self.data.fill(T::default());
+        self.data.fill(0);
+    }
+}
+
+impl<T: DeviceScalar> SharedMem<T> {
+    /// Batched counted stage-in: copy `len` consecutive elements of global
+    /// memory (a coalesced warp read) into the tile starting at `dst`.
+    /// Counter-identical to a [`BlockCtx::ld_co`] + [`SharedMem::write`]
+    /// pair per element. Values are decoded and re-encoded through the
+    /// scalar type, so the tile holds the same normalized raw bits the
+    /// scalar path would produce.
+    #[inline]
+    pub fn stage_co(
+        &mut self,
+        ctx: &mut BlockCtx<'_>,
+        buf: &GlobalBuffer<T>,
+        src: usize,
+        dst: usize,
+        len: usize,
+    ) {
+        let n = len as u64;
+        ctx.counters.instructions += 2 * n;
+        ctx.counters.g_load_coalesced += n;
+        ctx.counters.g_load_bytes_co += n * T::BYTES;
+        ctx.counters.s_store += n;
+        ctx.counters.s_bytes += n * T::BYTES;
+        for (lane, cell) in self.data[dst..dst + len]
+            .iter_mut()
+            .zip(buf.cells_span(src, len))
+        {
+            *lane = T::from_raw(cell.load(std::sync::atomic::Ordering::Relaxed)).to_raw();
+        }
+    }
+
+    /// Batched counted flush: write `len` tile elements starting at `src`
+    /// back to consecutive global addresses (a coalesced warp store).
+    /// Counter-identical to a [`SharedMem::read`] + [`BlockCtx::st_co`]
+    /// pair per element.
+    #[inline]
+    pub fn flush_co(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        buf: &GlobalBuffer<T>,
+        src: usize,
+        dst: usize,
+        len: usize,
+    ) {
+        let n = len as u64;
+        ctx.counters.instructions += 2 * n;
+        ctx.counters.s_load += n;
+        ctx.counters.s_bytes += n * T::BYTES;
+        ctx.counters.g_store_coalesced += n;
+        ctx.counters.g_store_bytes_co += n * T::BYTES;
+        for (lane, cell) in self.data[src..src + len]
+            .iter()
+            .zip(buf.cells_span(dst, len))
+        {
+            cell.store(*lane, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Batched counted fill of `start..end` with one value (counted as
+    /// stores, like [`SharedMem::fill_default`]).
+    #[inline]
+    pub fn fill_span(&mut self, ctx: &mut BlockCtx<'_>, start: usize, end: usize, v: T) {
+        let n = (end - start) as u64;
+        ctx.counters.instructions += n;
+        ctx.counters.s_store += n;
+        ctx.counters.s_bytes += n * T::BYTES;
+        self.data[start..end].fill(v.to_raw());
+    }
+}
+
+impl SharedMem<u32> {
+    /// Counted bitonic compare-exchange: load both lanes, swap if out of
+    /// order. Counter-identical to two [`SharedMem::read`]s plus — when the
+    /// swap fires — two [`SharedMem::write`]s via the scalar API. Raw lanes
+    /// compare correctly because every counted write stores normalized
+    /// (zero-extended) `u32` bits.
+    #[inline]
+    pub fn compare_exchange(&mut self, ctx: &mut BlockCtx<'_>, lo: usize, hi: usize) {
+        const BYTES: u64 = <u32 as DeviceScalar>::BYTES;
+        ctx.counters.instructions += 2;
+        ctx.counters.s_load += 2;
+        ctx.counters.s_bytes += 2 * BYTES;
+        let a = self.data[lo];
+        let b = self.data[hi];
+        if a > b {
+            ctx.counters.instructions += 2;
+            ctx.counters.s_store += 2;
+            ctx.counters.s_bytes += 2 * BYTES;
+            self.data.swap(lo, hi);
+        }
+    }
+}
+
+impl SharedMem<f64> {
+    /// Batched counted accumulate: `self[start + n] += terms[n]` for each
+    /// `n`. Counter-identical to a [`SharedMem::read`] + [`SharedMem::write`]
+    /// pair per element and bit-exact with that sequence; the tally and
+    /// bounds check happen once per span.
+    #[inline]
+    pub fn add_span(&mut self, ctx: &mut BlockCtx<'_>, start: usize, terms: &[f64]) {
+        let n = terms.len() as u64;
+        ctx.counters.instructions += 2 * n;
+        ctx.counters.s_load += n;
+        ctx.counters.s_store += n;
+        ctx.counters.s_bytes += 2 * n * <f64 as DeviceScalar>::BYTES;
+        let end = start + terms.len();
+        for (cell, &t) in self.data[start..end].iter_mut().zip(terms) {
+            *cell = (f64::from_bits(*cell) + t).to_bits();
+        }
     }
 }
 

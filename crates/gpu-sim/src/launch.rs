@@ -10,6 +10,7 @@
 //! streaming executor in `gsnp-core`) can interleave launches without
 //! losing cost accounting.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -20,6 +21,7 @@ use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
 use crate::ctx::BlockCtx;
+use crate::pool::{BufferPool, PoolStats, PooledBuffer};
 
 /// Running totals across every launch and transfer on one [`Device`].
 ///
@@ -39,6 +41,9 @@ pub struct DeviceLedger {
     pub wall_time: f64,
     /// Aggregated hardware counters.
     pub counters: HwCounters,
+    /// Buffer-pool traffic (hits/misses/high-water); snapshotted from the
+    /// device's [`BufferPool`] when the ledger is read.
+    pub pool: PoolStats,
 }
 
 impl DeviceLedger {
@@ -61,6 +66,7 @@ pub struct Device {
     cfg: DeviceConfig,
     cost: CostModel,
     ledger: Mutex<DeviceLedger>,
+    pool: Arc<BufferPool>,
 }
 
 impl Device {
@@ -71,6 +77,7 @@ impl Device {
             cfg,
             cost,
             ledger: Mutex::new(DeviceLedger::default()),
+            pool: Arc::new(BufferPool::default()),
         }
     }
 
@@ -89,14 +96,24 @@ impl Device {
         &self.cost
     }
 
-    /// Snapshot of the running launch/transfer totals.
+    /// Snapshot of the running launch/transfer totals, including buffer
+    /// pool hit/miss/high-water counters.
     pub fn ledger(&self) -> DeviceLedger {
-        *self.ledger.lock()
+        let mut led = *self.ledger.lock();
+        led.pool = self.pool.stats();
+        led
     }
 
-    /// Reset the launch ledger (e.g. between benchmark repetitions).
+    /// Reset the launch ledger (e.g. between benchmark repetitions). Pool
+    /// traffic counters reset too; parked buffers stay warm.
     pub fn reset_ledger(&self) {
         *self.ledger.lock() = DeviceLedger::default();
+        self.pool.reset_stats();
+    }
+
+    /// The device's buffer pool (enable/disable recycling, read stats).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Model the device as *occupying* real time: when pacing is enabled,
@@ -115,11 +132,34 @@ impl Device {
         GlobalBuffer::zeroed(len)
     }
 
+    /// Allocate a zeroed buffer through the recycling pool. Semantically
+    /// identical to [`Device::alloc`]; steady state reuses parked cells
+    /// instead of touching the host allocator.
+    pub fn alloc_pooled<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
+        self.pool.acquire(len, true)
+    }
+
+    /// Allocate through the pool *without* zeroing recycled contents, for
+    /// buffers every element of which is written before it is read (the
+    /// caller's invariant to uphold; fresh cells are zero regardless).
+    pub fn alloc_pooled_dirty<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
+        self.pool.acquire(len, false)
+    }
+
     /// Upload host data into a new global buffer (H2D bytes are charged to
     /// the *next* launch via [`Device::launch_with_transfers`], or can be
     /// accounted manually; plain `upload` is uncounted for setup data).
     pub fn upload<T: DeviceScalar>(&self, data: &[T]) -> GlobalBuffer<T> {
         GlobalBuffer::from_slice(data)
+    }
+
+    /// Upload host data into a pooled buffer (the recycling counterpart of
+    /// [`Device::upload`]); every element is overwritten so no zeroing
+    /// sweep is needed.
+    pub fn upload_pooled<T: DeviceScalar>(&self, data: &[T]) -> PooledBuffer<T> {
+        let buf = self.pool.acquire::<T>(data.len(), false);
+        buf.write_from(data);
+        buf
     }
 
     /// Download a buffer to the host (uncounted convenience).
@@ -364,6 +404,46 @@ mod tests {
         assert_eq!(led.launches, (threads * per_thread) as u64);
         assert_eq!(led.transfers, (threads * per_thread) as u64);
         assert_eq!(led.counters.d2h_bytes, (threads * per_thread * 128) as u64);
+    }
+
+    #[test]
+    fn pooled_alloc_recycles_and_ledger_reports_it() {
+        let dev = Device::m2050();
+        {
+            let a: crate::PooledBuffer<u32> = dev.alloc_pooled(1000);
+            a.set(5, 99);
+        }
+        let b: crate::PooledBuffer<u32> = dev.alloc_pooled(1000);
+        assert_eq!(b.get(5), 0, "recycled alloc must be zeroed");
+        let led = dev.ledger();
+        assert_eq!(led.pool.hits, 1);
+        assert_eq!(led.pool.misses, 1);
+        assert!(led.pool.high_water_bytes >= 1024 * 8);
+    }
+
+    #[test]
+    fn upload_pooled_matches_upload() {
+        let dev = Device::m2050();
+        let host: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        drop(dev.upload_pooled(&host)); // park cells with live data
+        let fresh = dev.upload(&host);
+        let pooled = dev.upload_pooled(&host); // recycled, dirty acquire
+        assert_eq!(pooled.to_vec(), fresh.to_vec());
+        assert_eq!(pooled.len(), host.len());
+    }
+
+    #[test]
+    fn pooled_buffers_work_as_launch_operands() {
+        let dev = Device::m2050();
+        let input = dev.upload_pooled(&(0..256u32).collect::<Vec<_>>());
+        let output: crate::PooledBuffer<u32> = dev.alloc_pooled(256);
+        dev.launch("double", 1, |ctx| {
+            for i in 0..256 {
+                let v = ctx.ld_co(&input, i);
+                ctx.st_co(&output, i, v * 2);
+            }
+        });
+        assert_eq!(output.get(100), 200);
     }
 
     #[test]

@@ -50,11 +50,13 @@ pub mod cost;
 pub mod counters;
 pub mod ctx;
 pub mod launch;
+pub mod pool;
 pub mod primitives;
 
-pub use buffer::{ConstBuffer, DeviceScalar, GlobalBuffer};
+pub use buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
 pub use launch::{Device, DeviceLedger};
+pub use pool::{BufferPool, PoolStats, PooledBuffer};

@@ -1,0 +1,350 @@
+//! Device buffer recycling (the GSNP `recycle` component, §IV-B).
+//!
+//! The paper's sparse `base_word` layout makes per-window device state
+//! reusable: every window needs the same handful of buffers (packed words,
+//! genotype likelihoods, depth counters), so instead of a `cudaMalloc`/
+//! `cudaFree` pair per window the production system keeps the allocations
+//! alive and re-binds them. [`BufferPool`] models that: freed
+//! [`GlobalBuffer`]s park on size-classed free lists (capacities rounded up
+//! to powers of two) and are handed back out on the next request of any
+//! scalar type — the backing cells are type-erased, so a `u32` word buffer
+//! from window *k* can serve as the `f64` likelihood buffer of window
+//! *k*+1.
+//!
+//! The pool can be disabled, in which case every acquire allocates fresh
+//! and every release drops — the "fresh path" that the recycling path must
+//! stay byte-identical to (and the baseline the pool's hit/miss counters
+//! are measured against).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::{raw_zeroed, DeviceScalar, GlobalBuffer, RawCells};
+
+/// Max parked buffers per size class; beyond this, released buffers drop.
+const MAX_PARKED_PER_CLASS: usize = 32;
+
+/// Snapshot of pool traffic, surfaced on [`crate::DeviceLedger`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires satisfied from a free list.
+    pub hits: u64,
+    /// Acquires that had to allocate fresh cells.
+    pub misses: u64,
+    /// Raw backing bytes currently checked out of the pool.
+    pub outstanding_bytes: u64,
+    /// High-water mark of `outstanding_bytes` over the pool's lifetime.
+    pub high_water_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served without allocating, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Size-classed free lists of recycled device buffers.
+pub struct BufferPool {
+    /// Parked buffers with arbitrary previous-tenant contents.
+    classes: Mutex<HashMap<usize, Vec<RawCells>>>,
+    /// Parked buffers whose *entire capacity* is known to be zero (parked
+    /// via [`PooledBuffer::park_zeroed_on_drop`] by self-cleaning kernels,
+    /// e.g. `likelihood_comp`'s dep_count reset, §IV-B). Serving a zeroed
+    /// acquire from this list skips the zeroing sweep entirely.
+    zero_classes: Mutex<HashMap<usize, Vec<RawCells>>>,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    outstanding: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl BufferPool {
+    /// Create a pool; `enabled = false` gives the fresh-allocation baseline.
+    pub fn new(enabled: bool) -> Self {
+        BufferPool {
+            classes: Mutex::new(HashMap::new()),
+            zero_classes: Mutex::new(HashMap::new()),
+            enabled: AtomicBool::new(enabled),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Turn recycling on or off. Disabling also drains parked buffers so a
+    /// subsequent "fresh" measurement is not served stale capacity.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.classes.lock().clear();
+            self.zero_classes.lock().clear();
+        }
+    }
+
+    /// Whether recycling is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Size class (in cells) for a requested logical length.
+    fn class_of(len: usize) -> usize {
+        len.max(1).next_power_of_two()
+    }
+
+    /// Check a buffer out of the pool.
+    ///
+    /// `zero` controls whether a recycled buffer's logical prefix is reset
+    /// to the default value (matching [`crate::Device::alloc`] semantics).
+    /// Callers that overwrite every element before reading — uploads, or
+    /// kernels that store before loading — pass `false` and skip the sweep.
+    /// Freshly allocated cells are always zeroed either way, so the two
+    /// paths are indistinguishable to a correct kernel.
+    pub fn acquire<T: DeviceScalar>(self: &Arc<Self>, len: usize, zero: bool) -> PooledBuffer<T> {
+        let class = Self::class_of(len);
+        // A zeroed request prefers the known-zero list (no sweep); a dirty
+        // request prefers the dirty list, falling back to zeroed cells
+        // (which are also fine to overwrite).
+        let recycled = if self.enabled() {
+            let (first, second) = if zero {
+                (&self.zero_classes, &self.classes)
+            } else {
+                (&self.classes, &self.zero_classes)
+            };
+            let first_hit = first.lock().get_mut(&class).and_then(Vec::pop);
+            match first_hit {
+                Some(cells) => Some((cells, zero)),
+                None => second
+                    .lock()
+                    .get_mut(&class)
+                    .and_then(Vec::pop)
+                    .map(|cells| (cells, !zero)),
+            }
+        } else {
+            None
+        };
+        // Whether every cell of the backing capacity is zero right now —
+        // the precondition for this buffer to re-enter the zeroed list if
+        // its user self-cleans (see `park_zeroed_on_drop`).
+        let mut fully_zero = true;
+        let cells = match recycled {
+            Some((cells, from_zero_list)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if !from_zero_list {
+                    if zero {
+                        // Sweep the whole capacity (not just `len`) so the
+                        // fully-zero invariant holds for later parking.
+                        for c in cells.iter() {
+                            c.store(0, Ordering::Relaxed);
+                        }
+                    } else {
+                        fully_zero = false;
+                    }
+                }
+                cells
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                raw_zeroed(class)
+            }
+        };
+        let bytes = (class * 8) as u64;
+        let now = self.outstanding.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        PooledBuffer {
+            buf: Some(GlobalBuffer::from_raw_cells(cells, len)),
+            pool: Arc::clone(self),
+            park_zeroed: false,
+            acquired_fully_zero: fully_zero,
+        }
+    }
+
+    fn release(&self, cells: RawCells, zeroed: bool) {
+        let bytes = (cells.len() * 8) as u64;
+        self.outstanding.fetch_sub(bytes, Ordering::Relaxed);
+        if !self.enabled() {
+            return;
+        }
+        let class = cells.len();
+        let mut classes = if zeroed {
+            self.zero_classes.lock()
+        } else {
+            self.classes.lock()
+        };
+        let list = classes.entry(class).or_default();
+        if list.len() < MAX_PARKED_PER_CLASS {
+            list.push(cells);
+        }
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            outstanding_bytes: self.outstanding.load(Ordering::Relaxed),
+            high_water_bytes: self.high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset traffic counters (parked buffers are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.high_water
+            .store(self.outstanding.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// RAII guard over a pooled [`GlobalBuffer`]: dereferences to the buffer
+/// and returns the backing cells to the pool when dropped.
+pub struct PooledBuffer<T: DeviceScalar> {
+    buf: Option<GlobalBuffer<T>>,
+    pool: Arc<BufferPool>,
+    park_zeroed: bool,
+    acquired_fully_zero: bool,
+}
+
+impl<T: DeviceScalar> PooledBuffer<T> {
+    /// Declare that this buffer will be all-zero again when dropped, so it
+    /// can park on the pool's zeroed free list and serve a future zeroed
+    /// acquire without a sweep. The caller promises every slot it wrote
+    /// has been reset (the self-cleaning discipline of the paper's sparse
+    /// `recycle`, §IV-B); the promise only takes effect if the buffer was
+    /// also fully zero when acquired, and is checked in debug builds.
+    pub fn park_zeroed_on_drop(&mut self) {
+        self.park_zeroed = true;
+    }
+}
+
+impl<T: DeviceScalar> std::ops::Deref for PooledBuffer<T> {
+    type Target = GlobalBuffer<T>;
+    fn deref(&self) -> &GlobalBuffer<T> {
+        self.buf.as_ref().expect("pooled buffer present until drop")
+    }
+}
+
+impl<T: DeviceScalar> Drop for PooledBuffer<T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            let zeroed = self.park_zeroed && self.acquired_fully_zero;
+            let cells = buf.into_raw_cells();
+            #[cfg(debug_assertions)]
+            if zeroed {
+                for (i, c) in cells.iter().enumerate() {
+                    debug_assert_eq!(
+                        c.load(std::sync::atomic::Ordering::Relaxed),
+                        0,
+                        "buffer parked as zeroed but cell {i} is dirty"
+                    );
+                }
+            }
+            self.pool.release(cells, zeroed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(enabled: bool) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(enabled))
+    }
+
+    #[test]
+    fn acquire_is_zeroed_like_alloc() {
+        let p = pool(true);
+        {
+            let b = p.acquire::<u32>(10, true);
+            for i in 0..10 {
+                b.set(i, 7);
+            }
+        }
+        let b = p.acquire::<u32>(10, true);
+        assert_eq!(b.to_vec(), vec![0; 10], "recycled buffer must be clean");
+    }
+
+    #[test]
+    fn recycle_hits_after_release() {
+        let p = pool(true);
+        drop(p.acquire::<u32>(100, true));
+        drop(p.acquire::<f64>(100, true)); // same class, different scalar
+        let s = p.stats();
+        assert_eq!(s.hits, 1, "second acquire must reuse the first's cells");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.outstanding_bytes, 0);
+    }
+
+    #[test]
+    fn disabled_pool_always_misses() {
+        let p = pool(false);
+        drop(p.acquire::<u32>(64, true));
+        drop(p.acquire::<u32>(64, true));
+        let s = p.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn size_classes_round_up_to_pow2() {
+        let p = pool(true);
+        drop(p.acquire::<u32>(100, true)); // class 128
+        let b = p.acquire::<u32>(120, true); // also class 128 -> hit
+        assert_eq!(b.capacity(), 128);
+        assert_eq!(b.len(), 120);
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_outstanding() {
+        let p = pool(true);
+        let a = p.acquire::<u64>(128, true); // 1 KiB raw
+        let b = p.acquire::<u64>(128, true);
+        drop(a);
+        drop(b);
+        let s = p.stats();
+        assert_eq!(s.high_water_bytes, 2 * 128 * 8);
+        assert_eq!(s.outstanding_bytes, 0);
+    }
+
+    #[test]
+    fn dirty_acquire_skips_zeroing_but_fresh_is_zero() {
+        let p = pool(true);
+        let b = p.acquire::<u32>(8, false);
+        assert_eq!(b.to_vec(), vec![0; 8], "fresh cells are zero regardless");
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let p = pool(true);
+        drop(p.acquire::<u32>(16, true));
+        drop(p.acquire::<u32>(16, true));
+        assert!((p.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn disabling_drains_parked_buffers() {
+        let p = pool(true);
+        drop(p.acquire::<u32>(32, true));
+        p.set_enabled(false);
+        drop(p.acquire::<u32>(32, true));
+        assert_eq!(p.stats().hits, 0);
+    }
+}

@@ -33,7 +33,7 @@ pub fn base_occ_index(base: u8, score: u8, coord: u8, strand: u8) -> usize {
 
 /// Sparse representation of one window plus the per-site summaries that
 /// feed the non-likelihood result columns.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SparseWindow {
     /// All sites' `base_word` arrays, concatenated (unsorted, in input
     /// observation order — the multipass sort restores canonical order).
@@ -47,22 +47,30 @@ pub struct SparseWindow {
 impl SparseWindow {
     /// Build from a loaded window.
     pub fn count(window: &Window) -> SparseWindow {
+        let mut sw = SparseWindow::default();
+        sw.count_into(window);
+        sw
+    }
+
+    /// Rebuild from a loaded window, reusing this instance's vector
+    /// capacity — the sparse `recycle` path (§IV-B calls it "trivial":
+    /// clearing the word list is all the reinitialization needed).
+    pub fn count_into(&mut self, window: &Window) {
+        self.words.clear();
+        self.spans.clear();
+        self.summaries.clear();
         let total: usize = window.obs.iter().map(Vec::len).sum();
-        let mut words = Vec::with_capacity(total);
-        let mut spans = Vec::with_capacity(window.len());
-        let mut summaries = Vec::with_capacity(window.len());
+        self.words.reserve(total);
+        self.spans.reserve(window.len());
+        self.summaries.reserve(window.len());
         for site_obs in &window.obs {
-            let start = words.len();
+            let start = self.words.len();
             for o in site_obs {
-                words.push(baseword::pack(o.base, o.qual, o.coord, o.strand));
+                self.words
+                    .push(baseword::pack(o.base, o.qual, o.coord, o.strand));
             }
-            spans.push((start, site_obs.len()));
-            summaries.push(SiteSummary::from_obs(site_obs));
-        }
-        SparseWindow {
-            words,
-            spans,
-            summaries,
+            self.spans.push((start, site_obs.len()));
+            self.summaries.push(SiteSummary::from_obs(site_obs));
         }
     }
 
@@ -234,6 +242,18 @@ mod tests {
         assert_eq!(s.site_words(0)[0], s.site_words(0)[1]);
         assert_eq!(s.summaries[0].depth, 3);
         assert_eq!(s.summaries[1].depth, 0);
+    }
+
+    #[test]
+    fn count_into_reuse_matches_fresh() {
+        let w = window();
+        let fresh = SparseWindow::count(&w);
+        let mut reused = SparseWindow::count(&Window {
+            start: 0,
+            obs: vec![vec![obs(1, 10, 1, 1); 5]; 8],
+        });
+        reused.count_into(&w);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

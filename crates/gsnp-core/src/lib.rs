@@ -22,6 +22,7 @@
 //! the substitution rationale.
 
 pub mod accuracy;
+pub mod arena;
 pub mod baseword;
 pub mod counting;
 pub mod likelihood;
@@ -30,6 +31,7 @@ pub mod pipeline;
 pub mod stream;
 pub mod tables;
 
+pub use arena::{ArenaPool, ArenaPoolStats, WindowArena};
 pub use model::{ModelParams, SiteSummary};
 pub use pipeline::{ComponentTimes, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
 pub use stream::{OrderedReassembler, OverlapStats, StageStats};

@@ -30,10 +30,13 @@ use seqio::fasta::Reference;
 use seqio::prior::PriorMap;
 use seqio::result::{SnpRow, SnpTable};
 use seqio::soap::AlignedRead;
-use seqio::window::{Window, WindowReader};
+use seqio::window::WindowReader;
 
+use crate::arena::{ArenaPool, ArenaPoolStats, WindowArena};
 use crate::counting::SparseWindow;
-use crate::likelihood::{likelihood_comp_gpu, likelihood_sort_gpu, DeviceTables, KernelVariant};
+use crate::likelihood::{
+    likelihood_comp_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
+};
 use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
 use crate::stream::{OrderedReassembler, OverlapStats, StageStats};
 use crate::tables::{LogTable, NewPMatrix, PMatrix};
@@ -95,6 +98,10 @@ pub struct PipelineStats {
     pub peak_host_bytes: u64,
     /// Per-stage busy/stall accounting for the window loop.
     pub overlap: OverlapStats,
+    /// Host arena recycling counters for the window loop.
+    pub arena: ArenaPoolStats,
+    /// Device buffer-pool counters (hits/misses/high-water) at end of run.
+    pub pool: gpu_sim::PoolStats,
 }
 
 /// GSNP configuration.
@@ -118,6 +125,12 @@ pub struct GsnpConfig {
     /// window *k*'s host stages overlap window *k+1*'s device stage.
     /// Results are byte-identical at every depth (§IV-G).
     pub pipeline_depth: usize,
+    /// Recycle window buffers: device allocations come from the
+    /// [`gpu_sim::BufferPool`] and host buffers from an [`ArenaPool`], so
+    /// the steady-state window loop allocates nothing. Disabling reverts
+    /// to fresh allocations every window (the baseline pooled runs are
+    /// proven byte-identical against).
+    pub pooled: bool,
 }
 
 impl Default for GsnpConfig {
@@ -130,6 +143,7 @@ impl Default for GsnpConfig {
             compress_input: true,
             gpu_output: true,
             pipeline_depth: 2,
+            pooled: true,
         }
     }
 }
@@ -185,6 +199,7 @@ impl GsnpPipeline {
     ) -> GsnpOutput {
         let cfg = &self.config;
         let dev = Device::new(cfg.device.clone());
+        dev.pool().set_enabled(cfg.pooled);
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
         let mut stats = PipelineStats::default();
@@ -193,8 +208,8 @@ impl GsnpPipeline {
         let t0 = Instant::now();
         let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
         let new_p = NewPMatrix::precompute(&p_matrix);
-        let log_table = LogTable::new();
-        let tables = DeviceTables::upload(&dev, &p_matrix, &new_p, &log_table);
+        let log_table = std::sync::Arc::new(LogTable::new());
+        let tables = DeviceTables::upload_shared(&dev, &p_matrix, &new_p, &log_table);
         // Temporary compressed input written during the first pass (§V-A).
         let temp_input = if cfg.compress_input {
             Some(input_codec::compress_reads(&reference.name, reads))
@@ -260,22 +275,27 @@ impl GsnpPipeline {
         let mut out_tables = Vec::new();
         let mut compressed = Vec::new();
         let device_table_bytes = tables.upload_bytes();
+        let arena_pool = ArenaPool::new(cfg.pooled);
 
         loop {
             // ---- read_site ----
+            let mut arena = arena_pool.checkout();
             let t0 = Instant::now();
-            let window = match reader.next_window().expect("in-memory reads are valid") {
-                Some(w) => w,
-                None => break,
-            };
+            if !reader
+                .next_window_into(&mut arena.window)
+                .expect("in-memory reads are valid")
+            {
+                break;
+            }
             let dt = t0.elapsed().as_secs_f64();
             wall.read_site += dt;
             times.read_site += dt;
 
             // ---- counting ----
             let t0 = Instant::now();
-            let sw = SparseWindow::count(&window);
-            let words = dev.upload(&sw.words);
+            arena.sw.count_into(&arena.window);
+            let sw = &arena.sw;
+            let words = dev.upload_pooled(&sw.words);
             let mut count_stats = LaunchStats::default();
             dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
             let dt = t0.elapsed().as_secs_f64();
@@ -289,27 +309,35 @@ impl GsnpPipeline {
                 .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
             stats.peak_host_bytes = stats
                 .peak_host_bytes
-                .max(sw.size_bytes() as u64 + window.total_obs() as u64 * 8);
+                .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
 
             // ---- likelihood: sort + comp ----
             let t0 = Instant::now();
-            let sort_report = likelihood_sort_gpu(dev, &words, &sw.spans);
+            likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
             wall.likelihood_sort += t0.elapsed().as_secs_f64();
-            times.likelihood_sort += sort_report.total().sim_time;
+            times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
 
-            let read_len = max_read_len(&sw);
+            let sw = &arena.sw;
+            let read_len = max_read_len(sw);
             let t0 = Instant::now();
-            let (type_likely, comp_stats) =
-                likelihood_comp_gpu(dev, cfg.variant, &words, &sw.spans, read_len, tables);
+            let comp_stats = likelihood_comp_gpu_into(
+                dev,
+                cfg.variant,
+                &words,
+                &sw.spans,
+                read_len,
+                tables,
+                &mut arena.type_likely,
+            );
             wall.likelihood_comp += t0.elapsed().as_secs_f64();
             times.likelihood_comp += comp_stats.sim_time;
 
             // ---- posterior ----
             let t0 = Instant::now();
             let rows = posterior_rows(
-                window.start,
-                &type_likely,
-                &sw.summaries,
+                arena.window.start,
+                &arena.type_likely,
+                &arena.sw.summaries,
                 reference,
                 priors,
                 &cfg.params,
@@ -327,7 +355,7 @@ impl GsnpPipeline {
 
             // ---- output ----
             let t0 = Instant::now();
-            let table = SnpTable::new(reference.name.clone(), window.start, rows);
+            let table = SnpTable::new(reference.name.clone(), arena.window.start, rows);
             let out_stats = if cfg.gpu_output {
                 column::write_window_gpu(dev, &mut compressed, &table)
             } else {
@@ -346,16 +374,20 @@ impl GsnpPipeline {
 
             // ---- recycle ----
             let t0 = Instant::now();
-            words.clear();
+            let word_bytes = arena.sw.words.len() as u64 * 4;
+            drop(words); // device words park in the buffer pool
             let dt = t0.elapsed().as_secs_f64();
             wall.recycle += dt;
-            times.recycle += (sw.words.len() as u64 * 4) as f64 / cfg.device.coalesced_bw;
+            times.recycle += word_bytes as f64 / cfg.device.coalesced_bw;
 
-            stats.num_sites += sw.num_sites() as u64;
-            stats.num_obs += sw.words.len() as u64;
+            stats.num_sites += arena.sw.num_sites() as u64;
+            stats.num_obs += arena.sw.words.len() as u64;
             stats.windows += 1;
             out_tables.push(table);
+            arena_pool.checkin(arena);
         }
+        stats.arena = arena_pool.stats();
+        stats.pool = dev.pool().stats();
 
         // A serial run is, by definition, one stage busy at a time.
         stats.overlap = OverlapStats {
@@ -423,10 +455,12 @@ impl GsnpPipeline {
         let mut out_tables = Vec::new();
         let mut compressed = Vec::new();
         let mut out_rep = StageReport::default();
+        let arena_pool = ArenaPool::new(cfg.pooled);
         let loop_start = Instant::now();
 
         let (read_rep, device_rep, post_rep) = std::thread::scope(|s| {
             // ---- producer stage: read_site ----
+            let prod_pool = std::sync::Arc::clone(&arena_pool);
             let producer = s.spawn(move || {
                 let mut rep = StageReport::default();
                 let t0 = Instant::now();
@@ -442,18 +476,21 @@ impl GsnpPipeline {
                 rep.stage.busy += dt;
                 let mut idx = 0usize;
                 loop {
+                    let mut arena = prod_pool.checkout();
                     let t0 = Instant::now();
-                    let window = match reader.next_window().expect("in-memory reads are valid") {
-                        Some(w) => w,
-                        None => break,
-                    };
+                    if !reader
+                        .next_window_into(&mut arena.window)
+                        .expect("in-memory reads are valid")
+                    {
+                        break;
+                    }
                     let dt = t0.elapsed().as_secs_f64();
                     rep.wall.read_site += dt;
                     rep.times.read_site += dt;
                     rep.stage.busy += dt;
 
                     let t0 = Instant::now();
-                    if win_tx.send(Produced { idx, window }).is_err() {
+                    if win_tx.send(Produced { idx, arena }).is_err() {
                         break; // downstream died; its panic surfaces at join
                     }
                     rep.stage.stall_out += t0.elapsed().as_secs_f64();
@@ -467,7 +504,7 @@ impl GsnpPipeline {
                 let mut rep = StageReport::default();
                 loop {
                     let t0 = Instant::now();
-                    let Produced { idx, window } = match win_rx.recv() {
+                    let Produced { idx, mut arena } = match win_rx.recv() {
                         Ok(p) => p,
                         Err(_) => break,
                     };
@@ -476,8 +513,9 @@ impl GsnpPipeline {
 
                     // counting
                     let t0 = Instant::now();
-                    let sw = SparseWindow::count(&window);
-                    let words = dev.upload(&sw.words);
+                    arena.sw.count_into(&arena.window);
+                    let sw = &arena.sw;
+                    let words = dev.upload_pooled(&sw.words);
                     let mut count_stats = LaunchStats::default();
                     dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
                     let dt = t0.elapsed().as_secs_f64();
@@ -493,38 +531,46 @@ impl GsnpPipeline {
                     rep.stats.peak_host_bytes = rep
                         .stats
                         .peak_host_bytes
-                        .max(sw.size_bytes() as u64 + window.total_obs() as u64 * 8);
+                        .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
 
                     // likelihood: sort + comp
                     let t0 = Instant::now();
-                    let sort_report = likelihood_sort_gpu(dev, &words, &sw.spans);
+                    likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
                     rep.wall.likelihood_sort += t0.elapsed().as_secs_f64();
-                    rep.times.likelihood_sort += sort_report.total().sim_time;
+                    rep.times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
 
-                    let read_len = max_read_len(&sw);
+                    let sw = &arena.sw;
+                    let read_len = max_read_len(sw);
                     let t0 = Instant::now();
-                    let (type_likely, comp_stats) =
-                        likelihood_comp_gpu(dev, variant, &words, &sw.spans, read_len, tables);
+                    let comp_stats = likelihood_comp_gpu_into(
+                        dev,
+                        variant,
+                        &words,
+                        &sw.spans,
+                        read_len,
+                        tables,
+                        &mut arena.type_likely,
+                    );
                     rep.wall.likelihood_comp += t0.elapsed().as_secs_f64();
                     rep.times.likelihood_comp += comp_stats.sim_time;
 
                     // recycle
                     let t0 = Instant::now();
-                    words.clear();
+                    let word_bytes = arena.sw.words.len() as u64 * 4;
+                    drop(words); // device words park in the buffer pool
                     rep.wall.recycle += t0.elapsed().as_secs_f64();
-                    rep.times.recycle += (sw.words.len() as u64 * 4) as f64 / coalesced_bw;
+                    rep.times.recycle += word_bytes as f64 / coalesced_bw;
 
-                    rep.stats.num_sites += sw.num_sites() as u64;
-                    rep.stats.num_obs += sw.words.len() as u64;
+                    rep.stats.num_sites += arena.sw.num_sites() as u64;
+                    rep.stats.num_obs += arena.sw.words.len() as u64;
                     rep.stats.windows += 1;
                     rep.stage.busy += busy_start.elapsed().as_secs_f64();
 
                     let t0 = Instant::now();
                     let scored = Scored {
                         idx,
-                        start: window.start,
-                        summaries: sw.summaries,
-                        type_likely,
+                        start: arena.window.start,
+                        arena,
                         tl_bytes,
                     };
                     if score_tx.send(scored).is_err() {
@@ -536,11 +582,17 @@ impl GsnpPipeline {
             });
 
             // ---- posterior stage ----
+            let post_pool = std::sync::Arc::clone(&arena_pool);
             let posterior_stage = s.spawn(move || {
                 let mut rep = StageReport::default();
                 loop {
                     let t0 = Instant::now();
-                    let scored = match score_rx.recv() {
+                    let Scored {
+                        idx,
+                        start,
+                        arena,
+                        tl_bytes,
+                    } = match score_rx.recv() {
                         Ok(sc) => sc,
                         Err(_) => break,
                     };
@@ -549,27 +601,24 @@ impl GsnpPipeline {
 
                     let t0 = Instant::now();
                     let rows = posterior_rows(
-                        scored.start,
-                        &scored.type_likely,
-                        &scored.summaries,
+                        start,
+                        &arena.type_likely,
+                        &arena.sw.summaries,
                         reference,
                         priors,
                         params,
                     );
+                    post_pool.checkin(arena);
                     rep.stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
                     let dt = t0.elapsed().as_secs_f64();
                     rep.wall.posterior += dt;
                     let mut post_stats = LaunchStats::default();
-                    dev.charge_d2h(&mut post_stats, scored.tl_bytes + rows.len() as u64 * 32);
+                    dev.charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
                     rep.stage.busy += busy_start.elapsed().as_secs_f64();
 
                     let t0 = Instant::now();
-                    let called = Called {
-                        idx: scored.idx,
-                        start: scored.start,
-                        rows,
-                    };
+                    let called = Called { idx, start, rows };
                     if call_tx.send(called).is_err() {
                         break;
                     }
@@ -588,7 +637,11 @@ impl GsnpPipeline {
                 };
                 out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
                 let busy_start = Instant::now();
-                for (start, rows) in reasm.push(called.idx, (called.start, called.rows)) {
+                // In-order arrivals (the common case: every stage is one
+                // thread over FIFO channels) take the allocation-free
+                // `offer` fast path; stragglers drain via `pop_ready`.
+                let mut next = reasm.offer(called.idx, (called.start, called.rows));
+                while let Some((start, rows)) = next {
                     let t0 = Instant::now();
                     let table = SnpTable::new(reference.name.clone(), start, rows);
                     let out_stats = if gpu_output {
@@ -605,6 +658,7 @@ impl GsnpPipeline {
                         dt
                     };
                     out_tables.push(table);
+                    next = reasm.pop_ready();
                 }
                 out_rep.stage.busy += busy_start.elapsed().as_secs_f64();
             }
@@ -630,6 +684,8 @@ impl GsnpPipeline {
             output: out_rep.stage,
             wall: loop_wall,
         };
+        stats.arena = arena_pool.stats();
+        stats.pool = dev.pool().stats();
 
         GsnpOutput {
             tables: out_tables,
@@ -641,18 +697,20 @@ impl GsnpPipeline {
     }
 }
 
-/// Window handed from the producer to the device stage.
+/// Window handed from the producer to the device stage (the arena owns
+/// the loaded observation lists).
 struct Produced {
     idx: usize,
-    window: Window,
+    arena: WindowArena,
 }
 
-/// Likelihood-scored window handed from the device stage to `posterior`.
+/// Likelihood-scored window handed from the device stage to `posterior`
+/// (the arena owns `summaries` and `type_likely`; `posterior` returns it
+/// to the pool once rows are extracted).
 struct Scored {
     idx: usize,
     start: u64,
-    summaries: Vec<crate::model::SiteSummary>,
-    type_likely: Vec<[f64; NUM_GENOTYPES]>,
+    arena: WindowArena,
     tl_bytes: u64,
 }
 

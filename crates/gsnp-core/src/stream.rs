@@ -55,14 +55,42 @@ impl<T> OrderedReassembler<T> {
     /// # Panics
     /// Panics if an index is offered twice.
     pub fn push(&mut self, idx: usize, item: T) -> Vec<T> {
-        let prev = self.pending.insert(idx, item);
-        assert!(prev.is_none(), "window index {idx} reassembled twice");
         let mut ready = Vec::new();
-        while let Some(item) = self.pending.remove(&self.next) {
+        ready.extend(self.offer(idx, item));
+        while let Some(item) = self.pop_ready() {
             ready.push(item);
-            self.next += 1;
         }
         ready
+    }
+
+    /// Offer item `idx`; hands it straight back when it is the next
+    /// expected index (the common in-order case — no buffering, no
+    /// allocation), buffers it otherwise. After a `Some` return, drain
+    /// [`Self::pop_ready`] for any successors the item unblocked.
+    ///
+    /// # Panics
+    /// Panics if an index is offered twice.
+    pub fn offer(&mut self, idx: usize, item: T) -> Option<T> {
+        if idx == self.next {
+            self.next += 1;
+            return Some(item);
+        }
+        assert!(
+            idx > self.next,
+            "window index {idx} reassembled twice (next is {})",
+            self.next
+        );
+        let prev = self.pending.insert(idx, item);
+        assert!(prev.is_none(), "window index {idx} reassembled twice");
+        None
+    }
+
+    /// Pop the next in-order item if a previous out-of-order offer
+    /// buffered it, else `None`.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let item = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(item)
     }
 
     /// Items buffered out of order, awaiting a predecessor.
@@ -169,6 +197,32 @@ mod tests {
         let mut r = OrderedReassembler::new();
         let _ = r.push(1, ());
         let _ = r.push(1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "reassembled twice")]
+    fn already_emitted_index_panics() {
+        let mut r = OrderedReassembler::new();
+        let _ = r.push(0, ());
+        let _ = r.offer(0, ());
+    }
+
+    #[test]
+    fn offer_fast_path_and_pop_ready_drain() {
+        let mut r = OrderedReassembler::new();
+        // In-order offers hand the item straight back.
+        assert_eq!(r.offer(0, "a"), Some("a"));
+        assert_eq!(r.pop_ready(), None);
+        // Out-of-order offers buffer until the gap closes.
+        assert_eq!(r.offer(2, "c"), None);
+        assert_eq!(r.offer(3, "d"), None);
+        assert_eq!(r.pop_ready(), None);
+        assert_eq!(r.offer(1, "b"), Some("b"));
+        assert_eq!(r.pop_ready(), Some("c"));
+        assert_eq!(r.pop_ready(), Some("d"));
+        assert_eq!(r.pop_ready(), None);
+        assert!(r.is_drained());
+        assert_eq!(r.next_index(), 4);
     }
 
     /// A bounded channel between a fast producer and a reordering consumer

@@ -246,11 +246,14 @@ impl SoapSnpParallelPipeline {
                 let mut text = Vec::new();
                 let mut output_time = 0.0f64;
                 for (idx, table) in table_rx.iter() {
-                    for table in reasm.push(idx, table) {
+                    // In-order arrival takes the allocation-free fast path.
+                    let mut next = reasm.offer(idx, table);
+                    while let Some(table) = next {
                         let t0 = Instant::now();
                         table.write_text(&mut text).expect("in-memory write");
                         output_time += t0.elapsed().as_secs_f64();
                         tables.push(table);
+                        next = reasm.pop_ready();
                     }
                 }
                 assert!(reasm.is_drained(), "parallel SOAPsnp writer lost a window");

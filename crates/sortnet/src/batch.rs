@@ -50,28 +50,17 @@ pub fn batch_sort(
                 // Metadata fetch for the span descriptor.
                 ctx.add_inst(2);
                 // Stage: coalesced load of the array, MAX padding beyond.
-                for i in 0..len {
-                    let v = ctx.ld_co(data, off + i);
-                    tile.write(ctx, i, v);
-                }
-                for i in len..m {
-                    tile.write(ctx, i, u32::MAX);
-                }
-                // The network runs entirely in shared memory.
+                tile.stage_co(ctx, data, off, 0, len);
+                tile.fill_span(ctx, len, m, u32::MAX);
+                // The network runs entirely in shared memory; the fused
+                // compare-exchange tallies the same counters as scalar
+                // read/read(/write/write) sequences.
                 for_each_pair(m, |lo, hi| {
-                    let a = tile.read(ctx, lo);
-                    let b = tile.read(ctx, hi);
                     ctx.add_inst(1);
-                    if a > b {
-                        tile.write(ctx, lo, b);
-                        tile.write(ctx, hi, a);
-                    }
+                    tile.compare_exchange(ctx, lo, hi);
                 });
                 // Write back the real prefix.
-                for i in 0..len {
-                    let v = tile.read(ctx, i);
-                    ctx.st_co(data, off + i, v);
-                }
+                tile.flush_co(ctx, data, 0, off, len);
             }
             ctx.shared_free(tile);
         })
@@ -130,26 +119,13 @@ pub fn batch_sort_blockmax(
             let mut tile = ctx.shared_alloc::<u32>(m);
             for &(off, len) in group {
                 ctx.add_inst(2);
-                for i in 0..len {
-                    let v = ctx.ld_co(data, off + i);
-                    tile.write(ctx, i, v);
-                }
-                for i in len..m {
-                    tile.write(ctx, i, u32::MAX);
-                }
+                tile.stage_co(ctx, data, off, 0, len);
+                tile.fill_span(ctx, len, m, u32::MAX);
                 for_each_pair(m, |lo, hi| {
-                    let a = tile.read(ctx, lo);
-                    let b = tile.read(ctx, hi);
                     ctx.add_inst(1);
-                    if a > b {
-                        tile.write(ctx, lo, b);
-                        tile.write(ctx, hi, a);
-                    }
+                    tile.compare_exchange(ctx, lo, hi);
                 });
-                for i in 0..len {
-                    let v = tile.read(ctx, i);
-                    ctx.st_co(data, off + i, v);
-                }
+                tile.flush_co(ctx, data, 0, off, len);
             }
             ctx.shared_free(tile);
         } else {

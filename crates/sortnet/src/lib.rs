@@ -25,8 +25,9 @@ pub mod multipass;
 
 pub use batch::batch_sort;
 pub use multipass::{
-    multipass_sort, multipass_sort_with_bounds, noneq_sort, single_pass_sort, MultipassReport,
-    PASS_BOUNDS,
+    multipass_sort, multipass_sort_into, multipass_sort_with_bounds,
+    multipass_sort_with_bounds_into, noneq_sort, single_pass_sort, MultipassReport,
+    MultipassScratch, PASS_BOUNDS,
 };
 
 /// A sub-array to sort: `(offset, len)` into a shared backing buffer.

@@ -60,6 +60,23 @@ fn record_padding(report: &mut MultipassReport, spans: &[Span], capacity: usize)
     report.elements_real += spans.iter().map(|&(_, l)| l as u64).sum::<u64>();
 }
 
+/// Reusable working state for [`multipass_sort_into`]: the per-class span
+/// staging vector and the report it fills. Holding one of these across a
+/// window loop makes the multipass scheduler allocation-free in steady
+/// state (the sort itself works in place on device memory).
+#[derive(Debug, Default)]
+pub struct MultipassScratch {
+    class: Vec<Span>,
+    report: MultipassReport,
+}
+
+impl MultipassScratch {
+    /// The report produced by the most recent sort.
+    pub fn report(&self) -> &MultipassReport {
+        &self.report
+    }
+}
+
 /// The paper's multipass sort: one batch launch per size class.
 pub fn multipass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
     multipass_sort_with_bounds(dev, data, spans, &PASS_BOUNDS)
@@ -74,6 +91,30 @@ pub fn multipass_sort_with_bounds(
     spans: &[Span],
     bounds: &[usize],
 ) -> MultipassReport {
+    let mut scratch = MultipassScratch::default();
+    multipass_sort_with_bounds_into(dev, data, spans, bounds, &mut scratch);
+    scratch.report
+}
+
+/// [`multipass_sort`] writing into caller-owned scratch; see
+/// [`MultipassScratch`]. The result lands in `scratch.report()`.
+pub fn multipass_sort_into(
+    dev: &Device,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+    scratch: &mut MultipassScratch,
+) {
+    multipass_sort_with_bounds_into(dev, data, spans, &PASS_BOUNDS, scratch);
+}
+
+/// [`multipass_sort_with_bounds`] writing into caller-owned scratch.
+pub fn multipass_sort_with_bounds_into(
+    dev: &Device,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+    bounds: &[usize],
+    scratch: &mut MultipassScratch,
+) {
     assert!(!bounds.is_empty(), "at least one size class required");
     assert!(
         bounds.windows(2).all(|w| w[0] < w[1]),
@@ -84,7 +125,10 @@ pub fn multipass_sort_with_bounds(
         usize::MAX,
         "final bound must be open"
     );
-    let mut report = MultipassReport::default();
+    let MultipassScratch { class, report } = scratch;
+    report.passes.clear();
+    report.elements_sorted = 0;
+    report.elements_real = 0;
     report.elements_real += spans
         .iter()
         .filter(|&&(_, l)| l <= 1)
@@ -94,25 +138,26 @@ pub fn multipass_sort_with_bounds(
 
     let mut lower = 1usize;
     for &bound in bounds {
-        let class: Vec<Span> = spans
-            .iter()
-            .copied()
-            .filter(|&(_, l)| l > lower && l <= bound)
-            .collect();
+        class.clear();
+        class.extend(
+            spans
+                .iter()
+                .copied()
+                .filter(|&(_, l)| l > lower && l <= bound),
+        );
         if !class.is_empty() {
             let capacity = if bound == usize::MAX {
                 class.iter().map(|&(_, l)| l).max().unwrap_or(1)
             } else {
                 bound
             };
-            record_padding(&mut report, &class, capacity);
+            record_padding(report, class, capacity);
             report
                 .passes
-                .push(batch_sort(dev, data, &class, capacity, ARRAYS_PER_BLOCK));
+                .push(batch_sort(dev, data, class, capacity, ARRAYS_PER_BLOCK));
         }
         lower = bound;
     }
-    report
 }
 
 /// Strawman 1 ("bitonic SP"): a single pass with every array padded to the
@@ -279,5 +324,23 @@ mod tests {
     #[test]
     fn padding_factor_of_empty_workload_is_one() {
         assert_eq!(MultipassReport::default().padding_factor(), 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_run() {
+        let dev = Device::m2050();
+        let mut scratch = MultipassScratch::default();
+        for seed in 20..23 {
+            let (host, spans) = workload(seed, 400);
+            let fresh_buf = dev.upload(&host);
+            let fresh = multipass_sort(&dev, &fresh_buf, &spans);
+            let reused_buf = dev.upload(&host);
+            multipass_sort_into(&dev, &reused_buf, &spans, &mut scratch);
+            assert_all_sorted(&dev, &reused_buf, &spans, &host);
+            let r = scratch.report();
+            assert_eq!(r.elements_sorted, fresh.elements_sorted);
+            assert_eq!(r.elements_real, fresh.elements_real);
+            assert_eq!(r.passes.len(), fresh.passes.len());
+        }
     }
 }

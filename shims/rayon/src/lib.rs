@@ -14,9 +14,13 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// Number of worker threads a parallel operation may use.
+/// Number of worker threads a parallel operation may use. Cached: real
+/// rayon sizes its pool once at startup, and `available_parallelism`
+/// allocates on Linux (it reads cgroup quota files), which would put heap
+/// traffic on every kernel launch of the allocation-free window loop.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
 
 fn run_mapped<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -137,34 +141,129 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
     }
 }
 
-/// Conversion into a [`ParIter`] by value.
+/// A lazy parallel iterator over an integer range. Unlike [`ParIter`] it
+/// never materializes the index space: the serial fast path is a plain
+/// loop and the parallel path splits the range arithmetically, so kernel
+/// launches in tight loops stay allocation-free.
+pub struct ParRange<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($t:ty) => {
+        impl ParRange<$t> {
+            /// Apply `f` to every index.
+            pub fn for_each<F: Fn($t) + Sync>(self, f: F) {
+                let n = self.len();
+                let threads = current_num_threads().min(n);
+                if threads <= 1 {
+                    for i in self.range {
+                        f(i);
+                    }
+                    return;
+                }
+                // Chunked dynamic scheduling over index arithmetic: a
+                // shared cursor hands out subranges, no queue allocation.
+                let chunk = n.div_ceil(threads * 4).max(1) as $t;
+                let start = self.range.start;
+                let end = self.range.end;
+                let cursor = std::sync::atomic::AtomicUsize::new(0);
+                let f = &f;
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| loop {
+                            let k = cursor
+                                .fetch_add(chunk as usize, std::sync::atomic::Ordering::Relaxed);
+                            let lo = start.saturating_add(k as $t);
+                            if lo >= end {
+                                break;
+                            }
+                            let hi = lo.saturating_add(chunk).min(end);
+                            for i in lo..hi {
+                                f(i);
+                            }
+                        });
+                    }
+                });
+            }
+
+            /// Lazily map; consumed by `collect` or `for_each`.
+            pub fn map<R: Send, F: Fn($t) -> R + Sync>(self, f: F) -> ParRangeMap<$t, F> {
+                ParRangeMap {
+                    range: self.range,
+                    f,
+                }
+            }
+
+            /// Chunk-size hint — accepted for API compatibility, ignored.
+            pub fn with_min_len(self, _len: usize) -> Self {
+                self
+            }
+
+            /// Number of indices.
+            pub fn len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            /// Whether the range is empty.
+            pub fn is_empty(&self) -> bool {
+                self.range.is_empty()
+            }
+        }
+
+        impl<R: Send, F: Fn($t) -> R + Sync> ParRangeMap<$t, F> {
+            /// Execute the map in parallel and collect results in input
+            /// order.
+            pub fn collect<C: FromIterator<R>>(self) -> C {
+                let n = (self.range.end.saturating_sub(self.range.start)) as usize;
+                let threads = current_num_threads().min(n);
+                if threads <= 1 {
+                    return self.range.map(self.f).collect();
+                }
+                run_mapped(self.range.collect(), self.f)
+                    .into_iter()
+                    .collect()
+            }
+
+            /// Execute the map for its side effects.
+            pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+                let f = self.f;
+                (ParRange { range: self.range }).for_each(move |i| g(f(i)));
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    };
+}
+
+/// A mapped lazy range (the result of [`ParRange::map`]).
+pub struct ParRangeMap<T, F> {
+    range: std::ops::Range<T>,
+    f: F,
+}
+
+par_range_impl!(usize);
+par_range_impl!(u32);
+
+/// Conversion into a parallel iterator by value.
 pub trait IntoParallelIterator {
     /// Item type.
     type Item: Send;
-    /// Materialize the parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
-}
-
-impl IntoParallelIterator for std::ops::Range<usize> {
-    type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-impl IntoParallelIterator for std::ops::Range<u32> {
-    type Item = u32;
-    fn into_par_iter(self) -> ParIter<u32> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
+    /// Concrete iterator type ([`ParIter`] or the lazy [`ParRange`]).
+    type Iter;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    type Iter = ParIter<T>;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
     }
