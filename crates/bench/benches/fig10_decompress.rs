@@ -22,16 +22,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     g.bench_function("reparse_text", |b| {
-        b.iter(|| SnpTable::read_text(std::io::Cursor::new(&text[..])).unwrap())
+        b.iter(|| SnpTable::read_text(std::io::Cursor::new(&text[..])).unwrap());
     });
     g.bench_function("lz_decompress", |b| {
-        b.iter(|| compress::lz::decompress(&gz).unwrap())
+        b.iter(|| compress::lz::decompress(&gz).unwrap());
     });
     g.bench_function("column_decompress", |b| {
-        b.iter(|| decompress_table(&col).unwrap())
+        b.iter(|| decompress_table(&col).unwrap());
     });
     g.bench_function("input_codec_decompress", |b| {
-        b.iter(|| input_codec::decompress_reads(&temp).unwrap())
+        b.iter(|| input_codec::decompress_reads(&temp).unwrap());
     });
     g.finish();
 }

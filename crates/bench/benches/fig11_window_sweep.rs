@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                     ..Default::default()
                 })
                 .run(&d.reads, &d.reference, &d.priors)
-            })
+            });
         });
     }
     g.finish();

@@ -19,15 +19,15 @@ fn bench(c: &mut Criterion) {
                 params: ModelParams::default(),
             })
             .run(&d.reads, &d.reference, &d.priors)
-        })
+        });
     });
     g.bench_function("gsnp_cpu", |b| {
         b.iter(|| {
             GsnpCpuPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors)
-        })
+        });
     });
     g.bench_function("gsnp", |b| {
-        b.iter(|| GsnpPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors))
+        b.iter(|| GsnpPipeline::new(GsnpConfig::default()).run(&d.reads, &d.reference, &d.priors));
     });
     g.finish();
 }

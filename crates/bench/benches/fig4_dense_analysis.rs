@@ -21,10 +21,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
     g.bench_function("recycle_dense_4k_sites", |b| {
-        b.iter(|| dense.recycle_sites(w.len()))
+        b.iter(|| dense.recycle_sites(w.len()));
     });
     g.bench_function("sparsity_histogram_4k_sites", |b| {
-        b.iter(|| nonzero_cells_per_site(&w))
+        b.iter(|| nonzero_cells_per_site(&w));
     });
     g.finish();
 }

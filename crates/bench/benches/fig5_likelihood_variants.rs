@@ -32,17 +32,17 @@ fn bench(c: &mut Criterion) {
             (0..w.len())
                 .map(|s| likelihood_dense_site(dense.site(s), &p, &lt))
                 .collect::<Vec<_>>()
-        })
+        });
     });
     g.bench_function("sparse_cpu_256_sites", |b| {
         b.iter(|| {
             (0..256.min(sw.num_sites()))
                 .map(|s| likelihood_sparse_site(sw.site_words(s), d.config.read_len, &np, &lt))
                 .collect::<Vec<_>>()
-        })
+        });
     });
     g.bench_function("dense_gpu_256_sites", |b| {
-        b.iter(|| likelihood_dense_gpu(&dev, &occ, w.len(), &tables))
+        b.iter(|| likelihood_dense_gpu(&dev, &occ, w.len(), &tables));
     });
     g.bench_function("sparse_gpu_256_sites", |b| {
         b.iter(|| {
@@ -54,7 +54,7 @@ fn bench(c: &mut Criterion) {
                 d.config.read_len,
                 &tables,
             )
-        })
+        });
     });
     g.finish();
 }

@@ -19,14 +19,14 @@ fn bench(c: &mut Criterion) {
             || unsorted.clone(),
             |mut sw| sort_sparse_cpu(&mut sw),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("sort_gpu", |b| {
         b.iter_batched(
             || dev.upload(&unsorted.words),
             |words| multipass_sort(&dev, &words, &unsorted.spans),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     let words = dev.upload(&sorted.words);
     g.bench_function("comp_gpu", |b| {
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 d.config.read_len,
                 &tables,
             )
-        })
+        });
     });
     g.finish();
 }

@@ -26,21 +26,21 @@ fn bench(c: &mut Criterion) {
                 || dev.upload(&host),
                 |buf| sortnet::batch_sort(&dev, &buf, &spans, size, 8),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
         g.bench_with_input(BenchmarkId::new("cpu_qsort", size), &size, |b, _| {
             b.iter_batched(
                 || host.clone(),
                 |mut data| sortnet::baselines::parallel_cpu_qsort(&mut data, &spans),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
         g.bench_with_input(BenchmarkId::new("seq_radix", size), &size, |b, _| {
             b.iter_batched(
                 || host.clone(),
                 |mut data| sortnet::baselines::sequential_radix(&mut data, &spans),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();

@@ -17,21 +17,21 @@ fn bench(c: &mut Criterion) {
             || dev.upload(&sw.words),
             |buf| multipass_sort(&dev, &buf, &sw.spans),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("single_pass", |b| {
         b.iter_batched(
             || dev.upload(&sw.words),
             |buf| single_pass_sort(&dev, &buf, &sw.spans),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("noneq", |b| {
         b.iter_batched(
             || dev.upload(&sw.words),
             |buf| noneq_sort(&dev, &buf, &sw.spans),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

@@ -22,14 +22,14 @@ fn bench(c: &mut Criterion) {
             let mut buf = Vec::new();
             table.write_text(&mut buf).unwrap();
             buf
-        })
+        });
     });
     g.bench_function("lz_gzip_class", |b| {
-        b.iter(|| compress::lz::compress(&text))
+        b.iter(|| compress::lz::compress(&text));
     });
     g.bench_function("column_codec_cpu", |b| b.iter(|| compress_table(table)));
     g.bench_function("column_codec_gpu", |b| {
-        b.iter(|| compress_table_gpu(&dev, table))
+        b.iter(|| compress_table_gpu(&dev, table));
     });
     g.finish();
 }

@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for depth in [1usize, 2, 3, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            b.iter(|| GsnpPipeline::new(cfg(depth, pacing)).run(&d.reads, &d.reference, &d.priors))
+            b.iter(|| GsnpPipeline::new(cfg(depth, pacing)).run(&d.reads, &d.reference, &d.priors));
         });
     }
     g.finish();

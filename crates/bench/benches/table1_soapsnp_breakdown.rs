@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                 params: ModelParams::default(),
             })
             .run(&d.reads, &d.reference, &d.priors)
-        })
+        });
     });
     g.finish();
 }

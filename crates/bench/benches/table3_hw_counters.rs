@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(variant.label().replace(' ', "_").replace('/', ""), |b| {
             b.iter(|| {
                 likelihood_comp_gpu(&dev, variant, &words, &sw.spans, d.config.read_len, &tables)
-            })
+            });
         });
     }
     g.finish();

@@ -45,6 +45,18 @@ fn main() {
             .collect();
     }
 
+    // Recorded numbers must never be produced under the sanitizer: shadow
+    // tracking adds per-access work (~8x wall clock; see EXPERIMENTS.md).
+    // Asserted here so a flipped default cannot silently taint the tables.
+    assert!(
+        !gsnp_core::pipeline::GsnpConfig::default().sanitize,
+        "reproduce requires the sanitizer disabled; sanitized runs are for tests only"
+    );
+    assert!(
+        !gpu_sim::Device::m2050().sanitizer_enabled(),
+        "a bare device must not carry sanitizer state"
+    );
+
     let registry = all_experiments();
     println!("GSNP reproduction harness — scale {scale}\n");
     for name in &selected {

@@ -39,10 +39,15 @@ fn run_soapsnp(d: &Dataset) -> SoapSnpOutput {
 
 fn gsnp_cfg(d: &Dataset, scale: f64) -> GsnpConfig {
     let _ = d;
-    GsnpConfig {
+    let cfg = GsnpConfig {
         window_size: scaled_window(256_000, scale),
         ..Default::default()
-    }
+    };
+    // Measured experiments must never run under the sanitizer (its shadow
+    // tracking is ~8x wall clock and is counter-neutral, so nothing is
+    // gained); the sweep tests cover the checked configuration.
+    assert!(!cfg.sanitize, "benchmark config has the sanitizer enabled");
+    cfg
 }
 
 fn run_gsnp(d: &Dataset, scale: f64) -> GsnpOutput {

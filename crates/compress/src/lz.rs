@@ -135,7 +135,7 @@ fn huffman_code_lengths(freqs: &[u64]) -> Vec<u8> {
         if lengths.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN) {
             return lengths;
         }
-        for v in f.iter_mut() {
+        for v in &mut f {
             *v = (*v / 2).max(u64::from(*v > 0));
         }
     }

@@ -18,6 +18,9 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sanitizer::BufferShadow;
 
 /// Raw type-erased device cells (shared with the buffer pool).
 pub(crate) type RawCells = Box<[AtomicU64]>;
@@ -108,6 +111,10 @@ impl DeviceScalar for f64 {
 pub struct GlobalBuffer<T: DeviceScalar> {
     cells: RawCells,
     len: usize,
+    /// Sanitizer shadow state. `None` unless the buffer was allocated
+    /// through a [`crate::Device`] with an attached sanitizer, so the only
+    /// cost on unsanitized paths is one never-taken branch per host access.
+    shadow: Option<Arc<BufferShadow>>,
     _marker: PhantomData<T>,
 }
 
@@ -117,6 +124,7 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells: raw_zeroed(len),
             len,
+            shadow: None,
             _marker: PhantomData,
         }
     }
@@ -127,6 +135,7 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells: data.iter().map(|&v| AtomicU64::new(v.to_raw())).collect(),
             len: data.len(),
+            shadow: None,
             _marker: PhantomData,
         }
     }
@@ -140,13 +149,26 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells,
             len,
+            shadow: None,
             _marker: PhantomData,
         }
     }
 
-    /// Unwrap into the raw backing cells (for return to a pool).
+    /// Unwrap into the raw backing cells (for return to a pool; any shadow
+    /// state dies with the tenancy — a recycled buffer gets a fresh shadow).
     pub(crate) fn into_raw_cells(self) -> RawCells {
         self.cells
+    }
+
+    /// Attach sanitizer shadow state (done by [`crate::Device`] allocation
+    /// paths when a sanitizer is configured).
+    pub(crate) fn set_shadow(&mut self, shadow: Arc<BufferShadow>) {
+        self.shadow = Some(shadow);
+    }
+
+    /// The attached shadow state, if any.
+    pub(crate) fn shadow(&self) -> Option<&Arc<BufferShadow>> {
+        self.shadow.as_ref()
     }
 
     /// Number of (logical) elements.
@@ -174,6 +196,9 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     #[inline(always)]
     pub fn get(&self, i: usize) -> T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if let Some(sh) = &self.shadow {
+            sh.host_read(i, 1);
+        }
         T::from_raw(self.cells[i].load(Ordering::Relaxed))
     }
 
@@ -181,7 +206,10 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     #[inline(always)]
     pub fn set(&self, i: usize, v: T) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        self.cells[i].store(v.to_raw(), Ordering::Relaxed)
+        if let Some(sh) = &self.shadow {
+            sh.host_write(i, 1);
+        }
+        self.cells[i].store(v.to_raw(), Ordering::Relaxed);
     }
 
     /// Uncounted host-side read of `out.len()` consecutive elements
@@ -194,6 +222,9 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
             "span {start}..{end} out of bounds (len {})",
             self.len
         );
+        if let Some(sh) = &self.shadow {
+            sh.host_read(start, out.len());
+        }
         for (o, c) in out.iter_mut().zip(&self.cells[start..end]) {
             *o = T::from_raw(c.load(Ordering::Relaxed));
         }
@@ -213,6 +244,9 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     /// to the steady-state window size no heap traffic occurs.
     pub fn read_into(&self, out: &mut Vec<T>) {
         out.clear();
+        if let Some(sh) = &self.shadow {
+            sh.host_read(0, self.len);
+        }
         out.extend(
             self.cells[..self.len]
                 .iter()
@@ -226,6 +260,9 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     /// Panics if lengths differ.
     pub fn write_from(&self, data: &[T]) {
         assert_eq!(data.len(), self.len, "host/device length mismatch");
+        if let Some(sh) = &self.shadow {
+            sh.host_write(0, self.len);
+        }
         for (cell, &v) in self.cells[..self.len].iter().zip(data) {
             cell.store(v.to_raw(), Ordering::Relaxed);
         }
@@ -233,9 +270,22 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
 
     /// Reset every element to the default value (the GSNP `recycle` step).
     pub fn clear(&self) {
-        for cell in self.cells[..self.len].iter() {
+        if let Some(sh) = &self.shadow {
+            sh.host_write(0, self.len);
+        }
+        for cell in &self.cells[..self.len] {
             cell.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Raw bit pattern of every logical element (uncounted, shadow-exempt).
+    /// Observation hook for the block-order determinism check — comparing
+    /// raw lanes makes "byte-identical" literal, NaN payloads included.
+    pub fn raw_snapshot(&self) -> Vec<u64> {
+        self.cells[..self.len]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     #[inline(always)]
@@ -269,6 +319,10 @@ impl GlobalBuffer<f64> {
             "span {start}..{end} out of bounds (len {})",
             self.len
         );
+        if let Some(sh) = &self.shadow {
+            sh.host_read(start, terms.len());
+            sh.host_write(start, terms.len());
+        }
         for (c, &t) in self.cells[start..end].iter().zip(terms) {
             let cur = f64::from_bits(c.load(Ordering::Relaxed));
             c.store((cur + t).to_bits(), Ordering::Relaxed);

@@ -9,6 +9,7 @@
 use crate::buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 use crate::config::DeviceConfig;
 use crate::counters::HwCounters;
+use crate::sanitizer::{AccessKind, LaunchSession};
 
 /// Execution context handed to the kernel closure, one per block.
 pub struct BlockCtx<'a> {
@@ -19,16 +20,43 @@ pub struct BlockCtx<'a> {
     pub(crate) cfg: &'a DeviceConfig,
     pub(crate) counters: HwCounters,
     pub(crate) shared_used: usize,
+    pub(crate) shared_high: usize,
+    /// Sanitizer context for this launch; `None` (one never-taken branch
+    /// per access) unless the device has a sanitizer attached.
+    pub(crate) session: Option<&'a LaunchSession<'a>>,
 }
 
 impl<'a> BlockCtx<'a> {
-    pub(crate) fn new(block_idx: usize, grid_dim: usize, cfg: &'a DeviceConfig) -> Self {
+    pub(crate) fn new(
+        block_idx: usize,
+        grid_dim: usize,
+        cfg: &'a DeviceConfig,
+        session: Option<&'a LaunchSession<'a>>,
+    ) -> Self {
         BlockCtx {
             block_idx,
             grid_dim,
             cfg,
             counters: HwCounters::default(),
             shared_used: 0,
+            shared_high: 0,
+            session,
+        }
+    }
+
+    /// Sanitizer hook for one global-buffer access: precise bounds check
+    /// first, then per-buffer shadow state. Never touches the hardware
+    /// counters, so counter traces are identical with or without it.
+    #[inline(always)]
+    fn san_global<T: DeviceScalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        start: usize,
+        n: usize,
+        kind: AccessKind,
+    ) {
+        if let Some(sess) = self.session {
+            sess.global_access(self.block_idx, buf.shadow(), buf.len(), start, n, kind);
         }
     }
 
@@ -51,6 +79,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.instructions += 1;
         self.counters.g_load_coalesced += 1;
         self.counters.g_load_bytes_co += T::BYTES;
+        self.san_global(buf, i, 1, AccessKind::Read);
         buf.get(i)
     }
 
@@ -61,6 +90,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.instructions += 1;
         self.counters.g_load_random += 1;
         self.counters.g_load_bytes_rand += T::BYTES;
+        self.san_global(buf, i, 1, AccessKind::Read);
         buf.get(i)
     }
 
@@ -81,6 +111,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.instructions += n;
         self.counters.g_load_random += n;
         self.counters.g_load_bytes_rand += n * T::BYTES;
+        self.san_global(buf, start, out.len(), AccessKind::Read);
         buf.read_span(start, out);
     }
 
@@ -96,6 +127,8 @@ impl<'a> BlockCtx<'a> {
         self.counters.g_load_bytes_rand += n * <f64 as DeviceScalar>::BYTES;
         self.counters.g_store_random += n;
         self.counters.g_store_bytes_rand += n * <f64 as DeviceScalar>::BYTES;
+        self.san_global(buf, start, terms.len(), AccessKind::Read);
+        self.san_global(buf, start, terms.len(), AccessKind::Write);
         buf.add_assign_span(start, terms);
     }
 
@@ -105,6 +138,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.instructions += 1;
         self.counters.g_store_coalesced += 1;
         self.counters.g_store_bytes_co += T::BYTES;
+        self.san_global(buf, i, 1, AccessKind::Write);
         buf.set(i, v);
     }
 
@@ -114,6 +148,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.instructions += 1;
         self.counters.g_store_random += 1;
         self.counters.g_store_bytes_rand += T::BYTES;
+        self.san_global(buf, i, 1, AccessKind::Write);
         buf.set(i, v);
     }
 
@@ -126,6 +161,7 @@ impl<'a> BlockCtx<'a> {
         self.counters.g_load_bytes_rand += T::BYTES;
         self.counters.g_store_random += 1;
         self.counters.g_store_bytes_rand += T::BYTES;
+        self.san_global(buf, i, 1, AccessKind::Atomic);
         T::fetch_add(buf.cell(i), v)
     }
 
@@ -163,11 +199,22 @@ impl<'a> BlockCtx<'a> {
             self.cfg.name
         );
         self.shared_used = new_used;
+        self.shared_high = self.shared_high.max(new_used);
         let mut data = scratch_take();
         data.clear();
         data.resize(len, 0);
+        // Under initcheck, a fresh tile starts fully poisoned: CUDA
+        // `__shared__` storage is uninitialized even though the simulator
+        // happens to zero its backing lanes.
+        let poison = match self.session {
+            Some(sess) if sess.san.cfg.initcheck => {
+                Some(std::cell::RefCell::new(vec![!0u64; len.div_ceil(64)]))
+            }
+            _ => None,
+        };
         SharedMem {
             data,
+            poison,
             _marker: std::marker::PhantomData,
         }
     }
@@ -215,6 +262,10 @@ fn scratch_put(v: Vec<u64>) {
 /// All accesses go through the [`BlockCtx`] so they are tallied.
 pub struct SharedMem<T: DeviceScalar> {
     data: Vec<u64>,
+    /// Initcheck shadow bits (set ⇒ lane never written); only allocated in
+    /// sanitized launches. `RefCell` because reads report through `&self`;
+    /// a tile is private to one block so there is no sharing to guard.
+    poison: Option<std::cell::RefCell<Vec<u64>>>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -225,6 +276,31 @@ impl<T: DeviceScalar> Drop for SharedMem<T> {
 }
 
 impl<T: DeviceScalar> SharedMem<T> {
+    /// Initcheck: report (once per lane) any read of a never-written lane.
+    #[inline(always)]
+    fn check_init(&self, ctx: &BlockCtx<'_>, start: usize, n: usize) {
+        if let (Some(poison), Some(sess)) = (&self.poison, ctx.session) {
+            let mut bits = poison.borrow_mut();
+            for i in start..start + n {
+                if bits[i >> 6] >> (i & 63) & 1 == 1 {
+                    sess.shared_uninit(ctx.block_idx, i, self.data.len());
+                    bits[i >> 6] &= !(1 << (i & 63));
+                }
+            }
+        }
+    }
+
+    /// Initcheck: mark lanes as written.
+    #[inline(always)]
+    fn define_init(&self, start: usize, n: usize) {
+        if let Some(poison) = &self.poison {
+            let mut bits = poison.borrow_mut();
+            for i in start..start + n {
+                bits[i >> 6] &= !(1 << (i & 63));
+            }
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -241,6 +317,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += 1;
         ctx.counters.s_load += 1;
         ctx.counters.s_bytes += T::BYTES;
+        self.check_init(ctx, i, 1);
         T::from_raw(self.data[i])
     }
 
@@ -250,6 +327,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += 1;
         ctx.counters.s_store += 1;
         ctx.counters.s_bytes += T::BYTES;
+        self.define_init(i, 1);
         self.data[i] = v.to_raw();
     }
 
@@ -259,6 +337,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += n as u64;
         ctx.counters.s_store += n as u64;
         ctx.counters.s_bytes += n as u64 * T::BYTES;
+        self.define_init(0, n);
         self.data.fill(0);
     }
 }
@@ -285,6 +364,8 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.g_load_bytes_co += n * T::BYTES;
         ctx.counters.s_store += n;
         ctx.counters.s_bytes += n * T::BYTES;
+        ctx.san_global(buf, src, len, AccessKind::Read);
+        self.define_init(dst, len);
         for (lane, cell) in self.data[dst..dst + len]
             .iter_mut()
             .zip(buf.cells_span(src, len))
@@ -312,6 +393,8 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.s_bytes += n * T::BYTES;
         ctx.counters.g_store_coalesced += n;
         ctx.counters.g_store_bytes_co += n * T::BYTES;
+        self.check_init(ctx, src, len);
+        ctx.san_global(buf, dst, len, AccessKind::Write);
         for (lane, cell) in self.data[src..src + len]
             .iter()
             .zip(buf.cells_span(dst, len))
@@ -328,6 +411,7 @@ impl<T: DeviceScalar> SharedMem<T> {
         ctx.counters.instructions += n;
         ctx.counters.s_store += n;
         ctx.counters.s_bytes += n * T::BYTES;
+        self.define_init(start, end - start);
         self.data[start..end].fill(v.to_raw());
     }
 }
@@ -344,6 +428,8 @@ impl SharedMem<u32> {
         ctx.counters.instructions += 2;
         ctx.counters.s_load += 2;
         ctx.counters.s_bytes += 2 * BYTES;
+        self.check_init(ctx, lo, 1);
+        self.check_init(ctx, hi, 1);
         let a = self.data[lo];
         let b = self.data[hi];
         if a > b {
@@ -367,6 +453,7 @@ impl SharedMem<f64> {
         ctx.counters.s_load += n;
         ctx.counters.s_store += n;
         ctx.counters.s_bytes += 2 * n * <f64 as DeviceScalar>::BYTES;
+        self.check_init(ctx, start, terms.len());
         let end = start + terms.len();
         for (cell, &t) in self.data[start..end].iter_mut().zip(terms) {
             *cell = (f64::from_bits(*cell) + t).to_bits();
@@ -380,7 +467,7 @@ mod tests {
     use crate::config::DeviceConfig;
 
     fn ctx(cfg: &DeviceConfig) -> BlockCtx<'_> {
-        BlockCtx::new(0, 1, cfg)
+        BlockCtx::new(0, 1, cfg, None)
     }
 
     #[test]

@@ -22,6 +22,28 @@ use crate::cost::CostModel;
 use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
 use crate::ctx::BlockCtx;
 use crate::pool::{BufferPool, PoolStats, PooledBuffer};
+use crate::sanitizer::{
+    permuted_order, splitmix64, LaunchSession, Sanitizer, SanitizerConfig, SanitizerCounts,
+    SanitizerReport,
+};
+
+/// How [`Device::launch`] schedules blocks. [`Device::launch_seq`] always
+/// runs in ascending order regardless — kernels use it precisely when block
+/// order is semantically load-bearing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockSchedule {
+    /// Blocks run concurrently on the work-stealing pool (the default, and
+    /// the semantics every parallel kernel must be correct under).
+    Parallel,
+    /// Blocks run sequentially in a seeded pseudo-random order; every
+    /// launch draws the next permutation from the seed's stream. Used by
+    /// the block-order determinism check
+    /// ([`crate::sanitizer::check_block_order_invariance`]).
+    Permuted {
+        /// Stream seed; the same seed replays the same permutation sequence.
+        seed: u64,
+    },
+}
 
 /// Running totals across every launch and transfer on one [`Device`].
 ///
@@ -44,6 +66,9 @@ pub struct DeviceLedger {
     /// Buffer-pool traffic (hits/misses/high-water); snapshotted from the
     /// device's [`BufferPool`] when the ledger is read.
     pub pool: PoolStats,
+    /// Sanitizer finding totals; all-zero unless the device was built with
+    /// [`Device::with_sanitizer`] (snapshotted when the ledger is read).
+    pub sanitizer: SanitizerCounts,
 }
 
 impl DeviceLedger {
@@ -67,6 +92,10 @@ pub struct Device {
     cost: CostModel,
     ledger: Mutex<DeviceLedger>,
     pool: Arc<BufferPool>,
+    sanitizer: Option<Arc<Sanitizer>>,
+    schedule: Mutex<BlockSchedule>,
+    /// Per-launch counter driving the permuted schedule's seed stream.
+    schedule_stream: std::sync::atomic::AtomicU64,
 }
 
 impl Device {
@@ -78,12 +107,54 @@ impl Device {
             cost,
             ledger: Mutex::new(DeviceLedger::default()),
             pool: Arc::new(BufferPool::default()),
+            sanitizer: None,
+            schedule: Mutex::new(BlockSchedule::Parallel),
+            schedule_stream: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Convenience: the paper's Tesla M2050.
     pub fn m2050() -> Self {
         Self::new(DeviceConfig::tesla_m2050())
+    }
+
+    /// Attach the dynamic checkers (see [`crate::sanitizer`]). Buffers
+    /// allocated through this device afterwards get shadow state, and every
+    /// launch is checked. Counter traces stay byte-identical — the checkers
+    /// never touch [`HwCounters`] — but sanitized execution is slower, so
+    /// recorded benchmarks must not enable it.
+    pub fn with_sanitizer(mut self, cfg: SanitizerConfig) -> Self {
+        self.sanitizer = Some(Arc::new(Sanitizer::new(cfg)));
+        self
+    }
+
+    /// Whether a sanitizer is attached.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The accumulated sanitizer findings (`None` without a sanitizer).
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
+    }
+
+    /// Set how [`Device::launch`] schedules blocks.
+    pub fn set_block_schedule(&self, schedule: BlockSchedule) {
+        *self.schedule.lock() = schedule;
+    }
+
+    /// The current block schedule.
+    pub fn block_schedule(&self) -> BlockSchedule {
+        *self.schedule.lock()
+    }
+
+    /// Attach fresh shadow state to a device-allocated buffer when a
+    /// sanitizer is present. `poisoned` marks every word
+    /// never-written (the `alloc_pooled_dirty` contract).
+    fn attach_shadow<T: DeviceScalar>(&self, buf: &mut GlobalBuffer<T>, poisoned: bool) {
+        if let Some(san) = &self.sanitizer {
+            buf.set_shadow(san.new_shadow(std::any::type_name::<T>(), buf.len(), poisoned));
+        }
     }
 
     /// Device configuration.
@@ -101,6 +172,11 @@ impl Device {
     pub fn ledger(&self) -> DeviceLedger {
         let mut led = *self.ledger.lock();
         led.pool = self.pool.stats();
+        led.sanitizer = self
+            .sanitizer
+            .as_ref()
+            .map(|s| s.counts())
+            .unwrap_or_default();
         led
     }
 
@@ -129,35 +205,49 @@ impl Device {
 
     /// Allocate a zeroed global buffer.
     pub fn alloc<T: DeviceScalar>(&self, len: usize) -> GlobalBuffer<T> {
-        GlobalBuffer::zeroed(len)
+        let mut buf = GlobalBuffer::zeroed(len);
+        self.attach_shadow(&mut buf, false);
+        buf
     }
 
     /// Allocate a zeroed buffer through the recycling pool. Semantically
     /// identical to [`Device::alloc`]; steady state reuses parked cells
     /// instead of touching the host allocator.
     pub fn alloc_pooled<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
-        self.pool.acquire(len, true)
+        let mut buf = self.pool.acquire(len, true);
+        self.attach_shadow(buf.global_mut(), false);
+        buf
     }
 
     /// Allocate through the pool *without* zeroing recycled contents, for
     /// buffers every element of which is written before it is read (the
     /// caller's invariant to uphold; fresh cells are zero regardless).
+    /// Under initcheck the buffer starts fully poisoned — fresh *or*
+    /// recycled — so any read-before-write is reported, not just the ones a
+    /// dirty previous tenant happens to expose.
     pub fn alloc_pooled_dirty<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
-        self.pool.acquire(len, false)
+        let mut buf = self.pool.acquire(len, false);
+        self.attach_shadow(buf.global_mut(), true);
+        buf
     }
 
     /// Upload host data into a new global buffer (H2D bytes are charged to
     /// the *next* launch via [`Device::launch_with_transfers`], or can be
     /// accounted manually; plain `upload` is uncounted for setup data).
     pub fn upload<T: DeviceScalar>(&self, data: &[T]) -> GlobalBuffer<T> {
-        GlobalBuffer::from_slice(data)
+        let mut buf = GlobalBuffer::from_slice(data);
+        self.attach_shadow(&mut buf, false);
+        buf
     }
 
     /// Upload host data into a pooled buffer (the recycling counterpart of
     /// [`Device::upload`]); every element is overwritten so no zeroing
     /// sweep is needed.
     pub fn upload_pooled<T: DeviceScalar>(&self, data: &[T]) -> PooledBuffer<T> {
-        let buf = self.pool.acquire::<T>(data.len(), false);
+        let mut buf = self.pool.acquire::<T>(data.len(), false);
+        // Attach poisoned, then let the upload define every word — the
+        // same path a kernel write takes, keeping the shadow truthful.
+        self.attach_shadow(buf.global_mut(), true);
         buf.write_from(data);
         buf
     }
@@ -183,6 +273,16 @@ impl Device {
         ConstBuffer::from_slice(data)
     }
 
+    /// Open a sanitizer session for one launch (a fresh racecheck epoch
+    /// plus the kernel name for diagnostics). `None` without a sanitizer.
+    fn launch_session<'k>(&'k self, name: &'k str) -> Option<LaunchSession<'k>> {
+        self.sanitizer.as_deref().map(|san| LaunchSession {
+            san,
+            epoch: san.next_epoch(),
+            kernel: name,
+        })
+    }
+
     /// Launch `grid_dim` blocks of the kernel. The closure runs once per
     /// block with a [`BlockCtx`]; blocks execute in parallel.
     ///
@@ -191,15 +291,18 @@ impl Device {
     where
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
-        let _ = name;
+        let session = self.launch_session(name);
         let totals = AtomicCounters::default();
         // Critical path: a block runs on one SM, so the launch can never
         // finish before its heaviest block does. Tracked as f64 bits.
         let max_block = std::sync::atomic::AtomicU64::new(0f64.to_bits());
         let start = Instant::now();
-        (0..grid_dim).into_par_iter().for_each(|b| {
-            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg);
+        let run_block = |b: usize| {
+            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg, session.as_ref());
             kernel(&mut ctx);
+            if let Some(sess) = &session {
+                sess.block_retire(b, ctx.shared_used, ctx.shared_high);
+            }
             let counters = ctx.take_counters();
             let block_time = self
                 .cost
@@ -211,7 +314,18 @@ impl Device {
                 |cur| (f64::from_bits(cur) < block_time).then(|| block_time.to_bits()),
             );
             totals.flush(&counters);
-        });
+        };
+        match self.block_schedule() {
+            BlockSchedule::Parallel => (0..grid_dim).into_par_iter().for_each(run_block),
+            BlockSchedule::Permuted { seed } => {
+                let k = self
+                    .schedule_stream
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                for b in permuted_order(grid_dim, seed ^ splitmix64(k)) {
+                    run_block(b);
+                }
+            }
+        }
         let wall = start.elapsed().as_secs_f64();
         let counters = totals.snapshot();
         let balanced = self.cost.kernel_time(&counters);
@@ -238,12 +352,15 @@ impl Device {
     where
         F: FnMut(&mut BlockCtx<'_>),
     {
-        let _ = name;
+        let session = self.launch_session(name);
         let totals = AtomicCounters::default();
         let start = Instant::now();
         for b in 0..grid_dim {
-            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg);
+            let mut ctx = BlockCtx::new(b, grid_dim, &self.cfg, session.as_ref());
             kernel(&mut ctx);
+            if let Some(sess) = &session {
+                sess.block_retire(b, ctx.shared_used, ctx.shared_high);
+            }
             totals.flush(&ctx.take_counters());
         }
         let wall = start.elapsed().as_secs_f64();

@@ -52,11 +52,16 @@ pub mod ctx;
 pub mod launch;
 pub mod pool;
 pub mod primitives;
+pub mod sanitizer;
 
 pub use buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
-pub use launch::{Device, DeviceLedger};
+pub use launch::{BlockSchedule, Device, DeviceLedger};
 pub use pool::{BufferPool, PoolStats, PooledBuffer};
+pub use sanitizer::{
+    check_block_order_invariance, CheckKind, DeterminismReport, Diagnostic, SanitizerConfig,
+    SanitizerCounts, SanitizerReport,
+};

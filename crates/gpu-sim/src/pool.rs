@@ -149,7 +149,7 @@ impl BufferPool {
                     if zero {
                         // Sweep the whole capacity (not just `len`) so the
                         // fully-zero invariant holds for later parking.
-                        for c in cells.iter() {
+                        for c in &cells {
                             c.store(0, Ordering::Relaxed);
                         }
                     } else {
@@ -229,6 +229,12 @@ impl<T: DeviceScalar> PooledBuffer<T> {
     /// also fully zero when acquired, and is checked in debug builds.
     pub fn park_zeroed_on_drop(&mut self) {
         self.park_zeroed = true;
+    }
+
+    /// Mutable access to the wrapped buffer, for [`crate::Device`] to
+    /// attach sanitizer shadow state after an acquire.
+    pub(crate) fn global_mut(&mut self) -> &mut GlobalBuffer<T> {
+        self.buf.as_mut().expect("pooled buffer present until drop")
     }
 }
 

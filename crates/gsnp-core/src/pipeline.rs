@@ -102,6 +102,8 @@ pub struct PipelineStats {
     pub arena: ArenaPoolStats,
     /// Device buffer-pool counters (hits/misses/high-water) at end of run.
     pub pool: gpu_sim::PoolStats,
+    /// Sanitizer finding totals; all-zero unless [`GsnpConfig::sanitize`].
+    pub sanitizer: gpu_sim::SanitizerCounts,
 }
 
 /// GSNP configuration.
@@ -131,6 +133,13 @@ pub struct GsnpConfig {
     /// to fresh allocations every window (the baseline pooled runs are
     /// proven byte-identical against).
     pub pooled: bool,
+    /// Run the device under the full dynamic-checker suite
+    /// ([`gpu_sim::SanitizerConfig::all`]): racecheck, initcheck,
+    /// boundscheck and leakcheck on every kernel. Slower; results and
+    /// hardware counters are unchanged. Findings land in
+    /// [`PipelineStats::sanitizer`]. Off by default — recorded experiments
+    /// must never enable it.
+    pub sanitize: bool,
 }
 
 impl Default for GsnpConfig {
@@ -144,6 +153,7 @@ impl Default for GsnpConfig {
             gpu_output: true,
             pipeline_depth: 2,
             pooled: true,
+            sanitize: false,
         }
     }
 }
@@ -198,7 +208,10 @@ impl GsnpPipeline {
         priors: &PriorMap,
     ) -> GsnpOutput {
         let cfg = &self.config;
-        let dev = Device::new(cfg.device.clone());
+        let mut dev = Device::new(cfg.device.clone());
+        if cfg.sanitize {
+            dev = dev.with_sanitizer(gpu_sim::SanitizerConfig::all());
+        }
         dev.pool().set_enabled(cfg.pooled);
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
@@ -388,6 +401,7 @@ impl GsnpPipeline {
         }
         stats.arena = arena_pool.stats();
         stats.pool = dev.pool().stats();
+        stats.sanitizer = dev.ledger().sanitizer;
 
         // A serial run is, by definition, one stage busy at a time.
         stats.overlap = OverlapStats {
@@ -686,6 +700,7 @@ impl GsnpPipeline {
         };
         stats.arena = arena_pool.stats();
         stats.pool = dev.pool().stats();
+        stats.sanitizer = dev.ledger().sanitizer;
 
         GsnpOutput {
             tables: out_tables,

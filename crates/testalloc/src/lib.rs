@@ -1,0 +1,52 @@
+//! A counting global allocator for allocation-free-ness tests.
+//!
+//! [`GlobalAlloc`] is an unsafe trait, so a counting wrapper around
+//! [`System`] is necessarily `unsafe` code. The rest of the workspace
+//! carries `forbid(unsafe_code)` (see the root `Cargo.toml`); this crate is
+//! the quarantine zone — it contains exactly the four delegating methods
+//! below and nothing else touches raw pointers.
+//!
+//! Usage, in an integration test:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOCATOR: testalloc::CountingAlloc = testalloc::CountingAlloc;
+//! let before = testalloc::allocs();
+//! hot_path();
+//! assert_eq!(testalloc::allocs() - before, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every `alloc`/`alloc_zeroed`/`realloc` (not frees — growth is
+/// what the steady-state tests must prove has stopped).
+pub struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total allocation calls since process start.
+pub fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}

@@ -69,7 +69,7 @@ fn main() {
     row("posterior", |t| t.posterior);
     row("output", |t| t.output);
     row("recycle", |t| t.recycle);
-    row("TOTAL", |t| t.total());
+    row("TOTAL", ComponentTimes::total);
     println!(
         "\nspeedup vs SOAPsnp: GSNP_CPU {:.1}x, GSNP {:.1}x",
         soap.times.total() / cpu.times.total(),

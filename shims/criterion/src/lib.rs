@@ -292,7 +292,7 @@ mod tests {
         c.sample_size(3).bench_function("noop", |b| {
             b.iter(|| {
                 runs += 1;
-            })
+            });
         });
         assert_eq!(runs, 3);
     }
@@ -309,7 +309,7 @@ mod tests {
                 || d.clone(),
                 |v| v.iter().sum::<u32>(),
                 BatchSize::SmallInput,
-            )
+            );
         });
         g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7));
         g.finish();

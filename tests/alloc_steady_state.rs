@@ -11,9 +11,6 @@
 //! compressed file) are retained by design, so "allocation-free" cannot
 //! apply to them.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use gsnp::core::arena::WindowArena;
 use gsnp::core::likelihood::{
     likelihood_comp_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
@@ -26,38 +23,13 @@ use gsnp::seqio::result::SnpRow;
 use gsnp::seqio::synth::{Dataset, SynthConfig};
 use gsnp::seqio::window::{OwnedReads, WindowReader};
 
-/// Counts every `alloc`/`realloc` (not frees — growth is what must stop).
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-}
-
+// The counting allocator lives in `testalloc`: its `GlobalAlloc` impl is
+// the workspace's one sanctioned use of `unsafe`, quarantined there so this
+// crate (and every other) can forbid unsafe code outright.
 #[global_allocator]
-static ALLOCATOR: CountingAlloc = CountingAlloc;
+static ALLOCATOR: testalloc::CountingAlloc = testalloc::CountingAlloc;
 
-fn allocs() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
-}
+use testalloc::allocs;
 
 /// One full pass of the hot path over the dataset, reusing `arena` and
 /// `rows`. Returns the per-window allocation deltas observed.

@@ -57,6 +57,42 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Initcheck property: a dirty pooled acquisition (`alloc_pooled_dirty`)
+    /// is never observed before being fully overwritten, at every pipeline
+    /// depth. The sanitized pipeline poisons every dirty word and reports a
+    /// read of any word the kernels did not define first; races between
+    /// blocks would surface here too.
+    #[test]
+    fn dirty_pooled_buffers_never_read_before_overwrite(
+        seed in 0u64..1_000_000,
+        num_sites in 800u64..2_400,
+        window_size in 137usize..900,
+        pipeline_depth in 1usize..=4,
+        gpu_output in any::<bool>(),
+    ) {
+        let mut sc = SynthConfig::tiny(seed);
+        sc.num_sites = num_sites;
+        let d = Dataset::generate(sc);
+
+        let out = GsnpPipeline::new(GsnpConfig {
+            window_size,
+            gpu_output,
+            pipeline_depth,
+            sanitize: true,
+            ..Default::default()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+
+        let s = out.stats.sanitizer;
+        prop_assert_eq!(s.uninit_reads, 0, "uninit reads at depth {}: {:?}", pipeline_depth, s);
+        prop_assert_eq!(s.races, 0, "races at depth {}: {:?}", pipeline_depth, s);
+        prop_assert!(s.is_clean(), "sanitizer findings at depth {}: {:?}", pipeline_depth, s);
+    }
+}
+
 /// Direct (non-proptest) check that the second window onward recycles
 /// both host arenas and device buffers, and that the ledger surfaces it.
 #[test]
