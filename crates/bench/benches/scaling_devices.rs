@@ -1,0 +1,61 @@
+//! Multi-device sharding: window-loop wall-clock vs device count.
+//!
+//! The device is paced so its stage dominates the loop (≈3× the host
+//! work per window); sharding windows across N paced devices then shows
+//! real wall-clock scaling because each worker sleeps on its own thread.
+//! See the `scaling` experiment for the calibrated full-size sweep.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let cfg = |devices: usize, pacing: f64| GsnpConfig {
+        window_size: 1_000,
+        device: DeviceConfig::tesla_m2050().paced(pacing),
+        pipeline_depth: 2,
+        num_devices: devices,
+        // Host-side output compression: the paced output-stage kernels
+        // are serial sleeps sharding can't hide (see `scaling`).
+        gpu_output: false,
+        ..Default::default()
+    };
+
+    // Calibrate pacing once from an unpaced serial probe: paced device
+    // occupancy ≈ 8× the total host work (including the device workers'
+    // own host wall), so sleeps dominate and sharding them shows.
+    let probe = GsnpPipeline::new(cfg(1, 0.0)).run(&d.reads, &d.reference, &d.priors);
+    let o = probe.stats.overlap;
+    let host_device: f64 = o.devices.iter().map(|l| l.stage.busy).sum();
+    let host_total = o.read.busy + o.posterior.busy + o.output.busy + host_device;
+    let sim_device = (probe.times.counting - probe.wall.counting)
+        + probe.times.likelihood_sort
+        + probe.times.likelihood_comp
+        + probe.times.recycle;
+    let pacing = if sim_device > 0.0 {
+        8.0 * host_total / sim_device
+    } else {
+        0.0
+    };
+
+    let mut g = c.benchmark_group("scaling_devices");
+    g.sample_size(10);
+    for devices in [1usize, 2, 3, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    GsnpPipeline::new(cfg(devices, pacing)).run(&d.reads, &d.reference, &d.priors)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -49,6 +49,7 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod ctx;
+pub mod group;
 pub mod launch;
 pub mod pool;
 pub mod primitives;
@@ -59,6 +60,7 @@ pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
+pub use group::{DeviceGroup, GroupLedger};
 pub use launch::{BlockSchedule, Device, DeviceLedger};
 pub use pool::{BufferPool, PoolStats, PooledBuffer};
 pub use sanitizer::{

@@ -21,9 +21,14 @@ use crate::counting::SparseWindow;
 use crate::model::NUM_GENOTYPES;
 
 /// Arenas parked per pool beyond which check-ins free instead of parking.
-/// The streamed pipeline keeps at most `depth + stages` arenas in flight,
-/// so this only bounds pathological callers.
-const MAX_PARKED: usize = 16;
+/// The streamed pipeline keeps at most `2·depth + num_devices + stages`
+/// arenas in flight (two bounded channels of `depth`, one window resident
+/// per device worker, one in the posterior stage), so with depths and
+/// device counts ≤ 8 this only bounds pathological callers. One pool is
+/// shared by all device workers: arenas travel producer → worker →
+/// posterior, so a per-worker free list would drain to wherever posterior
+/// checks in and defeat recycling.
+const MAX_PARKED: usize = 32;
 
 /// One window's worth of reusable host buffers. Every field is fully
 /// overwritten by its producing stage (`next_window_into`, `count_into`,

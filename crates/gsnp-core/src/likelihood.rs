@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use gpu_sim::{ConstBuffer, Device, GlobalBuffer, LaunchStats};
+use gpu_sim::{ConstBuffer, Device, DeviceGroup, GlobalBuffer, LaunchStats};
 use sortnet::multipass::{multipass_sort_into, MultipassReport, MultipassScratch};
 
 use crate::baseword;
@@ -202,6 +202,29 @@ impl DeviceTables {
     /// H2D bytes the upload represents (charged to `cal_p_matrix` time).
     pub fn upload_bytes(&self) -> u64 {
         (self.p_matrix.len() + self.new_p.len()) as u64 * 8 + self.log_table.len() as u64 * 8
+    }
+
+    /// Upload the tables to every device of a group from **one** host
+    /// image (the matrices are borrowed, the log table is ref-counted — no
+    /// per-device host-side rebuild), charging each device's ledger the
+    /// PCIe cost of its own copy exactly once. Returns one `DeviceTables`
+    /// per member, in device order.
+    pub fn upload_group(
+        group: &DeviceGroup,
+        p: &PMatrix,
+        np: &NewPMatrix,
+        lt: &Arc<LogTable>,
+    ) -> Vec<DeviceTables> {
+        group
+            .devices()
+            .iter()
+            .map(|dev| {
+                let tables = Self::upload_shared(dev, p, np, lt);
+                let mut stats = LaunchStats::default();
+                dev.charge_h2d(&mut stats, tables.upload_bytes());
+                tables
+            })
+            .collect()
     }
 }
 

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use compress::{column, input_codec};
 use crossbeam::channel::bounded;
-use gpu_sim::{Device, DeviceConfig, LaunchStats};
+use gpu_sim::{Device, DeviceConfig, DeviceGroup, LaunchStats};
 use rayon::prelude::*;
 use seqio::fasta::Reference;
 use seqio::prior::PriorMap;
@@ -38,7 +38,7 @@ use crate::likelihood::{
     likelihood_comp_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
 };
 use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
-use crate::stream::{OrderedReassembler, OverlapStats, StageStats};
+use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, StageStats};
 use crate::tables::{LogTable, NewPMatrix, PMatrix};
 
 /// Per-component elapsed time in seconds, matching the columns of the
@@ -82,7 +82,7 @@ impl ComponentTimes {
 }
 
 /// Aggregate pipeline statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
     /// Sites processed.
     pub num_sites: u64,
@@ -92,18 +92,29 @@ pub struct PipelineStats {
     pub windows: u64,
     /// Variant calls emitted.
     pub snp_count: u64,
-    /// Peak simulated-device memory, bytes.
+    /// Peak simulated-device memory, bytes (per device — each member of a
+    /// sharded group holds its own tables and in-flight window).
     pub peak_device_bytes: u64,
     /// Peak host memory attributable to the pipeline's buffers, bytes.
     pub peak_host_bytes: u64,
-    /// Per-stage busy/stall accounting for the window loop.
+    /// Per-stage busy/stall accounting for the window loop, including the
+    /// per-device-worker breakdown ([`OverlapStats::devices`]).
     pub overlap: OverlapStats,
     /// Host arena recycling counters for the window loop.
     pub arena: ArenaPoolStats,
-    /// Device buffer-pool counters (hits/misses/high-water) at end of run.
+    /// Device buffer-pool counters at end of run, summed across the group.
     pub pool: gpu_sim::PoolStats,
-    /// Sanitizer finding totals; all-zero unless [`GsnpConfig::sanitize`].
+    /// Sanitizer finding totals (summed across the group); all-zero unless
+    /// [`GsnpConfig::sanitize`].
     pub sanitizer: gpu_sim::SanitizerCounts,
+    /// End-of-run ledger snapshot of every device in the group, in device
+    /// order (one entry per [`GsnpConfig::num_devices`]).
+    pub ledgers: Vec<gpu_sim::DeviceLedger>,
+    /// H2D bytes of one device's score-table upload. Every ledger in
+    /// [`PipelineStats::ledgers`] records exactly one such charge, which is
+    /// what lets sum-invariance tests compare an `N`-device run against a
+    /// serial one.
+    pub table_bytes: u64,
 }
 
 /// GSNP configuration.
@@ -127,6 +138,15 @@ pub struct GsnpConfig {
     /// window *k*'s host stages overlap window *k+1*'s device stage.
     /// Results are byte-identical at every depth (§IV-G).
     pub pipeline_depth: usize,
+    /// Devices sharding the window loop. `1` (the default) is the
+    /// single-device pipeline; `N ≥ 2` runs the device stage as `N`
+    /// workers — each owning one member of a [`DeviceGroup`] and its own
+    /// `DeviceTables` copy — pulling windows from a shared work-queue
+    /// (greedy dispatch, so a skewed window never idles a sibling device),
+    /// with the output stage reassembling window order. Results are
+    /// byte-identical at every `(pipeline_depth, num_devices)`
+    /// (`tests/shard_parity.rs`).
+    pub num_devices: usize,
     /// Recycle window buffers: device allocations come from the
     /// [`gpu_sim::BufferPool`] and host buffers from an [`ArenaPool`], so
     /// the steady-state window loop allocates nothing. Disabling reverts
@@ -152,6 +172,7 @@ impl Default for GsnpConfig {
             compress_input: true,
             gpu_output: true,
             pipeline_depth: 2,
+            num_devices: 1,
             pooled: true,
             sanitize: false,
         }
@@ -208,11 +229,11 @@ impl GsnpPipeline {
         priors: &PriorMap,
     ) -> GsnpOutput {
         let cfg = &self.config;
-        let mut dev = Device::new(cfg.device.clone());
+        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices);
         if cfg.sanitize {
-            dev = dev.with_sanitizer(gpu_sim::SanitizerConfig::all());
+            group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
         }
-        dev.pool().set_enabled(cfg.pooled);
+        group.set_pool_enabled(cfg.pooled);
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
         let mut stats = PipelineStats::default();
@@ -222,7 +243,8 @@ impl GsnpPipeline {
         let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
         let new_p = NewPMatrix::precompute(&p_matrix);
         let log_table = std::sync::Arc::new(LogTable::new());
-        let tables = DeviceTables::upload_shared(&dev, &p_matrix, &new_p, &log_table);
+        // One host image, one upload (and one ledger charge) per device.
+        let tables = DeviceTables::upload_group(&group, &p_matrix, &new_p, &log_table);
         // Temporary compressed input written during the first pass (§V-A).
         let temp_input = if cfg.compress_input {
             Some(input_codec::compress_reads(&reference.name, reads))
@@ -232,27 +254,32 @@ impl GsnpPipeline {
         let cal_wall = t0.elapsed().as_secs_f64();
         wall.cal_p = cal_wall;
         // Device time: table upload over PCIe on top of the host compute.
-        times.cal_p = cal_wall + tables.upload_bytes() as f64 / cfg.device.pcie_bw;
+        // Each device's copy travels its own PCIe link, so the group pays
+        // one upload of modelled latency regardless of its size.
+        stats.table_bytes = tables[0].upload_bytes();
+        times.cal_p = cal_wall + stats.table_bytes as f64 / cfg.device.pcie_bw;
         stats.peak_host_bytes += temp_input.as_ref().map_or(0, |t| t.len() as u64);
 
-        if cfg.pipeline_depth <= 1 {
+        if cfg.pipeline_depth <= 1 && group.len() == 1 {
             self.window_loop_serial(
-                &dev, &tables, temp_input, reads, reference, priors, times, wall, stats,
+                &group, &tables, temp_input, reads, reference, priors, times, wall, stats,
             )
         } else {
+            // A multi-device run always streams: even at depth 1 the
+            // device workers need the channel topology to shard windows.
             self.window_loop_streamed(
-                &dev, &tables, temp_input, reads, reference, priors, times, wall, stats,
+                &group, &tables, temp_input, reads, reference, priors, times, wall, stats,
             )
         }
     }
 
-    /// The window loop at `pipeline_depth = 1`: every stage on the caller's
-    /// thread, one window at a time.
+    /// The window loop at `pipeline_depth = 1`, `num_devices = 1`: every
+    /// stage on the caller's thread, one window at a time.
     #[allow(clippy::too_many_arguments)]
     fn window_loop_serial(
         &self,
-        dev: &Device,
-        tables: &DeviceTables,
+        group: &DeviceGroup,
+        tables: &[DeviceTables],
         temp_input: Option<Vec<u8>>,
         reads: &[AlignedRead],
         reference: &Reference,
@@ -262,6 +289,8 @@ impl GsnpPipeline {
         mut stats: PipelineStats,
     ) -> GsnpOutput {
         let cfg = &self.config;
+        let dev = group.device(0);
+        let tables = &tables[0];
         let loop_start = Instant::now();
 
         // ---- read_site source: decompress the temporary input ----
@@ -304,46 +333,18 @@ impl GsnpPipeline {
             wall.read_site += dt;
             times.read_site += dt;
 
-            // ---- counting ----
-            let t0 = Instant::now();
-            arena.sw.count_into(&arena.window);
-            let sw = &arena.sw;
-            let words = dev.upload_pooled(&sw.words);
-            let mut count_stats = LaunchStats::default();
-            dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
-            let dt = t0.elapsed().as_secs_f64();
-            wall.counting += dt;
-            times.counting += dt + count_stats.sim_time;
-
-            let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
-            let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
-            stats.peak_device_bytes = stats
-                .peak_device_bytes
-                .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
-            stats.peak_host_bytes = stats
-                .peak_host_bytes
-                .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
-
-            // ---- likelihood: sort + comp ----
-            let t0 = Instant::now();
-            likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
-            wall.likelihood_sort += t0.elapsed().as_secs_f64();
-            times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
-
-            let sw = &arena.sw;
-            let read_len = max_read_len(sw);
-            let t0 = Instant::now();
-            let comp_stats = likelihood_comp_gpu_into(
+            // ---- counting + likelihood + recycle (the device stage) ----
+            let tl_bytes = run_device_window(
                 dev,
-                cfg.variant,
-                &words,
-                &sw.spans,
-                read_len,
                 tables,
-                &mut arena.type_likely,
+                cfg.variant,
+                device_table_bytes,
+                cfg.device.coalesced_bw,
+                &mut arena,
+                &mut times,
+                &mut wall,
+                &mut stats,
             );
-            wall.likelihood_comp += t0.elapsed().as_secs_f64();
-            times.likelihood_comp += comp_stats.sim_time;
 
             // ---- posterior ----
             let t0 = Instant::now();
@@ -385,25 +386,19 @@ impl GsnpPipeline {
                 dt
             };
 
-            // ---- recycle ----
-            let t0 = Instant::now();
-            let word_bytes = arena.sw.words.len() as u64 * 4;
-            drop(words); // device words park in the buffer pool
-            let dt = t0.elapsed().as_secs_f64();
-            wall.recycle += dt;
-            times.recycle += word_bytes as f64 / cfg.device.coalesced_bw;
-
-            stats.num_sites += arena.sw.num_sites() as u64;
-            stats.num_obs += arena.sw.words.len() as u64;
-            stats.windows += 1;
             out_tables.push(table);
             arena_pool.checkin(arena);
         }
         stats.arena = arena_pool.stats();
-        stats.pool = dev.pool().stats();
-        stats.sanitizer = dev.ledger().sanitizer;
+        let ledger = group.ledger();
+        let total = ledger.total();
+        stats.pool = total.pool;
+        stats.sanitizer = total.sanitizer;
+        stats.ledgers = ledger.per_device;
 
         // A serial run is, by definition, one stage busy at a time.
+        let device_busy =
+            wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
         stats.overlap = OverlapStats {
             depth: 1,
             read: StageStats {
@@ -411,9 +406,17 @@ impl GsnpPipeline {
                 ..Default::default()
             },
             device: StageStats {
-                busy: wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle,
+                busy: device_busy,
                 ..Default::default()
             },
+            devices: vec![DeviceLaneStats {
+                stage: StageStats {
+                    busy: device_busy,
+                    ..Default::default()
+                },
+                windows: stats.windows,
+                steals: 0,
+            }],
             posterior: StageStats {
                 busy: wall.posterior,
                 ..Default::default()
@@ -434,16 +437,25 @@ impl GsnpPipeline {
         }
     }
 
-    /// The window loop at `pipeline_depth ≥ 2`: four stages on dedicated
-    /// threads connected by bounded channels of that depth, so successive
-    /// windows are in flight concurrently. The output stage reassembles
-    /// windows in index order — results and the compressed stream are
-    /// byte-identical to [`Self::window_loop_serial`] (§IV-G, tested).
+    /// The streaming window loop (`pipeline_depth ≥ 2` or
+    /// `num_devices ≥ 2`): producer, `N` device workers, posterior, and
+    /// output on dedicated threads connected by bounded channels.
+    ///
+    /// The device stage is a **sharded dispatcher**: all workers pull from
+    /// one shared bounded work-queue, so windows go to whichever device
+    /// frees up first — equivalent to work-stealing from a single global
+    /// deque, without the idle devices a static `idx % N` round-robin
+    /// produces on skewed (deep-coverage) windows. Windows a worker
+    /// processes off its round-robin home are counted as steals in
+    /// [`DeviceLaneStats`]. The output stage reassembles windows in index
+    /// order — results and the compressed stream are byte-identical to
+    /// [`Self::window_loop_serial`] at any `(depth, devices)` (§IV-G,
+    /// tested in `tests/shard_parity.rs`).
     #[allow(clippy::too_many_arguments)]
     fn window_loop_streamed(
         &self,
-        dev: &Device,
-        tables: &DeviceTables,
+        group: &DeviceGroup,
+        tables: &[DeviceTables],
         temp_input: Option<Vec<u8>>,
         reads: &[AlignedRead],
         reference: &Reference,
@@ -453,14 +465,15 @@ impl GsnpPipeline {
         mut stats: PipelineStats,
     ) -> GsnpOutput {
         let cfg = &self.config;
-        let depth = cfg.pipeline_depth;
+        let depth = cfg.pipeline_depth.max(1);
+        let num_devices = group.len();
         let params = &cfg.params;
         let variant = cfg.variant;
         let gpu_output = cfg.gpu_output;
         let window_size = cfg.window_size;
         let coalesced_bw = cfg.device.coalesced_bw;
         let ref_len = reference.len() as u64;
-        let device_table_bytes = tables.upload_bytes();
+        let device_table_bytes = tables[0].upload_bytes();
 
         let (win_tx, win_rx) = bounded::<Produced>(depth);
         let (score_tx, score_rx) = bounded::<Scored>(depth);
@@ -472,7 +485,7 @@ impl GsnpPipeline {
         let arena_pool = ArenaPool::new(cfg.pooled);
         let loop_start = Instant::now();
 
-        let (read_rep, device_rep, post_rep) = std::thread::scope(|s| {
+        let (read_rep, device_reps, post_rep) = std::thread::scope(|s| {
             // ---- producer stage: read_site ----
             let prod_pool = std::sync::Arc::clone(&arena_pool);
             let producer = s.spawn(move || {
@@ -513,87 +526,67 @@ impl GsnpPipeline {
                 rep
             });
 
-            // ---- device stage: counting + likelihood + recycle ----
-            let device_stage = s.spawn(move || {
-                let mut rep = StageReport::default();
-                loop {
-                    let t0 = Instant::now();
-                    let Produced { idx, mut arena } = match win_rx.recv() {
-                        Ok(p) => p,
-                        Err(_) => break,
-                    };
-                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
-                    let busy_start = Instant::now();
+            // ---- device stage: N workers over one shared work-queue ----
+            let mut workers = Vec::with_capacity(num_devices);
+            for (worker_id, dev_tables) in tables.iter().enumerate().take(num_devices) {
+                let win_rx = win_rx.clone();
+                let score_tx = score_tx.clone();
+                let dev = group.device(worker_id);
+                workers.push(s.spawn(move || {
+                    let mut rep = StageReport::default();
+                    let mut lane = DeviceLaneStats::default();
+                    loop {
+                        let t0 = Instant::now();
+                        let Produced { idx, mut arena } = match win_rx.recv() {
+                            Ok(p) => p,
+                            Err(_) => break,
+                        };
+                        let dt = t0.elapsed().as_secs_f64();
+                        rep.stage.stall_in += dt;
+                        lane.stage.stall_in += dt;
+                        let busy_start = Instant::now();
 
-                    // counting
-                    let t0 = Instant::now();
-                    arena.sw.count_into(&arena.window);
-                    let sw = &arena.sw;
-                    let words = dev.upload_pooled(&sw.words);
-                    let mut count_stats = LaunchStats::default();
-                    dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
-                    let dt = t0.elapsed().as_secs_f64();
-                    rep.wall.counting += dt;
-                    rep.times.counting += dt + count_stats.sim_time;
+                        let tl_bytes = run_device_window(
+                            dev,
+                            dev_tables,
+                            variant,
+                            device_table_bytes,
+                            coalesced_bw,
+                            &mut arena,
+                            &mut rep.times,
+                            &mut rep.wall,
+                            &mut rep.stats,
+                        );
+                        lane.windows += 1;
+                        if idx % num_devices != worker_id {
+                            lane.steals += 1;
+                        }
+                        let dt = busy_start.elapsed().as_secs_f64();
+                        rep.stage.busy += dt;
+                        lane.stage.busy += dt;
 
-                    let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
-                    let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
-                    rep.stats.peak_device_bytes = rep
-                        .stats
-                        .peak_device_bytes
-                        .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
-                    rep.stats.peak_host_bytes = rep
-                        .stats
-                        .peak_host_bytes
-                        .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
-
-                    // likelihood: sort + comp
-                    let t0 = Instant::now();
-                    likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
-                    rep.wall.likelihood_sort += t0.elapsed().as_secs_f64();
-                    rep.times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
-
-                    let sw = &arena.sw;
-                    let read_len = max_read_len(sw);
-                    let t0 = Instant::now();
-                    let comp_stats = likelihood_comp_gpu_into(
-                        dev,
-                        variant,
-                        &words,
-                        &sw.spans,
-                        read_len,
-                        tables,
-                        &mut arena.type_likely,
-                    );
-                    rep.wall.likelihood_comp += t0.elapsed().as_secs_f64();
-                    rep.times.likelihood_comp += comp_stats.sim_time;
-
-                    // recycle
-                    let t0 = Instant::now();
-                    let word_bytes = arena.sw.words.len() as u64 * 4;
-                    drop(words); // device words park in the buffer pool
-                    rep.wall.recycle += t0.elapsed().as_secs_f64();
-                    rep.times.recycle += word_bytes as f64 / coalesced_bw;
-
-                    rep.stats.num_sites += arena.sw.num_sites() as u64;
-                    rep.stats.num_obs += arena.sw.words.len() as u64;
-                    rep.stats.windows += 1;
-                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
-
-                    let t0 = Instant::now();
-                    let scored = Scored {
-                        idx,
-                        start: arena.window.start,
-                        arena,
-                        tl_bytes,
-                    };
-                    if score_tx.send(scored).is_err() {
-                        break;
+                        let t0 = Instant::now();
+                        let scored = Scored {
+                            idx,
+                            start: arena.window.start,
+                            arena,
+                            tl_bytes,
+                            dev: worker_id,
+                        };
+                        if score_tx.send(scored).is_err() {
+                            break;
+                        }
+                        let dt = t0.elapsed().as_secs_f64();
+                        rep.stage.stall_out += dt;
+                        lane.stage.stall_out += dt;
                     }
-                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
-                }
-                rep
-            });
+                    (rep, lane)
+                }));
+            }
+            // The workers hold clones; dropping the originals lets the
+            // posterior stage's `recv` disconnect once every worker exits.
+            drop(win_rx);
+            drop(score_tx);
 
             // ---- posterior stage ----
             let post_pool = std::sync::Arc::clone(&arena_pool);
@@ -606,6 +599,7 @@ impl GsnpPipeline {
                         start,
                         arena,
                         tl_bytes,
+                        dev,
                     } = match score_rx.recv() {
                         Ok(sc) => sc,
                         Err(_) => break,
@@ -627,12 +621,21 @@ impl GsnpPipeline {
                     let dt = t0.elapsed().as_secs_f64();
                     rep.wall.posterior += dt;
                     let mut post_stats = LaunchStats::default();
-                    dev.charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
+                    // The readback crosses the PCIe link of the device that
+                    // scored this window.
+                    group
+                        .device(dev)
+                        .charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
                     rep.stage.busy += busy_start.elapsed().as_secs_f64();
 
                     let t0 = Instant::now();
-                    let called = Called { idx, start, rows };
+                    let called = Called {
+                        idx,
+                        start,
+                        rows,
+                        dev,
+                    };
                     if call_tx.send(called).is_err() {
                         break;
                     }
@@ -651,15 +654,18 @@ impl GsnpPipeline {
                 };
                 out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
                 let busy_start = Instant::now();
-                // In-order arrivals (the common case: every stage is one
-                // thread over FIFO channels) take the allocation-free
-                // `offer` fast path; stragglers drain via `pop_ready`.
-                let mut next = reasm.offer(called.idx, (called.start, called.rows));
-                while let Some((start, rows)) = next {
+                // In-order arrivals (the common case at one device: every
+                // stage is one thread over FIFO channels) take the
+                // allocation-free `offer` fast path; windows that overtook
+                // a sibling on another device drain via `pop_ready`.
+                let mut next = reasm.offer(called.idx, (called.start, called.rows, called.dev));
+                while let Some((start, rows, dev)) = next {
                     let t0 = Instant::now();
                     let table = SnpTable::new(reference.name.clone(), start, rows);
                     let out_stats = if gpu_output {
-                        column::write_window_gpu(dev, &mut compressed, &table)
+                        // Column kernels run on the device that already
+                        // holds this window's data.
+                        column::write_window_gpu(group.device(dev), &mut compressed, &table)
                     } else {
                         column::write_window(&mut compressed, &table);
                         LaunchStats::default()
@@ -678,14 +684,28 @@ impl GsnpPipeline {
             }
             assert!(reasm.is_drained(), "streamed pipeline lost a window");
 
-            let join = |h: std::thread::ScopedJoinHandle<'_, StageReport>| {
-                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
-            };
-            (join(producer), join(device_stage), join(posterior_stage))
+            let device_reps: Vec<(StageReport, DeviceLaneStats)> =
+                workers.into_iter().map(join_stage).collect();
+            (
+                join_stage(producer),
+                device_reps,
+                join_stage(posterior_stage),
+            )
         });
         let loop_wall = loop_start.elapsed().as_secs_f64();
 
-        for rep in [&read_rep, &device_rep, &post_rep, &out_rep] {
+        let mut device_stage = StageStats::default();
+        let mut lanes = Vec::with_capacity(num_devices);
+        for (rep, lane) in &device_reps {
+            add_times(&mut times, &rep.times);
+            add_times(&mut wall, &rep.wall);
+            merge_stats(&mut stats, &rep.stats);
+            device_stage.busy += lane.stage.busy;
+            device_stage.stall_in += lane.stage.stall_in;
+            device_stage.stall_out += lane.stage.stall_out;
+            lanes.push(*lane);
+        }
+        for rep in [&read_rep, &post_rep, &out_rep] {
             add_times(&mut times, &rep.times);
             add_times(&mut wall, &rep.wall);
             merge_stats(&mut stats, &rep.stats);
@@ -693,14 +713,18 @@ impl GsnpPipeline {
         stats.overlap = OverlapStats {
             depth,
             read: read_rep.stage,
-            device: device_rep.stage,
+            device: device_stage,
+            devices: lanes,
             posterior: post_rep.stage,
             output: out_rep.stage,
             wall: loop_wall,
         };
         stats.arena = arena_pool.stats();
-        stats.pool = dev.pool().stats();
-        stats.sanitizer = dev.ledger().sanitizer;
+        let ledger = group.ledger();
+        let total = ledger.total();
+        stats.pool = total.pool;
+        stats.sanitizer = total.sanitizer;
+        stats.ledgers = ledger.per_device;
 
         GsnpOutput {
             tables: out_tables,
@@ -719,14 +743,17 @@ struct Produced {
     arena: WindowArena,
 }
 
-/// Likelihood-scored window handed from the device stage to `posterior`
+/// Likelihood-scored window handed from a device worker to `posterior`
 /// (the arena owns `summaries` and `type_likely`; `posterior` returns it
-/// to the pool once rows are extracted).
+/// to the pool once rows are extracted). `dev` is the group index of the
+/// device that scored the window — downstream transfer and output-column
+/// charges go to that device's ledger.
 struct Scored {
     idx: usize,
     start: u64,
     arena: WindowArena,
     tl_bytes: u64,
+    dev: usize,
 }
 
 /// Called window handed from `posterior` to the output stage.
@@ -734,6 +761,82 @@ struct Called {
     idx: usize,
     start: u64,
     rows: Vec<SnpRow>,
+    dev: usize,
+}
+
+/// Join a scoped stage thread, propagating its panic.
+fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
+
+/// One window's device-stage work — counting (with upload), likelihood
+/// sort + comp, recycle — shared verbatim by the serial loop and every
+/// sharded device worker, so the two paths cannot drift. Returns the
+/// `type_likely` byte count the posterior stage charges for reading back.
+#[allow(clippy::too_many_arguments)]
+fn run_device_window(
+    dev: &Device,
+    tables: &DeviceTables,
+    variant: KernelVariant,
+    device_table_bytes: u64,
+    coalesced_bw: f64,
+    arena: &mut WindowArena,
+    times: &mut ComponentTimes,
+    wall: &mut ComponentTimes,
+    stats: &mut PipelineStats,
+) -> u64 {
+    // counting
+    let t0 = Instant::now();
+    arena.sw.count_into(&arena.window);
+    let sw = &arena.sw;
+    let words = dev.upload_pooled(&sw.words);
+    let mut count_stats = LaunchStats::default();
+    dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
+    let dt = t0.elapsed().as_secs_f64();
+    wall.counting += dt;
+    times.counting += dt + count_stats.sim_time;
+
+    let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
+    let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
+    stats.peak_device_bytes = stats
+        .peak_device_bytes
+        .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
+    stats.peak_host_bytes = stats
+        .peak_host_bytes
+        .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
+
+    // likelihood: sort + comp
+    let t0 = Instant::now();
+    likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
+    wall.likelihood_sort += t0.elapsed().as_secs_f64();
+    times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
+
+    let sw = &arena.sw;
+    let read_len = max_read_len(sw);
+    let t0 = Instant::now();
+    let comp_stats = likelihood_comp_gpu_into(
+        dev,
+        variant,
+        &words,
+        &sw.spans,
+        read_len,
+        tables,
+        &mut arena.type_likely,
+    );
+    wall.likelihood_comp += t0.elapsed().as_secs_f64();
+    times.likelihood_comp += comp_stats.sim_time;
+
+    // recycle
+    let t0 = Instant::now();
+    let word_bytes = arena.sw.words.len() as u64 * 4;
+    drop(words); // device words park in the buffer pool
+    wall.recycle += t0.elapsed().as_secs_f64();
+    times.recycle += word_bytes as f64 / coalesced_bw;
+
+    stats.num_sites += arena.sw.num_sites() as u64;
+    stats.num_obs += arena.sw.words.len() as u64;
+    stats.windows += 1;
+    tl_bytes
 }
 
 /// Per-stage partial accumulators, merged into the run totals at join.
@@ -1154,20 +1257,23 @@ mod tests {
     fn overlap_stats_are_populated() {
         // Default config streams at depth 2.
         let (d, out) = run_tiny(73, tiny_cfg());
-        let o = out.stats.overlap;
+        let o = &out.stats.overlap;
         assert_eq!(o.depth, 2);
         assert!(o.wall > 0.0);
         assert!(o.read.busy > 0.0);
         assert!(o.device.busy > 0.0);
         assert!(o.output.busy > 0.0);
         assert!(o.achieved_depth() > 0.0);
+        assert_eq!(o.devices.len(), 1);
+        assert_eq!(o.devices[0].windows, out.stats.windows);
+        assert_eq!(o.devices[0].steals, 0, "one worker cannot steal");
 
         let serial = GsnpPipeline::new(GsnpConfig {
             pipeline_depth: 1,
             ..tiny_cfg()
         })
         .run(&d.reads, &d.reference, &d.priors);
-        let o = serial.stats.overlap;
+        let o = &serial.stats.overlap;
         assert_eq!(o.depth, 1);
         assert!(o.wall > 0.0);
         // One stage at a time: busy time cannot exceed the loop wall-clock
@@ -1179,5 +1285,82 @@ mod tests {
         );
         assert_eq!(o.read.stall_in, 0.0);
         assert_eq!(o.device.stall_out, 0.0);
+        assert_eq!(o.devices.len(), 1);
+    }
+
+    #[test]
+    fn sharded_devices_are_byte_identical_to_serial() {
+        let d = Dataset::generate(SynthConfig::tiny(74));
+        let serial = GsnpPipeline::new(GsnpConfig {
+            pipeline_depth: 1,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        for devices in [2usize, 3, 4] {
+            let sharded = GsnpPipeline::new(GsnpConfig {
+                num_devices: devices,
+                ..tiny_cfg()
+            })
+            .run(&d.reads, &d.reference, &d.priors);
+            assert_eq!(
+                sharded.tables, serial.tables,
+                "tables differ at {devices} devices"
+            );
+            assert_eq!(
+                sharded.compressed, serial.compressed,
+                "compressed file differs at {devices} devices"
+            );
+            assert_eq!(sharded.stats.num_sites, serial.stats.num_sites);
+            assert_eq!(sharded.stats.snp_count, serial.stats.snp_count);
+        }
+    }
+
+    #[test]
+    fn sharded_lane_stats_account_every_window() {
+        let d = Dataset::generate(SynthConfig::tiny(75));
+        let out = GsnpPipeline::new(GsnpConfig {
+            num_devices: 3,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        let o = &out.stats.overlap;
+        assert_eq!(o.devices.len(), 3);
+        assert_eq!(
+            o.devices.iter().map(|l| l.windows).sum::<u64>(),
+            out.stats.windows,
+            "every window must land on exactly one device"
+        );
+        // The summed device stage equals the lanes' sum.
+        let lane_busy: f64 = o.devices.iter().map(|l| l.stage.busy).sum();
+        assert!((o.device.busy - lane_busy).abs() < 1e-9);
+        // One ledger per device, each charged the table upload once.
+        assert_eq!(out.stats.ledgers.len(), 3);
+        assert!(out.stats.table_bytes > 0);
+        for led in &out.stats.ledgers {
+            assert!(
+                led.counters.h2d_bytes >= out.stats.table_bytes,
+                "every device ledger must include its own table upload"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_multi_device_still_shards() {
+        // depth 1 + several devices must take the streamed path (and stay
+        // byte-identical); the scaling experiment sweeps exactly this.
+        let d = Dataset::generate(SynthConfig::tiny(76));
+        let serial = GsnpPipeline::new(GsnpConfig {
+            pipeline_depth: 1,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        let sharded = GsnpPipeline::new(GsnpConfig {
+            pipeline_depth: 1,
+            num_devices: 4,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(sharded.compressed, serial.compressed);
+        assert_eq!(sharded.stats.overlap.devices.len(), 4);
     }
 }

@@ -127,16 +127,35 @@ impl StageStats {
     }
 }
 
-/// Pipeline-overlap accounting for one run of the window loop.
+/// Busy/stall/steal accounting for one device worker of the sharded
+/// device stage (`GsnpConfig::num_devices`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceLaneStats {
+    /// Stage accounting for this worker alone.
+    pub stage: StageStats,
+    /// Windows this worker processed.
+    pub windows: u64,
+    /// Windows processed off their round-robin home device: window `k`
+    /// "belongs" to device `k % N`, and the shared work-queue hands it to
+    /// whichever worker is free first. A nonzero count is the signature of
+    /// dynamic dispatch doing what static round-robin cannot — keeping a
+    /// device busy while a sibling chews a skewed window.
+    pub steals: u64,
+}
+
+/// Pipeline-overlap accounting for one run of the window loop.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OverlapStats {
     /// Configured channel depth (1 = serial execution).
     pub depth: usize,
     /// Producer stage (`read_site`).
     pub read: StageStats,
     /// Device stage (`counting` + `likelihood_sort` + `likelihood_comp`
-    /// + `recycle`).
+    /// + `recycle`), summed across all device workers.
     pub device: StageStats,
+    /// Per-device-worker breakdown of the device stage, in device order.
+    /// One entry even when `num_devices = 1`; empty for the CPU pipeline.
+    pub devices: Vec<DeviceLaneStats>,
     /// Posterior stage.
     pub posterior: StageStats,
     /// Output stage (column compression + serialization).
@@ -154,13 +173,18 @@ impl OverlapStats {
 
     /// Achieved pipeline depth: how many stages were busy at once, on
     /// average. 1.0 means no overlap (serial); the upper bound is the
-    /// number of stages.
+    /// number of stages plus any extra device workers.
     pub fn achieved_depth(&self) -> f64 {
         if self.wall > 0.0 {
             self.busy_total() / self.wall
         } else {
             0.0
         }
+    }
+
+    /// Windows stolen off their home device, summed over all workers.
+    pub fn steals_total(&self) -> u64 {
+        self.devices.iter().map(|d| d.steals).sum()
     }
 }
 
@@ -279,6 +303,7 @@ mod tests {
                 ..Default::default()
             },
             wall: 2.5,
+            ..Default::default()
         };
         assert!((s.busy_total() - 4.0).abs() < 1e-12);
         assert!((s.achieved_depth() - 1.6).abs() < 1e-12);

@@ -21,11 +21,38 @@ pub const PASS_BOUNDS: [usize; 5] = [8, 16, 32, 64, usize::MAX];
 /// Default number of arrays packed into one block.
 const ARRAYS_PER_BLOCK: usize = 8;
 
+/// Per-size-class tally — one histogram bucket of a multipass run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Inclusive upper bound of the class: `1` for the trivial `[0,1]`
+    /// class, a pass bound otherwise, `usize::MAX` for the open fallback
+    /// class (arrays larger than every fixed bound).
+    pub upper: usize,
+    /// Arrays that fell in this class.
+    pub arrays: u64,
+    /// Real elements across those arrays.
+    pub elements: u64,
+    /// Elements charged to `elements_sorted` for this class: the padded
+    /// network size × arrays for launched classes; for `[0,1]` the array
+    /// count (credited as sorted without a launch). Class tallies
+    /// therefore sum exactly to [`MultipassReport::elements_sorted`].
+    pub padded: u64,
+    /// Per-array power-of-two network capacity the class ran at (`0` for
+    /// classes that never launched). For the open class this exposes how
+    /// far past the last fixed bound the `>64` fallback actually reached.
+    pub capacity: usize,
+}
+
 /// Outcome of a multipass (or strawman) sort.
 #[derive(Debug, Clone, Default)]
 pub struct MultipassReport {
     /// Stats per executed pass, in class order.
     pub passes: Vec<LaunchStats>,
+    /// Per-size-class element histogram: one entry per class (the trivial
+    /// `[0,1]` class first, then every configured bound, *including*
+    /// classes that stayed empty), so bucket skew and the `>64` fallback
+    /// are observable — nothing is silently capped or dropped.
+    pub classes: Vec<ClassTally>,
     /// Total padded elements staged through the network.
     pub elements_sorted: u64,
     /// Total real elements across all input spans.
@@ -127,14 +154,12 @@ pub fn multipass_sort_with_bounds_into(
     );
     let MultipassScratch { class, report } = scratch;
     report.passes.clear();
+    report.classes.clear();
     report.elements_sorted = 0;
     report.elements_real = 0;
-    report.elements_real += spans
-        .iter()
-        .filter(|&&(_, l)| l <= 1)
-        .map(|&(_, l)| l as u64)
-        .sum::<u64>();
-    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    report.classes.push(trivial_tally(spans));
+    report.elements_real += report.classes[0].elements;
+    report.elements_sorted += report.classes[0].padded;
 
     let mut lower = 1usize;
     for &bound in bounds {
@@ -152,11 +177,49 @@ pub fn multipass_sort_with_bounds_into(
                 bound
             };
             record_padding(report, class, capacity);
+            report.classes.push(class_tally(bound, class, capacity));
             report
                 .passes
                 .push(batch_sort(dev, data, class, capacity, ARRAYS_PER_BLOCK));
+        } else {
+            // Empty classes still get a (zero) histogram entry, so the
+            // bucket layout is stable across windows and nothing is capped
+            // silently.
+            report.classes.push(ClassTally {
+                upper: bound,
+                ..Default::default()
+            });
         }
         lower = bound;
+    }
+}
+
+/// Tally of the trivial `[0,1]` class (arrays sorted without a launch).
+fn trivial_tally(spans: &[Span]) -> ClassTally {
+    let arrays = spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    let elements = spans
+        .iter()
+        .filter(|&&(_, l)| l <= 1)
+        .map(|&(_, l)| l as u64)
+        .sum::<u64>();
+    ClassTally {
+        upper: 1,
+        arrays,
+        elements,
+        padded: arrays,
+        capacity: 0,
+    }
+}
+
+/// Tally of one launched class at its padded per-array capacity.
+fn class_tally(upper: usize, spans: &[Span], capacity: usize) -> ClassTally {
+    let m = pad_to_pow2(capacity);
+    ClassTally {
+        upper,
+        arrays: spans.len() as u64,
+        elements: spans.iter().map(|&(_, l)| l as u64).sum(),
+        padded: m as u64 * spans.len() as u64,
+        capacity: m,
     }
 }
 
@@ -165,17 +228,17 @@ pub fn multipass_sort_with_bounds_into(
 pub fn single_pass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
     let mut report = MultipassReport::default();
     let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
-    report.elements_real += spans
-        .iter()
-        .filter(|&&(_, l)| l <= 1)
-        .map(|&(_, l)| l as u64)
-        .sum::<u64>();
-    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    report.classes.push(trivial_tally(spans));
+    report.elements_real += report.classes[0].elements;
+    report.elements_sorted += report.classes[0].padded;
     if work.is_empty() {
         return report;
     }
     let capacity = work.iter().map(|&(_, l)| l).max().unwrap();
     record_padding(&mut report, &work, capacity);
+    report
+        .classes
+        .push(class_tally(usize::MAX, &work, capacity));
     report
         .passes
         .push(batch_sort(dev, data, &work, capacity, ARRAYS_PER_BLOCK));
@@ -188,12 +251,9 @@ pub fn single_pass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) 
 pub fn noneq_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
     let mut report = MultipassReport::default();
     let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
-    report.elements_real += spans
-        .iter()
-        .filter(|&&(_, l)| l <= 1)
-        .map(|&(_, l)| l as u64)
-        .sum::<u64>();
-    report.elements_sorted += spans.iter().filter(|&&(_, l)| l <= 1).count() as u64;
+    report.classes.push(trivial_tally(spans));
+    report.elements_real += report.classes[0].elements;
+    report.elements_sorted += report.classes[0].padded;
     if work.is_empty() {
         return report;
     }
@@ -205,6 +265,15 @@ pub fn noneq_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> Mul
         let capacity = group.iter().map(|&(_, l)| l).max().unwrap();
         record_padding(&mut report, group, capacity);
     }
+    // One histogram bucket for the single mixed-size pass; padding varies
+    // per warp, so it is derived from the running total.
+    report.classes.push(ClassTally {
+        upper: usize::MAX,
+        arrays: work.len() as u64,
+        elements: work.iter().map(|&(_, l)| l as u64).sum(),
+        padded: report.elements_sorted - report.classes[0].padded,
+        capacity: pad_to_pow2(work.iter().map(|&(_, l)| l).max().unwrap()),
+    });
     report
         .passes
         .push(crate::batch::batch_sort_blockmax(dev, data, &work, warp));
@@ -341,6 +410,59 @@ mod tests {
             assert_eq!(r.elements_sorted, fresh.elements_sorted);
             assert_eq!(r.elements_real, fresh.elements_real);
             assert_eq!(r.passes.len(), fresh.passes.len());
+            assert_eq!(r.classes, fresh.classes);
+        }
+    }
+
+    #[test]
+    fn class_histogram_sums_to_totals() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(30, 1000);
+        let buf = dev.upload(&host);
+        let report = multipass_sort(&dev, &buf, &spans);
+        // [0,1] plus one bucket per bound, empty classes included.
+        assert_eq!(report.classes.len(), PASS_BOUNDS.len() + 1);
+        assert_eq!(
+            report.classes.iter().map(|c| c.arrays).sum::<u64>(),
+            spans.len() as u64
+        );
+        assert_eq!(
+            report.classes.iter().map(|c| c.elements).sum::<u64>(),
+            report.elements_real
+        );
+        assert_eq!(
+            report.classes.iter().map(|c| c.padded).sum::<u64>(),
+            report.elements_sorted
+        );
+        // The workload generates arrays up to 100 elements, so the open
+        // fallback class must fire and report how far past 64 it reached.
+        let open = report.classes.last().unwrap();
+        assert_eq!(open.upper, usize::MAX);
+        assert!(open.arrays > 0);
+        assert!(
+            open.capacity > 64,
+            "fallback capacity {} must exceed the last fixed bound",
+            open.capacity
+        );
+    }
+
+    #[test]
+    fn strawmen_report_class_histograms_too() {
+        let dev = Device::m2050();
+        let (host, spans) = workload(31, 300);
+        for report in [
+            single_pass_sort(&dev, &dev.upload(&host), &spans),
+            noneq_sort(&dev, &dev.upload(&host), &spans),
+        ] {
+            assert_eq!(report.classes.len(), 2, "[0,1] plus one open class");
+            assert_eq!(
+                report.classes.iter().map(|c| c.elements).sum::<u64>(),
+                report.elements_real
+            );
+            assert_eq!(
+                report.classes.iter().map(|c| c.padded).sum::<u64>(),
+                report.elements_sorted
+            );
         }
     }
 }

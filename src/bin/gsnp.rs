@@ -4,7 +4,7 @@
 //! ```text
 //! gsnp synth  <out_dir> [--sites N] [--depth X] [--seed S]
 //! gsnp call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
-//!             [--window N] [--cpu] [--text <out.txt>]
+//!             [--window N] [--devices N] [--cpu] [--text <out.txt>]
 //! gsnp decode <in.gsnp> [<out.txt>]
 //! gsnp stats  <in.gsnp>
 //! ```
@@ -32,7 +32,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gsnp <synth|call|decode|stats> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--cpu] [--text out.txt]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--cpu] [--text out.txt]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp>"
             );
@@ -124,6 +124,7 @@ fn cmd_call(args: &[String]) -> CliResult {
 
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
+        num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
         ..Default::default()
     };
     let result = if args.iter().any(|a| a == "--cpu") {
