@@ -9,9 +9,12 @@
 //! [`DeviceLedger`] and derives summed totals, so a sharded pipeline can
 //! assert counter sum-invariance against a single-device run.
 
+use std::sync::Arc;
+
 use crate::config::DeviceConfig;
 use crate::launch::{Device, DeviceLedger};
 use crate::sanitizer::{SanitizerConfig, SanitizerCounts};
+use crate::trace::TraceRecorder;
 
 /// `N` independent simulated devices sharing one configuration.
 pub struct DeviceGroup {
@@ -36,6 +39,21 @@ impl DeviceGroup {
                 .devices
                 .into_iter()
                 .map(|d| d.with_sanitizer(cfg))
+                .collect(),
+        }
+    }
+
+    /// Attach one shared [`TraceRecorder`] to every member device. Each
+    /// member records under its own `device{i}` process (own simulated
+    /// clock, own kernel/transfer/pool tracks) into the common ring, so a
+    /// single exported timeline shows all `N` devices side by side.
+    pub fn with_trace(self, rec: &Arc<TraceRecorder>) -> Self {
+        DeviceGroup {
+            devices: self
+                .devices
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| d.with_trace(rec, i))
                 .collect(),
         }
     }
@@ -182,6 +200,32 @@ mod tests {
             assert!(g.device(i).sanitizer_enabled());
         }
         assert!(g.ledger().sanitizer_total().is_clean());
+    }
+
+    #[test]
+    fn trace_attaches_every_member_under_its_own_process() {
+        let rec = Arc::new(TraceRecorder::new(64));
+        let g = DeviceGroup::new(DeviceConfig::tesla_m2050(), 2).with_trace(&rec);
+        for i in 0..2 {
+            assert!(g.device(i).trace_enabled());
+            let buf: GlobalBuffer<u32> = g.device(i).alloc(32);
+            g.device(i).launch("mark", 1, |ctx| {
+                ctx.st_co(&buf, 0, 1);
+            });
+        }
+        let snap = rec.snapshot();
+        let processes: std::collections::BTreeSet<&str> =
+            snap.tracks.iter().map(|t| t.process.as_str()).collect();
+        assert!(processes.contains("device0") && processes.contains("device1"));
+        // One kernel span landed under each device's process.
+        let kernel_pids: Vec<u32> = snap
+            .events
+            .iter()
+            .filter(|e| snap.name(e.name) == "mark")
+            .map(|e| snap.tracks[e.track.0 as usize].pid)
+            .collect();
+        assert_eq!(kernel_pids.len(), 2);
+        assert_ne!(kernel_pids[0], kernel_pids[1]);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::sanitizer::{
     permuted_order, splitmix64, LaunchSession, Sanitizer, SanitizerConfig, SanitizerCounts,
     SanitizerReport,
 };
+use crate::trace::{NameId, SpanArgs, TraceRecorder, TrackId, TrackKind};
 
 /// How [`Device::launch`] schedules blocks. [`Device::launch_seq`] always
 /// runs in ascending order regardless — kernels use it precisely when block
@@ -84,6 +85,143 @@ impl DeviceLedger {
     }
 }
 
+/// Per-device trace state: the shared recorder plus this device's tracks,
+/// pre-interned event names, and the simulated-clock cursor.
+///
+/// Device timelines are stamped with the **simulated device clock**: the
+/// cursor starts at zero and every launch/transfer advances it by its
+/// modelled time, so concurrent host threads sharing one device serialize
+/// into a non-overlapping timeline — exactly what a single CUDA stream's
+/// profiler row shows. All the ids below are interned at construction, so
+/// the recording hot path never allocates.
+struct DeviceTrace {
+    rec: Arc<TraceRecorder>,
+    kernels: TrackId,
+    transfers: TrackId,
+    pool_events: TrackId,
+    pool_bytes: TrackId,
+    bandwidth: TrackId,
+    sanitizer_track: TrackId,
+    n_h2d: NameId,
+    n_d2h: NameId,
+    n_pool_hit: NameId,
+    n_pool_miss: NameId,
+    n_pool_bytes: NameId,
+    n_bandwidth: NameId,
+    n_races: NameId,
+    n_uninit: NameId,
+    n_oob: NameId,
+    n_leaks: NameId,
+    /// Simulated device clock, seconds since trace start.
+    cursor: Mutex<f64>,
+    /// Sanitizer totals at the previous launch, for delta detection.
+    last_san: Mutex<SanitizerCounts>,
+}
+
+impl DeviceTrace {
+    fn new(rec: &Arc<TraceRecorder>, index: usize) -> Self {
+        let process = format!("device{index}");
+        DeviceTrace {
+            kernels: rec.register_track(&process, "kernels", TrackKind::Spans),
+            transfers: rec.register_track(&process, "transfers", TrackKind::Spans),
+            pool_events: rec.register_track(&process, "pool", TrackKind::Spans),
+            pool_bytes: rec.register_track(&process, "pool bytes", TrackKind::Counter),
+            bandwidth: rec.register_track(&process, "pcie bandwidth", TrackKind::Counter),
+            sanitizer_track: rec.register_track(&process, "sanitizer", TrackKind::Spans),
+            n_h2d: rec.intern("h2d"),
+            n_d2h: rec.intern("d2h"),
+            n_pool_hit: rec.intern("pool_hit"),
+            n_pool_miss: rec.intern("pool_miss"),
+            n_pool_bytes: rec.intern("pool_outstanding_bytes"),
+            n_bandwidth: rec.intern("pcie_bytes_per_sec"),
+            n_races: rec.intern("race"),
+            n_uninit: rec.intern("uninit_read"),
+            n_oob: rec.intern("oob_access"),
+            n_leaks: rec.intern("shared_leak"),
+            rec: Arc::clone(rec),
+            cursor: Mutex::new(0.0),
+            last_san: Mutex::new(SanitizerCounts::default()),
+        }
+    }
+
+    /// Claim `dur` seconds of device time; returns the span's start.
+    fn advance(&self, dur: f64) -> f64 {
+        let mut cur = self.cursor.lock();
+        let start = *cur;
+        *cur += dur;
+        start
+    }
+
+    fn record_kernel(&self, name: &str, stats: &LaunchStats, cost: &CostModel) {
+        let ts = self.advance(stats.sim_time);
+        self.rec.span(
+            self.kernels,
+            self.rec.intern(name),
+            ts,
+            stats.sim_time,
+            SpanArgs::Kernel {
+                grid: stats.grid_dim as u64,
+                compute: cost.compute_time(&stats.counters),
+                memory: cost.memory_time(&stats.counters),
+                transfer: cost.transfer_time(&stats.counters),
+                counters: stats.counters,
+            },
+        );
+    }
+
+    fn record_xfer(&self, h2d: bool, bytes: u64, dt: f64) {
+        let ts = self.advance(dt);
+        let name = if h2d { self.n_h2d } else { self.n_d2h };
+        self.rec
+            .span(self.transfers, name, ts, dt, SpanArgs::Xfer { bytes });
+        // Square-wave PCIe occupancy: bandwidth while the transfer is in
+        // flight, zero once it completes.
+        if dt > 0.0 {
+            let bw = bytes as f64 / dt;
+            self.rec.counter(self.bandwidth, self.n_bandwidth, ts, bw);
+            self.rec
+                .counter(self.bandwidth, self.n_bandwidth, ts + dt, 0.0);
+        }
+    }
+
+    fn record_pool(&self, hit: bool, outstanding_bytes: u64) {
+        let ts = *self.cursor.lock();
+        let name = if hit {
+            self.n_pool_hit
+        } else {
+            self.n_pool_miss
+        };
+        self.rec.instant(self.pool_events, name, ts);
+        self.rec.counter(
+            self.pool_bytes,
+            self.n_pool_bytes,
+            ts,
+            outstanding_bytes as f64,
+        );
+    }
+
+    /// Emit one instant per finding category that grew since the previous
+    /// launch (counts live in the metrics snapshot; the timeline marks
+    /// *when* a checker first fired around a kernel).
+    fn record_sanitizer(&self, counts: SanitizerCounts) {
+        let mut last = self.last_san.lock();
+        let ts = *self.cursor.lock();
+        if counts.races > last.races {
+            self.rec.instant(self.sanitizer_track, self.n_races, ts);
+        }
+        if counts.uninit_reads > last.uninit_reads {
+            self.rec.instant(self.sanitizer_track, self.n_uninit, ts);
+        }
+        if counts.oob_accesses > last.oob_accesses {
+            self.rec.instant(self.sanitizer_track, self.n_oob, ts);
+        }
+        if counts.shared_leaks > last.shared_leaks {
+            self.rec.instant(self.sanitizer_track, self.n_leaks, ts);
+        }
+        *last = counts;
+    }
+}
+
 /// A simulated device: launch target for kernels and owner of the cost
 /// model. Cheap to construct; all state is the configuration plus the
 /// launch ledger.
@@ -93,6 +231,7 @@ pub struct Device {
     ledger: Mutex<DeviceLedger>,
     pool: Arc<BufferPool>,
     sanitizer: Option<Arc<Sanitizer>>,
+    trace: Option<DeviceTrace>,
     schedule: Mutex<BlockSchedule>,
     /// Per-launch counter driving the permuted schedule's seed stream.
     schedule_stream: std::sync::atomic::AtomicU64,
@@ -108,6 +247,7 @@ impl Device {
             ledger: Mutex::new(DeviceLedger::default()),
             pool: Arc::new(BufferPool::default()),
             sanitizer: None,
+            trace: None,
             schedule: Mutex::new(BlockSchedule::Parallel),
             schedule_stream: std::sync::atomic::AtomicU64::new(0),
         }
@@ -131,6 +271,21 @@ impl Device {
     /// Whether a sanitizer is attached.
     pub fn sanitizer_enabled(&self) -> bool {
         self.sanitizer.is_some()
+    }
+
+    /// Attach a trace recorder. Every subsequent kernel launch, transfer
+    /// charge, pooled allocation, and sanitizer finding is recorded under
+    /// the `device{index}` process, stamped with this device's simulated
+    /// clock. Track registration and name interning happen here, so the
+    /// per-event recording path stays allocation-free.
+    pub fn with_trace(mut self, rec: &Arc<TraceRecorder>, index: usize) -> Self {
+        self.trace = Some(DeviceTrace::new(rec, index));
+        self
+    }
+
+    /// Whether a trace recorder is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// The accumulated sanitizer findings (`None` without a sanitizer).
@@ -192,6 +347,14 @@ impl Device {
         &self.pool
     }
 
+    /// Emit a pool hit/miss instant plus an occupancy counter sample when
+    /// a trace is attached (free otherwise: two atomic loads at most).
+    fn trace_pool_event(&self, hit: bool) {
+        if let Some(trace) = &self.trace {
+            trace.record_pool(hit, self.pool.stats().outstanding_bytes);
+        }
+    }
+
     /// Model the device as *occupying* real time: when pacing is enabled,
     /// sleep for the modelled duration, releasing the CPU exactly like a
     /// host thread blocked on a stream synchronization.
@@ -214,7 +377,8 @@ impl Device {
     /// identical to [`Device::alloc`]; steady state reuses parked cells
     /// instead of touching the host allocator.
     pub fn alloc_pooled<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
-        let mut buf = self.pool.acquire(len, true);
+        let (mut buf, hit) = self.pool.acquire_observed(len, true);
+        self.trace_pool_event(hit);
         self.attach_shadow(buf.global_mut(), false);
         buf
     }
@@ -226,7 +390,8 @@ impl Device {
     /// recycled — so any read-before-write is reported, not just the ones a
     /// dirty previous tenant happens to expose.
     pub fn alloc_pooled_dirty<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
-        let mut buf = self.pool.acquire(len, false);
+        let (mut buf, hit) = self.pool.acquire_observed(len, false);
+        self.trace_pool_event(hit);
         self.attach_shadow(buf.global_mut(), true);
         buf
     }
@@ -244,7 +409,8 @@ impl Device {
     /// [`Device::upload`]); every element is overwritten so no zeroing
     /// sweep is needed.
     pub fn upload_pooled<T: DeviceScalar>(&self, data: &[T]) -> PooledBuffer<T> {
-        let mut buf = self.pool.acquire::<T>(data.len(), false);
+        let (mut buf, hit) = self.pool.acquire_observed::<T>(data.len(), false);
+        self.trace_pool_event(hit);
         // Attach poisoned, then let the upload define every word — the
         // same path a kernel write takes, keeping the shadow truthful.
         self.attach_shadow(buf.global_mut(), true);
@@ -341,6 +507,7 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
+        self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats
     }
@@ -372,8 +539,20 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
+        self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats
+    }
+
+    /// Record a completed launch into the trace (kernel span on the device
+    /// clock, plus sanitizer instants for any checker that fired).
+    fn trace_launch(&self, name: &str, stats: &LaunchStats) {
+        if let Some(trace) = &self.trace {
+            trace.record_kernel(name, stats, &self.cost);
+            if let Some(san) = &self.sanitizer {
+                trace.record_sanitizer(san.counts());
+            }
+        }
     }
 
     /// Account an explicit host→device transfer into a stats record.
@@ -390,6 +569,9 @@ impl Device {
             ..Default::default()
         };
         self.ledger.lock().record(&charge, false);
+        if let Some(trace) = &self.trace {
+            trace.record_xfer(true, bytes, dt);
+        }
         self.pace(dt);
     }
 
@@ -407,6 +589,9 @@ impl Device {
             ..Default::default()
         };
         self.ledger.lock().record(&charge, false);
+        if let Some(trace) = &self.trace {
+            trace.record_xfer(false, bytes, dt);
+        }
         self.pace(dt);
     }
 
@@ -579,6 +764,101 @@ mod tests {
         let t0 = Instant::now();
         unpaced.charge_h2d(&mut st, 10_000);
         assert!(t0.elapsed().as_secs_f64() < 0.009);
+    }
+
+    #[test]
+    fn traced_device_records_kernels_transfers_and_pool() {
+        use crate::trace::{EventKind, TraceRecorder, TrackId};
+        let rec = Arc::new(TraceRecorder::new(256));
+        let dev = Device::m2050().with_trace(&rec, 0);
+        assert!(dev.trace_enabled());
+        let buf: crate::PooledBuffer<u32> = dev.alloc_pooled(64);
+        let stats = dev.launch("mark", 2, |ctx| {
+            ctx.st_co(&buf, ctx.block_idx, 1);
+        });
+        let mut st = LaunchStats::default();
+        dev.charge_h2d(&mut st, 4096);
+        dev.charge_d2h(&mut st, 128);
+
+        let snap = rec.snapshot();
+        let track = |thread: &str| {
+            TrackId(
+                snap.tracks
+                    .iter()
+                    .position(|t| t.thread == thread)
+                    .expect("track registered") as u32,
+            )
+        };
+        // Kernel span carries the launch's exact sim_time and counters.
+        let kernels = track("kernels");
+        assert!((snap.sum_span_durations(kernels, "mark") - stats.sim_time).abs() < 1e-15);
+        let kernel_ev = snap
+            .events
+            .iter()
+            .find(|e| e.track == kernels)
+            .expect("kernel span recorded");
+        match kernel_ev.kind {
+            EventKind::Span {
+                args: crate::SpanArgs::Kernel { grid, counters, .. },
+                ..
+            } => {
+                assert_eq!(grid, 2);
+                assert_eq!(counters, stats.counters);
+            }
+            ref other => panic!("expected kernel span, got {other:?}"),
+        }
+        // Both transfers present; they advance the same device clock, so
+        // the d2h span starts where the h2d span ends.
+        let transfers = track("transfers");
+        assert_eq!(snap.count_events(transfers, "h2d"), 1);
+        assert_eq!(snap.count_events(transfers, "d2h"), 1);
+        // Pool miss instant + occupancy sample from the pooled alloc.
+        let pool = track("pool");
+        assert_eq!(snap.count_events(pool, "pool_miss"), 1);
+        assert_eq!(
+            snap.count_events(track("pool bytes"), "pool_outstanding_bytes"),
+            1
+        );
+        // Device-clock spans on one device never overlap.
+        let mut cursor = 0.0f64;
+        let mut device_spans: Vec<(f64, f64)> = snap
+            .events
+            .iter()
+            .filter(|e| e.track == kernels || e.track == transfers)
+            .filter_map(|e| match e.kind {
+                EventKind::Span { dur, .. } => Some((e.ts, dur)),
+                _ => None,
+            })
+            .collect();
+        device_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (ts, dur) in device_spans {
+            assert!(
+                ts >= cursor - 1e-15,
+                "span at {ts} overlaps previous end {cursor}"
+            );
+            cursor = ts + dur;
+        }
+    }
+
+    #[test]
+    fn untraced_device_counters_match_traced() {
+        // Attaching a trace must not perturb the modelled execution.
+        let run = |dev: &Device| {
+            let buf: GlobalBuffer<u32> = dev.alloc(256);
+            dev.launch("sum", 4, |ctx| {
+                for i in 0..64 {
+                    let v = ctx.ld_co(&buf, ctx.block_idx * 64 + i);
+                    ctx.st_co(&buf, ctx.block_idx * 64 + i, v + 1);
+                }
+            })
+        };
+        let plain = Device::m2050();
+        let rec = Arc::new(crate::TraceRecorder::new(64));
+        let traced = Device::m2050().with_trace(&rec, 0);
+        let a = run(&plain);
+        let b = run(&traced);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.sim_time, b.sim_time);
     }
 
     #[test]

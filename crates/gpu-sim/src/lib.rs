@@ -54,6 +54,7 @@ pub mod launch;
 pub mod pool;
 pub mod primitives;
 pub mod sanitizer;
+pub mod trace;
 
 pub use buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 pub use config::DeviceConfig;
@@ -66,4 +67,8 @@ pub use pool::{BufferPool, PoolStats, PooledBuffer};
 pub use sanitizer::{
     check_block_order_invariance, CheckKind, DeterminismReport, Diagnostic, SanitizerConfig,
     SanitizerCounts, SanitizerReport,
+};
+pub use trace::{
+    validate_chrome_json, EventKind, KernelProfile, MetricKind, MetricsSnapshot, NameId, SpanArgs,
+    TraceEvent, TraceRecorder, TraceSnapshot, TrackId, TrackKind,
 };

@@ -116,6 +116,17 @@ impl BufferPool {
     /// Freshly allocated cells are always zeroed either way, so the two
     /// paths are indistinguishable to a correct kernel.
     pub fn acquire<T: DeviceScalar>(self: &Arc<Self>, len: usize, zero: bool) -> PooledBuffer<T> {
+        self.acquire_observed(len, zero).0
+    }
+
+    /// [`BufferPool::acquire`], additionally reporting whether the request
+    /// was a recycling hit (`true`) or allocated fresh cells (`false`).
+    /// [`crate::Device`] uses this to emit pool hit/miss trace events.
+    pub fn acquire_observed<T: DeviceScalar>(
+        self: &Arc<Self>,
+        len: usize,
+        zero: bool,
+    ) -> (PooledBuffer<T>, bool) {
         let class = Self::class_of(len);
         // A zeroed request prefers the known-zero list (no sweep); a dirty
         // request prefers the dirty list, falling back to zeroed cells
@@ -138,6 +149,7 @@ impl BufferPool {
         } else {
             None
         };
+        let recycled_hit = recycled.is_some();
         // Whether every cell of the backing capacity is zero right now —
         // the precondition for this buffer to re-enter the zeroed list if
         // its user self-cleans (see `park_zeroed_on_drop`).
@@ -166,12 +178,15 @@ impl BufferPool {
         let bytes = (class * 8) as u64;
         let now = self.outstanding.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.high_water.fetch_max(now, Ordering::Relaxed);
-        PooledBuffer {
-            buf: Some(GlobalBuffer::from_raw_cells(cells, len)),
-            pool: Arc::clone(self),
-            park_zeroed: false,
-            acquired_fully_zero: fully_zero,
-        }
+        (
+            PooledBuffer {
+                buf: Some(GlobalBuffer::from_raw_cells(cells, len)),
+                pool: Arc::clone(self),
+                park_zeroed: false,
+                acquired_fully_zero: fully_zero,
+            },
+            recycled_hit,
+        )
     }
 
     fn release(&self, cells: RawCells, zeroed: bool) {

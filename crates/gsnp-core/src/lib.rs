@@ -26,13 +26,17 @@ pub mod arena;
 pub mod baseword;
 pub mod counting;
 pub mod likelihood;
+pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod stream;
 pub mod tables;
 
 pub use arena::{ArenaPool, ArenaPoolStats, WindowArena};
+pub use metrics::call_metrics;
 pub use model::{ModelParams, SiteSummary};
 pub use pipeline::{ComponentTimes, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
-pub use stream::{OrderedReassembler, OverlapStats, StageStats};
+pub use stream::{
+    verify_overlap_consistency, OrderedReassembler, OverlapStats, PipelineTrace, StageStats,
+};
 pub use tables::{LogTable, NewPMatrix, PMatrix};

@@ -1,0 +1,358 @@
+//! Prometheus-style metrics for a GSNP run.
+//!
+//! [`call_metrics`] flattens a [`GsnpOutput`] — the ledger, overlap,
+//! sort-class and sanitizer counters that previous PRs accumulated in
+//! ad-hoc structs — into one [`MetricsSnapshot`] under stable `gsnp_`
+//! names, so `gsnp call --metrics` and `gsnp stats --format prom`
+//! render the exact same schema. Naming follows Prometheus conventions:
+//! unit-suffixed (`_seconds`, `_bytes`), `_total` for counters, labels
+//! for per-stage / per-device / per-kernel-class breakdowns.
+
+use gpu_sim::{MetricKind, MetricsSnapshot};
+
+use crate::pipeline::GsnpOutput;
+use crate::stream::StageStats;
+
+/// Build the canonical metrics snapshot for one finished run.
+///
+/// Every value comes straight from [`GsnpOutput`] fields; the snapshot
+/// adds no new measurement, only stable names. Render it with
+/// [`MetricsSnapshot::render_text`].
+pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
+    use MetricKind::{Counter, Gauge};
+    let mut m = MetricsSnapshot::new();
+    let stats = &out.stats;
+
+    // ---- run totals ----
+    m.push(
+        "gsnp_sites_total",
+        "Reference sites processed",
+        Counter,
+        &[],
+        stats.num_sites as f64,
+    );
+    m.push(
+        "gsnp_observations_total",
+        "Aligned-base observations processed",
+        Counter,
+        &[],
+        stats.num_obs as f64,
+    );
+    m.push(
+        "gsnp_windows_total",
+        "Windows processed",
+        Counter,
+        &[],
+        stats.windows as f64,
+    );
+    m.push(
+        "gsnp_snp_calls_total",
+        "Variant calls emitted",
+        Counter,
+        &[],
+        stats.snp_count as f64,
+    );
+    m.push(
+        "gsnp_compressed_output_bytes",
+        "Size of the compressed result file",
+        Gauge,
+        &[],
+        out.compressed.len() as f64,
+    );
+    m.push(
+        "gsnp_peak_device_bytes",
+        "Peak simulated-device memory per device",
+        Gauge,
+        &[],
+        stats.peak_device_bytes as f64,
+    );
+    m.push(
+        "gsnp_peak_host_bytes",
+        "Peak pipeline host memory",
+        Gauge,
+        &[],
+        stats.peak_host_bytes as f64,
+    );
+
+    // ---- per-component time, both clock domains ----
+    for (clock, t) in [("device", &out.times), ("wall", &out.wall)] {
+        for (component, v) in [
+            ("cal_p", t.cal_p),
+            ("read_site", t.read_site),
+            ("counting", t.counting),
+            ("likelihood_sort", t.likelihood_sort),
+            ("likelihood_comp", t.likelihood_comp),
+            ("posterior", t.posterior),
+            ("output", t.output),
+            ("recycle", t.recycle),
+        ] {
+            m.push(
+                "gsnp_component_seconds",
+                "Per-component time by clock domain (device = modelled, wall = host)",
+                Counter,
+                &[("component", component), ("clock", clock)],
+                v,
+            );
+        }
+    }
+
+    // ---- window-loop stage accounting (OverlapStats) ----
+    let ov = &stats.overlap;
+    m.push(
+        "gsnp_pipeline_depth",
+        "Bounded-channel depth of the streaming window loop",
+        Gauge,
+        &[],
+        ov.depth as f64,
+    );
+    m.push(
+        "gsnp_pipeline_wall_seconds",
+        "End-to-end wall time of the window loop",
+        Counter,
+        &[],
+        ov.wall,
+    );
+    let stages: [(&str, &StageStats); 4] = [
+        ("read", &ov.read),
+        ("device", &ov.device),
+        ("posterior", &ov.posterior),
+        ("output", &ov.output),
+    ];
+    for (stage, st) in stages {
+        push_stage(&mut m, &[("stage", stage)], st);
+    }
+    for (i, lane) in ov.devices.iter().enumerate() {
+        let dev = i.to_string();
+        push_stage(&mut m, &[("stage", "lane"), ("device", &dev)], &lane.stage);
+        m.push(
+            "gsnp_lane_windows_total",
+            "Windows scored by each device lane",
+            Counter,
+            &[("device", &dev)],
+            lane.windows as f64,
+        );
+        m.push(
+            "gsnp_lane_steals_total",
+            "Windows a lane pulled off its home-device residue class",
+            Counter,
+            &[("device", &dev)],
+            lane.steals as f64,
+        );
+    }
+
+    // ---- per-device ledgers ----
+    for (i, led) in stats.ledgers.iter().enumerate() {
+        let dev = i.to_string();
+        let l = &[("device", dev.as_str())];
+        m.push(
+            "gsnp_device_launches_total",
+            "Kernel launches per device",
+            Counter,
+            l,
+            led.launches as f64,
+        );
+        m.push(
+            "gsnp_device_transfers_total",
+            "Host-device transfer charges per device",
+            Counter,
+            l,
+            led.transfers as f64,
+        );
+        m.push(
+            "gsnp_device_sim_seconds",
+            "Modelled device time per device",
+            Counter,
+            l,
+            led.sim_time,
+        );
+        let c = &led.counters;
+        for (counter, v) in [
+            ("instructions", c.instructions),
+            ("g_load_coalesced", c.g_load_coalesced),
+            ("g_load_random", c.g_load_random),
+            ("g_store_coalesced", c.g_store_coalesced),
+            ("g_store_random", c.g_store_random),
+            ("s_load", c.s_load),
+            ("s_store", c.s_store),
+            ("h2d_bytes", c.h2d_bytes),
+            ("d2h_bytes", c.d2h_bytes),
+        ] {
+            m.push(
+                "gsnp_hw_counter_total",
+                "Simulated hardware counters per device",
+                Counter,
+                &[("device", &dev), ("counter", counter)],
+                v as f64,
+            );
+        }
+    }
+
+    // ---- pools ----
+    m.push(
+        "gsnp_pool_hits_total",
+        "Device buffer-pool acquires served from a free list (group sum)",
+        Counter,
+        &[],
+        stats.pool.hits as f64,
+    );
+    m.push(
+        "gsnp_pool_misses_total",
+        "Device buffer-pool acquires that allocated fresh (group sum)",
+        Counter,
+        &[],
+        stats.pool.misses as f64,
+    );
+    m.push(
+        "gsnp_pool_high_water_bytes",
+        "Peak bytes checked out of the device buffer pools",
+        Gauge,
+        &[],
+        stats.pool.high_water_bytes as f64,
+    );
+    m.push(
+        "gsnp_arena_hits_total",
+        "Window-arena checkouts served from the free list",
+        Counter,
+        &[],
+        stats.arena.hits as f64,
+    );
+    m.push(
+        "gsnp_arena_misses_total",
+        "Window-arena checkouts that built a fresh arena",
+        Counter,
+        &[],
+        stats.arena.misses as f64,
+    );
+
+    // ---- sanitizer findings ----
+    let san = &stats.sanitizer;
+    for (check, v) in [
+        ("race", san.races),
+        ("uninit_read", san.uninit_reads),
+        ("oob_access", san.oob_accesses),
+        ("shared_leak", san.shared_leaks),
+    ] {
+        m.push(
+            "gsnp_sanitizer_findings_total",
+            "Dynamic-checker findings by check (zero unless --sanitize)",
+            Counter,
+            &[("check", check)],
+            v as f64,
+        );
+    }
+
+    // ---- multipass sort-class histogram (paper Fig. 7b) ----
+    // Rendered cumulatively under the Prometheus `le` convention: the
+    // per-site array-length distribution the multipass scheduler saw.
+    let mut cumulative = 0u64;
+    for class in &stats.sort_classes {
+        cumulative += class.arrays;
+        m.push(
+            "gsnp_sort_arrays_bucket",
+            "Per-site arrays by multipass size class (cumulative histogram)",
+            Counter,
+            &[("le", &class.le_label())],
+            cumulative as f64,
+        );
+        m.push(
+            "gsnp_sort_class_elements_total",
+            "Real elements sorted per multipass size class",
+            Counter,
+            &[("class", &class.le_label())],
+            class.elements as f64,
+        );
+        m.push(
+            "gsnp_sort_class_padded_total",
+            "Padded network elements charged per multipass size class",
+            Counter,
+            &[("class", &class.le_label())],
+            class.padded as f64,
+        );
+    }
+
+    m
+}
+
+fn push_stage(m: &mut MetricsSnapshot, labels: &[(&str, &str)], st: &StageStats) {
+    let mut with_state = |state: &str, v: f64| {
+        let mut l: Vec<(&str, &str)> = labels.to_vec();
+        l.push(("state", state));
+        m.push(
+            "gsnp_stage_seconds",
+            "Busy/stall accounting per window-loop stage",
+            MetricKind::Counter,
+            &l,
+            v,
+        );
+    };
+    with_state("busy", st.busy);
+    with_state("stall_in", st.stall_in);
+    with_state("stall_out", st.stall_out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ComponentTimes, PipelineStats};
+    use crate::stream::OverlapStats;
+
+    fn empty_output() -> GsnpOutput {
+        GsnpOutput {
+            tables: Vec::new(),
+            compressed: Vec::new(),
+            times: ComponentTimes::default(),
+            wall: ComponentTimes::default(),
+            stats: PipelineStats {
+                overlap: OverlapStats {
+                    devices: vec![Default::default(); 2],
+                    ..Default::default()
+                },
+                ledgers: vec![Default::default(); 2],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_has_stable_names_and_per_device_labels() {
+        let out = empty_output();
+        let m = call_metrics(&out);
+        assert_eq!(m.get("gsnp_windows_total", &[]), Some(0.0));
+        assert_eq!(
+            m.get("gsnp_lane_windows_total", &[("device", "1")]),
+            Some(0.0)
+        );
+        assert_eq!(
+            m.get(
+                "gsnp_stage_seconds",
+                &[("stage", "read"), ("state", "busy")]
+            ),
+            Some(0.0)
+        );
+        let text = m.render_text();
+        assert!(text.contains("# TYPE gsnp_stage_seconds counter"));
+        assert!(text.contains("gsnp_hw_counter_total{device=\"0\",counter=\"instructions\"}"));
+    }
+
+    #[test]
+    fn component_times_cover_both_clocks() {
+        let mut out = empty_output();
+        out.times.posterior = 1.5;
+        out.wall.posterior = 0.5;
+        let m = call_metrics(&out);
+        assert_eq!(
+            m.get(
+                "gsnp_component_seconds",
+                &[("component", "posterior"), ("clock", "device")]
+            ),
+            Some(1.5)
+        );
+        assert_eq!(
+            m.get(
+                "gsnp_component_seconds",
+                &[("component", "posterior"), ("clock", "wall")]
+            ),
+            Some(0.5)
+        );
+    }
+}

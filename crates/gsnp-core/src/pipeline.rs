@@ -38,7 +38,7 @@ use crate::likelihood::{
     likelihood_comp_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
 };
 use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
-use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, StageStats};
+use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, PipelineTrace, StageStats};
 use crate::tables::{LogTable, NewPMatrix, PMatrix};
 
 /// Per-component elapsed time in seconds, matching the columns of the
@@ -115,6 +115,11 @@ pub struct PipelineStats {
     /// what lets sum-invariance tests compare an `N`-device run against a
     /// serial one.
     pub table_bytes: u64,
+    /// Whole-run multipass size-class histogram (the paper's Fig. 7b
+    /// classes `[0,1] … >64`): per-window [`sortnet::ClassTally`] reports
+    /// merged across every window and device worker. Empty only when no
+    /// window ran a sort.
+    pub sort_classes: Vec<sortnet::ClassTally>,
 }
 
 /// GSNP configuration.
@@ -160,6 +165,17 @@ pub struct GsnpConfig {
     /// [`PipelineStats::sanitizer`]. Off by default — recorded experiments
     /// must never enable it.
     pub sanitize: bool,
+    /// Attach a shared [`gpu_sim::TraceRecorder`]: every device in the
+    /// group records kernel/transfer/pool events under its own
+    /// `device{i}` process (simulated device clock), and the window loop
+    /// records one host-clock track per pipeline stage and device lane,
+    /// with steal and stall intervals marked. `None` (the default) records
+    /// nothing, costs zero allocations, and leaves all outputs
+    /// byte-identical (`tests/trace_layer.rs`). Export the recorder with
+    /// [`gpu_sim::TraceRecorder::snapshot`] after the run. Ignored by
+    /// [`GsnpCpuPipeline`], which has no device or stage structure to
+    /// trace.
+    pub trace: Option<std::sync::Arc<gpu_sim::TraceRecorder>>,
 }
 
 impl Default for GsnpConfig {
@@ -175,6 +191,7 @@ impl Default for GsnpConfig {
             num_devices: 1,
             pooled: true,
             sanitize: false,
+            trace: None,
         }
     }
 }
@@ -233,6 +250,15 @@ impl GsnpPipeline {
         if cfg.sanitize {
             group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
         }
+        if let Some(rec) = &cfg.trace {
+            group = group.with_trace(rec);
+        }
+        // Host-side pipeline tracks (one per stage + device lane); all
+        // registration and interning happens here, before the first window.
+        let ptrace = cfg
+            .trace
+            .as_ref()
+            .map(|rec| PipelineTrace::new(rec, group.len()));
         group.set_pool_enabled(cfg.pooled);
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
@@ -262,13 +288,31 @@ impl GsnpPipeline {
 
         if cfg.pipeline_depth <= 1 && group.len() == 1 {
             self.window_loop_serial(
-                &group, &tables, temp_input, reads, reference, priors, times, wall, stats,
+                &group,
+                &tables,
+                temp_input,
+                reads,
+                reference,
+                priors,
+                ptrace.as_ref(),
+                times,
+                wall,
+                stats,
             )
         } else {
             // A multi-device run always streams: even at depth 1 the
             // device workers need the channel topology to shard windows.
             self.window_loop_streamed(
-                &group, &tables, temp_input, reads, reference, priors, times, wall, stats,
+                &group,
+                &tables,
+                temp_input,
+                reads,
+                reference,
+                priors,
+                ptrace.as_ref(),
+                times,
+                wall,
+                stats,
             )
         }
     }
@@ -284,6 +328,7 @@ impl GsnpPipeline {
         reads: &[AlignedRead],
         reference: &Reference,
         priors: &PriorMap,
+        ptrace: Option<&PipelineTrace>,
         mut times: ComponentTimes,
         mut wall: ComponentTimes,
         mut stats: PipelineStats,
@@ -295,6 +340,7 @@ impl GsnpPipeline {
 
         // ---- read_site source: decompress the temporary input ----
         let t0 = Instant::now();
+        let ts = trace_now(ptrace);
         let owned_reads;
         let read_source: &[AlignedRead] = match &temp_input {
             Some(bytes) => {
@@ -305,6 +351,9 @@ impl GsnpPipeline {
             None => reads,
         };
         let decompress_wall = t0.elapsed().as_secs_f64();
+        if let Some(pt) = ptrace {
+            pt.read_span(ts, decompress_wall);
+        }
 
         let mut reader = WindowReader::new(
             read_source.iter().cloned().map(Ok),
@@ -323,6 +372,7 @@ impl GsnpPipeline {
             // ---- read_site ----
             let mut arena = arena_pool.checkout();
             let t0 = Instant::now();
+            let ts = trace_now(ptrace);
             if !reader
                 .next_window_into(&mut arena.window)
                 .expect("in-memory reads are valid")
@@ -332,8 +382,16 @@ impl GsnpPipeline {
             let dt = t0.elapsed().as_secs_f64();
             wall.read_site += dt;
             times.read_site += dt;
+            if let Some(pt) = ptrace {
+                pt.read_span(ts, dt);
+            }
 
             // ---- counting + likelihood + recycle (the device stage) ----
+            // The serial loop's device-lane busy time is the growth of the
+            // four device-component wall clocks across this window.
+            let dev_wall_before =
+                wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
+            let ts = trace_now(ptrace);
             let tl_bytes = run_device_window(
                 dev,
                 tables,
@@ -345,9 +403,15 @@ impl GsnpPipeline {
                 &mut wall,
                 &mut stats,
             );
+            if let Some(pt) = ptrace {
+                let dev_wall =
+                    wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
+                pt.lane_window(0, ts, dev_wall - dev_wall_before, stats.windows - 1);
+            }
 
             // ---- posterior ----
             let t0 = Instant::now();
+            let ts = trace_now(ptrace);
             let rows = posterior_rows(
                 arena.window.start,
                 &arena.type_likely,
@@ -359,6 +423,9 @@ impl GsnpPipeline {
             stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
             let dt = t0.elapsed().as_secs_f64();
             wall.posterior += dt;
+            if let Some(pt) = ptrace {
+                pt.posterior_span(ts, dt);
+            }
             // Device model for posterior: the per-site arithmetic is cheap;
             // the cost is dominated by moving type_likely down and result
             // columns back (the paper attributes its modest posterior
@@ -369,6 +436,7 @@ impl GsnpPipeline {
 
             // ---- output ----
             let t0 = Instant::now();
+            let ts = trace_now(ptrace);
             let table = SnpTable::new(reference.name.clone(), arena.window.start, rows);
             let out_stats = if cfg.gpu_output {
                 column::write_window_gpu(dev, &mut compressed, &table)
@@ -378,6 +446,9 @@ impl GsnpPipeline {
             };
             let dt = t0.elapsed().as_secs_f64();
             wall.output += dt;
+            if let Some(pt) = ptrace {
+                pt.output_span(ts, dt);
+            }
             times.output += if cfg.gpu_output {
                 // Device columns overlap host columns; charge the slower
                 // plus the (dominant) host write of the compressed bytes.
@@ -427,6 +498,7 @@ impl GsnpPipeline {
             },
             wall: loop_start.elapsed().as_secs_f64(),
         };
+        debug_verify_trace(ptrace, &stats.overlap);
 
         GsnpOutput {
             tables: out_tables,
@@ -460,6 +532,7 @@ impl GsnpPipeline {
         reads: &[AlignedRead],
         reference: &Reference,
         priors: &PriorMap,
+        ptrace: Option<&PipelineTrace>,
         mut times: ComponentTimes,
         mut wall: ComponentTimes,
         mut stats: PipelineStats,
@@ -491,6 +564,7 @@ impl GsnpPipeline {
             let producer = s.spawn(move || {
                 let mut rep = StageReport::default();
                 let t0 = Instant::now();
+                let ts = trace_now(ptrace);
                 let owned: Vec<AlignedRead> = match temp_input {
                     Some(bytes) => input_codec::decompress_reads(&bytes)
                         .expect("pipeline-internal temporary input must decode"),
@@ -501,10 +575,14 @@ impl GsnpPipeline {
                 rep.wall.read_site += dt;
                 rep.times.read_site += dt;
                 rep.stage.busy += dt;
+                if let Some(pt) = ptrace {
+                    pt.read_span(ts, dt);
+                }
                 let mut idx = 0usize;
                 loop {
                     let mut arena = prod_pool.checkout();
                     let t0 = Instant::now();
+                    let ts = trace_now(ptrace);
                     if !reader
                         .next_window_into(&mut arena.window)
                         .expect("in-memory reads are valid")
@@ -515,12 +593,20 @@ impl GsnpPipeline {
                     rep.wall.read_site += dt;
                     rep.times.read_site += dt;
                     rep.stage.busy += dt;
+                    if let Some(pt) = ptrace {
+                        pt.read_span(ts, dt);
+                    }
 
                     let t0 = Instant::now();
+                    let ts = trace_now(ptrace);
                     if win_tx.send(Produced { idx, arena }).is_err() {
                         break; // downstream died; its panic surfaces at join
                     }
-                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.stage.stall_out += dt;
+                    if let Some(pt) = ptrace {
+                        pt.read_stall_out(ts, dt);
+                    }
                     idx += 1;
                 }
                 rep
@@ -537,6 +623,7 @@ impl GsnpPipeline {
                     let mut lane = DeviceLaneStats::default();
                     loop {
                         let t0 = Instant::now();
+                        let ts = trace_now(ptrace);
                         let Produced { idx, mut arena } = match win_rx.recv() {
                             Ok(p) => p,
                             Err(_) => break,
@@ -544,7 +631,11 @@ impl GsnpPipeline {
                         let dt = t0.elapsed().as_secs_f64();
                         rep.stage.stall_in += dt;
                         lane.stage.stall_in += dt;
+                        if let Some(pt) = ptrace {
+                            pt.lane_stall_in(worker_id, ts, dt);
+                        }
                         let busy_start = Instant::now();
+                        let ts = trace_now(ptrace);
 
                         let tl_bytes = run_device_window(
                             dev,
@@ -560,12 +651,19 @@ impl GsnpPipeline {
                         lane.windows += 1;
                         if idx % num_devices != worker_id {
                             lane.steals += 1;
+                            if let Some(pt) = ptrace {
+                                pt.lane_steal(worker_id, ts);
+                            }
                         }
                         let dt = busy_start.elapsed().as_secs_f64();
                         rep.stage.busy += dt;
                         lane.stage.busy += dt;
+                        if let Some(pt) = ptrace {
+                            pt.lane_window(worker_id, ts, dt, idx as u64);
+                        }
 
                         let t0 = Instant::now();
+                        let ts = trace_now(ptrace);
                         let scored = Scored {
                             idx,
                             start: arena.window.start,
@@ -579,6 +677,9 @@ impl GsnpPipeline {
                         let dt = t0.elapsed().as_secs_f64();
                         rep.stage.stall_out += dt;
                         lane.stage.stall_out += dt;
+                        if let Some(pt) = ptrace {
+                            pt.lane_stall_out(worker_id, ts, dt);
+                        }
                     }
                     (rep, lane)
                 }));
@@ -594,6 +695,7 @@ impl GsnpPipeline {
                 let mut rep = StageReport::default();
                 loop {
                     let t0 = Instant::now();
+                    let ts = trace_now(ptrace);
                     let Scored {
                         idx,
                         start,
@@ -604,8 +706,13 @@ impl GsnpPipeline {
                         Ok(sc) => sc,
                         Err(_) => break,
                     };
-                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.stage.stall_in += dt;
+                    if let Some(pt) = ptrace {
+                        pt.posterior_stall_in(ts, dt);
+                    }
                     let busy_start = Instant::now();
+                    let busy_ts = trace_now(ptrace);
 
                     let t0 = Instant::now();
                     let rows = posterior_rows(
@@ -627,9 +734,14 @@ impl GsnpPipeline {
                         .device(dev)
                         .charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
-                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
+                    let dt = busy_start.elapsed().as_secs_f64();
+                    rep.stage.busy += dt;
+                    if let Some(pt) = ptrace {
+                        pt.posterior_span(busy_ts, dt);
+                    }
 
                     let t0 = Instant::now();
+                    let ts = trace_now(ptrace);
                     let called = Called {
                         idx,
                         start,
@@ -639,7 +751,11 @@ impl GsnpPipeline {
                     if call_tx.send(called).is_err() {
                         break;
                     }
-                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.stage.stall_out += dt;
+                    if let Some(pt) = ptrace {
+                        pt.posterior_stall_out(ts, dt);
+                    }
                 }
                 rep
             });
@@ -648,12 +764,18 @@ impl GsnpPipeline {
             let mut reasm = OrderedReassembler::new();
             loop {
                 let t0 = Instant::now();
+                let ts = trace_now(ptrace);
                 let called = match call_rx.recv() {
                     Ok(c) => c,
                     Err(_) => break,
                 };
-                out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                let dt = t0.elapsed().as_secs_f64();
+                out_rep.stage.stall_in += dt;
+                if let Some(pt) = ptrace {
+                    pt.output_stall_in(ts, dt);
+                }
                 let busy_start = Instant::now();
+                let busy_ts = trace_now(ptrace);
                 // In-order arrivals (the common case at one device: every
                 // stage is one thread over FIFO channels) take the
                 // allocation-free `offer` fast path; windows that overtook
@@ -680,7 +802,11 @@ impl GsnpPipeline {
                     out_tables.push(table);
                     next = reasm.pop_ready();
                 }
-                out_rep.stage.busy += busy_start.elapsed().as_secs_f64();
+                let dt = busy_start.elapsed().as_secs_f64();
+                out_rep.stage.busy += dt;
+                if let Some(pt) = ptrace {
+                    pt.output_span(busy_ts, dt);
+                }
             }
             assert!(reasm.is_drained(), "streamed pipeline lost a window");
 
@@ -719,6 +845,7 @@ impl GsnpPipeline {
             output: out_rep.stage,
             wall: loop_wall,
         };
+        debug_verify_trace(ptrace, &stats.overlap);
         stats.arena = arena_pool.stats();
         let ledger = group.ledger();
         let total = ledger.total();
@@ -809,7 +936,9 @@ fn run_device_window(
     let t0 = Instant::now();
     likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
     wall.likelihood_sort += t0.elapsed().as_secs_f64();
-    times.likelihood_sort += arena.sort_scratch.report().total().sim_time;
+    let sort_report = arena.sort_scratch.report();
+    times.likelihood_sort += sort_report.total().sim_time;
+    merge_sort_classes(&mut stats.sort_classes, &sort_report.classes);
 
     let sw = &arena.sw;
     let read_len = max_read_len(sw);
@@ -866,6 +995,48 @@ fn merge_stats(a: &mut PipelineStats, b: &PipelineStats) {
     a.snp_count += b.snp_count;
     a.peak_device_bytes = a.peak_device_bytes.max(b.peak_device_bytes);
     a.peak_host_bytes = a.peak_host_bytes.max(b.peak_host_bytes);
+    merge_sort_classes(&mut a.sort_classes, &b.sort_classes);
+}
+
+/// Fold one run's (or window's) per-class sort tallies into the
+/// accumulated histogram. The class layout is fixed by the multipass
+/// schedule, so after the first window this is pure element-wise
+/// addition.
+fn merge_sort_classes(acc: &mut Vec<sortnet::ClassTally>, add: &[sortnet::ClassTally]) {
+    if add.is_empty() {
+        return;
+    }
+    if acc.is_empty() {
+        acc.extend_from_slice(add);
+        return;
+    }
+    debug_assert_eq!(acc.len(), add.len(), "sort class layout changed mid-run");
+    for (a, b) in acc.iter_mut().zip(add) {
+        a.merge(b);
+    }
+}
+
+/// Host wall-clock timestamp on the shared trace epoch, or 0 when
+/// tracing is off (the value is never read in that case).
+fn trace_now(pt: Option<&PipelineTrace>) -> f64 {
+    pt.map_or(0.0, PipelineTrace::now)
+}
+
+/// Satellite 2: in debug builds a traced run re-derives every
+/// [`OverlapStats`] busy/stall total from the recorded spans and panics
+/// on divergence; release builds compile this away entirely.
+#[cfg(debug_assertions)]
+fn debug_verify_trace(pt: Option<&PipelineTrace>, overlap: &OverlapStats) {
+    if let Some(pt) = pt {
+        if let Err(e) = pt.verify(overlap) {
+            panic!("trace/OverlapStats divergence: {e}");
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_verify_trace(pt: Option<&PipelineTrace>, overlap: &OverlapStats) {
+    let _ = (pt, overlap);
 }
 
 /// The per-site posterior loop, parallelized over sites (rayon). The map

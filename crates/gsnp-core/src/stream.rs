@@ -19,8 +19,17 @@
 //!   to a serial run (§IV-G).
 //! * [`StageStats`] / [`OverlapStats`] — per-stage busy and stall time,
 //!   from which the achieved pipeline depth is derived.
+//! * [`PipelineTrace`] — the host-side tracks of the tracing subsystem
+//!   (`GsnpConfig::trace`): one span track per pipeline stage and per
+//!   device lane under a `"pipeline"` process, recording the *same*
+//!   busy/stall durations that land in [`StageStats`], plus steal
+//!   instants. [`verify_overlap_consistency`] cross-checks the two
+//!   accounting systems against each other.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpu_sim::trace::{NameId, SpanArgs, TraceRecorder, TraceSnapshot, TrackId, TrackKind};
 
 /// Restores stream order at a pipeline's ordered sink.
 ///
@@ -188,6 +197,254 @@ impl OverlapStats {
     }
 }
 
+/// Host-side pipeline tracks of the tracing subsystem: one span track per
+/// stage (`read_site`, `posterior`, `output`) plus one per device lane,
+/// all under a `"pipeline"` process stamped with host wall clock (the
+/// device processes run on their simulated clocks — see
+/// `gpu_sim::trace`). Every span records the **identical** `f64` duration
+/// the stage adds to its [`StageStats`], which is what lets
+/// [`verify_overlap_consistency`] reconcile the two systems to
+/// floating-point regrouping error.
+///
+/// Tracks and names are registered at construction; recording methods are
+/// allocation-free.
+pub struct PipelineTrace {
+    rec: Arc<TraceRecorder>,
+    read: TrackId,
+    lanes: Vec<TrackId>,
+    posterior: TrackId,
+    output: TrackId,
+    n_read: NameId,
+    n_stall_in: NameId,
+    n_stall_out: NameId,
+    n_window: NameId,
+    n_steal: NameId,
+    n_posterior: NameId,
+    n_output: NameId,
+}
+
+/// Thread label of device lane `i` in the pipeline process.
+fn lane_thread(i: usize) -> String {
+    format!("device lane {i}")
+}
+
+impl PipelineTrace {
+    /// Register the pipeline-process tracks on `rec` for a run with
+    /// `num_devices` device lanes.
+    pub fn new(rec: &Arc<TraceRecorder>, num_devices: usize) -> Self {
+        PipelineTrace {
+            read: rec.register_track("pipeline", "read_site", TrackKind::Spans),
+            lanes: (0..num_devices.max(1))
+                .map(|i| rec.register_track("pipeline", &lane_thread(i), TrackKind::Spans))
+                .collect(),
+            posterior: rec.register_track("pipeline", "posterior", TrackKind::Spans),
+            output: rec.register_track("pipeline", "output", TrackKind::Spans),
+            n_read: rec.intern("read_site"),
+            n_stall_in: rec.intern("stall_in"),
+            n_stall_out: rec.intern("stall_out"),
+            n_window: rec.intern("window"),
+            n_steal: rec.intern("steal"),
+            n_posterior: rec.intern("posterior"),
+            n_output: rec.intern("output"),
+            rec: Arc::clone(rec),
+        }
+    }
+
+    /// Host wall-clock seconds since the recorder's epoch (span `ts`
+    /// values for every pipeline track).
+    pub fn now(&self) -> f64 {
+        self.rec.now()
+    }
+
+    /// Producer busy span (decompression or one window's `read_site`).
+    pub fn read_span(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.read, self.n_read, ts, dur, SpanArgs::None);
+    }
+
+    /// Producer blocked on downstream channel capacity.
+    pub fn read_stall_out(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.read, self.n_stall_out, ts, dur, SpanArgs::None);
+    }
+
+    /// Device lane `lane` busy on window `window`.
+    pub fn lane_window(&self, lane: usize, ts: f64, dur: f64, window: u64) {
+        self.rec.span(
+            self.lanes[lane],
+            self.n_window,
+            ts,
+            dur,
+            SpanArgs::Window { index: window },
+        );
+    }
+
+    /// Device lane blocked waiting for a window.
+    pub fn lane_stall_in(&self, lane: usize, ts: f64, dur: f64) {
+        self.rec
+            .span(self.lanes[lane], self.n_stall_in, ts, dur, SpanArgs::None);
+    }
+
+    /// Device lane blocked handing a scored window downstream.
+    pub fn lane_stall_out(&self, lane: usize, ts: f64, dur: f64) {
+        self.rec
+            .span(self.lanes[lane], self.n_stall_out, ts, dur, SpanArgs::None);
+    }
+
+    /// Lane processed a window off its round-robin home device.
+    pub fn lane_steal(&self, lane: usize, ts: f64) {
+        self.rec.instant(self.lanes[lane], self.n_steal, ts);
+    }
+
+    /// Posterior busy span.
+    pub fn posterior_span(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.posterior, self.n_posterior, ts, dur, SpanArgs::None);
+    }
+
+    /// Posterior blocked on its input channel.
+    pub fn posterior_stall_in(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.posterior, self.n_stall_in, ts, dur, SpanArgs::None);
+    }
+
+    /// Posterior blocked on the output channel.
+    pub fn posterior_stall_out(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.posterior, self.n_stall_out, ts, dur, SpanArgs::None);
+    }
+
+    /// Output busy span (reassembly + compression + serialization).
+    pub fn output_span(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.output, self.n_output, ts, dur, SpanArgs::None);
+    }
+
+    /// Output blocked waiting for called windows.
+    pub fn output_stall_in(&self, ts: f64, dur: f64) {
+        self.rec
+            .span(self.output, self.n_stall_in, ts, dur, SpanArgs::None);
+    }
+
+    /// Cross-check this trace against the run's [`OverlapStats`] (see
+    /// [`verify_overlap_consistency`]).
+    pub fn verify(&self, overlap: &OverlapStats) -> Result<(), String> {
+        verify_overlap_consistency(&self.rec.snapshot(), overlap)
+    }
+}
+
+/// Absolute tolerance for busy/stall reconciliation. Spans carry the
+/// identical `f64` values the stage accumulators add, so per-track sums in
+/// record order reproduce the accumulator bit-for-bit; the serial loop's
+/// device lane regroups four component sums per window, which this bound
+/// covers with orders of magnitude to spare.
+const CONSISTENCY_TOL: f64 = 1e-9;
+
+/// Verify that `OverlapStats` busy/stall totals equal the summed durations
+/// of the corresponding pipeline-trace spans — per stage and per device
+/// lane — and that steal/window counts match. Catches accounting drift
+/// between the two systems (the satellite invariant of the tracing
+/// subsystem). Returns `Ok` vacuously when the ring dropped events, since
+/// span sums are then incomplete by construction.
+pub fn verify_overlap_consistency(
+    snap: &TraceSnapshot,
+    overlap: &OverlapStats,
+) -> Result<(), String> {
+    if snap.dropped > 0 {
+        return Ok(()); // ring overflowed: span sums are lower bounds only
+    }
+    let track = |thread: &str| -> Result<TrackId, String> {
+        snap.tracks
+            .iter()
+            .position(|t| t.process == "pipeline" && t.thread == thread)
+            .map(|i| TrackId(i as u32))
+            .ok_or_else(|| format!("pipeline trace has no {thread:?} track"))
+    };
+    let check = |what: &str, stats: f64, spans: f64| -> Result<(), String> {
+        if (stats - spans).abs() > CONSISTENCY_TOL {
+            return Err(format!(
+                "{what}: OverlapStats has {stats} s but trace spans sum to {spans} s"
+            ));
+        }
+        Ok(())
+    };
+
+    let read = track("read_site")?;
+    check(
+        "read.busy",
+        overlap.read.busy,
+        snap.sum_span_durations(read, "read_site"),
+    )?;
+    check(
+        "read.stall_out",
+        overlap.read.stall_out,
+        snap.sum_span_durations(read, "stall_out"),
+    )?;
+
+    for (i, lane) in overlap.devices.iter().enumerate() {
+        let t = track(&lane_thread(i))?;
+        check(
+            &format!("lane {i} busy"),
+            lane.stage.busy,
+            snap.sum_span_durations(t, "window"),
+        )?;
+        check(
+            &format!("lane {i} stall_in"),
+            lane.stage.stall_in,
+            snap.sum_span_durations(t, "stall_in"),
+        )?;
+        check(
+            &format!("lane {i} stall_out"),
+            lane.stage.stall_out,
+            snap.sum_span_durations(t, "stall_out"),
+        )?;
+        let windows = snap.count_events(t, "window") as u64;
+        if windows != lane.windows {
+            return Err(format!(
+                "lane {i}: {} window spans vs {} windows in OverlapStats",
+                windows, lane.windows
+            ));
+        }
+        let steals = snap.count_events(t, "steal") as u64;
+        if steals != lane.steals {
+            return Err(format!(
+                "lane {i}: {} steal events vs {} steals in OverlapStats",
+                steals, lane.steals
+            ));
+        }
+    }
+
+    let post = track("posterior")?;
+    check(
+        "posterior.busy",
+        overlap.posterior.busy,
+        snap.sum_span_durations(post, "posterior"),
+    )?;
+    check(
+        "posterior.stall_in",
+        overlap.posterior.stall_in,
+        snap.sum_span_durations(post, "stall_in"),
+    )?;
+    check(
+        "posterior.stall_out",
+        overlap.posterior.stall_out,
+        snap.sum_span_durations(post, "stall_out"),
+    )?;
+
+    let out = track("output")?;
+    check(
+        "output.busy",
+        overlap.output.busy,
+        snap.sum_span_durations(out, "output"),
+    )?;
+    check(
+        "output.stall_in",
+        overlap.output.stall_in,
+        snap.sum_span_durations(out, "stall_in"),
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +536,97 @@ mod tests {
         producer.join().unwrap();
         assert!(r.is_drained());
         assert_eq!(emitted, (0u32..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consistency_verifier_accepts_matching_accounting() {
+        let rec = Arc::new(TraceRecorder::new(256));
+        let pt = PipelineTrace::new(&rec, 2);
+        pt.read_span(0.0, 1.5);
+        pt.read_stall_out(1.5, 0.25);
+        pt.lane_stall_in(0, 0.0, 0.1);
+        pt.lane_window(0, 0.1, 2.0, 0);
+        pt.lane_window(1, 0.0, 1.0, 1);
+        pt.lane_steal(1, 0.0);
+        pt.lane_stall_out(1, 1.0, 0.5);
+        pt.posterior_span(2.0, 0.75);
+        pt.posterior_stall_in(0.0, 2.0);
+        pt.output_span(3.0, 0.5);
+        pt.output_stall_in(0.0, 3.0);
+        let overlap = OverlapStats {
+            depth: 2,
+            read: StageStats {
+                busy: 1.5,
+                stall_out: 0.25,
+                ..Default::default()
+            },
+            device: StageStats {
+                busy: 3.0,
+                stall_in: 0.1,
+                stall_out: 0.5,
+            },
+            devices: vec![
+                DeviceLaneStats {
+                    stage: StageStats {
+                        busy: 2.0,
+                        stall_in: 0.1,
+                        ..Default::default()
+                    },
+                    windows: 1,
+                    steals: 0,
+                },
+                DeviceLaneStats {
+                    stage: StageStats {
+                        busy: 1.0,
+                        stall_out: 0.5,
+                        ..Default::default()
+                    },
+                    windows: 1,
+                    steals: 1,
+                },
+            ],
+            posterior: StageStats {
+                busy: 0.75,
+                stall_in: 2.0,
+                ..Default::default()
+            },
+            output: StageStats {
+                busy: 0.5,
+                stall_in: 3.0,
+                ..Default::default()
+            },
+            wall: 3.5,
+        };
+        pt.verify(&overlap)
+            .expect("matching accounting must verify");
+
+        // Drift in any lane total must be caught.
+        let mut drifted = overlap.clone();
+        drifted.devices[0].stage.busy += 0.5;
+        let err = pt.verify(&drifted).unwrap_err();
+        assert!(err.contains("lane 0 busy"), "unexpected error: {err}");
+
+        // A missing steal event must be caught too.
+        let mut drifted = overlap;
+        drifted.devices[1].steals = 2;
+        assert!(pt.verify(&drifted).unwrap_err().contains("steal"));
+    }
+
+    #[test]
+    fn consistency_verifier_is_vacuous_after_ring_overflow() {
+        let rec = Arc::new(TraceRecorder::new(2));
+        let pt = PipelineTrace::new(&rec, 1);
+        for _ in 0..8 {
+            pt.read_span(0.0, 1.0);
+        }
+        assert!(rec.dropped() > 0);
+        // Totals that cannot possibly match the surviving spans still pass.
+        let overlap = OverlapStats {
+            devices: vec![DeviceLaneStats::default()],
+            ..Default::default()
+        };
+        pt.verify(&overlap)
+            .expect("dropped ring must not fail verification");
     }
 
     #[test]

@@ -43,6 +43,32 @@ pub struct ClassTally {
     pub capacity: usize,
 }
 
+impl ClassTally {
+    /// Stable bucket label for metrics emission, following the Prometheus
+    /// histogram `le` convention: the inclusive upper bound as a decimal
+    /// (`"1"`, `"8"`, …), `"+Inf"` for the open fallback class. Using the
+    /// bound itself keeps the label set identical across runs regardless
+    /// of which classes stayed empty.
+    pub fn le_label(&self) -> String {
+        if self.upper == usize::MAX {
+            "+Inf".to_string()
+        } else {
+            self.upper.to_string()
+        }
+    }
+
+    /// Merge another tally of the same class (summing traffic, keeping
+    /// the larger observed capacity) — used to aggregate per-window
+    /// reports into a whole-run histogram.
+    pub fn merge(&mut self, other: &ClassTally) {
+        debug_assert_eq!(self.upper, other.upper, "merging tallies across classes");
+        self.arrays += other.arrays;
+        self.elements += other.elements;
+        self.padded += other.padded;
+        self.capacity = self.capacity.max(other.capacity);
+    }
+}
+
 /// Outcome of a multipass (or strawman) sort.
 #[derive(Debug, Clone, Default)]
 pub struct MultipassReport {

@@ -2,20 +2,33 @@
 //! released as a SOAPsnp drop-in).
 //!
 //! ```text
-//! gsnp synth  <out_dir> [--sites N] [--depth X] [--seed S]
-//! gsnp call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
-//!             [--window N] [--devices N] [--cpu] [--text <out.txt>]
-//! gsnp decode <in.gsnp> [<out.txt>]
-//! gsnp stats  <in.gsnp>
+//! gsnp synth   <out_dir> [--sites N] [--depth X] [--seed S]
+//! gsnp call    <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
+//!              [--window N] [--devices N] [--cpu] [--text <out.txt>]
+//!              [--trace <out.json>] [--metrics <out.prom>]
+//! gsnp profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N]
+//!              [--seed S] [--trace <out.json>]
+//! gsnp decode  <in.gsnp> [<out.txt>]
+//! gsnp stats   <in.gsnp> [--format prom]
+//! gsnp validate-trace <trace.json>
 //! ```
+//!
+//! `--trace` writes a Chrome trace-event file loadable in Perfetto
+//! (`ui.perfetto.dev`): one process per simulated device (kernel,
+//! transfer, pool and sanitizer tracks on the paced device clock) plus a
+//! `pipeline` process with one host-clock track per stage and device
+//! lane. `profile` is the paper's Table III/IV analogue on a synthetic
+//! workload; `validate-trace` schema-checks an exported file.
 
 use std::fs;
 use std::io::{BufReader, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gsnp::compress::column::WindowStream;
-use gsnp::core::{GsnpConfig, GsnpCpuPipeline, GsnpPipeline};
+use gsnp::core::{call_metrics, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
+use gsnp::gpu_sim::{MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot};
 use gsnp::seqio::fasta::Reference;
 use gsnp::seqio::prior::PriorMap;
 use gsnp::seqio::soap::{write_alignments, AlignmentReader};
@@ -26,15 +39,19 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("synth") => cmd_synth(&args[1..]),
         Some("call") => cmd_call(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("validate-trace") => cmd_validate_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gsnp <synth|call|decode|stats> ...\n\
+                "usage: gsnp <synth|call|profile|decode|stats|validate-trace> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--cpu] [--text out.txt]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--seed S] [--trace out.json]\n\
                  decode <in.gsnp> [<out.txt>]\n\
-                 stats  <in.gsnp>"
+                 stats  <in.gsnp> [--format prom]\n\
+                 validate-trace <trace.json>"
             );
             return ExitCode::from(2);
         }
@@ -122,12 +139,21 @@ fn cmd_call(args: &[String]) -> CliResult {
     let reads: Vec<_> =
         AlignmentReader::new(BufReader::new(fs::File::open(aln)?)).collect::<Result<_, _>>()?;
 
+    let cpu = args.iter().any(|a| a == "--cpu");
+    let recorder = match flag_value(args, "--trace") {
+        Some(_) if cpu => return Err("--trace requires the device pipeline (drop --cpu)".into()),
+        Some(_) => Some(Arc::new(TraceRecorder::new(
+            gsnp::gpu_sim::trace::DEFAULT_CAPACITY,
+        ))),
+        None => None,
+    };
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
+        trace: recorder.clone(),
         ..Default::default()
     };
-    let result = if args.iter().any(|a| a == "--cpu") {
+    let result = if cpu {
         GsnpCpuPipeline::new(cfg).run(&reads, &reference, &priors)
     } else {
         GsnpPipeline::new(cfg).run(&reads, &reference, &priors)
@@ -139,6 +165,13 @@ fn cmd_call(args: &[String]) -> CliResult {
             t.write_text(&mut f)?;
         }
     }
+    if let (Some(rec), Some(path)) = (&recorder, flag_value(args, "--trace")) {
+        write_trace(rec, path)?;
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        fs::write(path, call_metrics(&result).render_text())?;
+        println!("wrote metrics to {path}");
+    }
     println!(
         "{} sites in {} windows, {} variants → {} ({} bytes)",
         result.stats.num_sites,
@@ -148,6 +181,145 @@ fn cmd_call(args: &[String]) -> CliResult {
         result.compressed.len()
     );
     Ok(())
+}
+
+/// Snapshot a recorder and write the Chrome trace-event JSON.
+fn write_trace(rec: &Arc<TraceRecorder>, path: &str) -> CliResult {
+    let snap = rec.snapshot();
+    fs::write(path, snap.to_chrome_json())?;
+    if snap.dropped > 0 {
+        eprintln!(
+            "gsnp: warning: trace ring overflowed, {} oldest events dropped",
+            snap.dropped
+        );
+    }
+    println!(
+        "wrote {} trace events on {} tracks to {path} (load at ui.perfetto.dev)",
+        snap.events.len(),
+        snap.tracks.len()
+    );
+    Ok(())
+}
+
+/// `gsnp profile`: run the traced pipeline on an in-memory synthetic
+/// workload and print the per-stage / per-kernel attribution tables (the
+/// paper's Tables III and IV, derived from the trace instead of ad-hoc
+/// timers).
+fn cmd_profile(args: &[String]) -> CliResult {
+    let mut synth = SynthConfig::tiny(flag_value(args, "--seed").map_or(Ok(1), str::parse)?);
+    synth.chr_name = "chrS".into();
+    synth.num_sites = flag_value(args, "--sites").map_or(Ok(50_000), str::parse)?;
+    synth.depth = flag_value(args, "--depth").map_or(Ok(10.0), str::parse)?;
+    synth.read_len = 100;
+    let d = Dataset::generate(synth);
+
+    let recorder = Arc::new(TraceRecorder::new(gsnp::gpu_sim::trace::DEFAULT_CAPACITY));
+    let cfg = GsnpConfig {
+        window_size: flag_value(args, "--window").map_or(Ok(16_000), str::parse)?,
+        num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
+        pipeline_depth: flag_value(args, "--pipeline-depth").map_or(Ok(2), str::parse)?,
+        trace: Some(Arc::clone(&recorder)),
+        ..Default::default()
+    };
+    let result = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
+    let snap = recorder.snapshot();
+    print_profile(&result, &snap);
+    if let Some(path) = flag_value(args, "--trace") {
+        write_trace(&recorder, path)?;
+    }
+    Ok(())
+}
+
+fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
+    let stats = &result.stats;
+    println!(
+        "profile: {} sites, {} obs, {} windows, {} devices, depth {}",
+        stats.num_sites,
+        stats.num_obs,
+        stats.windows,
+        stats.ledgers.len(),
+        stats.overlap.depth
+    );
+
+    // Table III analogue: per-component time in both clock domains.
+    println!("\nper-stage attribution (seconds)");
+    println!(
+        "  {:<16} {:>12} {:>12}",
+        "component", "device-model", "host-wall"
+    );
+    let t = &result.times;
+    let w = &result.wall;
+    for (name, tv, wv) in [
+        ("cal_p", t.cal_p, w.cal_p),
+        ("read_site", t.read_site, w.read_site),
+        ("counting", t.counting, w.counting),
+        ("likelihood_sort", t.likelihood_sort, w.likelihood_sort),
+        ("likelihood_comp", t.likelihood_comp, w.likelihood_comp),
+        ("posterior", t.posterior, w.posterior),
+        ("output", t.output, w.output),
+        ("recycle", t.recycle, w.recycle),
+    ] {
+        println!("  {name:<16} {tv:>12.6} {wv:>12.6}");
+    }
+    println!("  {:<16} {:>12.6} {:>12.6}", "total", t.total(), w.total());
+
+    // Window-loop overlap: busy vs stall per stage and device lane.
+    let ov = &stats.overlap;
+    println!("\nwindow-loop stages (seconds; wall {:.6})", ov.wall);
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10}",
+        "stage", "busy", "stall_in", "stall_out"
+    );
+    for (name, st) in [
+        ("read", &ov.read),
+        ("device", &ov.device),
+        ("posterior", &ov.posterior),
+        ("output", &ov.output),
+    ] {
+        println!(
+            "  {:<12} {:>10.6} {:>10.6} {:>10.6}",
+            name, st.busy, st.stall_in, st.stall_out
+        );
+    }
+    for (i, lane) in ov.devices.iter().enumerate() {
+        println!(
+            "  {:<12} {:>10.6} {:>10.6} {:>10.6}  ({} windows, {} steals)",
+            format!("lane{i}"),
+            lane.stage.busy,
+            lane.stage.stall_in,
+            lane.stage.stall_out,
+            lane.windows,
+            lane.steals
+        );
+    }
+
+    // Table IV analogue: per-kernel breakdown from the trace.
+    let profiles = snap.kernel_profiles();
+    if !profiles.is_empty() {
+        println!("\nper-kernel attribution (from trace; modelled seconds)");
+        println!(
+            "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "kernel", "launches", "sim", "compute", "memory", "transfer", "g_accesses"
+        );
+        for p in &profiles {
+            println!(
+                "  {:<24} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>12}",
+                p.name,
+                p.launches,
+                p.sim_time,
+                p.compute,
+                p.memory,
+                p.transfer,
+                p.counters.g_load() + p.counters.g_store()
+            );
+        }
+    }
+    if snap.dropped > 0 {
+        println!(
+            "\n(note: ring overflowed — {} oldest events not in the tables above)",
+            snap.dropped
+        );
+    }
 }
 
 fn cmd_decode(args: &[String]) -> CliResult {
@@ -183,6 +355,50 @@ fn cmd_stats(args: &[String]) -> CliResult {
             variants += u64::from(r.is_variant());
         }
     }
+    if flag_value(args, "--format") == Some("prom") {
+        // Decode-side snapshot sharing the call-side `gsnp_` naming
+        // scheme, so a decoded file and a live run scrape identically.
+        use MetricKind::{Counter, Gauge};
+        let mut m = MetricsSnapshot::new();
+        let l = &[("chr", chr.as_str())];
+        m.push(
+            "gsnp_sites_total",
+            "Reference sites processed",
+            Counter,
+            l,
+            sites as f64,
+        );
+        m.push(
+            "gsnp_windows_total",
+            "Windows processed",
+            Counter,
+            l,
+            windows as f64,
+        );
+        m.push(
+            "gsnp_snp_calls_total",
+            "Variant calls emitted",
+            Counter,
+            l,
+            variants as f64,
+        );
+        m.push(
+            "gsnp_observations_total",
+            "Aligned-base observations processed",
+            Counter,
+            l,
+            depth_sum as f64,
+        );
+        m.push(
+            "gsnp_compressed_output_bytes",
+            "Size of the compressed result file",
+            Gauge,
+            l,
+            bytes.len() as f64,
+        );
+        print!("{}", m.render_text());
+        return Ok(());
+    }
     println!("{chr}: {sites} sites in {windows} windows");
     println!(
         "  mean depth : {:.2}",
@@ -195,4 +411,17 @@ fn cmd_stats(args: &[String]) -> CliResult {
         bytes.len() as f64 / sites.max(1) as f64
     );
     Ok(())
+}
+
+fn cmd_validate_trace(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let input = pos.first().ok_or("validate-trace requires a trace file")?;
+    let text = fs::read_to_string(input)?;
+    match gsnp::gpu_sim::validate_chrome_json(&text) {
+        Ok(n) => {
+            println!("{input}: valid Chrome trace, {n} events");
+            Ok(())
+        }
+        Err(e) => Err(format!("{input}: invalid trace: {e}").into()),
+    }
 }

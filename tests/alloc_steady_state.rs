@@ -152,3 +152,58 @@ fn steady_state_window_loop_is_allocation_free() {
     let ledger = dev.ledger();
     assert!(ledger.pool.hits > 0, "pool stats: {:?}", ledger.pool);
 }
+
+/// The same zero-allocation bar with a [`TraceRecorder`] attached: the
+/// recorder's ring is preallocated and kernel names are interned during
+/// warmup, so steady-state *recording* — every kernel span, transfer
+/// span, and pool event of every window — adds zero heap allocations.
+/// This is the measurable content of "tracing is always-on-safe".
+#[test]
+fn steady_state_recording_is_allocation_free() {
+    if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+        eprintln!("skipping: requires a serial (single-thread) rayon backend");
+        return;
+    }
+
+    let mut sc = SynthConfig::tiny(20_260_807);
+    sc.num_sites = 8_000;
+    let d = Dataset::generate(sc);
+    let cfg = GsnpConfig {
+        window_size: 1_000,
+        variant: KernelVariant::Optimized,
+        ..Default::default()
+    };
+
+    // Ring sized for both passes up front; registration and interning of
+    // the fixed track/event names happens here, not per window.
+    let rec = std::sync::Arc::new(gsnp::gpu_sim::TraceRecorder::new(1 << 16));
+    let dev = Device::new(cfg.device.clone()).with_trace(&rec, 0);
+    let p_matrix = PMatrix::calibrate(&d.reads, &d.reference, &cfg.params);
+    let new_p = NewPMatrix::precompute(&p_matrix);
+    let log_table = LogTable::new();
+    let tables = DeviceTables::upload(&dev, &p_matrix, &new_p, &log_table);
+
+    let mut reader =
+        WindowReader::from_reads(Vec::new(), d.reference.len() as u64, cfg.window_size);
+    let mut arena = WindowArena::default();
+    let mut rows = Vec::new();
+
+    run_pass(&d, &dev, &tables, &cfg, &mut reader, &mut arena, &mut rows);
+    let events_after_warmup = rec.snapshot().events.len();
+
+    let steady = run_pass(&d, &dev, &tables, &cfg, &mut reader, &mut arena, &mut rows);
+    assert_eq!(
+        steady,
+        vec![0u64; 8],
+        "steady-state windows must not allocate while recording"
+    );
+
+    // The recorder really was live the whole time: the steady pass added
+    // events (same kernels, same names — just more spans in the ring).
+    let snap = rec.snapshot();
+    assert!(
+        snap.events.len() > events_after_warmup,
+        "steady pass recorded nothing ({events_after_warmup} events)"
+    );
+    assert_eq!(snap.dropped, 0, "ring must not have overflowed");
+}
