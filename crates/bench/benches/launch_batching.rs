@@ -1,0 +1,36 @@
+//! Mega-batched launches: window-loop cost vs launch-batch width.
+//!
+//! The workload spans many small windows so the per-launch fixed
+//! overhead is a real fraction of the bill; widening the batch coalesces
+//! N windows' sort/likelihood/output chains into one launch group each.
+//! See the `launch_batching` experiment for the calibrated sweep with
+//! launches/site accounting.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+
+fn bench(c: &mut Criterion) {
+    let d = common::dataset();
+    let cfg = |launch_batch: usize| GsnpConfig {
+        window_size: 500,
+        launch_batch,
+        // GPU output puts the scan/RLE/DICT chain — the launch-heaviest
+        // stage — on the measured path.
+        gpu_output: true,
+        ..Default::default()
+    };
+
+    let mut g = c.benchmark_group("launch_batching");
+    g.sample_size(10);
+    for batch in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| GsnpPipeline::new(cfg(batch)).run(&d.reads, &d.reference, &d.priors));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

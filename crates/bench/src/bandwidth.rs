@@ -50,9 +50,11 @@ mod tests {
     fn bandwidths_are_plausible() {
         let r = sequential_read_bandwidth();
         let w = sequential_write_bandwidth();
-        // Anything from an embedded board to a server: 0.2–1000 GB/s.
+        // Anything from an embedded board to a server — including
+        // memory-throttled CI containers, which measure well under
+        // 0.2 GB/s: 0.05–1000 GB/s.
         for bw in [r, w] {
-            assert!(bw > 2e8, "{bw} too low");
+            assert!(bw > 5e7, "{bw} too low");
             assert!(bw < 1e12, "{bw} too high");
         }
     }

@@ -17,10 +17,9 @@ use crate::dict;
 /// accumulated launch statistics.
 pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, LaunchStats) {
     let n = input.len();
-    if n == 0 {
-        return (Vec::new(), Vec::new(), LaunchStats::default());
-    }
-    let grid = n.div_ceil(BLOCK).max(1);
+    // No n == 0 guard: an empty column yields zero-dim grids throughout,
+    // which the device treats as launch-free no-ops.
+    let grid = n.div_ceil(BLOCK);
 
     // Flag run heads. All three scratch buffers below are fully written
     // before they are read, so dirty pooled acquisitions are safe.
@@ -62,7 +61,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
 
     // Lengths from consecutive starts.
     let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
-    let run_grid = num_runs.div_ceil(BLOCK).max(1);
+    let run_grid = num_runs.div_ceil(BLOCK);
     stats += dev.launch("rle_lengths", run_grid, |ctx| {
         let base = ctx.block_idx * BLOCK;
         let end = (base + BLOCK).min(num_runs);
@@ -115,6 +114,239 @@ pub fn rledict_gpu(dev: &Device, data: &[u32]) -> (Vec<u8>, LaunchStats) {
     (w.finish(), stats)
 }
 
+/// RLE-DICT many columns ("segments") through ONE launch chain.
+///
+/// The inputs are concatenated into a single device payload with a forced
+/// run head at every segment start, so one flags/scan/scatter/lengths RLE
+/// pass and one segmented DICT chain per level serve the whole batch:
+/// 18 launches total, independent of how many columns are batched, versus
+/// ~18 *per column* for repeated [`rledict_gpu`] calls. Each returned byte
+/// vector is identical to [`rledict_gpu`] (and therefore to
+/// [`crate::rledict::encode_to_vec`]) on that segment alone.
+pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, LaunchStats) {
+    let num_segs = segments.len();
+    let n: usize = segments.iter().map(|s| s.len()).sum();
+    let mut concat = Vec::with_capacity(n);
+    let mut heads = Vec::with_capacity(n);
+    // Element offset of each segment start (+ the total), for mapping the
+    // global run space back to segments.
+    let mut seg_elem = Vec::with_capacity(num_segs + 1);
+    for seg in segments {
+        seg_elem.push(concat.len());
+        heads.extend((0..seg.len()).map(|k| u32::from(k == 0)));
+        concat.extend_from_slice(seg);
+    }
+    seg_elem.push(n);
+
+    let input = dev.upload_pooled(&concat);
+    let head_buf = dev.upload_pooled(&heads);
+    let grid = n.div_ceil(BLOCK);
+
+    // Flag run heads; a segment's first element is always a head so runs
+    // never merge across a boundary. `heads[0] == 1` whenever n > 0, so
+    // the `i - 1` load below is never reached at i == 0.
+    let flags = dev.alloc_pooled_dirty::<u32>(n);
+    let mut stats = dev.launch("rle_flags", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let v = ctx.ld_co(&input, i);
+            let head = if ctx.ld_co(&head_buf, i) == 1 {
+                1
+            } else {
+                let prev = ctx.ld_co(&input, i - 1);
+                ctx.add_inst(1);
+                u32::from(prev != v)
+            };
+            ctx.st_co(&flags, i, head);
+        }
+    });
+
+    let (positions, num_runs, scan_stats) = exclusive_scan(dev, &flags);
+    stats += scan_stats;
+    let num_runs = num_runs as usize;
+    let values = dev.alloc_pooled_dirty::<u32>(num_runs);
+    let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
+    stats += dev.launch("rle_scatter", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            if ctx.ld_co(&flags, i) == 1 {
+                let p = ctx.ld_co(&positions, i) as usize;
+                let v = ctx.ld_co(&input, i);
+                ctx.st_rand(&values, p, v);
+                ctx.st_rand(&starts, p, i as u32);
+            }
+        }
+    });
+
+    // Lengths from consecutive starts. Segments are contiguous in the
+    // concatenation and every segment head is a forced run head, so the
+    // next run's start is the current run's end even across a boundary.
+    let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
+    let run_grid = num_runs.div_ceil(BLOCK);
+    stats += dev.launch("rle_lengths", run_grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(num_runs);
+        for i in base..end {
+            let s = ctx.ld_co(&starts, i);
+            let e = if i + 1 < num_runs {
+                ctx.ld_co(&starts, i + 1)
+            } else {
+                n as u32
+            };
+            ctx.st_co(&lengths, i, e - s);
+        }
+    });
+
+    let values_host = values.to_vec();
+    let lengths_host = lengths.to_vec();
+    let starts_host = starts.to_vec();
+
+    // Partition the run space back into per-segment ranges: run starts are
+    // strictly ascending, so a single merge pass suffices.
+    let mut run_off = Vec::with_capacity(num_segs + 1);
+    let mut r = 0usize;
+    for &e in &seg_elem {
+        while r < num_runs && (starts_host[r] as usize) < e {
+            r += 1;
+        }
+        run_off.push(r);
+    }
+
+    let mut writers: Vec<BitWriter> = (0..num_segs).map(|_| BitWriter::new()).collect();
+    stats += dict_gpu_segmented(dev, &values_host, &run_off, &mut writers);
+    stats += dict_gpu_segmented(dev, &lengths_host, &run_off, &mut writers);
+    (writers.into_iter().map(BitWriter::finish).collect(), stats)
+}
+
+/// One segmented DICT level of the batched chain: builds every segment's
+/// dictionary and index stream with shared launches (one unique-flags /
+/// scan / scatter / binary-search sequence for the whole batch), then
+/// bit-packs each segment into its writer — byte-identical to running
+/// [`dict_gpu`] on each segment individually.
+///
+/// `data` holds the segments concatenated; segment `j` occupies
+/// `run_off[j]..run_off[j + 1]`.
+fn dict_gpu_segmented(
+    dev: &Device,
+    data: &[u32],
+    run_off: &[usize],
+    writers: &mut [BitWriter],
+) -> LaunchStats {
+    let n = data.len();
+
+    // Per-segment host sort of a concatenated copy (mirroring the classic
+    // GPU sort primitive in `dict_gpu`); forced heads stop the unique pass
+    // from merging equal values across a segment boundary, and a segment
+    // id per element steers the binary search to its own dictionary.
+    let mut sorted = data.to_vec();
+    let mut heads = vec![0u32; n];
+    let mut data_seg = vec![0u32; n];
+    for (j, w) in run_off.windows(2).enumerate() {
+        sorted[w[0]..w[1]].sort_unstable();
+        if w[0] < w[1] {
+            heads[w[0]] = 1;
+        }
+        for s in &mut data_seg[w[0]..w[1]] {
+            *s = j as u32;
+        }
+    }
+
+    let sorted_buf = dev.upload_pooled(&sorted);
+    let head_buf = dev.upload_pooled(&heads);
+    let grid = n.div_ceil(BLOCK);
+    let flags = dev.alloc_pooled_dirty::<u32>(n);
+    let mut stats = dev.launch("unique_flags", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let v = ctx.ld_co(&sorted_buf, i);
+            let is_new = if ctx.ld_co(&head_buf, i) == 1 {
+                1
+            } else {
+                let prev = ctx.ld_co(&sorted_buf, i - 1);
+                ctx.add_inst(1);
+                u32::from(prev != v)
+            };
+            ctx.st_co(&flags, i, is_new);
+        }
+    });
+
+    let (positions, dict_total, scan_stats) = exclusive_scan(dev, &flags);
+    stats += scan_stats;
+    let dict_total = dict_total as usize;
+    let dict_buf = dev.alloc_pooled_dirty::<u32>(dict_total);
+    stats += dev.launch("unique_scatter", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            if ctx.ld_co(&flags, i) == 1 {
+                let pos = ctx.ld_co(&positions, i);
+                let v = ctx.ld_co(&sorted_buf, i);
+                ctx.st_rand(&dict_buf, pos as usize, v);
+            }
+        }
+    });
+
+    // Segment j's dictionary occupies `dict_off[j]..dict_off[j + 1]` of
+    // the compacted buffer: the scanned flag position at the segment's
+    // first element is exactly where its unique values begin.
+    let positions_host = positions.to_vec();
+    let dict_off: Vec<u32> = run_off
+        .iter()
+        .map(|&r| {
+            if r < n {
+                positions_host[r]
+            } else {
+                dict_total as u32
+            }
+        })
+        .collect();
+
+    // Segmented parallel binary search: each element searches only its own
+    // segment's dictionary slice and records a segment-local index.
+    let seg_buf = dev.upload_pooled(&data_seg);
+    let off_buf = dev.upload_pooled(&dict_off);
+    let queries = dev.upload_pooled(data);
+    let indices = dev.alloc_pooled_dirty::<u32>(n);
+    stats += dev.launch("binary_search", grid, |ctx| {
+        let base = ctx.block_idx * BLOCK;
+        let end = (base + BLOCK).min(n);
+        for i in base..end {
+            let q = ctx.ld_co(&queries, i);
+            let j = ctx.ld_co(&seg_buf, i) as usize;
+            let d0 = ctx.ld_rand(&off_buf, j) as usize;
+            let d1 = ctx.ld_rand(&off_buf, j + 1) as usize;
+            let (mut lo, mut hi) = (d0, d1);
+            while lo + 1 < hi {
+                let mid = (lo + hi) / 2;
+                let v = ctx.ld_rand(&dict_buf, mid);
+                if v <= q {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                ctx.add_inst(2);
+            }
+            debug_assert_eq!(
+                ctx.ld_rand(&dict_buf, lo),
+                q,
+                "query missing from dictionary"
+            );
+            ctx.st_co(&indices, i, (lo - d0) as u32);
+        }
+    });
+
+    let dict_host = dict_buf.to_vec();
+    let idx_host = indices.to_vec();
+    for (j, w) in run_off.windows(2).enumerate() {
+        let (d0, d1) = (dict_off[j] as usize, dict_off[j + 1] as usize);
+        dict::encode_indices(&idx_host[w[0]..w[1]], &dict_host[d0..d1], &mut writers[j]);
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +382,58 @@ mod tests {
         assert_eq!(bytes, rledict::encode_to_vec(&[]));
     }
 
+    #[test]
+    fn batched_segments_byte_identical_to_per_column() {
+        let dev = Device::m2050();
+        let segs: Vec<Vec<u32>> = vec![
+            (0..4000).map(|i| 30 + ((i / 23) % 9)).collect(),
+            Vec::new(),
+            vec![7; 300],
+            (0..1500).map(|i| (i / 37) % 11).collect(),
+            vec![42],
+        ];
+        let refs: Vec<&[u32]> = segs.iter().map(Vec::as_slice).collect();
+        let (bytes, stats) = rledict_gpu_batch(&dev, &refs);
+        assert_eq!(bytes.len(), segs.len());
+        for (b, s) in bytes.iter().zip(&segs) {
+            assert_eq!(b, &rledict::encode_to_vec(s));
+        }
+        assert!(stats.counters.g_load() > 0);
+    }
+
+    #[test]
+    fn batched_chain_launch_count_is_flat() {
+        // The whole point of the batch: the launch count is a constant 18
+        // (RLE flags/scan×3/scatter/lengths + 2 DICT levels of
+        // flags/scan×3/scatter/search) no matter how many columns ride in
+        // the batch.
+        let dev = Device::m2050();
+        let one: Vec<u32> = (0..900).map(|i| (i / 13) % 5).collect();
+        rledict_gpu_batch(&dev, &[&one]);
+        let solo = dev.ledger().launches;
+        assert_eq!(solo, 18);
+
+        dev.reset_ledger();
+        let segs: Vec<Vec<u32>> = (0u32..12)
+            .map(|s| (0..700 + s * 31).map(|i| (i / 7) % (s + 2)).collect())
+            .collect();
+        let refs: Vec<&[u32]> = segs.iter().map(Vec::as_slice).collect();
+        rledict_gpu_batch(&dev, &refs);
+        assert_eq!(dev.ledger().launches, solo);
+    }
+
+    #[test]
+    fn batched_all_empty_launches_nothing() {
+        let dev = Device::m2050();
+        let (bytes, stats) = rledict_gpu_batch(&dev, &[&[], &[]]);
+        assert_eq!(bytes.len(), 2);
+        for b in &bytes {
+            assert_eq!(b, &rledict::encode_to_vec(&[]));
+        }
+        assert_eq!(stats.counters.instructions, 0);
+        assert_eq!(dev.ledger().launches, 0);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
@@ -157,6 +441,20 @@ mod tests {
             let dev = Device::m2050();
             let (gpu_bytes, _) = rledict_gpu(&dev, &data);
             prop_assert_eq!(gpu_bytes, rledict::encode_to_vec(&data));
+        }
+
+        #[test]
+        fn batched_parity_arbitrary_segments(
+            segs in proptest::collection::vec(
+                proptest::collection::vec(0u32..50, 0..400), 0..8),
+        ) {
+            let dev = Device::m2050();
+            let refs: Vec<&[u32]> = segs.iter().map(Vec::as_slice).collect();
+            let (bytes, _) = rledict_gpu_batch(&dev, &refs);
+            prop_assert_eq!(bytes.len(), segs.len());
+            for (b, s) in bytes.iter().zip(&segs) {
+                prop_assert_eq!(b, &rledict::encode_to_vec(s));
+            }
         }
     }
 }

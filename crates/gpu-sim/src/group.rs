@@ -97,6 +97,24 @@ impl DeviceGroup {
             per_device: self.devices.iter().map(Device::ledger).collect(),
         }
     }
+
+    /// Per-kernel launch attribution merged across every member device,
+    /// sorted by kernel name.
+    pub fn kernel_launches(&self) -> Vec<crate::launch::KernelTally> {
+        let mut merged: Vec<crate::launch::KernelTally> = Vec::new();
+        for dev in &self.devices {
+            for t in dev.kernel_launches() {
+                if let Some(m) = merged.iter_mut().find(|m| m.name == t.name) {
+                    m.launches += t.launches;
+                    m.overhead_seconds += t.overhead_seconds;
+                } else {
+                    merged.push(t);
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
+    }
 }
 
 /// Per-device and summed accounting for a [`DeviceGroup`].

@@ -72,6 +72,23 @@ pub struct DeviceLedger {
     pub sanitizer: SanitizerCounts,
 }
 
+/// Per-kernel launch attribution: how many times a kernel name was
+/// launched on a device and how much fixed launch overhead it paid. The
+/// batching work optimizes exactly this quantity, so it is first-class
+/// observable state rather than something re-derived from traces.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct KernelTally {
+    /// Kernel name as passed to [`Device::launch`]/[`Device::launch_seq`].
+    pub name: String,
+    /// Launches issued under this name (zero-grid launches excluded — they
+    /// are device-wide no-ops).
+    pub launches: u64,
+    /// Total fixed launch overhead charged, seconds. Sequential launches
+    /// charge none (their cost model has no overhead term), so they
+    /// contribute launches but zero overhead.
+    pub overhead_seconds: f64,
+}
+
 impl DeviceLedger {
     fn record(&mut self, stats: &LaunchStats, is_launch: bool) {
         if is_launch {
@@ -235,6 +252,10 @@ pub struct Device {
     schedule: Mutex<BlockSchedule>,
     /// Per-launch counter driving the permuted schedule's seed stream.
     schedule_stream: std::sync::atomic::AtomicU64,
+    /// Per-kernel-name launch counts and overhead charges. Names are
+    /// interned on first launch; steady-state updates are a linear scan
+    /// over a handful of entries and never allocate.
+    kernel_tallies: Mutex<Vec<KernelTally>>,
 }
 
 impl Device {
@@ -250,6 +271,7 @@ impl Device {
             trace: None,
             schedule: Mutex::new(BlockSchedule::Parallel),
             schedule_stream: std::sync::atomic::AtomicU64::new(0),
+            kernel_tallies: Mutex::new(Vec::new()),
         }
     }
 
@@ -336,10 +358,36 @@ impl Device {
     }
 
     /// Reset the launch ledger (e.g. between benchmark repetitions). Pool
-    /// traffic counters reset too; parked buffers stay warm.
+    /// traffic counters reset too; parked buffers stay warm. Per-kernel
+    /// tallies reset with the ledger they attribute.
     pub fn reset_ledger(&self) {
         *self.ledger.lock() = DeviceLedger::default();
         self.pool.reset_stats();
+        self.kernel_tallies.lock().clear();
+    }
+
+    /// Snapshot of the per-kernel launch attribution, sorted by name so
+    /// output is stable regardless of which pipeline thread launched first.
+    pub fn kernel_launches(&self) -> Vec<KernelTally> {
+        let mut t = self.kernel_tallies.lock().clone();
+        t.sort_by(|a, b| a.name.cmp(&b.name));
+        t
+    }
+
+    /// Record one launch of `name` that paid `overhead` seconds of fixed
+    /// launch cost.
+    fn tally_launch(&self, name: &str, overhead: f64) {
+        let mut tallies = self.kernel_tallies.lock();
+        if let Some(t) = tallies.iter_mut().find(|t| t.name == name) {
+            t.launches += 1;
+            t.overhead_seconds += overhead;
+        } else {
+            tallies.push(KernelTally {
+                name: name.to_string(),
+                launches: 1,
+                overhead_seconds: overhead,
+            });
+        }
     }
 
     /// The device's buffer pool (enable/disable recycling, read stats).
@@ -457,6 +505,11 @@ impl Device {
     where
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
+        // An empty grid is a device-wide no-op: no launch overhead, no
+        // ledger entry, no trace span. Callers need no empty-input guards.
+        if grid_dim == 0 {
+            return LaunchStats::default();
+        }
         let session = self.launch_session(name);
         let totals = AtomicCounters::default();
         // Critical path: a block runs on one SM, so the launch can never
@@ -507,6 +560,7 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
+        self.tally_launch(name, self.cfg.launch_overhead);
         self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats
@@ -519,6 +573,9 @@ impl Device {
     where
         F: FnMut(&mut BlockCtx<'_>),
     {
+        if grid_dim == 0 {
+            return LaunchStats::default();
+        }
         let session = self.launch_session(name);
         let totals = AtomicCounters::default();
         let start = Instant::now();
@@ -539,6 +596,7 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
+        self.tally_launch(name, 0.0);
         self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats
@@ -643,6 +701,34 @@ mod tests {
         let dev = Device::m2050();
         let stats = dev.launch("empty", 0, |_ctx| panic!("must not run"));
         assert_eq!(stats.counters.instructions, 0);
+        // Device-wide no-op: no overhead charged, no ledger entry, no
+        // per-kernel tally, no trace span.
+        assert_eq!(stats.sim_time, 0.0);
+        let seq = dev.launch_seq("empty_seq", 0, |_ctx| panic!("must not run"));
+        assert_eq!(seq.sim_time, 0.0);
+        assert_eq!(dev.ledger().launches, 0);
+        assert!(dev.kernel_launches().is_empty());
+    }
+
+    #[test]
+    fn kernel_tallies_attribute_launches_and_overhead() {
+        let dev = Device::m2050();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        dev.launch("a", 1, |ctx| ctx.st_co(&buf, 0, 1));
+        dev.launch("a", 1, |ctx| ctx.st_co(&buf, 1, 1));
+        dev.launch_seq("b", 2, |ctx| ctx.st_co(&buf, 2 + ctx.block_idx, 1));
+        let tallies = dev.kernel_launches();
+        assert_eq!(tallies.len(), 2);
+        assert_eq!(tallies[0].name, "a");
+        assert_eq!(tallies[0].launches, 2);
+        let overhead = dev.config().launch_overhead;
+        assert!((tallies[0].overhead_seconds - 2.0 * overhead).abs() < 1e-12);
+        // Sequential launches pay no fixed overhead in the cost model.
+        assert_eq!(tallies[1].name, "b");
+        assert_eq!(tallies[1].launches, 1);
+        assert_eq!(tallies[1].overhead_seconds, 0.0);
+        dev.reset_ledger();
+        assert!(dev.kernel_launches().is_empty());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
 pub use group::{DeviceGroup, GroupLedger};
-pub use launch::{BlockSchedule, Device, DeviceLedger};
+pub use launch::{BlockSchedule, Device, DeviceLedger, KernelTally};
 pub use pool::{BufferPool, PoolStats, PooledBuffer};
 pub use sanitizer::{
     check_block_order_invariance, CheckKind, DeterminismReport, Diagnostic, SanitizerConfig,

@@ -1,11 +1,11 @@
 //! The sparse aligned-base representation (`base_word`, §IV-B).
 //!
 //! Each aligned-base *occurrence* at a site is one 32-bit word packing the
-//! four attributes the likelihood model consumes:
+//! five attributes the likelihood and counting models consume:
 //!
 //! ```text
-//!  bits 16..15   14..9     8..1     0
-//!      base   score(inv)  coord  strand
+//!  bits 17..16   15..10     9..2      1      0
+//!      base   score(inv)  coord   strand  uniq
 //! ```
 //!
 //! **Score inversion.** Algorithm 1 of the paper iterates scores in
@@ -17,6 +17,14 @@
 //! exactly the ascending `u32` order. This refinement (implicit in the
 //! paper) is what lets "sort then scan" (Algorithm 4) reproduce the dense
 //! scan bit for bit (§IV-G).
+//!
+//! **Uniqueness bit.** The lowest bit carries whether the read aligned
+//! uniquely. It sits *below* every model-relevant key, so it only breaks
+//! ties between otherwise-identical words — sorted order, and therefore
+//! the likelihood scan, is unchanged — while letting the fused
+//! counting+likelihood kernel derive the `count_uniq` summary column from
+//! the same sorted scan that computes the likelihoods, with no second
+//! traversal of the observations.
 
 /// Maximum quality score representable in the 6-bit field.
 pub const QUAL_MAX: u8 = 63;
@@ -25,32 +33,34 @@ pub const COORD_MAX: u8 = 255;
 
 /// Pack one occurrence. All arguments are range-checked in debug builds.
 #[inline(always)]
-pub fn pack(base: u8, score: u8, coord: u8, strand: u8) -> u32 {
+pub fn pack(base: u8, score: u8, coord: u8, strand: u8, uniq: bool) -> u32 {
     debug_assert!(base < 4, "base code out of range");
     debug_assert!(score <= QUAL_MAX, "score out of range");
     debug_assert!(strand < 2, "strand out of range");
     let inv_score = QUAL_MAX - score;
-    (u32::from(base) << 15)
-        | (u32::from(inv_score) << 9)
-        | (u32::from(coord) << 1)
-        | u32::from(strand)
+    (u32::from(base) << 16)
+        | (u32::from(inv_score) << 10)
+        | (u32::from(coord) << 2)
+        | (u32::from(strand) << 1)
+        | u32::from(uniq)
 }
 
-/// Unpack a word into `(base, score, coord, strand)`.
+/// Unpack a word into `(base, score, coord, strand, uniq)`.
 #[inline(always)]
-pub fn unpack(word: u32) -> (u8, u8, u8, u8) {
-    let strand = (word & 1) as u8;
-    let coord = ((word >> 1) & 0xFF) as u8;
-    let inv_score = ((word >> 9) & 0x3F) as u8;
-    let base = ((word >> 15) & 0x3) as u8;
-    (base, QUAL_MAX - inv_score, coord, strand)
+pub fn unpack(word: u32) -> (u8, u8, u8, u8, bool) {
+    let uniq = (word & 1) != 0;
+    let strand = ((word >> 1) & 1) as u8;
+    let coord = ((word >> 2) & 0xFF) as u8;
+    let inv_score = ((word >> 10) & 0x3F) as u8;
+    let base = ((word >> 16) & 0x3) as u8;
+    (base, QUAL_MAX - inv_score, coord, strand, uniq)
 }
 
 /// The canonical comparison key used by the dense scan, for checking that
 /// sorted `base_word` order equals canonical order.
 #[inline]
-pub fn canonical_key(base: u8, score: u8, coord: u8, strand: u8) -> u32 {
-    pack(base, score, coord, strand)
+pub fn canonical_key(base: u8, score: u8, coord: u8, strand: u8, uniq: bool) -> u32 {
+    pack(base, score, coord, strand, uniq)
 }
 
 #[cfg(test)]
@@ -64,8 +74,10 @@ mod tests {
             for score in [0u8, 1, 31, 62, 63] {
                 for coord in [0u8, 1, 99, 255] {
                     for strand in 0..2u8 {
-                        let w = pack(base, score, coord, strand);
-                        assert_eq!(unpack(w), (base, score, coord, strand));
+                        for uniq in [false, true] {
+                            let w = pack(base, score, coord, strand, uniq);
+                            assert_eq!(unpack(w), (base, score, coord, strand, uniq));
+                        }
                     }
                 }
             }
@@ -73,48 +85,56 @@ mod tests {
     }
 
     #[test]
-    fn word_fits_17_bits() {
-        let w = pack(3, 0, 255, 1);
-        assert!(w < (1 << 17));
+    fn word_fits_18_bits() {
+        let w = pack(3, 0, 255, 1, true);
+        assert!(w < (1 << 18));
     }
 
     #[test]
     fn ascending_word_order_is_canonical_order() {
         // Canonical: base asc, then score DESC, then coord asc, then strand.
-        let a = pack(1, 50, 10, 0);
-        let b = pack(1, 40, 3, 1); // lower score → later despite lower coord
+        let a = pack(1, 50, 10, 0, false);
+        let b = pack(1, 40, 3, 1, false); // lower score → later despite lower coord
         assert!(a < b, "higher score must sort first within a base");
 
-        let c = pack(0, 0, 255, 1); // base 0, worst everything
-        let d = pack(1, 63, 0, 0); // base 1, best everything
+        let c = pack(0, 0, 255, 1, false); // base 0, worst everything
+        let d = pack(1, 63, 0, 0, false); // base 1, best everything
         assert!(c < d, "base is the major key");
 
-        let e = pack(2, 30, 5, 0);
-        let f = pack(2, 30, 6, 0);
+        let e = pack(2, 30, 5, 0, false);
+        let f = pack(2, 30, 6, 0, false);
         assert!(e < f, "coord ascending within equal base+score");
 
-        let g = pack(2, 30, 5, 0);
-        let h = pack(2, 30, 5, 1);
+        let g = pack(2, 30, 5, 0, false);
+        let h = pack(2, 30, 5, 1, false);
         assert!(g < h, "strand is the minor key");
+
+        // uniq breaks ties only among otherwise-identical words.
+        let i = pack(2, 30, 5, 1, false);
+        let j = pack(2, 30, 5, 1, true);
+        assert!(i < j, "uniq is below every model key");
     }
 
     proptest! {
         #[test]
-        fn roundtrip(base in 0u8..4, score in 0u8..=63, coord: u8, strand in 0u8..2) {
-            prop_assert_eq!(unpack(pack(base, score, coord, strand)),
-                            (base, score, coord, strand));
+        fn roundtrip(
+            base in 0u8..4, score in 0u8..=63, coord: u8, strand in 0u8..2,
+            uniq: bool,
+        ) {
+            prop_assert_eq!(unpack(pack(base, score, coord, strand, uniq)),
+                            (base, score, coord, strand, uniq));
         }
 
         #[test]
         fn order_matches_tuple_order(
-            a in (0u8..4, 0u8..=63, any::<u8>(), 0u8..2),
-            b in (0u8..4, 0u8..=63, any::<u8>(), 0u8..2),
+            a in (0u8..4, 0u8..=63, any::<u8>(), 0u8..2, any::<bool>()),
+            b in (0u8..4, 0u8..=63, any::<u8>(), 0u8..2, any::<bool>()),
         ) {
-            let wa = pack(a.0, a.1, a.2, a.3);
-            let wb = pack(b.0, b.1, b.2, b.3);
-            // Canonical tuple: (base, QUAL_MAX-score, coord, strand).
-            let ta = (a.0, QUAL_MAX - a.1, a.2, a.3);
-            let tb = (b.0, QUAL_MAX - b.1, b.2, b.3);
+            let wa = pack(a.0, a.1, a.2, a.3, a.4);
+            let wb = pack(b.0, b.1, b.2, b.3, b.4);
+            // Canonical tuple: (base, QUAL_MAX-score, coord, strand, uniq).
+            let ta = (a.0, QUAL_MAX - a.1, a.2, a.3, a.4);
+            let tb = (b.0, QUAL_MAX - b.1, b.2, b.3, b.4);
             prop_assert_eq!(wa.cmp(&wb), ta.cmp(&tb));
         }
     }

@@ -67,10 +67,34 @@ impl SparseWindow {
             let start = self.words.len();
             for o in site_obs {
                 self.words
-                    .push(baseword::pack(o.base, o.qual, o.coord, o.strand));
+                    .push(baseword::pack(o.base, o.qual, o.coord, o.strand, o.uniq));
             }
             self.spans.push((start, site_obs.len()));
             self.summaries.push(SiteSummary::from_obs(site_obs));
+        }
+    }
+
+    /// Like [`SparseWindow::count_into`] but *without* the per-site
+    /// summary traversal: fills only `words` and `spans`, clearing
+    /// `summaries`. The fused counting+likelihood device kernel derives
+    /// the summaries from the packed words during its sorted scan
+    /// ([`crate::likelihood::likelihood_comp_fused_gpu_into`]), so
+    /// building them host-side here would traverse every observation a
+    /// second time for nothing.
+    pub fn count_words_into(&mut self, window: &Window) {
+        self.words.clear();
+        self.spans.clear();
+        self.summaries.clear();
+        let total: usize = window.obs.iter().map(Vec::len).sum();
+        self.words.reserve(total);
+        self.spans.reserve(window.len());
+        for site_obs in &window.obs {
+            let start = self.words.len();
+            for o in site_obs {
+                self.words
+                    .push(baseword::pack(o.base, o.qual, o.coord, o.strand, o.uniq));
+            }
+            self.spans.push((start, site_obs.len()));
         }
     }
 
@@ -174,9 +198,11 @@ pub fn nonzero_cells_per_site(window: &Window) -> Vec<usize> {
         .obs
         .iter()
         .map(|site_obs| {
+            // Dense cells have no uniqueness dimension, so dedup ignoring
+            // the word's uniq bit.
             let mut words: Vec<u32> = site_obs
                 .iter()
-                .map(|o| baseword::pack(o.base, o.qual, o.coord, o.strand))
+                .map(|o| baseword::pack(o.base, o.qual, o.coord, o.strand, false))
                 .collect();
             words.sort_unstable();
             words.dedup();
@@ -242,6 +268,17 @@ mod tests {
         assert_eq!(s.site_words(0)[0], s.site_words(0)[1]);
         assert_eq!(s.summaries[0].depth, 3);
         assert_eq!(s.summaries[1].depth, 0);
+    }
+
+    #[test]
+    fn count_words_into_matches_count_minus_summaries() {
+        let w = window();
+        let full = SparseWindow::count(&w);
+        let mut words_only = SparseWindow::default();
+        words_only.count_words_into(&w);
+        assert_eq!(words_only.words, full.words);
+        assert_eq!(words_only.spans, full.spans);
+        assert!(words_only.summaries.is_empty());
     }
 
     #[test]

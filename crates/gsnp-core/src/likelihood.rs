@@ -24,7 +24,7 @@ use sortnet::multipass::{multipass_sort_into, MultipassReport, MultipassScratch}
 
 use crate::baseword;
 use crate::counting::{base_occ_index, SparseWindow, SITE_CELLS};
-use crate::model::{adjust, NUM_GENOTYPES};
+use crate::model::{adjust, SiteSummary, NUM_GENOTYPES};
 use crate::tables::{likely_update, new_p_cell, p_index, LogTable, NewPMatrix, PMatrix};
 
 /// Sites processed per thread block by the likelihood kernels.
@@ -104,7 +104,7 @@ pub fn likelihood_sparse_site_pmatrix(
     let mut dep_count = vec![0u16; 2 * read_len];
     let mut last_base = 0u8;
     for &w in words_sorted {
-        let (base, score, coord, strand) = baseword::unpack(w);
+        let (base, score, coord, strand, _uniq) = baseword::unpack(w);
         if base > last_base {
             dep_count.fill(0);
             last_base = base;
@@ -135,7 +135,7 @@ pub fn likelihood_sparse_site(
     let mut dep_count = vec![0u16; 2 * read_len];
     let mut last_base = 0u8;
     for &w in words_sorted {
-        let (base, score, coord, strand) = baseword::unpack(w);
+        let (base, score, coord, strand, _uniq) = baseword::unpack(w);
         if base > last_base {
             dep_count.fill(0);
             last_base = base;
@@ -331,6 +331,56 @@ pub fn likelihood_comp_gpu_into(
     tables: &DeviceTables,
     out: &mut Vec<[f64; NUM_GENOTYPES]>,
 ) -> LaunchStats {
+    comp_gpu_impl(dev, variant, words, spans, read_len, tables, out, None)
+}
+
+/// `u32` words per site in the fused kernel's summary output buffer:
+/// `count_all[4] | count_uniq[4] | qual_sum[4] | depth`.
+const SUMMARY_WORDS: usize = 13;
+
+/// The counting→likelihood **fused** kernel: identical `type_likely`
+/// output to [`likelihood_comp_gpu_into`] (bit for bit — the likelihood
+/// arithmetic is untouched), but the same sorted scan also accumulates
+/// each site's [`SiteSummary`] and writes it to a device buffer, read
+/// back into `summaries`. Every summary reduction is order-independent
+/// (saturating counts, a plain sum, a saturating depth), so accumulating
+/// over the *sorted* words reproduces
+/// [`SiteSummary::from_obs`] over the unsorted observations exactly —
+/// eliminating the separate host-side counting traversal of the window.
+#[allow(clippy::too_many_arguments)] // mirrors the unfused entry + one output
+pub fn likelihood_comp_fused_gpu_into(
+    dev: &Device,
+    variant: KernelVariant,
+    words: &GlobalBuffer<u32>,
+    spans: &[(usize, usize)],
+    read_len: usize,
+    tables: &DeviceTables,
+    out: &mut Vec<[f64; NUM_GENOTYPES]>,
+    summaries: &mut Vec<SiteSummary>,
+) -> LaunchStats {
+    comp_gpu_impl(
+        dev,
+        variant,
+        words,
+        spans,
+        read_len,
+        tables,
+        out,
+        Some(summaries),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn comp_gpu_impl(
+    dev: &Device,
+    variant: KernelVariant,
+    words: &GlobalBuffer<u32>,
+    spans: &[(usize, usize)],
+    read_len: usize,
+    tables: &DeviceTables,
+    out: &mut Vec<[f64; NUM_GENOTYPES]>,
+    summaries: Option<&mut Vec<SiteSummary>>,
+) -> LaunchStats {
     let num_sites = spans.len();
     // Every logical type_likely slot is stored before it is loaded (the
     // global variants zero-initialize per site, the shared variants flush
@@ -346,19 +396,35 @@ pub fn likelihood_comp_gpu_into(
     // dirtied set is the observation list, not the whole array.
     let mut dep_count_guard = dev.alloc_pooled::<u16>(num_sites * 2 * read_len);
     dep_count_guard.park_zeroed_on_drop();
-    let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
+    // Fused path only: per-site summary words, every slot stored before
+    // the readback loads it.
+    let summary_dev = summaries
+        .as_ref()
+        .map(|_| dev.alloc_pooled_dirty::<u32>(num_sites * SUMMARY_WORDS));
+    let grid = num_sites.div_ceil(SITES_PER_BLOCK);
     let lt = &tables.host_log;
     let type_likely = &*type_likely;
     let dep_count = &*dep_count_guard;
+    let summary_buf = summary_dev.as_deref();
+    let name = if summary_buf.is_some() {
+        "likelihood_comp_fused"
+    } else {
+        "likelihood_comp"
+    };
 
     #[allow(clippy::needless_range_loop)] // kernel-style: site indexes several parallel arrays
-    let stats = dev.launch("likelihood_comp", grid, |ctx| {
+    let stats = dev.launch(name, grid, |ctx| {
         let first = ctx.block_idx * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
         for site in first..last {
             let (off, len) = spans[site];
             let dep0 = site * 2 * read_len;
             let tl0 = site * NUM_GENOTYPES;
+            // Per-site summary accumulators (registers; flushed once).
+            let mut s_all = [0u32; 4];
+            let mut s_uniq = [0u32; 4];
+            let mut s_qual = [0u32; 4];
+            let mut s_depth = 0u32;
 
             // type_likely accumulator: shared tile or global slots.
             let mut shared_tl = if variant.uses_shared() {
@@ -378,12 +444,25 @@ pub fn likelihood_comp_gpu_into(
             let mut touched_from = off;
             for i in off..off + len {
                 let w = ctx.ld_co(words, i);
-                let (base, score, coord, strand) = baseword::unpack(w);
+                let (base, score, coord, strand, uniq) = baseword::unpack(w);
                 ctx.add_inst(12); // field extraction + loop bookkeeping
+
+                if summary_buf.is_some() {
+                    // Counting fused into the same scan: the word is
+                    // already in a register, so the summary costs only
+                    // the accumulation arithmetic — no second traversal,
+                    // no extra global loads.
+                    let b = usize::from(base);
+                    s_all[b] += 1;
+                    s_uniq[b] += u32::from(uniq);
+                    s_qual[b] += u32::from(score);
+                    s_depth += 1;
+                    ctx.add_inst(6);
+                }
 
                 if base > last_base {
                     for j in touched_from..i {
-                        let (_, _, tc, ts) = baseword::unpack(ctx.ld_co(words, j));
+                        let (_, _, tc, ts, _) = baseword::unpack(ctx.ld_co(words, j));
                         let slot = dep0 + usize::from(ts) * read_len + usize::from(tc);
                         ctx.st_rand(dep_count, slot, 0u16);
                     }
@@ -437,7 +516,7 @@ pub fn likelihood_comp_gpu_into(
 
             // Reset the final base segment's dep_count slots.
             for j in touched_from..off + len {
-                let (_, _, tc, ts) = baseword::unpack(ctx.ld_co(words, j));
+                let (_, _, tc, ts, _) = baseword::unpack(ctx.ld_co(words, j));
                 let slot = dep0 + usize::from(ts) * read_len + usize::from(tc);
                 ctx.st_rand(dep_count, slot, 0u16);
             }
@@ -450,6 +529,17 @@ pub fn likelihood_comp_gpu_into(
                 }
                 ctx.shared_free(tile);
             }
+
+            // Fused path: flush the site's summary words, coalesced.
+            if let Some(sbuf) = summary_buf {
+                let s0 = site * SUMMARY_WORDS;
+                for b in 0..4 {
+                    ctx.st_co(sbuf, s0 + b, s_all[b]);
+                    ctx.st_co(sbuf, s0 + 4 + b, s_uniq[b]);
+                    ctx.st_co(sbuf, s0 + 8 + b, s_qual[b]);
+                }
+                ctx.st_co(sbuf, s0 + 12, s_depth);
+            }
         }
     });
 
@@ -460,6 +550,21 @@ pub fn likelihood_comp_gpu_into(
         let tl0 = s * NUM_GENOTYPES;
         std::array::from_fn(|n| type_likely.get(tl0 + n))
     }));
+    if let (Some(summaries), Some(sbuf)) = (summaries, summary_buf) {
+        // Saturate counts on readback: `from_obs` saturates at every +1,
+        // which for monotone increments equals one clamp of the total.
+        let sat = |v: u32| v.min(u32::from(u16::MAX)) as u16;
+        summaries.clear();
+        summaries.extend((0..num_sites).map(|s| {
+            let s0 = s * SUMMARY_WORDS;
+            SiteSummary {
+                count_all: std::array::from_fn(|b| sat(sbuf.get(s0 + b))),
+                count_uniq: std::array::from_fn(|b| sat(sbuf.get(s0 + 4 + b))),
+                qual_sum: std::array::from_fn(|b| sbuf.get(s0 + 8 + b)),
+                depth: sat(sbuf.get(s0 + 12)),
+            }
+        }));
+    }
     stats
 }
 
@@ -683,6 +788,61 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_matches_unfused_and_host_counting() {
+        let d = Dataset::generate(SynthConfig::tiny(48));
+        let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+        let np = NewPMatrix::precompute(&p);
+        let lt = LogTable::new();
+        let mut wr = WindowReader::new(d.reads.iter().cloned().map(Ok), d.config.num_sites, 900);
+        let w = wr.next_window().unwrap().unwrap();
+        let mut sw = SparseWindow::count(&w); // summaries via from_obs
+        sort_sparse_cpu(&mut sw);
+        let dev = Device::m2050();
+        let tables = DeviceTables::upload(&dev, &p, &np, &lt);
+        let words = dev.upload(&sw.words);
+        for variant in KernelVariant::ALL {
+            let mut plain = Vec::new();
+            likelihood_comp_gpu_into(
+                &dev,
+                variant,
+                &words,
+                &sw.spans,
+                d.config.read_len,
+                &tables,
+                &mut plain,
+            );
+            let mut fused = Vec::new();
+            let mut summaries = Vec::new();
+            likelihood_comp_fused_gpu_into(
+                &dev,
+                variant,
+                &words,
+                &sw.spans,
+                d.config.read_len,
+                &tables,
+                &mut fused,
+                &mut summaries,
+            );
+            for (site, (f, e)) in fused.iter().zip(&plain).enumerate() {
+                for n in 0..NUM_GENOTYPES {
+                    assert_eq!(
+                        f[n].to_bits(),
+                        e[n].to_bits(),
+                        "{} site {site} genotype {n}",
+                        variant.label()
+                    );
+                }
+            }
+            assert_eq!(
+                summaries,
+                sw.summaries,
+                "{}: fused summaries must equal from_obs",
+                variant.label()
+            );
+        }
+    }
+
+    #[test]
     fn kernel_counters_reflect_the_optimizations() {
         let f = fixture(45);
         let dev = Device::m2050();
@@ -755,7 +915,7 @@ mod tests {
             let words: Vec<u32> = f.sw.site_words(site).to_vec();
             let m = small.site_mut(site);
             for w in words {
-                let (b, s, c, st) = baseword::unpack(w);
+                let (b, s, c, st, _) = baseword::unpack(w);
                 let idx = base_occ_index(b, s, c, st);
                 m[idx] = m[idx].saturating_add(1);
             }

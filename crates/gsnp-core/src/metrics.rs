@@ -187,6 +187,28 @@ pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
         }
     }
 
+    // ---- per-kernel launch tallies (group sum) ----
+    // The launch-batching figure of merit: launches/site falls as the
+    // mega-batch coalesces per-window launches, while overhead-seconds
+    // exposes the fixed per-launch cost the batching amortizes.
+    for tally in &stats.kernel_launches {
+        let l = &[("kernel", tally.name.as_str())];
+        m.push(
+            "gsnp_launches_total",
+            "Kernel launches by kernel name (group sum)",
+            Counter,
+            l,
+            tally.launches as f64,
+        );
+        m.push(
+            "gsnp_launch_overhead_seconds",
+            "Fixed launch overhead charged by kernel name (group sum)",
+            Counter,
+            l,
+            tally.overhead_seconds,
+        );
+    }
+
     // ---- pools ----
     m.push(
         "gsnp_pool_hits_total",
@@ -308,6 +330,11 @@ mod tests {
                     ..Default::default()
                 },
                 ledgers: vec![Default::default(); 2],
+                kernel_launches: vec![gpu_sim::KernelTally {
+                    name: "likelihood_comp_fused".into(),
+                    launches: 3,
+                    overhead_seconds: 1.5e-5,
+                }],
                 ..Default::default()
             },
         }
@@ -332,6 +359,14 @@ mod tests {
         let text = m.render_text();
         assert!(text.contains("# TYPE gsnp_stage_seconds counter"));
         assert!(text.contains("gsnp_hw_counter_total{device=\"0\",counter=\"instructions\"}"));
+        assert_eq!(
+            m.get(
+                "gsnp_launches_total",
+                &[("kernel", "likelihood_comp_fused")]
+            ),
+            Some(3.0)
+        );
+        assert!(text.contains("gsnp_launch_overhead_seconds{kernel=\"likelihood_comp_fused\"}"));
     }
 
     #[test]

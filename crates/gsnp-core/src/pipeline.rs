@@ -35,9 +35,9 @@ use seqio::window::WindowReader;
 use crate::arena::{ArenaPool, ArenaPoolStats, WindowArena};
 use crate::counting::SparseWindow;
 use crate::likelihood::{
-    likelihood_comp_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
+    likelihood_comp_fused_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
 };
-use crate::model::{posterior, ModelParams, NUM_GENOTYPES};
+use crate::model::{posterior, ModelParams, SiteSummary, NUM_GENOTYPES};
 use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, PipelineTrace, StageStats};
 use crate::tables::{LogTable, NewPMatrix, PMatrix};
 
@@ -120,6 +120,11 @@ pub struct PipelineStats {
     /// merged across every window and device worker. Empty only when no
     /// window ran a sort.
     pub sort_classes: Vec<sortnet::ClassTally>,
+    /// Per-kernel launch attribution merged across the device group:
+    /// launches and modelled launch-overhead seconds by kernel name
+    /// (sorted). The mega-batching layer's figure of merit — launches per
+    /// site — derives from this and [`PipelineStats::num_sites`].
+    pub kernel_launches: Vec<gpu_sim::KernelTally>,
 }
 
 /// GSNP configuration.
@@ -143,6 +148,15 @@ pub struct GsnpConfig {
     /// window *k*'s host stages overlap window *k+1*'s device stage.
     /// Results are byte-identical at every depth (§IV-G).
     pub pipeline_depth: usize,
+    /// Windows coalesced per mega-batched launch group. Each batch pays
+    /// ONE launch per kernel — one multipass-sort pass per size class, one
+    /// fused counting+likelihood kernel, one RLE-DICT chain for all its
+    /// output columns — instead of one per window, amortising the cost
+    /// model's per-launch overhead across the whole group. `0` (the
+    /// default) tracks `pipeline_depth` so the in-flight window count and
+    /// the launch-batch size stay matched per device lane. Results are
+    /// byte-identical at every batch size (`tests/batch_parity.rs`).
+    pub launch_batch: usize,
     /// Devices sharding the window loop. `1` (the default) is the
     /// single-device pipeline; `N ≥ 2` runs the device stage as `N`
     /// workers — each owning one member of a [`DeviceGroup`] and its own
@@ -188,10 +202,23 @@ impl Default for GsnpConfig {
             compress_input: true,
             gpu_output: true,
             pipeline_depth: 2,
+            launch_batch: 0,
             num_devices: 1,
             pooled: true,
             sanitize: false,
             trace: None,
+        }
+    }
+}
+
+impl GsnpConfig {
+    /// The effective launch-batch size: [`GsnpConfig::launch_batch`], or
+    /// `pipeline_depth.max(1)` when it is 0 (auto).
+    pub fn launch_batch_size(&self) -> usize {
+        if self.launch_batch == 0 {
+            self.pipeline_depth.max(1)
+        } else {
+            self.launch_batch
         }
     }
 }
@@ -368,37 +395,53 @@ impl GsnpPipeline {
         let device_table_bytes = tables.upload_bytes();
         let arena_pool = ArenaPool::new(cfg.pooled);
 
-        loop {
-            // ---- read_site ----
-            let mut arena = arena_pool.checkout();
-            let t0 = Instant::now();
-            let ts = trace_now(ptrace);
-            if !reader
-                .next_window_into(&mut arena.window)
-                .expect("in-memory reads are valid")
-            {
+        let batch_size = cfg.launch_batch_size();
+        let mut scratch = BatchScratch::default();
+        let mut batch: Vec<WindowArena> = Vec::with_capacity(batch_size);
+        let mut batch_tables: Vec<SnpTable> = Vec::with_capacity(batch_size);
+        let mut eof = false;
+
+        while !eof {
+            // ---- read_site: fill one launch batch ----
+            while batch.len() < batch_size {
+                let mut arena = arena_pool.checkout();
+                let t0 = Instant::now();
+                let ts = trace_now(ptrace);
+                let got = reader
+                    .next_window_into(&mut arena.window)
+                    .expect("in-memory reads are valid");
+                let dt = t0.elapsed().as_secs_f64();
+                wall.read_site += dt;
+                times.read_site += dt;
+                if let Some(pt) = ptrace {
+                    pt.read_span(ts, dt);
+                }
+                if !got {
+                    eof = true;
+                    arena_pool.checkin(arena);
+                    break;
+                }
+                batch.push(arena);
+            }
+            if batch.is_empty() {
                 break;
             }
-            let dt = t0.elapsed().as_secs_f64();
-            wall.read_site += dt;
-            times.read_site += dt;
-            if let Some(pt) = ptrace {
-                pt.read_span(ts, dt);
-            }
 
-            // ---- counting + likelihood + recycle (the device stage) ----
+            // ---- counting + likelihood + recycle: ONE launch group ----
             // The serial loop's device-lane busy time is the growth of the
-            // four device-component wall clocks across this window.
+            // four device-component wall clocks across this batch.
+            let first_window = stats.windows;
             let dev_wall_before =
                 wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
             let ts = trace_now(ptrace);
-            let tl_bytes = run_device_window(
+            let tl_bytes = run_device_batch(
                 dev,
                 tables,
                 cfg.variant,
                 device_table_bytes,
                 cfg.device.coalesced_bw,
-                &mut arena,
+                &mut batch,
+                &mut scratch,
                 &mut times,
                 &mut wall,
                 &mut stats,
@@ -406,42 +449,64 @@ impl GsnpPipeline {
             if let Some(pt) = ptrace {
                 let dev_wall =
                     wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
-                pt.lane_window(0, ts, dev_wall - dev_wall_before, stats.windows - 1);
+                emit_lane_batch(
+                    pt,
+                    0,
+                    ts,
+                    dev_wall - dev_wall_before,
+                    first_window,
+                    batch.len(),
+                );
             }
 
-            // ---- posterior ----
-            let t0 = Instant::now();
-            let ts = trace_now(ptrace);
-            let rows = posterior_rows(
-                arena.window.start,
-                &arena.type_likely,
-                &arena.sw.summaries,
-                reference,
-                priors,
-                &cfg.params,
-            );
-            stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
-            let dt = t0.elapsed().as_secs_f64();
-            wall.posterior += dt;
-            if let Some(pt) = ptrace {
-                pt.posterior_span(ts, dt);
+            // ---- posterior (per window; one readback charge per batch) ----
+            let mut row_count = 0u64;
+            let mut post_dt = 0.0;
+            batch_tables.clear();
+            for arena in batch.drain(..) {
+                let t0 = Instant::now();
+                let ts = trace_now(ptrace);
+                let rows = posterior_rows(
+                    arena.window.start,
+                    &arena.type_likely,
+                    &arena.sw.summaries,
+                    reference,
+                    priors,
+                    &cfg.params,
+                );
+                stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
+                row_count += rows.len() as u64;
+                let dt = t0.elapsed().as_secs_f64();
+                wall.posterior += dt;
+                post_dt += dt;
+                if let Some(pt) = ptrace {
+                    pt.posterior_span(ts, dt);
+                }
+                batch_tables.push(SnpTable::new(
+                    reference.name.clone(),
+                    arena.window.start,
+                    rows,
+                ));
+                arena_pool.checkin(arena);
             }
             // Device model for posterior: the per-site arithmetic is cheap;
             // the cost is dominated by moving type_likely down and result
             // columns back (the paper attributes its modest posterior
-            // speedup to exactly this transfer overhead).
+            // speedup to exactly this transfer overhead). Batching merges
+            // the batch's readbacks into one transfer.
             let mut post_stats = LaunchStats::default();
-            dev.charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
-            times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
+            dev.charge_d2h(&mut post_stats, tl_bytes + row_count * 32);
+            times.posterior += post_dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
 
-            // ---- output ----
+            // ---- output: ONE batched compress chain per batch ----
             let t0 = Instant::now();
             let ts = trace_now(ptrace);
-            let table = SnpTable::new(reference.name.clone(), arena.window.start, rows);
             let out_stats = if cfg.gpu_output {
-                column::write_window_gpu(dev, &mut compressed, &table)
+                column::write_windows_gpu_batch(dev, &mut compressed, &batch_tables)
             } else {
-                column::write_window(&mut compressed, &table);
+                for table in &batch_tables {
+                    column::write_window(&mut compressed, table);
+                }
                 LaunchStats::default()
             };
             let dt = t0.elapsed().as_secs_f64();
@@ -457,8 +522,7 @@ impl GsnpPipeline {
                 dt
             };
 
-            out_tables.push(table);
-            arena_pool.checkin(arena);
+            out_tables.append(&mut batch_tables);
         }
         stats.arena = arena_pool.stats();
         let ledger = group.ledger();
@@ -466,6 +530,7 @@ impl GsnpPipeline {
         stats.pool = total.pool;
         stats.sanitizer = total.sanitizer;
         stats.ledgers = ledger.per_device;
+        stats.kernel_launches = group.kernel_launches();
 
         // A serial run is, by definition, one stage busy at a time.
         let device_busy =
@@ -545,6 +610,7 @@ impl GsnpPipeline {
         let gpu_output = cfg.gpu_output;
         let window_size = cfg.window_size;
         let coalesced_bw = cfg.device.coalesced_bw;
+        let batch_size = cfg.launch_batch_size();
         let ref_len = reference.len() as u64;
         let device_table_bytes = tables[0].upload_bytes();
 
@@ -579,27 +645,37 @@ impl GsnpPipeline {
                     pt.read_span(ts, dt);
                 }
                 let mut idx = 0usize;
-                loop {
-                    let mut arena = prod_pool.checkout();
-                    let t0 = Instant::now();
-                    let ts = trace_now(ptrace);
-                    if !reader
-                        .next_window_into(&mut arena.window)
-                        .expect("in-memory reads are valid")
-                    {
-                        break;
+                let mut eof = false;
+                while !eof {
+                    let mut arenas = Vec::with_capacity(batch_size);
+                    while arenas.len() < batch_size {
+                        let mut arena = prod_pool.checkout();
+                        let t0 = Instant::now();
+                        let ts = trace_now(ptrace);
+                        let got = reader
+                            .next_window_into(&mut arena.window)
+                            .expect("in-memory reads are valid");
+                        let dt = t0.elapsed().as_secs_f64();
+                        rep.wall.read_site += dt;
+                        rep.times.read_site += dt;
+                        rep.stage.busy += dt;
+                        if let Some(pt) = ptrace {
+                            pt.read_span(ts, dt);
+                        }
+                        if !got {
+                            eof = true;
+                            prod_pool.checkin(arena);
+                            break;
+                        }
+                        arenas.push(arena);
                     }
-                    let dt = t0.elapsed().as_secs_f64();
-                    rep.wall.read_site += dt;
-                    rep.times.read_site += dt;
-                    rep.stage.busy += dt;
-                    if let Some(pt) = ptrace {
-                        pt.read_span(ts, dt);
+                    if arenas.is_empty() {
+                        break;
                     }
 
                     let t0 = Instant::now();
                     let ts = trace_now(ptrace);
-                    if win_tx.send(Produced { idx, arena }).is_err() {
+                    if win_tx.send(Produced { idx, arenas }).is_err() {
                         break; // downstream died; its panic surfaces at join
                     }
                     let dt = t0.elapsed().as_secs_f64();
@@ -621,10 +697,11 @@ impl GsnpPipeline {
                 workers.push(s.spawn(move || {
                     let mut rep = StageReport::default();
                     let mut lane = DeviceLaneStats::default();
+                    let mut scratch = BatchScratch::default();
                     loop {
                         let t0 = Instant::now();
                         let ts = trace_now(ptrace);
-                        let Produced { idx, mut arena } = match win_rx.recv() {
+                        let Produced { idx, mut arenas } = match win_rx.recv() {
                             Ok(p) => p,
                             Err(_) => break,
                         };
@@ -637,37 +714,42 @@ impl GsnpPipeline {
                         let busy_start = Instant::now();
                         let ts = trace_now(ptrace);
 
-                        let tl_bytes = run_device_window(
+                        let k = arenas.len();
+                        let tl_bytes = run_device_batch(
                             dev,
                             dev_tables,
                             variant,
                             device_table_bytes,
                             coalesced_bw,
-                            &mut arena,
+                            &mut arenas,
+                            &mut scratch,
                             &mut rep.times,
                             &mut rep.wall,
                             &mut rep.stats,
                         );
-                        lane.windows += 1;
+                        lane.windows += k as u64;
                         if idx % num_devices != worker_id {
-                            lane.steals += 1;
+                            lane.steals += k as u64;
                             if let Some(pt) = ptrace {
-                                pt.lane_steal(worker_id, ts);
+                                for _ in 0..k {
+                                    pt.lane_steal(worker_id, ts);
+                                }
                             }
                         }
                         let dt = busy_start.elapsed().as_secs_f64();
                         rep.stage.busy += dt;
                         lane.stage.busy += dt;
                         if let Some(pt) = ptrace {
-                            pt.lane_window(worker_id, ts, dt, idx as u64);
+                            // Every batch but the last is full, so the
+                            // batch's first global window index is exact.
+                            emit_lane_batch(pt, worker_id, ts, dt, (idx * batch_size) as u64, k);
                         }
 
                         let t0 = Instant::now();
                         let ts = trace_now(ptrace);
                         let scored = Scored {
                             idx,
-                            start: arena.window.start,
-                            arena,
+                            arenas,
                             tl_bytes,
                             dev: worker_id,
                         };
@@ -698,8 +780,7 @@ impl GsnpPipeline {
                     let ts = trace_now(ptrace);
                     let Scored {
                         idx,
-                        start,
-                        arena,
+                        arenas,
                         tl_bytes,
                         dev,
                     } = match score_rx.recv() {
@@ -715,24 +796,31 @@ impl GsnpPipeline {
                     let busy_ts = trace_now(ptrace);
 
                     let t0 = Instant::now();
-                    let rows = posterior_rows(
-                        start,
-                        &arena.type_likely,
-                        &arena.sw.summaries,
-                        reference,
-                        priors,
-                        params,
-                    );
-                    post_pool.checkin(arena);
-                    rep.stats.snp_count += rows.iter().filter(|r| r.is_variant()).count() as u64;
+                    let mut windows = Vec::with_capacity(arenas.len());
+                    let mut row_count = 0u64;
+                    for arena in arenas {
+                        let rows = posterior_rows(
+                            arena.window.start,
+                            &arena.type_likely,
+                            &arena.sw.summaries,
+                            reference,
+                            priors,
+                            params,
+                        );
+                        rep.stats.snp_count +=
+                            rows.iter().filter(|r| r.is_variant()).count() as u64;
+                        row_count += rows.len() as u64;
+                        windows.push((arena.window.start, rows));
+                        post_pool.checkin(arena);
+                    }
                     let dt = t0.elapsed().as_secs_f64();
                     rep.wall.posterior += dt;
                     let mut post_stats = LaunchStats::default();
-                    // The readback crosses the PCIe link of the device that
-                    // scored this window.
+                    // The readback crosses the PCIe link of the device
+                    // that scored this batch — one transfer per batch.
                     group
                         .device(dev)
-                        .charge_d2h(&mut post_stats, tl_bytes + rows.len() as u64 * 32);
+                        .charge_d2h(&mut post_stats, tl_bytes + row_count * 32);
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
                     let dt = busy_start.elapsed().as_secs_f64();
                     rep.stage.busy += dt;
@@ -742,12 +830,7 @@ impl GsnpPipeline {
 
                     let t0 = Instant::now();
                     let ts = trace_now(ptrace);
-                    let called = Called {
-                        idx,
-                        start,
-                        rows,
-                        dev,
-                    };
+                    let called = Called { idx, windows, dev };
                     if call_tx.send(called).is_err() {
                         break;
                     }
@@ -778,18 +861,29 @@ impl GsnpPipeline {
                 let busy_ts = trace_now(ptrace);
                 // In-order arrivals (the common case at one device: every
                 // stage is one thread over FIFO channels) take the
-                // allocation-free `offer` fast path; windows that overtook
-                // a sibling on another device drain via `pop_ready`.
-                let mut next = reasm.offer(called.idx, (called.start, called.rows, called.dev));
-                while let Some((start, rows, dev)) = next {
+                // allocation-free `offer` fast path; batches that overtook
+                // a sibling on another device drain via `pop_ready`. The
+                // reassembler is keyed by batch index, so the compressed
+                // stream is byte-identical at any (batch, depth, devices).
+                let mut next = reasm.offer(called.idx, (called.windows, called.dev));
+                while let Some((windows, dev)) = next {
                     let t0 = Instant::now();
-                    let table = SnpTable::new(reference.name.clone(), start, rows);
+                    let batch_tables: Vec<SnpTable> = windows
+                        .into_iter()
+                        .map(|(start, rows)| SnpTable::new(reference.name.clone(), start, rows))
+                        .collect();
                     let out_stats = if gpu_output {
                         // Column kernels run on the device that already
-                        // holds this window's data.
-                        column::write_window_gpu(group.device(dev), &mut compressed, &table)
+                        // holds this batch's data: one chain per batch.
+                        column::write_windows_gpu_batch(
+                            group.device(dev),
+                            &mut compressed,
+                            &batch_tables,
+                        )
                     } else {
-                        column::write_window(&mut compressed, &table);
+                        for table in &batch_tables {
+                            column::write_window(&mut compressed, table);
+                        }
                         LaunchStats::default()
                     };
                     let dt = t0.elapsed().as_secs_f64();
@@ -799,7 +893,7 @@ impl GsnpPipeline {
                     } else {
                         dt
                     };
-                    out_tables.push(table);
+                    out_tables.extend(batch_tables);
                     next = reasm.pop_ready();
                 }
                 let dt = busy_start.elapsed().as_secs_f64();
@@ -852,6 +946,7 @@ impl GsnpPipeline {
         stats.pool = total.pool;
         stats.sanitizer = total.sanitizer;
         stats.ledgers = ledger.per_device;
+        stats.kernel_launches = group.kernel_launches();
 
         GsnpOutput {
             tables: out_tables,
@@ -863,31 +958,34 @@ impl GsnpPipeline {
     }
 }
 
-/// Window handed from the producer to the device stage (the arena owns
-/// the loaded observation lists).
+/// One launch batch of windows handed from the producer to the device
+/// stage (each arena owns its loaded observation lists). `idx` is the
+/// batch index; every batch but the last holds exactly the configured
+/// batch size, so window `j` of batch `idx` is global window
+/// `idx * batch_size + j`.
 struct Produced {
     idx: usize,
-    arena: WindowArena,
+    arenas: Vec<WindowArena>,
 }
 
-/// Likelihood-scored window handed from a device worker to `posterior`
-/// (the arena owns `summaries` and `type_likely`; `posterior` returns it
-/// to the pool once rows are extracted). `dev` is the group index of the
-/// device that scored the window — downstream transfer and output-column
-/// charges go to that device's ledger.
+/// Likelihood-scored batch handed from a device worker to `posterior`
+/// (each arena owns its `summaries` and `type_likely`; `posterior`
+/// returns them to the pool once rows are extracted). `dev` is the group
+/// index of the device that scored the batch — downstream transfer and
+/// output-column charges go to that device's ledger. `tl_bytes` is the
+/// batch's total `type_likely` readback size.
 struct Scored {
     idx: usize,
-    start: u64,
-    arena: WindowArena,
+    arenas: Vec<WindowArena>,
     tl_bytes: u64,
     dev: usize,
 }
 
-/// Called window handed from `posterior` to the output stage.
+/// Called batch handed from `posterior` to the output stage: per window,
+/// its reference start and rows.
 struct Called {
     idx: usize,
-    start: u64,
-    rows: Vec<SnpRow>,
+    windows: Vec<(u64, Vec<SnpRow>)>,
     dev: usize,
 }
 
@@ -896,76 +994,135 @@ fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
     h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 
-/// One window's device-stage work — counting (with upload), likelihood
-/// sort + comp, recycle — shared verbatim by the serial loop and every
-/// sharded device worker, so the two paths cannot drift. Returns the
-/// `type_likely` byte count the posterior stage charges for reading back.
+/// Reusable host-side staging for one launch batch: the concatenated
+/// sparse arrays, rebased spans, per-window site offsets, and the fused
+/// kernel's output columns. One per device lane, recycled across batches
+/// so the steady state allocates nothing (`tests/alloc_steady_state.rs`).
+#[derive(Default)]
+struct BatchScratch {
+    words: Vec<u32>,
+    spans: Vec<(usize, usize)>,
+    site_off: Vec<usize>,
+    type_likely: Vec<[f64; NUM_GENOTYPES]>,
+    summaries: Vec<SiteSummary>,
+    sort_scratch: sortnet::MultipassScratch,
+}
+
+/// One batch's device-stage work — counting (with a single coalesced
+/// upload), ONE multipass sort launch group, ONE fused counting+
+/// likelihood launch spanning every batched site, recycle — shared
+/// verbatim by the serial loop and every sharded device worker, so the
+/// two paths cannot drift. Scatters `type_likely` and `summaries` back
+/// into each window's arena. Returns the batch's total `type_likely`
+/// byte count the posterior stage charges for reading back.
 #[allow(clippy::too_many_arguments)]
-fn run_device_window(
+fn run_device_batch(
     dev: &Device,
     tables: &DeviceTables,
     variant: KernelVariant,
     device_table_bytes: u64,
     coalesced_bw: f64,
-    arena: &mut WindowArena,
+    batch: &mut [WindowArena],
+    scratch: &mut BatchScratch,
     times: &mut ComponentTimes,
     wall: &mut ComponentTimes,
     stats: &mut PipelineStats,
 ) -> u64 {
-    // counting
+    // counting: per-window sparse arrays, concatenated into one payload
     let t0 = Instant::now();
-    arena.sw.count_into(&arena.window);
-    let sw = &arena.sw;
-    let words = dev.upload_pooled(&sw.words);
+    scratch.words.clear();
+    scratch.spans.clear();
+    scratch.site_off.clear();
+    let mut host_peak = 0u64;
+    for arena in batch.iter_mut() {
+        arena.sw.count_words_into(&arena.window);
+        let base = scratch.words.len();
+        scratch.site_off.push(scratch.spans.len());
+        scratch.words.extend_from_slice(&arena.sw.words);
+        scratch
+            .spans
+            .extend(arena.sw.spans.iter().map(|&(off, len)| (base + off, len)));
+        host_peak =
+            host_peak.max(arena.sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
+    }
+    scratch.site_off.push(scratch.spans.len());
+    let num_sites = scratch.spans.len();
+    let words = dev.upload_pooled(&scratch.words);
     let mut count_stats = LaunchStats::default();
-    dev.charge_h2d(&mut count_stats, sw.words.len() as u64 * 4);
+    dev.charge_h2d(&mut count_stats, scratch.words.len() as u64 * 4);
     let dt = t0.elapsed().as_secs_f64();
     wall.counting += dt;
     times.counting += dt + count_stats.sim_time;
 
-    let dep_bytes = (sw.num_sites() * 2 * 256) as u64 * 2;
-    let tl_bytes = (sw.num_sites() * NUM_GENOTYPES) as u64 * 8;
+    let dep_bytes = (num_sites * 2 * 256) as u64 * 2;
+    let tl_bytes = (num_sites * NUM_GENOTYPES) as u64 * 8;
     stats.peak_device_bytes = stats
         .peak_device_bytes
-        .max(device_table_bytes + sw.words.len() as u64 * 4 + dep_bytes + tl_bytes);
-    stats.peak_host_bytes = stats
-        .peak_host_bytes
-        .max(sw.size_bytes() as u64 + arena.window.total_obs() as u64 * 8);
+        .max(device_table_bytes + scratch.words.len() as u64 * 4 + dep_bytes + tl_bytes);
+    stats.peak_host_bytes = stats.peak_host_bytes.max(host_peak);
 
-    // likelihood: sort + comp
+    // likelihood: one sort launch group + one fused counting+comp launch
     let t0 = Instant::now();
-    likelihood_sort_gpu_into(dev, &words, &sw.spans, &mut arena.sort_scratch);
+    likelihood_sort_gpu_into(dev, &words, &scratch.spans, &mut scratch.sort_scratch);
     wall.likelihood_sort += t0.elapsed().as_secs_f64();
-    let sort_report = arena.sort_scratch.report();
+    let sort_report = scratch.sort_scratch.report();
     times.likelihood_sort += sort_report.total().sim_time;
     merge_sort_classes(&mut stats.sort_classes, &sort_report.classes);
 
-    let sw = &arena.sw;
-    let read_len = max_read_len(sw);
+    // The dependency arrays are sized by the batch-wide maximum read
+    // length; read_len only widens per-coordinate slot numbering, never
+    // the values, so the per-site results match the per-window launches.
+    let read_len = max_read_len(&scratch.words);
     let t0 = Instant::now();
-    let comp_stats = likelihood_comp_gpu_into(
+    let comp_stats = likelihood_comp_fused_gpu_into(
         dev,
         variant,
         &words,
-        &sw.spans,
+        &scratch.spans,
         read_len,
         tables,
-        &mut arena.type_likely,
+        &mut scratch.type_likely,
+        &mut scratch.summaries,
     );
     wall.likelihood_comp += t0.elapsed().as_secs_f64();
     times.likelihood_comp += comp_stats.sim_time;
 
+    // scatter the fused outputs back into each window's arena
+    for (j, arena) in batch.iter_mut().enumerate() {
+        let (s0, s1) = (scratch.site_off[j], scratch.site_off[j + 1]);
+        arena.type_likely.clear();
+        arena
+            .type_likely
+            .extend_from_slice(&scratch.type_likely[s0..s1]);
+        arena.sw.summaries.clear();
+        arena
+            .sw
+            .summaries
+            .extend_from_slice(&scratch.summaries[s0..s1]);
+        stats.num_sites += arena.sw.num_sites() as u64;
+        stats.num_obs += arena.sw.words.len() as u64;
+    }
+    stats.windows += batch.len() as u64;
+
     // recycle
     let t0 = Instant::now();
-    let word_bytes = arena.sw.words.len() as u64 * 4;
+    let word_bytes = scratch.words.len() as u64 * 4;
     drop(words); // device words park in the buffer pool
     wall.recycle += t0.elapsed().as_secs_f64();
     times.recycle += word_bytes as f64 / coalesced_bw;
 
-    stats.num_sites += arena.sw.num_sites() as u64;
-    stats.num_obs += arena.sw.words.len() as u64;
-    stats.windows += 1;
     tl_bytes
+}
+
+/// Emit `k` per-window lane spans that partition one batch's device-busy
+/// interval `[ts, ts + dt)` evenly. The trace verifier requires one span
+/// per window (`lane.windows` spans per lane) whose durations sum to the
+/// lane's busy time; slicing the measured interval keeps both exact.
+fn emit_lane_batch(pt: &PipelineTrace, lane: usize, ts: f64, dt: f64, first_window: u64, k: usize) {
+    let slice = dt / k as f64;
+    for j in 0..k {
+        pt.lane_window(lane, ts + slice * j as f64, slice, first_window + j as u64);
+    }
 }
 
 /// Per-stage partial accumulators, merged into the run totals at join.
@@ -1144,7 +1301,7 @@ impl GsnpCpuPipeline {
             crate::likelihood::sort_sparse_cpu(&mut sw);
             times.likelihood_sort += t0.elapsed().as_secs_f64();
 
-            let read_len = max_read_len(&sw);
+            let read_len = max_read_len(&sw.words);
             let t0 = Instant::now();
             let type_likely: Vec<_> = (0..sw.num_sites())
                 .map(|s| {
@@ -1201,12 +1358,13 @@ impl GsnpCpuPipeline {
     }
 }
 
-fn max_read_len(sw: &SparseWindow) -> usize {
-    // The coordinate field bounds the read length; derive the per-window
-    // maximum so dep_count arrays are sized tightly.
+fn max_read_len(words: &[u32]) -> usize {
+    // The coordinate field bounds the read length; derive the maximum
+    // over the given words (one window's, or a whole launch batch's) so
+    // dep_count arrays are sized tightly.
     let mut max_coord = 0u8;
-    for &w in &sw.words {
-        let (_, _, coord, _) = crate::baseword::unpack(w);
+    for &w in words {
+        let (_, _, coord, _, _) = crate::baseword::unpack(w);
         max_coord = max_coord.max(coord);
     }
     usize::from(max_coord) + 1

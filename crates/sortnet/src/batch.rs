@@ -29,9 +29,8 @@ pub fn batch_sort(
     capacity: usize,
     arrays_per_block: usize,
 ) -> LaunchStats {
-    if spans.is_empty() {
-        return LaunchStats::default();
-    }
+    // No empty-spans guard needed: a zero-span list yields a zero grid,
+    // which the device treats as a launch-free no-op.
     let apb = arrays_per_block.max(1);
     let m = pad_to_pow2(capacity);
     for &(off, len) in spans {
@@ -100,9 +99,6 @@ pub fn batch_sort_blockmax(
     spans: &[Span],
     arrays_per_block: usize,
 ) -> LaunchStats {
-    if spans.is_empty() {
-        return LaunchStats::default();
-    }
     let apb = arrays_per_block.max(1);
     for &(off, len) in spans {
         assert!(off + len <= data.len(), "span out of bounds");
@@ -198,6 +194,9 @@ mod tests {
         let stats = batch_sort(&dev, &data, &[], 8, 4);
         assert_eq!(stats.counters.instructions, 0);
         assert_eq!(dev.download(&data), vec![3, 1]);
+        // Zero-grid launches are suppressed device-wide: no overhead, no
+        // ledger entry.
+        assert_eq!(dev.ledger().launches, 0);
     }
 
     #[test]

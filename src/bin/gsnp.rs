@@ -4,10 +4,10 @@
 //! ```text
 //! gsnp synth   <out_dir> [--sites N] [--depth X] [--seed S]
 //! gsnp call    <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
-//!              [--window N] [--devices N] [--cpu] [--text <out.txt>]
-//!              [--trace <out.json>] [--metrics <out.prom>]
+//!              [--window N] [--devices N] [--batch N] [--cpu]
+//!              [--text <out.txt>] [--trace <out.json>] [--metrics <out.prom>]
 //! gsnp profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N]
-//!              [--seed S] [--trace <out.json>]
+//!              [--batch N] [--seed S] [--trace <out.json>]
 //! gsnp decode  <in.gsnp> [<out.txt>]
 //! gsnp stats   <in.gsnp> [--format prom]
 //! gsnp validate-trace <trace.json>
@@ -47,8 +47,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gsnp <synth|call|profile|decode|stats|validate-trace> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
-                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--seed S] [--trace out.json]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--seed S] [--trace out.json]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp> [--format prom]\n\
                  validate-trace <trace.json>"
@@ -150,6 +150,7 @@ fn cmd_call(args: &[String]) -> CliResult {
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
+        launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
         trace: recorder.clone(),
         ..Default::default()
     };
@@ -218,6 +219,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
         window_size: flag_value(args, "--window").map_or(Ok(16_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
         pipeline_depth: flag_value(args, "--pipeline-depth").map_or(Ok(2), str::parse)?,
+        launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
         trace: Some(Arc::clone(&recorder)),
         ..Default::default()
     };
@@ -290,6 +292,37 @@ fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
             lane.stage.stall_out,
             lane.windows,
             lane.steals
+        );
+    }
+
+    // Launch-batching figure of merit: launches per site and the fixed
+    // overhead the mega-batch amortizes, straight from the group ledger.
+    if !stats.kernel_launches.is_empty() {
+        let sites = stats.num_sites.max(1) as f64;
+        println!("\nper-kernel launch tallies (group sum)");
+        println!(
+            "  {:<24} {:>8} {:>14} {:>14}",
+            "kernel", "launches", "launches/site", "overhead-sec"
+        );
+        let mut launches = 0u64;
+        let mut overhead = 0.0;
+        for tally in &stats.kernel_launches {
+            launches += tally.launches;
+            overhead += tally.overhead_seconds;
+            println!(
+                "  {:<24} {:>8} {:>14.6} {:>14.6}",
+                tally.name,
+                tally.launches,
+                tally.launches as f64 / sites,
+                tally.overhead_seconds
+            );
+        }
+        println!(
+            "  {:<24} {:>8} {:>14.6} {:>14.6}",
+            "total",
+            launches,
+            launches as f64 / sites,
+            overhead
         );
     }
 

@@ -92,7 +92,7 @@ fn run_pass(
 fn max_read_len(words: &[u32]) -> usize {
     let mut max_coord = 0u8;
     for &w in words {
-        let (_, _, coord, _) = gsnp::core::baseword::unpack(w);
+        let (_, _, coord, _, _) = gsnp::core::baseword::unpack(w);
         max_coord = max_coord.max(coord);
     }
     usize::from(max_coord) + 1
@@ -149,6 +149,187 @@ fn steady_state_window_loop_is_allocation_free() {
 
     // The device pool must be what made this possible: the steady pass
     // served every buffer from the free lists.
+    let ledger = dev.ledger();
+    assert!(ledger.pool.hits > 0, "pool stats: {:?}", ledger.pool);
+}
+
+/// One batched pass over the dataset: windows accumulate into `arenas`
+/// (up to `batch` at a time), their sparse arrays concatenate into the
+/// reused scratch vectors, and ONE upload + ONE sort launch group + ONE
+/// fused counting+likelihood launch covers the whole batch — the
+/// mega-batched hot path of `pipeline.rs`, hand-rolled so the counting
+/// allocator can watch it. Returns per-batch allocation deltas.
+#[allow(clippy::too_many_arguments)]
+fn run_batched_pass(
+    d: &Dataset,
+    dev: &Device,
+    tables: &DeviceTables,
+    cfg: &GsnpConfig,
+    batch: usize,
+    reader: &mut WindowReader<OwnedReads>,
+    arenas: &mut [WindowArena],
+    scratch: &mut BatchScratch,
+    rows: &mut Vec<SnpRow>,
+) -> Vec<u64> {
+    use gsnp::core::likelihood::likelihood_comp_fused_gpu_into;
+
+    reader.restart(d.reads.clone());
+    let mut deltas = Vec::with_capacity(64);
+    let mut eof = false;
+    while !eof {
+        let before = allocs();
+        let mut k = 0;
+        while k < batch {
+            if !reader
+                .next_window_into(&mut arenas[k].window)
+                .expect("synthetic reads are valid")
+            {
+                eof = true;
+                break;
+            }
+            k += 1;
+        }
+        if k == 0 {
+            break;
+        }
+        scratch.words.clear();
+        scratch.spans.clear();
+        scratch.site_off.clear();
+        for arena in arenas.iter_mut().take(k) {
+            arena.sw.count_words_into(&arena.window);
+            let base = scratch.words.len();
+            scratch.site_off.push(scratch.spans.len());
+            scratch.words.extend_from_slice(&arena.sw.words);
+            scratch
+                .spans
+                .extend(arena.sw.spans.iter().map(|&(off, len)| (base + off, len)));
+        }
+        scratch.site_off.push(scratch.spans.len());
+
+        let words = dev.upload_pooled(&scratch.words);
+        likelihood_sort_gpu_into(dev, &words, &scratch.spans, &mut scratch.sort_scratch);
+        let read_len = max_read_len(&scratch.words);
+        likelihood_comp_fused_gpu_into(
+            dev,
+            cfg.variant,
+            &words,
+            &scratch.spans,
+            read_len,
+            tables,
+            &mut scratch.type_likely,
+            &mut scratch.summaries,
+        );
+        drop(words);
+
+        rows.clear();
+        for (j, arena) in arenas.iter_mut().enumerate().take(k) {
+            let (s0, s1) = (scratch.site_off[j], scratch.site_off[j + 1]);
+            arena.type_likely.clear();
+            arena
+                .type_likely
+                .extend_from_slice(&scratch.type_likely[s0..s1]);
+            arena.sw.summaries.clear();
+            arena
+                .sw
+                .summaries
+                .extend_from_slice(&scratch.summaries[s0..s1]);
+            for (site, (tl, summary)) in arena
+                .type_likely
+                .iter()
+                .zip(&arena.sw.summaries)
+                .enumerate()
+            {
+                let pos = arena.window.start + site as u64;
+                rows.push(posterior(
+                    tl,
+                    summary,
+                    d.reference.seq[pos as usize],
+                    d.priors.get(pos),
+                    &cfg.params,
+                ));
+            }
+        }
+        deltas.push(allocs() - before);
+    }
+    deltas
+}
+
+/// Mirror of the pipeline's private batch staging: the concatenated
+/// payload and fused-output columns the batched loop reuses per lane.
+#[derive(Default)]
+struct BatchScratch {
+    words: Vec<u32>,
+    spans: Vec<(usize, usize)>,
+    site_off: Vec<usize>,
+    type_likely: Vec<[f64; gsnp::core::model::NUM_GENOTYPES]>,
+    summaries: Vec<gsnp::core::model::SiteSummary>,
+    sort_scratch: gsnp::sortnet::MultipassScratch,
+}
+
+/// Satellite: mega-batching must not buy its launch reduction with heap
+/// churn. After warmup, every batched launch group — 4 windows
+/// concatenated, uploaded, sorted, and fused-scored per iteration — runs
+/// with ZERO allocations, same bar as the per-window loop above.
+#[test]
+fn steady_state_batched_loop_is_allocation_free() {
+    if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+        eprintln!("skipping: requires a serial (single-thread) rayon backend");
+        return;
+    }
+
+    let mut sc = SynthConfig::tiny(20_260_807);
+    sc.num_sites = 8_000;
+    let d = Dataset::generate(sc);
+    let cfg = GsnpConfig {
+        window_size: 1_000,
+        variant: KernelVariant::Optimized,
+        ..Default::default()
+    };
+    let batch = 4;
+
+    let dev = Device::new(cfg.device.clone());
+    let p_matrix = PMatrix::calibrate(&d.reads, &d.reference, &cfg.params);
+    let new_p = NewPMatrix::precompute(&p_matrix);
+    let log_table = LogTable::new();
+    let tables = DeviceTables::upload(&dev, &p_matrix, &new_p, &log_table);
+
+    let mut reader =
+        WindowReader::from_reads(Vec::new(), d.reference.len() as u64, cfg.window_size);
+    let mut arenas: Vec<WindowArena> = (0..batch).map(|_| WindowArena::default()).collect();
+    let mut scratch = BatchScratch::default();
+    let mut rows = Vec::new();
+
+    let warm = run_batched_pass(
+        &d,
+        &dev,
+        &tables,
+        &cfg,
+        batch,
+        &mut reader,
+        &mut arenas,
+        &mut scratch,
+        &mut rows,
+    );
+    assert_eq!(warm.len(), 2, "8 windows at batch 4 = 2 batches");
+    assert!(warm.iter().sum::<u64>() > 0, "warmup must allocate");
+
+    let steady = run_batched_pass(
+        &d,
+        &dev,
+        &tables,
+        &cfg,
+        batch,
+        &mut reader,
+        &mut arenas,
+        &mut scratch,
+        &mut rows,
+    );
+    assert_eq!(
+        steady,
+        vec![0u64; 2],
+        "steady-state batched launches must not allocate"
+    );
+
     let ledger = dev.ledger();
     assert!(ledger.pool.hits > 0, "pool stats: {:?}", ledger.pool);
 }

@@ -61,10 +61,12 @@ proptest! {
     /// (base, score, coord, strand) a word denotes.
     #[test]
     fn baseword_and_dense_index_agree(
-        base in 0u8..4, score in 0u8..=63, coord in 0u8..=255, strand in 0u8..2
+        base in 0u8..4, score in 0u8..=63, coord in 0u8..=255, strand in 0u8..2,
+        uniq in any::<bool>(),
     ) {
-        let w = gsnp::core::baseword::pack(base, score, coord, strand);
-        let (b, s, c, st) = gsnp::core::baseword::unpack(w);
+        let w = gsnp::core::baseword::pack(base, score, coord, strand, uniq);
+        let (b, s, c, st, u) = gsnp::core::baseword::unpack(w);
+        prop_assert_eq!(u, uniq);
         let idx = base_occ_index(b, s, c, st);
         prop_assert_eq!(idx, base_occ_index(base, score, coord, strand));
         prop_assert!(idx < gsnp::core::counting::SITE_CELLS);

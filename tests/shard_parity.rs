@@ -17,6 +17,11 @@ fn cfg(pipeline_depth: usize, num_devices: usize) -> GsnpConfig {
         window_size: 700,
         pipeline_depth,
         num_devices,
+        // Pin the launch-batch size so runs at different depths batch the
+        // same windows together — the counter sum-invariance below needs
+        // identical batch compositions (byte-identity does not; see
+        // tests/batch_parity.rs for the cross-batch-size guarantee).
+        launch_batch: 2,
         ..Default::default()
     }
 }
