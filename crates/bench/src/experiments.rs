@@ -1515,6 +1515,141 @@ shape applied to GSNP's window loop.
     )
 }
 
+// ---------------------------------------------------------------------
+// Extension — pluggable compute backends (sim vs native vs auto)
+// ---------------------------------------------------------------------
+
+/// Extension: the compute-backend sweep. The launch_batching workload
+/// (many quarter-size windows, GPU output on the measured path) runs once
+/// per [`gpu_sim::BackendChoice`]; the report records end-to-end pipeline
+/// wall clock (best of N), the per-backend launch tallies, and the Auto
+/// dispatcher's decisions, asserts byte-identity across backends, asserts
+/// the ≥2x native-over-sim wall-clock win at recorded scales, and emits
+/// `BENCH_native_backend.json` so the perf trajectory is recorded.
+pub fn native_backend(scale: f64) -> String {
+    use gpu_sim::{BackendChoice, BackendTallies};
+    // Wall-clock comparison needs runs long enough to swamp fixed host
+    // costs (table setup, window bring-up), so this experiment runs the
+    // launch_batching workload at 10x the harness scale — same shape,
+    // more windows.
+    let d = ch1(scale * 10.0);
+    let cfg = |backend: BackendChoice| GsnpConfig {
+        // The launch_batching workload: quarter-size windows so the run
+        // spans many launches, with the scan/RLE/DICT output chain on the
+        // measured path. Serial loop — the backends differ only in how a
+        // launch executes, so the single-threaded loop isolates that.
+        window_size: scaled_window(64_000, scale * 10.0),
+        gpu_output: true,
+        backend,
+        ..Default::default()
+    };
+    const REPS: usize = 3;
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut sim_wall = f64::NAN;
+    let mut native_wall = f64::NAN;
+    let mut baseline: Option<Vec<u8>> = None;
+    for choice in [
+        BackendChoice::Sim,
+        BackendChoice::Native,
+        BackendChoice::Auto,
+    ] {
+        let mut wall = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let out = GsnpPipeline::new(cfg(choice)).run(&d.reads, &d.reference, &d.priors);
+            wall = wall.min(t0.elapsed().as_secs_f64());
+            last = Some(out);
+        }
+        let out = last.expect("ran");
+        match &baseline {
+            None => baseline = Some(out.compressed.clone()),
+            Some(bytes) => assert_eq!(
+                &out.compressed,
+                bytes,
+                "{} output diverged from sim",
+                choice.name()
+            ),
+        }
+        let mut tallies = BackendTallies::default();
+        for led in &out.stats.ledgers {
+            tallies.sum(&led.backend);
+        }
+        match choice {
+            BackendChoice::Sim => sim_wall = wall,
+            BackendChoice::Native => native_wall = wall,
+            BackendChoice::Auto => {}
+        }
+        rows.push(vec![
+            choice.name().into(),
+            secs(wall),
+            ratio(sim_wall / wall),
+            format!("{}", tallies.sim),
+            format!("{}", tallies.native),
+            format!("{}/{}", tallies.auto_sim, tallies.auto_native),
+        ]);
+        json_rows.push(format!(
+            "    {{\"backend\": \"{}\", \"wall_seconds\": {wall:.6}, \"speedup_vs_sim\": {:.4}, \"sim_launches\": {}, \"native_launches\": {}, \"auto_decisions_sim\": {}, \"auto_decisions_native\": {}}}",
+            choice.name(),
+            sim_wall / wall,
+            tallies.sim,
+            tallies.native,
+            tallies.auto_sim,
+            tallies.auto_native
+        ));
+    }
+    let speedup = sim_wall / native_wall;
+    // Below recorded scale the windows are a few hundred sites and fixed
+    // host costs dominate both backends; the ≥2x bar is asserted where it
+    // is recorded. (Recorded margin on a single-core host is ~2.1x — the
+    // rayon block fan-out contributes nothing there; multi-core hosts
+    // only widen it.)
+    if scale >= 0.01 {
+        assert!(
+            speedup >= 2.0,
+            "native backend must be >=2x faster than sim end-to-end (got {speedup:.2}x)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"native_backend\",\n  \"scale\": {scale},\n  \"native_speedup_vs_sim\": {speedup:.4},\n  \"byte_identical\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let json_note = match std::fs::write("BENCH_native_backend.json", &json) {
+        Ok(()) => "Summary written to BENCH_native_backend.json.".to_string(),
+        Err(e) => format!("(BENCH_native_backend.json not written: {e})"),
+    };
+
+    format!(
+        "Extension — compute backends on the launch_batching workload, Ch.1 (scale {scale}; best of {REPS})
+{}
+Native backend end-to-end speedup over the instrumented simulator:
+{speedup:.2}x (output byte-identical across all three backends, asserted
+above). {json_note}
+Paper shape: the simulator pays per-access bookkeeping (counters, cost
+model, shared-memory shadowing) on every word a kernel touches — the
+instrumentation that reproduces Table III. The native backend runs the
+same kernel bodies over the same buffers with none of it (rayon across
+blocks, plain loads/stores inside), so results stay bit-identical while
+wall clock drops; Auto picks per launch, falling back to sim whenever a
+launch needs sim-only observability.
+",
+        table(
+            &[
+                "backend",
+                "pipeline wall",
+                "vs sim",
+                "sim launches",
+                "native launches",
+                "auto sim/native",
+            ],
+            &rows
+        )
+    )
+}
+
 /// One registered experiment: `(name, description, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(f64) -> String);
 
@@ -1567,6 +1702,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "EXT: mega-batched launch sweep (launches/site)",
             launch_batching,
         ),
+        (
+            "native_backend",
+            "EXT: sim vs native vs auto compute backends",
+            native_backend,
+        ),
     ]
 }
 
@@ -1606,6 +1746,19 @@ mod tests {
     }
 
     #[test]
+    fn native_backend_stays_byte_identical() {
+        // The runner asserts byte-identity across sim/native/auto on every
+        // run; the >=2x wall-clock bar is only enforced at recorded scales
+        // (fixed host costs dominate tiny windows). Drop the JSON
+        // side-product — recorded summaries come from `reproduce`.
+        let report = native_backend(TEST_SCALE);
+        let _ = std::fs::remove_file("BENCH_native_backend.json");
+        assert!(report.contains("byte-identical"));
+        assert!(report.contains("native"));
+        assert!(report.contains("auto"));
+    }
+
+    #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<_> = all_experiments().iter().map(|(n, _, _)| *n).collect();
         // Every table and figure of the paper's evaluation is present.
@@ -1628,6 +1781,7 @@ mod tests {
             "pipeline_overlap",
             "scaling",
             "launch_batching",
+            "native_backend",
         ] {
             assert!(names.contains(&required), "{required} missing");
         }

@@ -326,8 +326,8 @@ pub fn decompress_table(bytes: &[u8]) -> Result<SnpTable, CodecError> {
 /// simulated device (§V-B: "We only implement RLE-DICT compression on the
 /// GPU for six quality related columns, which is more expensive than our
 /// other compression algorithms"). Byte-identical to [`compress_table`].
-pub fn compress_table_gpu(
-    dev: &gpu_sim::Device,
+pub fn compress_table_gpu<B: gpu_sim::ComputeBackend>(
+    dev: &B,
     table: &SnpTable,
 ) -> (Vec<u8>, gpu_sim::LaunchStats) {
     let mut out = Vec::new();
@@ -336,8 +336,8 @@ pub fn compress_table_gpu(
 }
 
 /// [`compress_table_gpu`], appending to an existing buffer.
-pub fn compress_table_gpu_into(
-    dev: &gpu_sim::Device,
+pub fn compress_table_gpu_into<B: gpu_sim::ComputeBackend>(
+    dev: &B,
     table: &SnpTable,
     out: &mut Vec<u8>,
 ) -> gpu_sim::LaunchStats {
@@ -385,8 +385,8 @@ pub fn write_window(out: &mut Vec<u8>, table: &SnpTable) {
 }
 
 /// Append one compressed window, running RLE-DICT columns on the device.
-pub fn write_window_gpu(
-    dev: &gpu_sim::Device,
+pub fn write_window_gpu<B: gpu_sim::ComputeBackend>(
+    dev: &B,
     out: &mut Vec<u8>,
     table: &SnpTable,
 ) -> gpu_sim::LaunchStats {
@@ -402,8 +402,8 @@ pub fn write_window_gpu(
 /// 18 device launches instead of ~18 per column per window. The emitted
 /// bytes are identical, frame for frame, to calling [`write_window_gpu`]
 /// on each table in order.
-pub fn write_windows_gpu_batch(
-    dev: &gpu_sim::Device,
+pub fn write_windows_gpu_batch<B: gpu_sim::ComputeBackend>(
+    dev: &B,
     out: &mut Vec<u8>,
     tables: &[SnpTable],
 ) -> gpu_sim::LaunchStats {

@@ -8,14 +8,17 @@
 //! [`crate::rledict`] codec, so either path can decode the other's stream.
 
 use gpu_sim::primitives::{binary_search_indices, exclusive_scan, unique_sorted, BLOCK};
-use gpu_sim::{Device, GlobalBuffer, LaunchStats};
+use gpu_sim::{ComputeBackend, GlobalBuffer, LaunchStats};
 
 use crate::bitio::BitWriter;
 use crate::dict;
 
 /// Run-length encode on the device: returns `(values, lengths)` plus the
 /// accumulated launch statistics.
-pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, LaunchStats) {
+pub fn rle_gpu<B: ComputeBackend>(
+    dev: &B,
+    input: &GlobalBuffer<u32>,
+) -> (Vec<u32>, Vec<u32>, LaunchStats) {
     let n = input.len();
     // No n == 0 guard: an empty column yields zero-dim grids throughout,
     // which the device treats as launch-free no-ops.
@@ -25,7 +28,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     // before they are read, so dirty pooled acquisitions are safe.
     let flags = dev.alloc_pooled_dirty::<u32>(n);
     let mut stats = dev.launch("rle_flags", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let v = ctx.ld_co(input, i);
@@ -47,7 +50,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     let values = dev.alloc_pooled_dirty::<u32>(num_runs);
     let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
     stats += dev.launch("rle_scatter", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             if ctx.ld_co(&flags, i) == 1 {
@@ -63,7 +66,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
     let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
     let run_grid = num_runs.div_ceil(BLOCK);
     stats += dev.launch("rle_lengths", run_grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(num_runs);
         for i in base..end {
             let s = ctx.ld_co(&starts, i);
@@ -82,7 +85,7 @@ pub fn rle_gpu(dev: &Device, input: &GlobalBuffer<u32>) -> (Vec<u32>, Vec<u32>, 
 /// Dictionary-encode a column on the device (sort+unique dictionary,
 /// parallel binary-search indices, host-side bit packing), byte-identical
 /// to [`crate::dict::encode`].
-pub fn dict_gpu(dev: &Device, data: &[u32], w: &mut BitWriter) -> LaunchStats {
+pub fn dict_gpu<B: ComputeBackend>(dev: &B, data: &[u32], w: &mut BitWriter) -> LaunchStats {
     if data.is_empty() {
         dict::encode(data, w);
         return LaunchStats::default();
@@ -105,7 +108,7 @@ pub fn dict_gpu(dev: &Device, data: &[u32], w: &mut BitWriter) -> LaunchStats {
 
 /// Full RLE-DICT on the device; output is byte-identical to
 /// [`crate::rledict::encode_to_vec`].
-pub fn rledict_gpu(dev: &Device, data: &[u32]) -> (Vec<u8>, LaunchStats) {
+pub fn rledict_gpu<B: ComputeBackend>(dev: &B, data: &[u32]) -> (Vec<u8>, LaunchStats) {
     let input = dev.upload_pooled(data);
     let (values, lengths, mut stats) = rle_gpu(dev, &input);
     let mut w = BitWriter::new();
@@ -123,7 +126,10 @@ pub fn rledict_gpu(dev: &Device, data: &[u32]) -> (Vec<u8>, LaunchStats) {
 /// ~18 *per column* for repeated [`rledict_gpu`] calls. Each returned byte
 /// vector is identical to [`rledict_gpu`] (and therefore to
 /// [`crate::rledict::encode_to_vec`]) on that segment alone.
-pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, LaunchStats) {
+pub fn rledict_gpu_batch<B: ComputeBackend>(
+    dev: &B,
+    segments: &[&[u32]],
+) -> (Vec<Vec<u8>>, LaunchStats) {
     let num_segs = segments.len();
     let n: usize = segments.iter().map(|s| s.len()).sum();
     let mut concat = Vec::with_capacity(n);
@@ -147,7 +153,7 @@ pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, La
     // the `i - 1` load below is never reached at i == 0.
     let flags = dev.alloc_pooled_dirty::<u32>(n);
     let mut stats = dev.launch("rle_flags", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let v = ctx.ld_co(&input, i);
@@ -168,7 +174,7 @@ pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, La
     let values = dev.alloc_pooled_dirty::<u32>(num_runs);
     let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
     stats += dev.launch("rle_scatter", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             if ctx.ld_co(&flags, i) == 1 {
@@ -186,7 +192,7 @@ pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, La
     let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
     let run_grid = num_runs.div_ceil(BLOCK);
     stats += dev.launch("rle_lengths", run_grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(num_runs);
         for i in base..end {
             let s = ctx.ld_co(&starts, i);
@@ -228,8 +234,8 @@ pub fn rledict_gpu_batch(dev: &Device, segments: &[&[u32]]) -> (Vec<Vec<u8>>, La
 ///
 /// `data` holds the segments concatenated; segment `j` occupies
 /// `run_off[j]..run_off[j + 1]`.
-fn dict_gpu_segmented(
-    dev: &Device,
+fn dict_gpu_segmented<B: ComputeBackend>(
+    dev: &B,
     data: &[u32],
     run_off: &[usize],
     writers: &mut [BitWriter],
@@ -258,7 +264,7 @@ fn dict_gpu_segmented(
     let grid = n.div_ceil(BLOCK);
     let flags = dev.alloc_pooled_dirty::<u32>(n);
     let mut stats = dev.launch("unique_flags", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let v = ctx.ld_co(&sorted_buf, i);
@@ -278,7 +284,7 @@ fn dict_gpu_segmented(
     let dict_total = dict_total as usize;
     let dict_buf = dev.alloc_pooled_dirty::<u32>(dict_total);
     stats += dev.launch("unique_scatter", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             if ctx.ld_co(&flags, i) == 1 {
@@ -311,7 +317,7 @@ fn dict_gpu_segmented(
     let queries = dev.upload_pooled(data);
     let indices = dev.alloc_pooled_dirty::<u32>(n);
     stats += dev.launch("binary_search", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let q = ctx.ld_co(&queries, i);
@@ -351,6 +357,7 @@ fn dict_gpu_segmented(
 mod tests {
     use super::*;
     use crate::{rle, rledict};
+    use gpu_sim::Device;
     use proptest::prelude::*;
 
     #[test]

@@ -1,0 +1,1163 @@
+//! Pluggable compute backends.
+//!
+//! Every GSNP kernel is written against [`KernelCtx`], a thin dispatch
+//! layer over two execution engines:
+//!
+//! * [`SimBackend`] — the instrumented simulator. Kernels run through
+//!   [`BlockCtx`] exactly as before: every access is tallied into the
+//!   Table III hardware counters, the analytic cost model prices the
+//!   launch, and the sanitizer/trace layers see everything. A bare
+//!   [`Device`] *is* a sim backend (the trait is implemented on it
+//!   directly), so existing call sites keep working unchanged.
+//! * [`NativeBackend`] — the same kernels executed for real wall-clock
+//!   speed: rayon-parallel outer loops over blocks, typed contiguous
+//!   shared tiles the compiler can auto-vectorize, and none of the
+//!   simulator's per-access bookkeeping. Results are bit-identical —
+//!   both arms run the same kernel bodies over the same buffers with the
+//!   same log tables — but the returned [`LaunchStats`] carry **zero**
+//!   hardware counters and zero modelled time: those are sim-only
+//!   observables, and the backend refuses outright (see
+//!   [`BackendError`]) when the device has sim-only features attached
+//!   rather than silently reporting zeros.
+//! * [`BackendDispatcher`] — picks one of the two per launch. With
+//!   [`BackendChoice::Auto`] the decision comes from the launch's grid
+//!   size against a calibrated GPU-worthwhile threshold
+//!   ([`AutoPolicy::gpu_min_blocks`]): big grids amortize the simulator's
+//!   parallel scheduling (and are what the cost model exists to price),
+//!   tiny grids run native. Every decision is tallied on the
+//!   [`crate::DeviceLedger`] ([`BackendTallies`]) and, when a trace is
+//!   attached, recorded as a `dispatch_sim`/`dispatch_native` instant on
+//!   the device's kernel track.
+//!
+//! The CUDA analogy: `SimBackend` is the driver-API path that launches
+//! real kernels on the GPU (with profiler instrumentation enabled), while
+//! `NativeBackend` is the host fallback a production caller dispatches to
+//! when the workload is too small to be worth a PCIe round-trip.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
+use crate::config::DeviceConfig;
+use crate::counters::LaunchStats;
+use crate::ctx::{scratch_put, scratch_take, BlockCtx, SharedMem};
+use crate::launch::Device;
+use crate::pool::PooledBuffer;
+
+/// Which compute backend executes kernel launches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The instrumented simulator: hardware counters, cost model,
+    /// sanitizer, trace. The default — and the source of truth for every
+    /// recorded Table III number.
+    #[default]
+    Sim,
+    /// The native rayon executor: bit-identical outputs, real wall-clock
+    /// speed, no per-access instrumentation.
+    Native,
+    /// Pick per launch from the workload size (see [`AutoPolicy`]).
+    Auto,
+}
+
+impl BackendChoice {
+    /// Parse a CLI-style name (`sim` | `native` | `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(BackendChoice::Sim),
+            "native" => Some(BackendChoice::Native),
+            "auto" => Some(BackendChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`sim` | `native` | `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Sim => "sim",
+            BackendChoice::Native => "native",
+            BackendChoice::Auto => "auto",
+        }
+    }
+}
+
+/// Why a backend refused a device configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The device has a sanitizer attached. The shadow-state checkers hook
+    /// the simulator's access paths; the native executor performs raw
+    /// buffer operations the sanitizer never sees, so running it would
+    /// silently disable checking.
+    SanitizerRequiresSim,
+    /// The device has a trace recorder attached. Kernel spans carry
+    /// per-launch hardware counters and modelled compute/memory splits —
+    /// sim-only observables the native executor cannot produce (and must
+    /// not fake with zeros).
+    TraceRequiresSim,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::SanitizerRequiresSim => write!(
+                f,
+                "the native backend cannot run sanitized configs: the sanitizer's \
+                 shadow-state checks hook the simulator's instrumented access paths \
+                 (use --backend sim, or disable sanitize)"
+            ),
+            BackendError::TraceRequiresSim => write!(
+                f,
+                "the native backend cannot run traced configs: kernel trace spans \
+                 carry sim-only hardware counters and modelled times (use --backend \
+                 sim or auto, or disable tracing)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Refuse sim-only device features for native execution.
+fn validate_native(dev: &Device) -> Result<(), BackendError> {
+    if dev.sanitizer_enabled() {
+        return Err(BackendError::SanitizerRequiresSim);
+    }
+    if dev.trace_enabled() {
+        return Err(BackendError::TraceRequiresSim);
+    }
+    Ok(())
+}
+
+/// Per-backend launch and dispatch-decision tallies, kept on the
+/// [`crate::DeviceLedger`]. `sim + native` always equals the ledger's
+/// `launches`; the `auto_*` fields count only launches routed by an
+/// [`BackendChoice::Auto`] dispatcher (each such launch also lands in
+/// `sim` or `native`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BackendTallies {
+    /// Launches executed by the instrumented simulator.
+    pub sim: u64,
+    /// Launches executed by the native rayon executor.
+    pub native: u64,
+    /// Auto-dispatch decisions that picked the simulator.
+    pub auto_sim: u64,
+    /// Auto-dispatch decisions that picked the native executor.
+    pub auto_native: u64,
+}
+
+impl BackendTallies {
+    /// Accumulate another tally set into this one (group summation).
+    pub fn sum(&mut self, other: &BackendTallies) {
+        self.sim += other.sim;
+        self.native += other.native;
+        self.auto_sim += other.auto_sim;
+        self.auto_native += other.auto_native;
+    }
+}
+
+/// Native per-block execution state: the uninstrumented counterpart of
+/// [`BlockCtx`]. Holds just the grid coordinates and the shared-memory
+/// budget (still enforced, so a kernel that over-allocates fails the same
+/// way on both backends).
+pub struct NativeCtx<'a> {
+    block_idx: usize,
+    grid_dim: usize,
+    cfg: &'a DeviceConfig,
+    shared_used: usize,
+}
+
+impl<'a> NativeCtx<'a> {
+    fn new(block_idx: usize, grid_dim: usize, cfg: &'a DeviceConfig) -> Self {
+        NativeCtx {
+            block_idx,
+            grid_dim,
+            cfg,
+            shared_used: 0,
+        }
+    }
+
+    fn shared_alloc<T: DeviceScalar>(&mut self, len: usize) -> NativeTile<T> {
+        let bytes = len * T::BYTES as usize;
+        let new_used = self.shared_used + bytes;
+        assert!(
+            new_used <= self.cfg.shared_mem_per_block,
+            "shared memory overflow: {} + {} bytes > {} available on {}",
+            self.shared_used,
+            bytes,
+            self.cfg.shared_mem_per_block,
+            self.cfg.name
+        );
+        self.shared_used = new_used;
+        // Same thread-local scratch pool the simulator tiles use: shared
+        // memory is hardware, so per-block tile allocation must not turn
+        // into per-block heap churn (at large grids the churn costs more
+        // than the simulator's bookkeeping does).
+        let mut data = scratch_take();
+        data.clear();
+        data.resize(len, 0);
+        NativeTile {
+            data,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn shared_free_bytes(&mut self, bytes: usize) {
+        self.shared_used = self.shared_used.saturating_sub(bytes);
+    }
+}
+
+/// Execution context handed to a kernel body, one per block: either the
+/// instrumented simulator's [`BlockCtx`] or a bare-metal [`NativeCtx`].
+///
+/// The method set mirrors [`BlockCtx`] exactly (same names, same
+/// semantics), so kernels written against `KernelCtx` read identically to
+/// their simulator-only ancestors; the sim arm delegates access-for-access
+/// — counter sequences are byte-identical by construction — while the
+/// native arm performs the raw buffer operation and nothing else.
+pub enum KernelCtx<'a, 'b> {
+    /// Instrumented simulator block.
+    Sim(&'a mut BlockCtx<'b>),
+    /// Native executor block.
+    Native(&'a mut NativeCtx<'b>),
+}
+
+impl KernelCtx<'_, '_> {
+    /// Index of this block within the launch grid.
+    #[inline(always)]
+    pub fn block_idx(&self) -> usize {
+        match self {
+            KernelCtx::Sim(c) => c.block_idx,
+            KernelCtx::Native(c) => c.block_idx,
+        }
+    }
+
+    /// Total number of blocks in the launch grid.
+    #[inline(always)]
+    pub fn grid_dim(&self) -> usize {
+        match self {
+            KernelCtx::Sim(c) => c.grid_dim,
+            KernelCtx::Native(c) => c.grid_dim,
+        }
+    }
+
+    /// Device configuration this block runs under.
+    pub fn config(&self) -> &DeviceConfig {
+        match self {
+            KernelCtx::Sim(c) => c.config(),
+            KernelCtx::Native(c) => c.cfg,
+        }
+    }
+
+    /// Whether this block executes on the native backend. Kernels with a
+    /// hand-tuned host implementation branch on this to run plain chunked
+    /// loops over [`GlobalBuffer`] spans instead of per-access `KernelCtx`
+    /// ops — the CPU analogue of a CUDA kernel with an optimized fallback
+    /// path. The instrumented arm must stay the semantic reference: the
+    /// native arm's output is required to be byte-identical.
+    #[inline(always)]
+    pub fn is_native(&self) -> bool {
+        matches!(self, KernelCtx::Native(_))
+    }
+
+    /// Record `n` scalar arithmetic/control instructions (sim-only tally;
+    /// a native block does no accounting).
+    #[inline(always)]
+    pub fn add_inst(&mut self, n: u64) {
+        if let KernelCtx::Sim(c) = self {
+            c.add_inst(n);
+        }
+    }
+
+    /// Coalesced global load.
+    #[inline(always)]
+    pub fn ld_co<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize) -> T {
+        match self {
+            KernelCtx::Sim(c) => c.ld_co(buf, i),
+            KernelCtx::Native(_) => buf.get(i),
+        }
+    }
+
+    /// Random (non-coalesced) global load.
+    #[inline(always)]
+    pub fn ld_rand<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize) -> T {
+        match self {
+            KernelCtx::Sim(c) => c.ld_rand(buf, i),
+            KernelCtx::Native(_) => buf.get(i),
+        }
+    }
+
+    /// Batched random global load of `out.len()` consecutive elements.
+    #[inline]
+    pub fn ld_rand_span<T: DeviceScalar>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        start: usize,
+        out: &mut [T],
+    ) {
+        match self {
+            KernelCtx::Sim(c) => c.ld_rand_span(buf, start, out),
+            KernelCtx::Native(_) => buf.read_span_plain(start, out),
+        }
+    }
+
+    /// Batched random global read-modify-write:
+    /// `buf[start + n] += terms[n]` for each `n`.
+    #[inline]
+    pub fn add_rand_span(&mut self, buf: &GlobalBuffer<f64>, start: usize, terms: &[f64]) {
+        match self {
+            KernelCtx::Sim(c) => c.add_rand_span(buf, start, terms),
+            KernelCtx::Native(_) => buf.add_assign_span_plain(start, terms),
+        }
+    }
+
+    /// Coalesced global store.
+    #[inline(always)]
+    pub fn st_co<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
+        match self {
+            KernelCtx::Sim(c) => c.st_co(buf, i, v),
+            KernelCtx::Native(_) => buf.set(i, v),
+        }
+    }
+
+    /// Random (non-coalesced) global store.
+    #[inline(always)]
+    pub fn st_rand<T: DeviceScalar>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
+        match self {
+            KernelCtx::Sim(c) => c.st_rand(buf, i, v),
+            KernelCtx::Native(_) => buf.set(i, v),
+        }
+    }
+
+    /// Atomic add on global memory; returns the previous value.
+    #[inline(always)]
+    pub fn atomic_add<T: DeviceInt>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) -> T {
+        match self {
+            KernelCtx::Sim(c) => c.atomic_add(buf, i, v),
+            KernelCtx::Native(_) => T::fetch_add(buf.cell(i), v),
+        }
+    }
+
+    /// Constant-memory read.
+    #[inline(always)]
+    pub fn ld_const<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        buf: &ConstBuffer<T>,
+        i: usize,
+    ) -> T {
+        match self {
+            KernelCtx::Sim(c) => c.ld_const(buf, i),
+            KernelCtx::Native(_) => buf.get(i),
+        }
+    }
+
+    /// Allocate `len` elements of per-block shared memory.
+    ///
+    /// # Panics
+    /// Panics (on both backends, with the same message) if the block's
+    /// cumulative shared allocation exceeds `shared_mem_per_block`.
+    pub fn shared_alloc<T: DeviceScalar>(&mut self, len: usize) -> SharedTile<T> {
+        match self {
+            KernelCtx::Sim(c) => SharedTile::Sim(c.shared_alloc(len)),
+            KernelCtx::Native(c) => SharedTile::Native(c.shared_alloc(len)),
+        }
+    }
+
+    /// Release a shared allocation, returning its bytes to the block
+    /// budget.
+    pub fn shared_free<T: DeviceScalar>(&mut self, tile: SharedTile<T>) {
+        match (self, tile) {
+            (KernelCtx::Sim(c), SharedTile::Sim(m)) => c.shared_free(m),
+            (KernelCtx::Native(c), SharedTile::Native(v)) => {
+                c.shared_free_bytes(v.data.len() * T::BYTES as usize);
+            }
+            _ => panic!("shared tile freed on a different backend than allocated it"),
+        }
+    }
+}
+
+/// Per-block on-chip shared memory, backend-polymorphic: the simulator's
+/// counted [`SharedMem`] or the uncounted [`NativeTile`]. Method set
+/// mirrors [`SharedMem`].
+pub enum SharedTile<T: DeviceScalar> {
+    /// Simulator tile (counted, sanitizer-shadowed, scratch-pooled).
+    Sim(SharedMem<T>),
+    /// Native tile: contiguous storage, no bookkeeping.
+    Native(NativeTile<T>),
+}
+
+/// The native executor's shared-memory tile: raw `u64` lanes from the
+/// same thread-local scratch pool [`SharedMem`] recycles through, with no
+/// per-access counting. Raw lanes share the [`GlobalBuffer`] cell
+/// encoding, so stage-in/flush are straight lane copies with no
+/// decode/encode on the way through.
+pub struct NativeTile<T: DeviceScalar> {
+    data: Vec<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: DeviceScalar> Drop for NativeTile<T> {
+    fn drop(&mut self) {
+        scratch_put(std::mem::take(&mut self.data));
+    }
+}
+
+/// Internal: unreachable unless a tile crosses backends mid-kernel.
+macro_rules! tile_mismatch {
+    () => {
+        panic!("shared tile used with a different backend than allocated it")
+    };
+}
+
+impl<T: DeviceScalar> SharedTile<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SharedTile::Sim(m) => m.len(),
+            SharedTile::Native(v) => v.data.len(),
+        }
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared-memory load.
+    #[inline(always)]
+    pub fn read(&self, ctx: &mut KernelCtx<'_, '_>, i: usize) -> T {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.read(b, i),
+            (SharedTile::Native(v), KernelCtx::Native(_)) => T::from_raw(v.data[i]),
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Shared-memory store.
+    #[inline(always)]
+    pub fn write(&mut self, ctx: &mut KernelCtx<'_, '_>, i: usize, v: T) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.write(b, i, v),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => t.data[i] = v.to_raw(),
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Zero the allocation.
+    pub fn fill_default(&mut self, ctx: &mut KernelCtx<'_, '_>) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.fill_default(b),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => t.data.fill(T::default().to_raw()),
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Batched stage-in: copy `len` consecutive global elements starting
+    /// at `src` into the tile starting at `dst`.
+    #[inline]
+    pub fn stage_co(
+        &mut self,
+        ctx: &mut KernelCtx<'_, '_>,
+        buf: &GlobalBuffer<T>,
+        src: usize,
+        dst: usize,
+        len: usize,
+    ) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.stage_co(b, buf, src, dst, len),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => {
+                buf.copy_lanes_into(src, &mut t.data[dst..dst + len]);
+            }
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Batched flush: write `len` tile elements starting at `src` back to
+    /// consecutive global addresses starting at `dst`.
+    #[inline]
+    pub fn flush_co(
+        &self,
+        ctx: &mut KernelCtx<'_, '_>,
+        buf: &GlobalBuffer<T>,
+        src: usize,
+        dst: usize,
+        len: usize,
+    ) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.flush_co(b, buf, src, dst, len),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => {
+                buf.copy_lanes_from(dst, &t.data[src..src + len]);
+            }
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Batched fill of `start..end` with one value.
+    #[inline]
+    pub fn fill_span(&mut self, ctx: &mut KernelCtx<'_, '_>, start: usize, end: usize, v: T) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.fill_span(b, start, end, v),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => t.data[start..end].fill(v.to_raw()),
+            _ => tile_mismatch!(),
+        }
+    }
+}
+
+impl SharedTile<u32> {
+    /// Bitonic compare-exchange: load both lanes, swap if out of order.
+    #[inline]
+    pub fn compare_exchange(&mut self, ctx: &mut KernelCtx<'_, '_>, lo: usize, hi: usize) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.compare_exchange(b, lo, hi),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => {
+                // u32 lanes are zero-extended, so raw lane order is key
+                // order.
+                if t.data[lo] > t.data[hi] {
+                    t.data.swap(lo, hi);
+                }
+            }
+            _ => tile_mismatch!(),
+        }
+    }
+
+    /// Replay a caller-supplied compare-exchange *sorting network* over
+    /// `self[0..m]`.
+    ///
+    /// `network` must enumerate the pair sequence of a sorting network for
+    /// `m` elements (e.g. the bitonic network): applying compare-exchange
+    /// at every enumerated pair must leave `self[0..m]` sorted ascending.
+    /// The simulator replays the network pair by pair — one instruction
+    /// plus one fused compare-exchange per pair, exactly as if the kernel
+    /// body issued them itself — so Table III counters are unchanged. The
+    /// native executor instead sorts the raw lanes directly: for `u32`
+    /// keys every comparison sort yields the same bytes as the network,
+    /// and skipping the O(n·log²n) pair replay is most of the native
+    /// batch-sort win.
+    pub fn sort_network<F>(&mut self, ctx: &mut KernelCtx<'_, '_>, m: usize, network: F)
+    where
+        F: Fn(&mut dyn FnMut(usize, usize)),
+    {
+        match (self, ctx) {
+            (SharedTile::Sim(t), KernelCtx::Sim(b)) => network(&mut |lo, hi| {
+                b.add_inst(1);
+                t.compare_exchange(b, lo, hi);
+            }),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => t.data[..m].sort_unstable(),
+            _ => tile_mismatch!(),
+        }
+    }
+}
+
+impl SharedTile<f64> {
+    /// Batched accumulate: `self[start + n] += terms[n]` for each `n`.
+    #[inline]
+    pub fn add_span(&mut self, ctx: &mut KernelCtx<'_, '_>, start: usize, terms: &[f64]) {
+        match (self, ctx) {
+            (SharedTile::Sim(m), KernelCtx::Sim(b)) => m.add_span(b, start, terms),
+            (SharedTile::Native(t), KernelCtx::Native(_)) => {
+                for (lane, &v) in t.data[start..start + terms.len()].iter_mut().zip(terms) {
+                    *lane = (f64::from_bits(*lane) + v).to_bits();
+                }
+            }
+            _ => tile_mismatch!(),
+        }
+    }
+}
+
+/// A kernel execution engine over one [`Device`]'s memory.
+///
+/// Buffers, transfers, and pools stay on the device — both backends read
+/// and write the same [`GlobalBuffer`] cells, which is what makes their
+/// outputs bit-identical — so the trait only abstracts *kernel
+/// execution*, and forwards the allocation/transfer surface to
+/// [`ComputeBackend::device`].
+pub trait ComputeBackend: Sync {
+    /// The device whose memory this backend executes against.
+    fn device(&self) -> &Device;
+
+    /// Launch `grid_dim` blocks of the kernel; blocks may run in parallel.
+    fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync;
+
+    /// Launch a kernel sequentially (block `0..grid_dim` in order, one
+    /// host thread); the closure may mutate captured host state.
+    fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut KernelCtx<'_, '_>);
+
+    /// Device configuration (forwarded).
+    fn config(&self) -> &DeviceConfig {
+        self.device().config()
+    }
+
+    /// Allocate a zeroed global buffer (forwarded).
+    fn alloc<T: DeviceScalar>(&self, len: usize) -> GlobalBuffer<T> {
+        self.device().alloc(len)
+    }
+
+    /// Allocate a zeroed pooled buffer (forwarded).
+    fn alloc_pooled<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
+        self.device().alloc_pooled(len)
+    }
+
+    /// Allocate a pooled buffer without zeroing recycled contents
+    /// (forwarded; the caller must write every element before reading).
+    fn alloc_pooled_dirty<T: DeviceScalar>(&self, len: usize) -> PooledBuffer<T> {
+        self.device().alloc_pooled_dirty(len)
+    }
+
+    /// Upload host data into a new global buffer (forwarded).
+    fn upload<T: DeviceScalar>(&self, data: &[T]) -> GlobalBuffer<T> {
+        self.device().upload(data)
+    }
+
+    /// Upload host data into a pooled buffer (forwarded).
+    fn upload_pooled<T: DeviceScalar>(&self, data: &[T]) -> PooledBuffer<T> {
+        self.device().upload_pooled(data)
+    }
+
+    /// Upload into constant memory (forwarded; capacity-checked).
+    fn upload_const<T: Copy + Send + Sync + 'static>(&self, data: &[T]) -> ConstBuffer<T> {
+        self.device().upload_const(data)
+    }
+
+    /// Download a buffer to the host (forwarded).
+    fn download<T: DeviceScalar>(&self, buf: &GlobalBuffer<T>) -> Vec<T> {
+        self.device().download(buf)
+    }
+
+    /// Account an explicit host→device transfer (forwarded).
+    fn charge_h2d(&self, stats: &mut LaunchStats, bytes: u64) {
+        self.device().charge_h2d(stats, bytes);
+    }
+
+    /// Account an explicit device→host transfer (forwarded).
+    fn charge_d2h(&self, stats: &mut LaunchStats, bytes: u64) {
+        self.device().charge_d2h(stats, bytes);
+    }
+}
+
+/// Run a launch on the instrumented simulator.
+fn sim_launch<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+where
+    F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+{
+    dev.launch(name, grid_dim, |bctx| kernel(&mut KernelCtx::Sim(bctx)))
+}
+
+/// Run a sequential launch on the instrumented simulator.
+fn sim_launch_seq<F>(dev: &Device, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
+where
+    F: FnMut(&mut KernelCtx<'_, '_>),
+{
+    dev.launch_seq(name, grid_dim, |bctx| kernel(&mut KernelCtx::Sim(bctx)))
+}
+
+/// Below this grid size a native launch runs its blocks inline: rayon's
+/// task overhead would dwarf a couple of blocks' work.
+const NATIVE_PAR_MIN_GRID: usize = 4;
+
+/// Run a launch on the native executor: rayon over blocks, no
+/// instrumentation. Returns wall-clock only — counters and modelled time
+/// are sim-only observables and stay zero.
+fn native_launch<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+where
+    F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+{
+    // Zero-grid launches are device-wide no-ops on every backend.
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    let cfg = dev.config();
+    let start = Instant::now();
+    let run_block = |b: usize| {
+        let mut nctx = NativeCtx::new(b, grid_dim, cfg);
+        kernel(&mut KernelCtx::Native(&mut nctx));
+    };
+    if grid_dim < NATIVE_PAR_MIN_GRID {
+        (0..grid_dim).for_each(run_block);
+    } else {
+        (0..grid_dim).into_par_iter().for_each(run_block);
+    }
+    let stats = LaunchStats {
+        wall_time: start.elapsed().as_secs_f64(),
+        grid_dim,
+        ..Default::default()
+    };
+    dev.record_native_launch(name, &stats);
+    stats
+}
+
+/// Run a sequential launch on the native executor.
+fn native_launch_seq<F>(dev: &Device, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
+where
+    F: FnMut(&mut KernelCtx<'_, '_>),
+{
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    let cfg = dev.config();
+    let start = Instant::now();
+    for b in 0..grid_dim {
+        let mut nctx = NativeCtx::new(b, grid_dim, cfg);
+        kernel(&mut KernelCtx::Native(&mut nctx));
+    }
+    let stats = LaunchStats {
+        wall_time: start.elapsed().as_secs_f64(),
+        grid_dim,
+        ..Default::default()
+    };
+    dev.record_native_launch(name, &stats);
+    stats
+}
+
+/// A bare [`Device`] is the sim backend: existing call sites that pass
+/// `&Device` into backend-generic code get simulator semantics (and
+/// byte-identical counters) with no changes.
+impl ComputeBackend for Device {
+    fn device(&self) -> &Device {
+        self
+    }
+
+    fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        sim_launch(self, name, grid_dim, kernel)
+    }
+
+    fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        sim_launch_seq(self, name, grid_dim, kernel)
+    }
+}
+
+/// Named wrapper for the instrumented simulator backend (equivalent to
+/// launching on the wrapped [`Device`] directly).
+pub struct SimBackend<'d> {
+    dev: &'d Device,
+}
+
+impl<'d> SimBackend<'d> {
+    /// Wrap a device. Never refuses: every device feature is sim-capable.
+    pub fn new(dev: &'d Device) -> Self {
+        SimBackend { dev }
+    }
+}
+
+impl ComputeBackend for SimBackend<'_> {
+    fn device(&self) -> &Device {
+        self.dev
+    }
+
+    fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        sim_launch(self.dev, name, grid_dim, kernel)
+    }
+
+    fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        sim_launch_seq(self.dev, name, grid_dim, kernel)
+    }
+}
+
+/// The native rayon executor. Construction refuses devices with sim-only
+/// features attached (sanitizer, trace) — see [`BackendError`].
+pub struct NativeBackend<'d> {
+    dev: &'d Device,
+}
+
+impl<'d> NativeBackend<'d> {
+    /// Wrap a device for native execution.
+    ///
+    /// # Errors
+    /// Refuses when the device has a sanitizer or trace recorder attached:
+    /// those features observe the simulator's instrumented access paths,
+    /// which the native executor bypasses.
+    pub fn new(dev: &'d Device) -> Result<Self, BackendError> {
+        validate_native(dev)?;
+        Ok(NativeBackend { dev })
+    }
+}
+
+impl ComputeBackend for NativeBackend<'_> {
+    fn device(&self) -> &Device {
+        self.dev
+    }
+
+    fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        native_launch(self.dev, name, grid_dim, kernel)
+    }
+
+    fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        native_launch_seq(self.dev, name, grid_dim, kernel)
+    }
+}
+
+/// Workload-size policy for [`BackendChoice::Auto`].
+///
+/// The grid size is the dispatcher's workload proxy: GSNP kernels put a
+/// fixed tile of work in each block, so blocks ∝ sites. The default
+/// threshold was calibrated on the launch-batching workload: above it the
+/// simulator's work-stealing pool amortizes its per-launch setup, below
+/// it a launch is cheaper run inline on the native path — the same
+/// break-even a host/GPU dispatcher measures against PCIe latency.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoPolicy {
+    /// Minimum grid size (in blocks) for which the simulator is
+    /// considered GPU-worthwhile.
+    pub gpu_min_blocks: usize,
+}
+
+impl Default for AutoPolicy {
+    fn default() -> Self {
+        AutoPolicy { gpu_min_blocks: 8 }
+    }
+}
+
+/// Per-launch backend dispatch over one device.
+///
+/// [`BackendChoice::Sim`] and [`BackendChoice::Native`] route every
+/// launch to the corresponding backend; [`BackendChoice::Auto`] decides
+/// per launch from the grid size (see [`AutoPolicy`]), always falling
+/// back to the simulator when the device carries sim-only features
+/// (sanitizer, trace) so those stay sound. Decisions are tallied on the
+/// ledger and, under a trace, recorded as instants on the kernel track.
+pub struct BackendDispatcher<'d> {
+    dev: &'d Device,
+    choice: BackendChoice,
+    policy: AutoPolicy,
+}
+
+impl<'d> BackendDispatcher<'d> {
+    /// Build a dispatcher with the default [`AutoPolicy`].
+    ///
+    /// # Errors
+    /// Refuses [`BackendChoice::Native`] on a device with sim-only
+    /// features attached (see [`NativeBackend::new`]); `Sim` and `Auto`
+    /// accept any device.
+    pub fn new(dev: &'d Device, choice: BackendChoice) -> Result<Self, BackendError> {
+        Self::with_policy(dev, choice, AutoPolicy::default())
+    }
+
+    /// Build a dispatcher with an explicit [`AutoPolicy`].
+    ///
+    /// # Errors
+    /// Same refusal rules as [`BackendDispatcher::new`].
+    pub fn with_policy(
+        dev: &'d Device,
+        choice: BackendChoice,
+        policy: AutoPolicy,
+    ) -> Result<Self, BackendError> {
+        if choice == BackendChoice::Native {
+            validate_native(dev)?;
+        }
+        Ok(BackendDispatcher {
+            dev,
+            choice,
+            policy,
+        })
+    }
+
+    /// The configured backend choice.
+    pub fn choice(&self) -> BackendChoice {
+        self.choice
+    }
+
+    /// Auto decision for one launch: `true` ⇒ simulator.
+    fn pick_sim(&self, grid_dim: usize) -> bool {
+        self.dev.sanitizer_enabled()
+            || self.dev.trace_enabled()
+            || grid_dim >= self.policy.gpu_min_blocks
+    }
+}
+
+impl ComputeBackend for BackendDispatcher<'_> {
+    fn device(&self) -> &Device {
+        self.dev
+    }
+
+    fn launch<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        match self.choice {
+            BackendChoice::Sim => sim_launch(self.dev, name, grid_dim, kernel),
+            BackendChoice::Native => native_launch(self.dev, name, grid_dim, kernel),
+            BackendChoice::Auto => {
+                if grid_dim == 0 {
+                    return LaunchStats::default();
+                }
+                let to_sim = self.pick_sim(grid_dim);
+                self.dev.record_auto_decision(to_sim);
+                if to_sim {
+                    sim_launch(self.dev, name, grid_dim, kernel)
+                } else {
+                    native_launch(self.dev, name, grid_dim, kernel)
+                }
+            }
+        }
+    }
+
+    fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+    where
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        match self.choice {
+            BackendChoice::Sim => sim_launch_seq(self.dev, name, grid_dim, kernel),
+            BackendChoice::Native => native_launch_seq(self.dev, name, grid_dim, kernel),
+            BackendChoice::Auto => {
+                if grid_dim == 0 {
+                    return LaunchStats::default();
+                }
+                let to_sim = self.pick_sim(grid_dim);
+                self.dev.record_auto_decision(to_sim);
+                if to_sim {
+                    sim_launch_seq(self.dev, name, grid_dim, kernel)
+                } else {
+                    native_launch_seq(self.dev, name, grid_dim, kernel)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitizer::SanitizerConfig;
+    use crate::trace::TraceRecorder;
+    use std::sync::Arc;
+
+    /// A representative kernel exercising every ctx/tile operation the
+    /// GSNP kernels use; runs identically on both backends.
+    fn workload<B: ComputeBackend>(backend: &B, n: usize) -> (Vec<u32>, Vec<f64>, u64) {
+        let dev = backend.device();
+        let input = dev.upload(
+            &(0..n as u32)
+                .map(|i| i.wrapping_mul(2654435761))
+                .collect::<Vec<_>>(),
+        );
+        let sorted: GlobalBuffer<u32> = dev.alloc(n);
+        let sums: GlobalBuffer<f64> = dev.alloc(n.div_ceil(64));
+        let hits: GlobalBuffer<u64> = dev.alloc(1);
+        let table = dev.upload_const(&(0..256).map(|i| (i as f64).ln_1p()).collect::<Vec<_>>());
+        backend.launch("backend_workload", n.div_ceil(64), |ctx| {
+            let base = ctx.block_idx() * 64;
+            let len = 64.min(n - base);
+            let mut tile = ctx.shared_alloc::<u32>(64);
+            tile.stage_co(ctx, &input, base, 0, len);
+            tile.fill_span(ctx, len, 64, u32::MAX);
+            for w in [1usize, 2, 4, 8, 16, 32] {
+                for lo in 0..64 - w {
+                    tile.compare_exchange(ctx, lo, lo + w);
+                }
+            }
+            tile.flush_co(ctx, &sorted, 0, base, len);
+            let mut acc = ctx.shared_alloc::<f64>(1);
+            acc.fill_default(ctx);
+            for t in 0..len {
+                let v = tile.read(ctx, t);
+                let term = table_val(ctx, &table, v);
+                acc.add_span(ctx, 0, &[term]);
+                if v % 3 == 0 {
+                    ctx.atomic_add(&hits, 0, 1u64);
+                }
+                ctx.add_inst(2);
+            }
+            let total = acc.read(ctx, 0);
+            ctx.st_co(&sums, ctx.block_idx(), total);
+            ctx.shared_free(acc);
+            ctx.shared_free(tile);
+        });
+        let mut grand = 0f64;
+        backend.launch_seq("backend_combine", 1, |ctx| {
+            for b in 0..n.div_ceil(64) {
+                grand += ctx.ld_co(&sums, b);
+            }
+        });
+        let mut out_sums = sums.to_vec();
+        out_sums.push(grand);
+        (sorted.to_vec(), out_sums, hits.get(0))
+    }
+
+    fn table_val(ctx: &mut KernelCtx<'_, '_>, table: &ConstBuffer<f64>, v: u32) -> f64 {
+        ctx.ld_const(table, (v % 256) as usize)
+    }
+
+    #[test]
+    fn native_output_is_bit_identical_to_sim() {
+        let sim_dev = Device::m2050();
+        let nat_dev = Device::m2050();
+        let native = NativeBackend::new(&nat_dev).expect("plain device");
+        let (a_sorted, a_sums, a_hits) = workload(&sim_dev, 1000);
+        let (b_sorted, b_sums, b_hits) = workload(&native, 1000);
+        assert_eq!(a_sorted, b_sorted);
+        assert_eq!(a_hits, b_hits);
+        // f64 bit-identity, not approximate equality.
+        let a_bits: Vec<u64> = a_sums.iter().map(|v| v.to_bits()).collect();
+        let b_bits: Vec<u64> = b_sums.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a_bits, b_bits);
+    }
+
+    #[test]
+    fn native_stats_carry_no_sim_observables() {
+        let dev = Device::m2050();
+        let native = NativeBackend::new(&dev).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        let stats = native.launch("mark", 8, |ctx| {
+            ctx.st_co(&buf, ctx.block_idx(), 1);
+        });
+        assert_eq!(stats.counters, crate::HwCounters::default());
+        assert_eq!(stats.sim_time, 0.0);
+        assert_eq!(stats.grid_dim, 8);
+        let led = dev.ledger();
+        assert_eq!(led.launches, 1);
+        assert_eq!(led.backend.native, 1);
+        assert_eq!(led.backend.sim, 0);
+        assert_eq!(led.sim_time, 0.0);
+    }
+
+    #[test]
+    fn sim_launches_tally_on_the_ledger() {
+        let dev = Device::m2050();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        dev.launch("a", 2, |ctx| ctx.st_co(&buf, ctx.block_idx, 1));
+        dev.launch_seq("b", 1, |ctx| ctx.st_co(&buf, 2, ctx.block_idx as u32));
+        let led = dev.ledger();
+        assert_eq!(led.backend.sim, 2);
+        assert_eq!(led.backend.native, 0);
+        assert_eq!(led.backend.sim + led.backend.native, led.launches);
+    }
+
+    #[test]
+    fn native_refuses_sanitized_devices() {
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let err = NativeBackend::new(&dev).err().expect("must refuse");
+        assert_eq!(err, BackendError::SanitizerRequiresSim);
+        assert!(err.to_string().contains("sanitize"));
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Native).is_err());
+        // Sim and Auto accept the same device.
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Sim).is_ok());
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Auto).is_ok());
+    }
+
+    #[test]
+    fn native_refuses_traced_devices() {
+        let rec = Arc::new(TraceRecorder::new(64));
+        let dev = Device::m2050().with_trace(&rec, 0);
+        let err = NativeBackend::new(&dev).err().expect("must refuse");
+        assert_eq!(err, BackendError::TraceRequiresSim);
+        assert!(err.to_string().contains("trace"));
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Native).is_err());
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Auto).is_ok());
+    }
+
+    #[test]
+    fn auto_routes_by_grid_size_and_tallies_decisions() {
+        let dev = Device::m2050();
+        let disp = BackendDispatcher::with_policy(
+            &dev,
+            BackendChoice::Auto,
+            AutoPolicy { gpu_min_blocks: 8 },
+        )
+        .unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        disp.launch("small", 2, |ctx| ctx.st_co(&buf, ctx.block_idx(), 1));
+        disp.launch("big", 32, |ctx| ctx.st_co(&buf, ctx.block_idx() % 64, 1));
+        disp.launch("empty", 0, |_ctx| panic!("must not run"));
+        let led = dev.ledger();
+        assert_eq!(led.backend.auto_native, 1);
+        assert_eq!(led.backend.auto_sim, 1);
+        assert_eq!(led.backend.native, 1);
+        assert_eq!(led.backend.sim, 1);
+        assert_eq!(led.launches, 2, "zero-grid launch records nothing");
+        // Per-kernel attribution distinguishes the backends.
+        let tallies = dev.kernel_launches();
+        let find = |n: &str| tallies.iter().find(|t| t.name == n).unwrap();
+        assert_eq!(find("small").native_launches, 1);
+        assert_eq!(find("big").native_launches, 0);
+    }
+
+    #[test]
+    fn auto_forces_sim_under_sanitizer_and_trace() {
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        disp.launch("tiny", 1, |ctx| ctx.st_co(&buf, 0, 1));
+        assert_eq!(dev.ledger().backend.auto_sim, 1);
+        assert_eq!(dev.ledger().backend.native, 0);
+
+        let rec = Arc::new(TraceRecorder::new(64));
+        let dev = Device::m2050().with_trace(&rec, 0);
+        let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        disp.launch("tiny", 1, |ctx| ctx.st_co(&buf, 0, 1));
+        assert_eq!(dev.ledger().backend.auto_sim, 1);
+        assert_eq!(dev.ledger().backend.native, 0);
+        // The decision itself lands on the trace as an instant.
+        let snap = rec.snapshot();
+        let kernels = crate::TrackId(
+            snap.tracks
+                .iter()
+                .position(|t| t.thread == "kernels")
+                .unwrap() as u32,
+        );
+        assert_eq!(snap.count_events(kernels, "dispatch_sim"), 1);
+    }
+
+    #[test]
+    fn native_zero_grid_is_a_noop() {
+        let dev = Device::m2050();
+        let native = NativeBackend::new(&dev).unwrap();
+        let stats = native.launch("empty", 0, |_ctx| panic!("must not run"));
+        assert_eq!(stats.grid_dim, 0);
+        let seq = native.launch_seq("empty_seq", 0, |_ctx| panic!("must not run"));
+        assert_eq!(seq.grid_dim, 0);
+        assert_eq!(dev.ledger().launches, 0);
+        assert!(dev.kernel_launches().is_empty());
+    }
+
+    #[test]
+    fn native_launch_seq_runs_blocks_in_order_and_mutates_host_state() {
+        let dev = Device::m2050();
+        let native = NativeBackend::new(&dev).unwrap();
+        let mut order = Vec::new();
+        native.launch_seq("seq", 10, |ctx| order.push(ctx.block_idx()));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn native_shared_overflow_panics_like_sim() {
+        let dev = Device::m2050();
+        let native = NativeBackend::new(&dev).unwrap();
+        native.launch("overflow", 1, |ctx| {
+            // 48 KB limit on the M2050; 6145 f64 lanes exceed it.
+            let t = ctx.shared_alloc::<f64>(6145);
+            ctx.shared_free(t);
+        });
+    }
+
+    #[test]
+    fn backend_choice_parses_cli_names() {
+        assert_eq!(BackendChoice::parse("sim"), Some(BackendChoice::Sim));
+        assert_eq!(BackendChoice::parse("native"), Some(BackendChoice::Native));
+        assert_eq!(BackendChoice::parse("auto"), Some(BackendChoice::Auto));
+        assert_eq!(BackendChoice::parse("gpu"), None);
+        assert_eq!(BackendChoice::Auto.name(), "auto");
+        assert_eq!(BackendChoice::default(), BackendChoice::Sim);
+    }
+}

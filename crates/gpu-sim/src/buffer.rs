@@ -27,8 +27,26 @@ pub(crate) type RawCells = Box<[AtomicU64]>;
 
 /// Allocate `cells` zeroed raw cells (zero is the raw encoding of every
 /// scalar's default value).
+///
+/// Goes through `vec![0u64; n]` so the allocator's zeroed path (calloc)
+/// can hand back untouched zero pages: device buffers are large and
+/// windowed pipelines allocate them constantly, and an element-wise
+/// constructor loop would memset every byte up front.
+#[allow(unsafe_code)]
 pub(crate) fn raw_zeroed(cells: usize) -> RawCells {
-    (0..cells).map(|_| AtomicU64::new(0)).collect()
+    let mut lanes = std::mem::ManuallyDrop::new(vec![0u64; cells]);
+    // SAFETY: `AtomicU64` is documented to have the same size and bit
+    // validity as `u64` (and the same alignment on every supported
+    // target), and `vec![0u64; n]` allocates capacity == len, so the
+    // rebuilt Vec owns the identical allocation.
+    let v = unsafe {
+        Vec::from_raw_parts(
+            lanes.as_mut_ptr() as *mut AtomicU64,
+            lanes.len(),
+            lanes.capacity(),
+        )
+    };
+    v.into_boxed_slice()
 }
 
 /// Scalar types that can live in device memory.
@@ -230,6 +248,24 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         }
     }
 
+    /// Uncounted host-side write of `vals.len()` consecutive elements
+    /// starting at `start` (bounds-checked once for the whole span).
+    #[inline]
+    pub fn write_span(&self, start: usize, vals: &[T]) {
+        let end = start + vals.len();
+        assert!(
+            end <= self.len,
+            "span {start}..{end} out of bounds (len {})",
+            self.len
+        );
+        if let Some(sh) = &self.shadow {
+            sh.host_write(start, vals.len());
+        }
+        for (c, v) in self.cells[start..end].iter().zip(vals) {
+            c.store(v.to_raw(), Ordering::Relaxed);
+        }
+    }
+
     /// Download the whole buffer to a host `Vec` (uncounted; use
     /// [`crate::Device::download`] for counted transfers).
     pub fn to_vec(&self) -> Vec<T> {
@@ -286,6 +322,83 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    // ---- plain (non-atomic) span access: the native backend's fast
+    // path ----
+    //
+    // Kernel launches partition their buffers between blocks: each block
+    // reads and writes only its own spans, and the simulator's racecheck
+    // exists precisely to verify that no two blocks touch the same
+    // location. The native executor leans on that invariant to access
+    // span data through plain loads and stores instead of per-element
+    // relaxed atomics — same instructions on x86-64, but visible to the
+    // auto-vectorizer, which the atomic loop never is. Scalar accesses
+    // (including `atomic_add`, which *is* cross-block traffic) stay on
+    // the atomic cells.
+    //
+    // SAFETY (shared by the methods below): the caller must guarantee no
+    // concurrent access to the addressed span — the launch-disjointness
+    // invariant above. The raw views cover only the requested span, so
+    // concurrent atomics on *other* cells of the same buffer are fine.
+
+    /// Plain bulk read of `out.len()` consecutive elements (native
+    /// kernels only; see the span-access safety note above).
+    #[inline]
+    pub(crate) fn read_span_plain<U: DeviceScalar>(&self, start: usize, out: &mut [U]) {
+        let lanes = self.lanes_plain(start, out.len());
+        for (o, &lane) in out.iter_mut().zip(lanes) {
+            *o = U::from_raw(lane);
+        }
+    }
+
+    /// Plain raw-lane copy into a tile (native stage-in).
+    #[inline]
+    pub(crate) fn copy_lanes_into(&self, start: usize, out: &mut [u64]) {
+        out.copy_from_slice(self.lanes_plain(start, out.len()));
+    }
+
+    /// Plain raw-lane copy out of a tile (native flush).
+    #[inline]
+    pub(crate) fn copy_lanes_from(&self, start: usize, src: &[u64]) {
+        self.lanes_plain_mut(start, src.len()).copy_from_slice(src);
+    }
+
+    /// Plain read-add-write of a consecutive `f64` span (native kernels
+    /// only). Element order matches [`GlobalBuffer::add_assign_span`], so
+    /// results are bit-exact with the counted path.
+    #[inline]
+    pub(crate) fn add_assign_span_plain(&self, start: usize, terms: &[f64]) {
+        for (lane, &t) in self
+            .lanes_plain_mut(start, terms.len())
+            .iter_mut()
+            .zip(terms)
+        {
+            *lane = (f64::from_bits(*lane) + t).to_bits();
+        }
+    }
+
+    #[allow(unsafe_code)]
+    #[inline(always)]
+    fn lanes_plain(&self, start: usize, len: usize) -> &[u64] {
+        let cells = self.cells_span(start, len);
+        debug_assert!(self.shadow.is_none(), "plain access on a sanitized buffer");
+        // SAFETY: `AtomicU64` has the same size, alignment, and bit
+        // validity as `u64`; the view covers exactly the bounds-checked
+        // span, which the caller guarantees no other thread touches.
+        unsafe { std::slice::from_raw_parts(cells.as_ptr() as *const u64, cells.len()) }
+    }
+
+    #[allow(unsafe_code)]
+    #[allow(clippy::mut_from_ref)] // interior mutability: cells are atomics
+    #[inline(always)]
+    fn lanes_plain_mut(&self, start: usize, len: usize) -> &mut [u64] {
+        let cells = self.cells_span(start, len);
+        debug_assert!(self.shadow.is_none(), "plain access on a sanitized buffer");
+        // SAFETY: as above, plus exclusivity over the span — the caller
+        // (one kernel block) is its only accessor for the view's
+        // lifetime.
+        unsafe { std::slice::from_raw_parts_mut(cells.as_ptr() as *mut u64, cells.len()) }
     }
 
     #[inline(always)]

@@ -244,11 +244,11 @@ thread_local! {
 /// Cap on parked scratch vectors per thread.
 const MAX_SCRATCH_PARKED: usize = 64;
 
-fn scratch_take() -> Vec<u64> {
+pub(crate) fn scratch_take() -> Vec<u64> {
     SHARED_SCRATCH.with(|p| p.borrow_mut().pop().unwrap_or_default())
 }
 
-fn scratch_put(v: Vec<u64>) {
+pub(crate) fn scratch_put(v: Vec<u64>) {
     SHARED_SCRATCH.with(|p| {
         let mut pool = p.borrow_mut();
         if pool.len() < MAX_SCRATCH_PARKED {

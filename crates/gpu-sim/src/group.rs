@@ -107,6 +107,8 @@ impl DeviceGroup {
                 if let Some(m) = merged.iter_mut().find(|m| m.name == t.name) {
                     m.launches += t.launches;
                     m.overhead_seconds += t.overhead_seconds;
+                    m.native_launches += t.native_launches;
+                    m.wall_seconds += t.wall_seconds;
                 } else {
                     merged.push(t);
                 }
@@ -144,6 +146,7 @@ impl GroupLedger {
             acc.pool.outstanding_bytes += led.pool.outstanding_bytes;
             acc.pool.high_water_bytes += led.pool.high_water_bytes;
             acc.sanitizer = sum_sanitizer(&acc.sanitizer, &led.sanitizer);
+            acc.backend.sum(&led.backend);
         }
         acc
     }

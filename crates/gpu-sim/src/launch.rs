@@ -16,6 +16,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use crate::backend::BackendTallies;
 use crate::buffer::{ConstBuffer, DeviceScalar, GlobalBuffer};
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
@@ -70,6 +71,9 @@ pub struct DeviceLedger {
     /// Sanitizer finding totals; all-zero unless the device was built with
     /// [`Device::with_sanitizer`] (snapshotted when the ledger is read).
     pub sanitizer: SanitizerCounts,
+    /// Per-backend launch and auto-dispatch tallies
+    /// (`backend.sim + backend.native == launches`).
+    pub backend: BackendTallies,
 }
 
 /// Per-kernel launch attribution: how many times a kernel name was
@@ -87,12 +91,22 @@ pub struct KernelTally {
     /// charge none (their cost model has no overhead term), so they
     /// contribute launches but zero overhead.
     pub overhead_seconds: f64,
+    /// How many of `launches` ran on the native backend (the rest ran on
+    /// the instrumented simulator).
+    pub native_launches: u64,
+    /// Total host wall-clock spent executing this kernel's launches,
+    /// seconds. Unlike the modelled `overhead_seconds`, this is measured
+    /// time and is comparable across backends.
+    pub wall_seconds: f64,
 }
 
 impl DeviceLedger {
     fn record(&mut self, stats: &LaunchStats, is_launch: bool) {
         if is_launch {
             self.launches += 1;
+            // Only the simulator records through this path; native
+            // launches go through `Device::record_native_launch`.
+            self.backend.sim += 1;
         } else {
             self.transfers += 1;
         }
@@ -375,18 +389,60 @@ impl Device {
     }
 
     /// Record one launch of `name` that paid `overhead` seconds of fixed
-    /// launch cost.
-    fn tally_launch(&self, name: &str, overhead: f64) {
+    /// launch cost. `native` marks launches executed by the native
+    /// backend rather than the simulator.
+    fn tally_launch(&self, name: &str, overhead: f64, wall: f64, native: bool) {
         let mut tallies = self.kernel_tallies.lock();
         if let Some(t) = tallies.iter_mut().find(|t| t.name == name) {
             t.launches += 1;
             t.overhead_seconds += overhead;
+            t.native_launches += u64::from(native);
+            t.wall_seconds += wall;
         } else {
             tallies.push(KernelTally {
                 name: name.to_string(),
                 launches: 1,
                 overhead_seconds: overhead,
+                native_launches: u64::from(native),
+                wall_seconds: wall,
             });
+        }
+    }
+
+    /// Record one native-backend launch: it counts on the ledger and the
+    /// per-kernel tallies (wall-clock only — no modelled time, no
+    /// counters, no trace span; those are simulator observables).
+    pub(crate) fn record_native_launch(&self, name: &str, stats: &LaunchStats) {
+        {
+            let mut led = self.ledger.lock();
+            led.launches += 1;
+            led.backend.native += 1;
+            led.wall_time += stats.wall_time;
+        }
+        self.tally_launch(name, 0.0, stats.wall_time, true);
+    }
+
+    /// Record one auto-dispatch decision (`to_sim` ⇒ the simulator ran
+    /// the launch). Tallied on the ledger; when a trace is attached the
+    /// decision also lands as an instant on the kernel track at the
+    /// device clock's current position.
+    pub(crate) fn record_auto_decision(&self, to_sim: bool) {
+        {
+            let mut led = self.ledger.lock();
+            if to_sim {
+                led.backend.auto_sim += 1;
+            } else {
+                led.backend.auto_native += 1;
+            }
+        }
+        if let Some(trace) = &self.trace {
+            let ts = *trace.cursor.lock();
+            let name = trace.rec.intern(if to_sim {
+                "dispatch_sim"
+            } else {
+                "dispatch_native"
+            });
+            trace.rec.instant(trace.kernels, name, ts);
         }
     }
 
@@ -560,7 +616,7 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
-        self.tally_launch(name, self.cfg.launch_overhead);
+        self.tally_launch(name, self.cfg.launch_overhead, wall, false);
         self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats
@@ -596,7 +652,7 @@ impl Device {
             grid_dim,
         };
         self.ledger.lock().record(&stats, true);
-        self.tally_launch(name, 0.0);
+        self.tally_launch(name, 0.0, wall, false);
         self.trace_launch(name, &stats);
         self.pace(stats.sim_time);
         stats

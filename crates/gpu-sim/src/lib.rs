@@ -44,6 +44,7 @@
 //! assert_eq!(stats.counters.g_load_coalesced, 1024);
 //! ```
 
+pub mod backend;
 pub mod buffer;
 pub mod config;
 pub mod cost;
@@ -56,6 +57,10 @@ pub mod primitives;
 pub mod sanitizer;
 pub mod trace;
 
+pub use backend::{
+    AutoPolicy, BackendChoice, BackendDispatcher, BackendError, BackendTallies, ComputeBackend,
+    KernelCtx, NativeBackend, NativeCtx, SharedTile, SimBackend,
+};
 pub use buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 pub use config::DeviceConfig;
 pub use cost::CostModel;

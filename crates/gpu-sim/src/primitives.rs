@@ -6,9 +6,9 @@
 //! runs on the same executor — and is charged by the same cost model — as
 //! the likelihood kernels.
 
+use crate::backend::ComputeBackend;
 use crate::buffer::GlobalBuffer;
 use crate::counters::LaunchStats;
-use crate::launch::Device;
 
 /// Elements processed per block by the primitives.
 pub const BLOCK: usize = 256;
@@ -20,7 +20,7 @@ fn grid_for(n: usize) -> usize {
 /// Tree-reduce a `u64` buffer to its sum. Per-block partial sums are staged
 /// through shared memory; a final sequential pass combines the partials so
 /// the result is deterministic.
-pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats) {
+pub fn reduce_sum<B: ComputeBackend>(dev: &B, input: &GlobalBuffer<u64>) -> (u64, LaunchStats) {
     let n = input.len();
     if n == 0 {
         return (0, LaunchStats::default());
@@ -28,7 +28,7 @@ pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats)
     let grid = grid_for(n);
     let partials: GlobalBuffer<u64> = dev.alloc(grid);
     let mut stats = dev.launch("reduce_sum", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         let mut tile = ctx.shared_alloc::<u64>(BLOCK);
         for (t, i) in (base..end).enumerate() {
@@ -48,7 +48,7 @@ pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats)
             width = half;
         }
         let sum = tile.read(ctx, 0);
-        ctx.st_co(&partials, ctx.block_idx, sum);
+        ctx.st_co(&partials, ctx.block_idx(), sum);
         ctx.shared_free(tile);
     });
     let mut total = 0u64;
@@ -65,8 +65,8 @@ pub fn reduce_sum(dev: &Device, input: &GlobalBuffer<u64>) -> (u64, LaunchStats)
 /// Exclusive prefix sum of a `u32` buffer. Returns the scanned buffer and
 /// the grand total. Three phases: per-block scan, scan of block totals
 /// (sequential — the totals array is tiny), then a uniform-add fixup.
-pub fn exclusive_scan(
-    dev: &Device,
+pub fn exclusive_scan<B: ComputeBackend>(
+    dev: &B,
     input: &GlobalBuffer<u32>,
 ) -> (GlobalBuffer<u32>, u32, LaunchStats) {
     let n = input.len();
@@ -78,7 +78,7 @@ pub fn exclusive_scan(
     let block_totals: GlobalBuffer<u32> = dev.alloc(grid);
 
     let mut stats = dev.launch("scan_blocks", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         let mut acc = 0u32;
         for i in base..end {
@@ -87,7 +87,7 @@ pub fn exclusive_scan(
             acc = acc.wrapping_add(v);
             ctx.add_inst(1);
         }
-        ctx.st_co(&block_totals, ctx.block_idx, acc);
+        ctx.st_co(&block_totals, ctx.block_idx(), acc);
     });
 
     let mut total = 0u32;
@@ -101,8 +101,8 @@ pub fn exclusive_scan(
     });
 
     stats += dev.launch("scan_fixup", grid, |ctx| {
-        let offset = ctx.ld_co(&block_totals, ctx.block_idx);
-        let base = ctx.block_idx * BLOCK;
+        let offset = ctx.ld_co(&block_totals, ctx.block_idx());
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let v = ctx.ld_co(&output, i);
@@ -115,7 +115,10 @@ pub fn exclusive_scan(
 
 /// Compact the distinct values of a *sorted* buffer ("unique" primitive).
 /// Returns the dictionary values in order.
-pub fn unique_sorted(dev: &Device, sorted: &GlobalBuffer<u32>) -> (Vec<u32>, LaunchStats) {
+pub fn unique_sorted<B: ComputeBackend>(
+    dev: &B,
+    sorted: &GlobalBuffer<u32>,
+) -> (Vec<u32>, LaunchStats) {
     let n = sorted.len();
     if n == 0 {
         return (Vec::new(), LaunchStats::default());
@@ -124,7 +127,7 @@ pub fn unique_sorted(dev: &Device, sorted: &GlobalBuffer<u32>) -> (Vec<u32>, Lau
     let flags: GlobalBuffer<u32> = dev.alloc(n);
     let grid = grid_for(n);
     let mut stats = dev.launch("unique_flags", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let v = ctx.ld_co(sorted, i);
@@ -142,7 +145,7 @@ pub fn unique_sorted(dev: &Device, sorted: &GlobalBuffer<u32>) -> (Vec<u32>, Lau
     stats += scan_stats;
     let dict: GlobalBuffer<u32> = dev.alloc(count as usize);
     stats += dev.launch("unique_scatter", grid, |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             if ctx.ld_co(&flags, i) == 1 {
@@ -159,8 +162,8 @@ pub fn unique_sorted(dev: &Device, sorted: &GlobalBuffer<u32>) -> (Vec<u32>, Lau
 /// the sorted `dict` (which is loaded to constant memory by the caller when
 /// it fits; here it is searched in global memory with random accesses,
 /// matching the paper's fallback path). Every query must be present.
-pub fn binary_search_indices(
-    dev: &Device,
+pub fn binary_search_indices<B: ComputeBackend>(
+    dev: &B,
     dict: &GlobalBuffer<u32>,
     queries: &GlobalBuffer<u32>,
 ) -> (GlobalBuffer<u32>, LaunchStats) {
@@ -172,7 +175,7 @@ pub fn binary_search_indices(
     }
     assert!(m > 0, "binary search over an empty dictionary");
     let stats = dev.launch("binary_search", grid_for(n), |ctx| {
-        let base = ctx.block_idx * BLOCK;
+        let base = ctx.block_idx() * BLOCK;
         let end = (base + BLOCK).min(n);
         for i in base..end {
             let q = ctx.ld_co(queries, i);
@@ -197,6 +200,7 @@ pub fn binary_search_indices(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::launch::Device;
 
     #[test]
     fn reduce_sum_matches_host() {

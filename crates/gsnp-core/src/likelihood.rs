@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use gpu_sim::{ConstBuffer, Device, DeviceGroup, GlobalBuffer, LaunchStats};
+use gpu_sim::{ComputeBackend, ConstBuffer, Device, DeviceGroup, GlobalBuffer, LaunchStats};
 use sortnet::multipass::{multipass_sort_into, MultipassReport, MultipassScratch};
 
 use crate::baseword;
@@ -172,6 +172,11 @@ pub struct DeviceTables {
     /// `log_table` in constant memory (65 doubles, trivially fits).
     pub log_table: ConstBuffer<f64>,
     host_log: Arc<LogTable>,
+    /// Host mirror of `new_p` (same values, same bits): the native
+    /// backend's fast path reads genotype rows from it as plain `f64`
+    /// slices, which the auto-vectorizer can chew through — the device
+    /// buffer's atomic cells cannot.
+    host_new_p: Arc<[f64]>,
 }
 
 impl DeviceTables {
@@ -196,6 +201,7 @@ impl DeviceTables {
             new_p: dev.upload(np.as_slice()),
             log_table: dev.upload_const(lt.as_slice()),
             host_log: Arc::clone(lt),
+            host_new_p: np.as_slice().into(),
         }
     }
 
@@ -275,8 +281,8 @@ impl KernelVariant {
 
 /// `likelihood_sort` on the device: the multipass bitonic sorting network
 /// over every site's `base_word` array.
-pub fn likelihood_sort_gpu(
-    dev: &Device,
+pub fn likelihood_sort_gpu<B: ComputeBackend>(
+    dev: &B,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
 ) -> MultipassReport {
@@ -287,8 +293,8 @@ pub fn likelihood_sort_gpu(
 
 /// [`likelihood_sort_gpu`] with caller-owned scratch (the window loop's
 /// allocation-free path); the report lands in `scratch.report()`.
-pub fn likelihood_sort_gpu_into(
-    dev: &Device,
+pub fn likelihood_sort_gpu_into<B: ComputeBackend>(
+    dev: &B,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
     scratch: &mut MultipassScratch,
@@ -304,8 +310,8 @@ pub fn likelihood_sort_gpu_into(
 /// host implementations; the variants differ in *where* `type_likely`
 /// accumulates and *which* table supplies the per-genotype terms — which
 /// is precisely what the Table III counters measure.
-pub fn likelihood_comp_gpu(
-    dev: &Device,
+pub fn likelihood_comp_gpu<B: ComputeBackend>(
+    dev: &B,
     variant: KernelVariant,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
@@ -322,8 +328,8 @@ pub fn likelihood_comp_gpu(
 /// back into `out` (cleared first, capacity reused) — no intermediate
 /// flat copy. This is the window loop's steady-state path; with the pool
 /// warmed it performs zero heap allocations.
-pub fn likelihood_comp_gpu_into(
-    dev: &Device,
+pub fn likelihood_comp_gpu_into<B: ComputeBackend>(
+    dev: &B,
     variant: KernelVariant,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
@@ -348,8 +354,8 @@ const SUMMARY_WORDS: usize = 13;
 /// [`SiteSummary::from_obs`] over the unsorted observations exactly —
 /// eliminating the separate host-side counting traversal of the window.
 #[allow(clippy::too_many_arguments)] // mirrors the unfused entry + one output
-pub fn likelihood_comp_fused_gpu_into(
-    dev: &Device,
+pub fn likelihood_comp_fused_gpu_into<B: ComputeBackend>(
+    dev: &B,
     variant: KernelVariant,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
@@ -371,8 +377,8 @@ pub fn likelihood_comp_fused_gpu_into(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn comp_gpu_impl(
-    dev: &Device,
+fn comp_gpu_impl<B: ComputeBackend>(
+    dev: &B,
     variant: KernelVariant,
     words: &GlobalBuffer<u32>,
     spans: &[(usize, usize)],
@@ -412,10 +418,80 @@ fn comp_gpu_impl(
         "likelihood_comp"
     };
 
+    // Native fast path: the same per-site math as the instrumented body
+    // below — identical unpack/segment-reset/adjust/accumulate sequence,
+    // same `LogTable`, same f64 addition order, so the output bytes are
+    // identical — but written as plain chunked loops over buffer spans.
+    // The per-site dependency counters live in a block-local scratch array
+    // (self-cleaning, like the pooled device buffer): purely per-site
+    // state, so the native body never touches `dep_count` at all. Staging
+    // the span's packed words once replaces the per-observation `ld_co`
+    // dispatches, which is most of the native win here.
+    let native_block = |first: usize, last: usize| {
+        let mut wbuf: Vec<u32> = Vec::new();
+        let mut dep = vec![0u16; 2 * read_len];
+        for (site, &(off, len)) in spans.iter().enumerate().take(last).skip(first) {
+            wbuf.resize(len, 0);
+            words.read_span(off, &mut wbuf);
+            let tl0 = site * NUM_GENOTYPES;
+            let mut s_all = [0u32; 4];
+            let mut s_uniq = [0u32; 4];
+            let mut s_qual = [0u32; 4];
+            let mut s_depth = 0u32;
+            let mut acc = [0f64; NUM_GENOTYPES];
+            let mut last_base = 0u8;
+            let mut touched_from = 0usize;
+            for i in 0..len {
+                let (base, score, coord, strand, uniq) = baseword::unpack(wbuf[i]);
+                if summary_buf.is_some() {
+                    let b = usize::from(base);
+                    s_all[b] += 1;
+                    s_uniq[b] += u32::from(uniq);
+                    s_qual[b] += u32::from(score);
+                    s_depth += 1;
+                }
+                if base > last_base {
+                    for &w in &wbuf[touched_from..i] {
+                        let (_, _, tc, ts, _) = baseword::unpack(w);
+                        dep[usize::from(ts) * read_len + usize::from(tc)] = 0;
+                    }
+                    touched_from = i;
+                    last_base = base;
+                }
+                let slot = usize::from(strand) * read_len + usize::from(coord);
+                let dc = dep[slot] + 1;
+                dep[slot] = dc;
+                let q_adj = adjust(score, dc, lt);
+                let cell = new_p_cell(q_adj, coord, base) * NUM_GENOTYPES;
+                let row = &tables.host_new_p[cell..cell + NUM_GENOTYPES];
+                for (a, &t) in acc.iter_mut().zip(row) {
+                    *a += t;
+                }
+            }
+            for &w in &wbuf[touched_from..len] {
+                let (_, _, tc, ts, _) = baseword::unpack(w);
+                dep[usize::from(ts) * read_len + usize::from(tc)] = 0;
+            }
+            type_likely.write_span(tl0, &acc);
+            if let Some(sbuf) = summary_buf {
+                let mut sw = [0u32; SUMMARY_WORDS];
+                sw[..4].copy_from_slice(&s_all);
+                sw[4..8].copy_from_slice(&s_uniq);
+                sw[8..12].copy_from_slice(&s_qual);
+                sw[12] = s_depth;
+                sbuf.write_span(site * SUMMARY_WORDS, &sw);
+            }
+        }
+    };
+
     #[allow(clippy::needless_range_loop)] // kernel-style: site indexes several parallel arrays
     let stats = dev.launch(name, grid, |ctx| {
-        let first = ctx.block_idx * SITES_PER_BLOCK;
+        let first = ctx.block_idx() * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
+        if ctx.is_native() && variant.uses_new_table() {
+            native_block(first, last);
+            return;
+        }
         for site in first..last {
             let (off, len) = spans[site];
             let dep0 = site * 2 * read_len;
@@ -547,8 +623,9 @@ fn comp_gpu_impl(
     // caller's vector, no intermediate flat Vec.
     out.clear();
     out.extend((0..num_sites).map(|s| {
-        let tl0 = s * NUM_GENOTYPES;
-        std::array::from_fn(|n| type_likely.get(tl0 + n))
+        let mut row = [0f64; NUM_GENOTYPES];
+        type_likely.read_span(s * NUM_GENOTYPES, &mut row);
+        row
     }));
     if let (Some(summaries), Some(sbuf)) = (summaries, summary_buf) {
         // Saturate counts on readback: `from_obs` saturates at every +1,
@@ -556,12 +633,13 @@ fn comp_gpu_impl(
         let sat = |v: u32| v.min(u32::from(u16::MAX)) as u16;
         summaries.clear();
         summaries.extend((0..num_sites).map(|s| {
-            let s0 = s * SUMMARY_WORDS;
+            let mut sw = [0u32; SUMMARY_WORDS];
+            sbuf.read_span(s * SUMMARY_WORDS, &mut sw);
             SiteSummary {
-                count_all: std::array::from_fn(|b| sat(sbuf.get(s0 + b))),
-                count_uniq: std::array::from_fn(|b| sat(sbuf.get(s0 + 4 + b))),
-                qual_sum: std::array::from_fn(|b| sbuf.get(s0 + 8 + b)),
-                depth: sat(sbuf.get(s0 + 12)),
+                count_all: std::array::from_fn(|b| sat(sw[b])),
+                count_uniq: std::array::from_fn(|b| sat(sw[4 + b])),
+                qual_sum: std::array::from_fn(|b| sw[8 + b]),
+                depth: sat(sw[12]),
             }
         }));
     }
@@ -570,9 +648,9 @@ fn comp_gpu_impl(
 
 #[inline(always)]
 fn accumulate(
-    ctx: &mut gpu_sim::BlockCtx<'_>,
+    ctx: &mut gpu_sim::KernelCtx<'_, '_>,
     type_likely: &GlobalBuffer<f64>,
-    shared: Option<&mut gpu_sim::SharedMem<f64>>,
+    shared: Option<&mut gpu_sim::SharedTile<f64>>,
     tl0: usize,
     n: usize,
     term: f64,
@@ -594,8 +672,8 @@ fn accumulate(
 /// consecutive addresses (coalesced) — the representation is still 14–17×
 /// slower than sparse because it must *move* three orders of magnitude
 /// more bytes.
-pub fn likelihood_dense_gpu(
-    dev: &Device,
+pub fn likelihood_dense_gpu<B: ComputeBackend>(
+    dev: &B,
     occ: &GlobalBuffer<u8>,
     num_sites: usize,
     tables: &DeviceTables,
@@ -610,7 +688,7 @@ pub fn likelihood_dense_gpu(
     let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
 
     let stats = dev.launch("likelihood_dense", grid, |ctx| {
-        let first = ctx.block_idx * SITES_PER_BLOCK;
+        let first = ctx.block_idx() * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
         for site in first..last {
             let mut tl = ctx.shared_alloc::<f64>(NUM_GENOTYPES);
@@ -669,8 +747,8 @@ pub fn likelihood_dense_gpu(
 
 /// Upload a dense window in the `[cell][site]` transposed layout
 /// [`likelihood_dense_gpu`] expects.
-pub fn upload_dense_transposed(
-    dev: &Device,
+pub fn upload_dense_transposed<B: ComputeBackend>(
+    dev: &B,
     dense: &crate::counting::DenseWindow,
     num_sites: usize,
 ) -> GlobalBuffer<u8> {

@@ -209,6 +209,32 @@ pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
         );
     }
 
+    // ---- backend dispatch (group sum) ----
+    // Which compute backend executed each launch, and — for Auto — which
+    // way every dispatch decision went. `sim + native == launches`.
+    let mut backend = gpu_sim::BackendTallies::default();
+    for led in &stats.ledgers {
+        backend.sum(&led.backend);
+    }
+    for (name, v) in [("sim", backend.sim), ("native", backend.native)] {
+        m.push(
+            "gsnp_backend_launches_total",
+            "Kernel launches by compute backend (group sum)",
+            Counter,
+            &[("backend", name)],
+            v as f64,
+        );
+    }
+    for (decision, v) in [("sim", backend.auto_sim), ("native", backend.auto_native)] {
+        m.push(
+            "gsnp_backend_dispatch_total",
+            "Auto-dispatch decisions by chosen backend (group sum)",
+            Counter,
+            &[("decision", decision)],
+            v as f64,
+        );
+    }
+
     // ---- pools ----
     m.push(
         "gsnp_pool_hits_total",
@@ -334,6 +360,8 @@ mod tests {
                     name: "likelihood_comp_fused".into(),
                     launches: 3,
                     overhead_seconds: 1.5e-5,
+                    native_launches: 1,
+                    wall_seconds: 0.25,
                 }],
                 ..Default::default()
             },

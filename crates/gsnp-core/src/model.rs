@@ -218,6 +218,35 @@ pub fn genotype_log_prior(
     p.log10()
 }
 
+/// Precomputed [`genotype_log_prior`] rows for sites without a known-SNP
+/// entry: one row per reference bucket (A, C, G, T, unknown). The prior
+/// of such a site depends only on `(ref_base, genotype)`, so the 50
+/// `log10` evaluations happen once per table instead of ten per site.
+/// Known-SNP sites still price their Hardy–Weinberg prior per site.
+pub struct PriorTable {
+    rows: [[f64; NUM_GENOTYPES]; 5],
+}
+
+impl PriorTable {
+    /// Build the table for one parameter set.
+    pub fn new(params: &ModelParams) -> PriorTable {
+        let mut rows = [[0.0; NUM_GENOTYPES]; 5];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for (g, v) in row.iter_mut().enumerate() {
+                *v = genotype_log_prior(g, r as u8, None, params);
+            }
+        }
+        PriorTable { rows }
+    }
+
+    /// The log-prior row for `ref_base` (codes ≥ 4 share the unknown-
+    /// reference row, exactly as [`genotype_log_prior`] treats them).
+    #[inline]
+    pub fn row(&self, ref_base: u8) -> &[f64; NUM_GENOTYPES] {
+        &self.rows[usize::from(ref_base.min(4))]
+    }
+}
+
 /// Exact two-sided binomial test of `k` successes in `n` trials at
 /// `p = 1/2` (the allele-balance check backing result column 15).
 pub fn binomial_two_sided_p(k: u32, n: u32) -> f64 {
@@ -261,6 +290,39 @@ pub fn posterior(
     known: Option<&KnownSnp>,
     params: &ModelParams,
 ) -> SnpRow {
+    posterior_impl(type_likely, summary, ref_base, known, params, |g| {
+        genotype_log_prior(g, ref_base, known, params)
+    })
+}
+
+/// [`posterior`] with the no-known-SNP priors served from a precomputed
+/// [`PriorTable`] — identical results (the table holds the exact values
+/// [`genotype_log_prior`] produces), built for tight per-site loops.
+pub fn posterior_cached(
+    type_likely: &[f64; NUM_GENOTYPES],
+    summary: &SiteSummary,
+    ref_base: u8,
+    known: Option<&KnownSnp>,
+    params: &ModelParams,
+    priors: &PriorTable,
+) -> SnpRow {
+    match known {
+        Some(_) => posterior(type_likely, summary, ref_base, known, params),
+        None => {
+            let row = priors.row(ref_base);
+            posterior_impl(type_likely, summary, ref_base, known, params, |g| row[g])
+        }
+    }
+}
+
+fn posterior_impl(
+    type_likely: &[f64; NUM_GENOTYPES],
+    summary: &SiteSummary,
+    ref_base: u8,
+    known: Option<&KnownSnp>,
+    params: &ModelParams,
+    prior: impl Fn(usize) -> f64,
+) -> SnpRow {
     let mut row = SnpRow {
         ref_base,
         is_known_snp: u8::from(known.is_some()),
@@ -277,7 +339,7 @@ pub fn posterior(
     let mut best_post = f64::NEG_INFINITY;
     let mut second_post = f64::NEG_INFINITY;
     for (g, &tl) in type_likely.iter().enumerate() {
-        let post = genotype_log_prior(g, ref_base, known, params) + tl;
+        let post = prior(g) + tl;
         if post > best_post {
             second = best;
             second_post = best_post;

@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use compress::{column, input_codec};
 use crossbeam::channel::bounded;
-use gpu_sim::{Device, DeviceConfig, DeviceGroup, LaunchStats};
+use gpu_sim::{
+    BackendChoice, BackendDispatcher, ComputeBackend, DeviceConfig, DeviceGroup, LaunchStats,
+};
 use rayon::prelude::*;
 use seqio::fasta::Reference;
 use seqio::prior::PriorMap;
@@ -190,6 +192,14 @@ pub struct GsnpConfig {
     /// [`GsnpCpuPipeline`], which has no device or stage structure to
     /// trace.
     pub trace: Option<std::sync::Arc<gpu_sim::TraceRecorder>>,
+    /// Which compute backend executes the kernels: the instrumented
+    /// simulator (`Sim`, the default — source of truth for Table III
+    /// counters, sanitizer, and trace), the uninstrumented rayon host
+    /// executor (`Native`, bit-identical results at real wall-clock
+    /// speed), or per-launch adaptive dispatch (`Auto`). `Native` refuses
+    /// configs that need sim-only features (`sanitize`, `trace`); `Auto`
+    /// falls back to the simulator for those launches.
+    pub backend: BackendChoice,
 }
 
 impl Default for GsnpConfig {
@@ -207,6 +217,7 @@ impl Default for GsnpConfig {
             pooled: true,
             sanitize: false,
             trace: None,
+            backend: BackendChoice::Sim,
         }
     }
 }
@@ -287,6 +298,15 @@ impl GsnpPipeline {
             .as_ref()
             .map(|rec| PipelineTrace::new(rec, group.len()));
         group.set_pool_enabled(cfg.pooled);
+        // One per-device dispatcher routes every kernel launch to the
+        // configured backend. Construction refuses `Native` when sim-only
+        // features (sanitizer, trace) are attached; `Auto` falls back to
+        // the simulator for those launches instead.
+        let dispatchers: Vec<BackendDispatcher<'_>> = group
+            .devices()
+            .iter()
+            .map(|d| BackendDispatcher::new(d, cfg.backend).unwrap_or_else(|e| panic!("gsnp: {e}")))
+            .collect();
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
         let mut stats = PipelineStats::default();
@@ -316,6 +336,7 @@ impl GsnpPipeline {
         if cfg.pipeline_depth <= 1 && group.len() == 1 {
             self.window_loop_serial(
                 &group,
+                &dispatchers,
                 &tables,
                 temp_input,
                 reads,
@@ -331,6 +352,7 @@ impl GsnpPipeline {
             // device workers need the channel topology to shard windows.
             self.window_loop_streamed(
                 &group,
+                &dispatchers,
                 &tables,
                 temp_input,
                 reads,
@@ -350,6 +372,7 @@ impl GsnpPipeline {
     fn window_loop_serial(
         &self,
         group: &DeviceGroup,
+        dispatchers: &[BackendDispatcher<'_>],
         tables: &[DeviceTables],
         temp_input: Option<Vec<u8>>,
         reads: &[AlignedRead],
@@ -362,6 +385,7 @@ impl GsnpPipeline {
     ) -> GsnpOutput {
         let cfg = &self.config;
         let dev = group.device(0);
+        let disp = &dispatchers[0];
         let tables = &tables[0];
         let loop_start = Instant::now();
 
@@ -435,7 +459,7 @@ impl GsnpPipeline {
                 wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
             let ts = trace_now(ptrace);
             let tl_bytes = run_device_batch(
-                dev,
+                disp,
                 tables,
                 cfg.variant,
                 device_table_bytes,
@@ -502,7 +526,7 @@ impl GsnpPipeline {
             let t0 = Instant::now();
             let ts = trace_now(ptrace);
             let out_stats = if cfg.gpu_output {
-                column::write_windows_gpu_batch(dev, &mut compressed, &batch_tables)
+                column::write_windows_gpu_batch(disp, &mut compressed, &batch_tables)
             } else {
                 for table in &batch_tables {
                     column::write_window(&mut compressed, table);
@@ -592,6 +616,7 @@ impl GsnpPipeline {
     fn window_loop_streamed(
         &self,
         group: &DeviceGroup,
+        dispatchers: &[BackendDispatcher<'_>],
         tables: &[DeviceTables],
         temp_input: Option<Vec<u8>>,
         reads: &[AlignedRead],
@@ -693,7 +718,7 @@ impl GsnpPipeline {
             for (worker_id, dev_tables) in tables.iter().enumerate().take(num_devices) {
                 let win_rx = win_rx.clone();
                 let score_tx = score_tx.clone();
-                let dev = group.device(worker_id);
+                let disp = &dispatchers[worker_id];
                 workers.push(s.spawn(move || {
                     let mut rep = StageReport::default();
                     let mut lane = DeviceLaneStats::default();
@@ -716,7 +741,7 @@ impl GsnpPipeline {
 
                         let k = arenas.len();
                         let tl_bytes = run_device_batch(
-                            dev,
+                            disp,
                             dev_tables,
                             variant,
                             device_table_bytes,
@@ -876,7 +901,7 @@ impl GsnpPipeline {
                         // Column kernels run on the device that already
                         // holds this batch's data: one chain per batch.
                         column::write_windows_gpu_batch(
-                            group.device(dev),
+                            &dispatchers[dev],
                             &mut compressed,
                             &batch_tables,
                         )
@@ -1016,8 +1041,8 @@ struct BatchScratch {
 /// into each window's arena. Returns the batch's total `type_likely`
 /// byte count the posterior stage charges for reading back.
 #[allow(clippy::too_many_arguments)]
-fn run_device_batch(
-    dev: &Device,
+fn run_device_batch<B: ComputeBackend>(
+    dev: &B,
     tables: &DeviceTables,
     variant: KernelVariant,
     device_table_bytes: u64,
@@ -1206,16 +1231,20 @@ fn posterior_rows(
     priors: &PriorMap,
     params: &ModelParams,
 ) -> Vec<SnpRow> {
+    // The no-known-SNP prior depends only on (ref_base, genotype); table
+    // it once per batch instead of ten log10 calls per site.
+    let prior_table = crate::model::PriorTable::new(params);
     (0..summaries.len())
         .into_par_iter()
         .map(|site| {
             let pos = start + site as u64;
-            posterior(
+            crate::model::posterior_cached(
                 &type_likely[site],
                 &summaries[site],
                 reference.seq[pos as usize],
                 priors.get(pos),
                 params,
+                &prior_table,
             )
         })
         .collect()

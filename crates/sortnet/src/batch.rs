@@ -8,7 +8,7 @@
 //! global memory (the multipass heuristic of He et al. keeps this path
 //! cold for GSNP's workloads).
 
-use gpu_sim::{Device, GlobalBuffer, LaunchStats};
+use gpu_sim::{ComputeBackend, GlobalBuffer, LaunchStats};
 
 use crate::bitonic::{for_each_pair, pad_to_pow2};
 use crate::Span;
@@ -22,8 +22,8 @@ use crate::Span;
 ///
 /// # Panics
 /// Panics if a span exceeds `capacity` or runs past the end of `data`.
-pub fn batch_sort(
-    dev: &Device,
+pub fn batch_sort<B: ComputeBackend>(
+    dev: &B,
     data: &GlobalBuffer<u32>,
     spans: &[Span],
     capacity: usize,
@@ -42,7 +42,7 @@ pub fn batch_sort(
 
     if m <= shared_elems {
         dev.launch("batch_sort_shared", grid, |ctx| {
-            let first = ctx.block_idx * apb;
+            let first = ctx.block_idx() * apb;
             let last = (first + apb).min(spans.len());
             let mut tile = ctx.shared_alloc::<u32>(m);
             for &(off, len) in &spans[first..last] {
@@ -53,11 +53,10 @@ pub fn batch_sort(
                 tile.fill_span(ctx, len, m, u32::MAX);
                 // The network runs entirely in shared memory; the fused
                 // compare-exchange tallies the same counters as scalar
-                // read/read(/write/write) sequences.
-                for_each_pair(m, |lo, hi| {
-                    ctx.add_inst(1);
-                    tile.compare_exchange(ctx, lo, hi);
-                });
+                // read/read(/write/write) sequences. Handing the whole
+                // network to the tile lets the native backend sort the
+                // lanes directly instead of replaying every pair.
+                tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
                 // Write back the real prefix.
                 tile.flush_co(ctx, data, 0, off, len);
             }
@@ -66,7 +65,7 @@ pub fn batch_sort(
     } else {
         // Oversized arrays: compare-exchange directly in global memory.
         dev.launch("batch_sort_global", grid, |ctx| {
-            let first = ctx.block_idx * apb;
+            let first = ctx.block_idx() * apb;
             let last = (first + apb).min(spans.len());
             for &(off, len) in &spans[first..last] {
                 ctx.add_inst(2);
@@ -93,8 +92,8 @@ pub fn batch_sort(
 /// SIMD lockstep means every array in a block pays the network of the
 /// largest array grouped with it, which is exactly the workload imbalance
 /// the multipass scheduler removes.
-pub fn batch_sort_blockmax(
-    dev: &Device,
+pub fn batch_sort_blockmax<B: ComputeBackend>(
+    dev: &B,
     data: &GlobalBuffer<u32>,
     spans: &[Span],
     arrays_per_block: usize,
@@ -106,7 +105,7 @@ pub fn batch_sort_blockmax(
     let grid = spans.len().div_ceil(apb);
     let shared_elems = dev.config().shared_mem_per_block / std::mem::size_of::<u32>();
     dev.launch("batch_sort_blockmax", grid, |ctx| {
-        let first = ctx.block_idx * apb;
+        let first = ctx.block_idx() * apb;
         let last = (first + apb).min(spans.len());
         let group = &spans[first..last];
         let cap = group.iter().map(|&(_, l)| l).max().unwrap_or(1);
@@ -117,10 +116,7 @@ pub fn batch_sort_blockmax(
                 ctx.add_inst(2);
                 tile.stage_co(ctx, data, off, 0, len);
                 tile.fill_span(ctx, len, m, u32::MAX);
-                for_each_pair(m, |lo, hi| {
-                    ctx.add_inst(1);
-                    tile.compare_exchange(ctx, lo, hi);
-                });
+                tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
                 tile.flush_co(ctx, data, 0, off, len);
             }
             ctx.shared_free(tile);
@@ -148,6 +144,7 @@ pub fn batch_sort_blockmax(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::Device;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -8,7 +8,7 @@
 //! uniformly-padded batch per class — the paper's six classes are
 //! `[0,1], (1,8], (8,16], (16,32], (32,64], (64,…]`.
 
-use gpu_sim::{Device, GlobalBuffer, LaunchStats};
+use gpu_sim::{ComputeBackend, GlobalBuffer, LaunchStats};
 
 use crate::batch::batch_sort;
 use crate::bitonic::pad_to_pow2;
@@ -131,15 +131,19 @@ impl MultipassScratch {
 }
 
 /// The paper's multipass sort: one batch launch per size class.
-pub fn multipass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+pub fn multipass_sort<B: ComputeBackend>(
+    dev: &B,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+) -> MultipassReport {
     multipass_sort_with_bounds(dev, data, spans, &PASS_BOUNDS)
 }
 
 /// Multipass sort with caller-chosen class upper bounds (ascending; the
 /// final bound should be `usize::MAX`). Exposed for the class-boundary
 /// ablation study.
-pub fn multipass_sort_with_bounds(
-    dev: &Device,
+pub fn multipass_sort_with_bounds<B: ComputeBackend>(
+    dev: &B,
     data: &GlobalBuffer<u32>,
     spans: &[Span],
     bounds: &[usize],
@@ -151,8 +155,8 @@ pub fn multipass_sort_with_bounds(
 
 /// [`multipass_sort`] writing into caller-owned scratch; see
 /// [`MultipassScratch`]. The result lands in `scratch.report()`.
-pub fn multipass_sort_into(
-    dev: &Device,
+pub fn multipass_sort_into<B: ComputeBackend>(
+    dev: &B,
     data: &GlobalBuffer<u32>,
     spans: &[Span],
     scratch: &mut MultipassScratch,
@@ -161,8 +165,8 @@ pub fn multipass_sort_into(
 }
 
 /// [`multipass_sort_with_bounds`] writing into caller-owned scratch.
-pub fn multipass_sort_with_bounds_into(
-    dev: &Device,
+pub fn multipass_sort_with_bounds_into<B: ComputeBackend>(
+    dev: &B,
     data: &GlobalBuffer<u32>,
     spans: &[Span],
     bounds: &[usize],
@@ -251,7 +255,11 @@ fn class_tally(upper: usize, spans: &[Span], capacity: usize) -> ClassTally {
 
 /// Strawman 1 ("bitonic SP"): a single pass with every array padded to the
 /// batch-wide maximum size.
-pub fn single_pass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+pub fn single_pass_sort<B: ComputeBackend>(
+    dev: &B,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+) -> MultipassReport {
     let mut report = MultipassReport::default();
     let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
     report.classes.push(trivial_tally(spans));
@@ -274,7 +282,11 @@ pub fn single_pass_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) 
 /// Strawman 2 ("bitonic noneq"): arrays of different sizes dispatched
 /// directly; each block's SIMD lanes execute in lockstep, so every array in
 /// a block pays the network of the *largest* array grouped with it.
-pub fn noneq_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> MultipassReport {
+pub fn noneq_sort<B: ComputeBackend>(
+    dev: &B,
+    data: &GlobalBuffer<u32>,
+    spans: &[Span],
+) -> MultipassReport {
     let mut report = MultipassReport::default();
     let work: Vec<Span> = spans.iter().copied().filter(|&(_, l)| l > 1).collect();
     report.classes.push(trivial_tally(spans));
@@ -309,6 +321,7 @@ pub fn noneq_sort(dev: &Device, data: &GlobalBuffer<u32>, spans: &[Span]) -> Mul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::Device;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -4,10 +4,10 @@
 //! ```text
 //! gsnp synth   <out_dir> [--sites N] [--depth X] [--seed S]
 //! gsnp call    <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
-//!              [--window N] [--devices N] [--batch N] [--cpu]
+//!              [--window N] [--devices N] [--batch N] [--backend B] [--cpu]
 //!              [--text <out.txt>] [--trace <out.json>] [--metrics <out.prom>]
 //! gsnp profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N]
-//!              [--batch N] [--seed S] [--trace <out.json>]
+//!              [--batch N] [--backend B] [--seed S] [--trace <out.json>]
 //! gsnp decode  <in.gsnp> [<out.txt>]
 //! gsnp stats   <in.gsnp> [--format prom]
 //! gsnp validate-trace <trace.json>
@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use gsnp::compress::column::WindowStream;
 use gsnp::core::{call_metrics, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
-use gsnp::gpu_sim::{MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot};
+use gsnp::gpu_sim::{BackendChoice, MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot};
 use gsnp::seqio::fasta::Reference;
 use gsnp::seqio::prior::PriorMap;
 use gsnp::seqio::soap::{write_alignments, AlignmentReader};
@@ -47,8 +47,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gsnp <synth|call|profile|decode|stats|validate-trace> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
-                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--seed S] [--trace out.json]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--backend sim|auto] [--seed S] [--trace out.json]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp> [--format prom]\n\
                  validate-trace <trace.json>"
@@ -72,6 +72,14 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn backend_flag(args: &[String]) -> Result<BackendChoice, Box<dyn std::error::Error>> {
+    match flag_value(args, "--backend") {
+        None => Ok(BackendChoice::Sim),
+        Some(s) => BackendChoice::parse(s)
+            .ok_or_else(|| format!("unknown backend {s:?} (expected sim, native, or auto)").into()),
+    }
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -140,8 +148,16 @@ fn cmd_call(args: &[String]) -> CliResult {
         AlignmentReader::new(BufReader::new(fs::File::open(aln)?)).collect::<Result<_, _>>()?;
 
     let cpu = args.iter().any(|a| a == "--cpu");
+    let backend = backend_flag(args)?;
     let recorder = match flag_value(args, "--trace") {
         Some(_) if cpu => return Err("--trace requires the device pipeline (drop --cpu)".into()),
+        Some(_) if backend == BackendChoice::Native => {
+            return Err(
+                "--backend native cannot trace (kernel counters are sim-only); \
+                 use --backend sim or auto"
+                    .into(),
+            )
+        }
         Some(_) => Some(Arc::new(TraceRecorder::new(
             gsnp::gpu_sim::trace::DEFAULT_CAPACITY,
         ))),
@@ -152,6 +168,7 @@ fn cmd_call(args: &[String]) -> CliResult {
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
         launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
         trace: recorder.clone(),
+        backend,
         ..Default::default()
     };
     let result = if cpu {
@@ -214,6 +231,12 @@ fn cmd_profile(args: &[String]) -> CliResult {
     synth.read_len = 100;
     let d = Dataset::generate(synth);
 
+    let backend = backend_flag(args)?;
+    if backend == BackendChoice::Native {
+        return Err("profile always traces, and kernel counters are sim-only; \
+             use --backend sim or auto (auto dispatches all-sim under trace)"
+            .into());
+    }
     let recorder = Arc::new(TraceRecorder::new(gsnp::gpu_sim::trace::DEFAULT_CAPACITY));
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(16_000), str::parse)?,
@@ -221,6 +244,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
         pipeline_depth: flag_value(args, "--pipeline-depth").map_or(Ok(2), str::parse)?,
         launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
         trace: Some(Arc::clone(&recorder)),
+        backend,
         ..Default::default()
     };
     let result = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
@@ -301,28 +325,50 @@ fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
         let sites = stats.num_sites.max(1) as f64;
         println!("\nper-kernel launch tallies (group sum)");
         println!(
-            "  {:<24} {:>8} {:>14} {:>14}",
-            "kernel", "launches", "launches/site", "overhead-sec"
+            "  {:<24} {:>8} {:>8} {:>14} {:>14} {:>10}",
+            "kernel", "launches", "backend", "launches/site", "overhead-sec", "wall-sec"
         );
         let mut launches = 0u64;
         let mut overhead = 0.0;
+        let mut wall = 0.0;
         for tally in &stats.kernel_launches {
             launches += tally.launches;
             overhead += tally.overhead_seconds;
+            wall += tally.wall_seconds;
+            let backend = if tally.native_launches == 0 {
+                "sim"
+            } else if tally.native_launches == tally.launches {
+                "native"
+            } else {
+                "mixed"
+            };
             println!(
-                "  {:<24} {:>8} {:>14.6} {:>14.6}",
+                "  {:<24} {:>8} {:>8} {:>14.6} {:>14.6} {:>10.4}",
                 tally.name,
                 tally.launches,
+                backend,
                 tally.launches as f64 / sites,
-                tally.overhead_seconds
+                tally.overhead_seconds,
+                tally.wall_seconds
             );
         }
         println!(
-            "  {:<24} {:>8} {:>14.6} {:>14.6}",
+            "  {:<24} {:>8} {:>8} {:>14.6} {:>14.6} {:>10.4}",
             "total",
             launches,
+            "",
             launches as f64 / sites,
-            overhead
+            overhead,
+            wall
+        );
+        // Backend dispatch totals (Auto decisions included).
+        let mut backend = gsnp::gpu_sim::BackendTallies::default();
+        for led in &stats.ledgers {
+            backend.sum(&led.backend);
+        }
+        println!(
+            "  backend launches: {} sim, {} native (auto decisions: {} sim, {} native)",
+            backend.sim, backend.native, backend.auto_sim, backend.auto_native
         );
     }
 

@@ -84,7 +84,18 @@ fn track_spans(snap: &TraceSnapshot, track: u32) -> Vec<(f64, f64)> {
 fn device_track_spans_are_monotonic_and_non_overlapping() {
     let d = dataset();
     let rec = Arc::new(TraceRecorder::new(1 << 16));
-    run(&d, 2, 2, Some(Arc::clone(&rec)));
+    // Quarter-size windows (20 instead of the 4 the other tests use):
+    // this test asserts *both* devices traced kernels, and with only two
+    // windows homed per device a fast worker can legitimately steal its
+    // sibling's entire queue before the sibling first polls.
+    let cfg = GsnpConfig {
+        window_size: 300,
+        num_devices: 2,
+        pipeline_depth: 2,
+        trace: Some(Arc::clone(&rec)),
+        ..Default::default()
+    };
+    GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
     let snap = rec.snapshot();
     assert_eq!(snap.dropped, 0, "ring sized for the whole run");
 
