@@ -7,8 +7,10 @@
 //! simulated device and produces **byte-identical** output to the CPU
 //! [`crate::rledict`] codec, so either path can decode the other's stream.
 
-use gpu_sim::primitives::{binary_search_indices, exclusive_scan, unique_sorted, BLOCK};
-use gpu_sim::{ComputeBackend, GlobalBuffer, LaunchStats};
+use gpu_sim::primitives::{
+    binary_search_indices, exclusive_scan, scatter_footprint, unique_sorted, BLOCK,
+};
+use gpu_sim::{AccessContract, ComputeBackend, Footprint, GlobalBuffer, LaunchStats};
 
 use crate::bitio::BitWriter;
 use crate::dict;
@@ -27,21 +29,30 @@ pub fn rle_gpu<B: ComputeBackend>(
     // Flag run heads. All three scratch buffers below are fully written
     // before they are read, so dirty pooled acquisitions are safe.
     let flags = dev.alloc_pooled_dirty::<u32>(n);
-    let mut stats = dev.launch("rle_flags", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let v = ctx.ld_co(input, i);
-            let head = if i == 0 {
-                1
-            } else {
-                let prev = ctx.ld_co(input, i - 1);
-                ctx.add_inst(1);
-                u32::from(prev != v)
-            };
-            ctx.st_co(&flags, i, head);
-        }
-    });
+    let mut stats = dev.launch_contracted(
+        "rle_flags",
+        grid,
+        || {
+            AccessContract::default()
+                .read(input, Footprint::tiled_with_prev(BLOCK, n))
+                .write(&flags, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let v = ctx.ld_co(input, i);
+                let head = if i == 0 {
+                    1
+                } else {
+                    let prev = ctx.ld_co(input, i - 1);
+                    ctx.add_inst(1);
+                    u32::from(prev != v)
+                };
+                ctx.st_co(&flags, i, head);
+            }
+        },
+    );
 
     // Positions of runs via scan; scatter values and start offsets.
     let (positions, num_runs, scan_stats) = exclusive_scan(dev, &flags);
@@ -49,35 +60,56 @@ pub fn rle_gpu<B: ComputeBackend>(
     let num_runs = num_runs as usize;
     let values = dev.alloc_pooled_dirty::<u32>(num_runs);
     let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
-    stats += dev.launch("rle_scatter", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            if ctx.ld_co(&flags, i) == 1 {
-                let p = ctx.ld_co(&positions, i) as usize;
-                let v = ctx.ld_co(input, i);
-                ctx.st_rand(&values, p, v);
-                ctx.st_rand(&starts, p, i as u32);
+    stats += dev.launch_contracted(
+        "rle_scatter",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&flags, Footprint::tiled(BLOCK, n))
+                .read(&positions, Footprint::tiled(BLOCK, n))
+                .read(input, Footprint::tiled(BLOCK, n))
+                .write(&values, scatter_footprint(&positions, n, num_runs))
+                .write(&starts, scatter_footprint(&positions, n, num_runs))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                if ctx.ld_co(&flags, i) == 1 {
+                    let p = ctx.ld_co(&positions, i) as usize;
+                    let v = ctx.ld_co(input, i);
+                    ctx.st_rand(&values, p, v);
+                    ctx.st_rand(&starts, p, i as u32);
+                }
             }
-        }
-    });
+        },
+    );
 
     // Lengths from consecutive starts.
     let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
     let run_grid = num_runs.div_ceil(BLOCK);
-    stats += dev.launch("rle_lengths", run_grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(num_runs);
-        for i in base..end {
-            let s = ctx.ld_co(&starts, i);
-            let e = if i + 1 < num_runs {
-                ctx.ld_co(&starts, i + 1)
-            } else {
-                n as u32
-            };
-            ctx.st_co(&lengths, i, e - s);
-        }
-    });
+    stats += dev.launch_contracted(
+        "rle_lengths",
+        run_grid,
+        || {
+            AccessContract::default()
+                .read(&starts, Footprint::tiled_with_next(BLOCK, num_runs))
+                .write(&lengths, Footprint::tiled(BLOCK, num_runs))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(num_runs);
+            for i in base..end {
+                let s = ctx.ld_co(&starts, i);
+                let e = if i + 1 < num_runs {
+                    ctx.ld_co(&starts, i + 1)
+                } else {
+                    n as u32
+                };
+                ctx.st_co(&lengths, i, e - s);
+            }
+        },
+    );
 
     (values.to_vec(), lengths.to_vec(), stats)
 }
@@ -152,58 +184,89 @@ pub fn rledict_gpu_batch<B: ComputeBackend>(
     // never merge across a boundary. `heads[0] == 1` whenever n > 0, so
     // the `i - 1` load below is never reached at i == 0.
     let flags = dev.alloc_pooled_dirty::<u32>(n);
-    let mut stats = dev.launch("rle_flags", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let v = ctx.ld_co(&input, i);
-            let head = if ctx.ld_co(&head_buf, i) == 1 {
-                1
-            } else {
-                let prev = ctx.ld_co(&input, i - 1);
-                ctx.add_inst(1);
-                u32::from(prev != v)
-            };
-            ctx.st_co(&flags, i, head);
-        }
-    });
+    let mut stats = dev.launch_contracted(
+        "rle_flags",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&input, Footprint::tiled_with_prev(BLOCK, n))
+                .read(&head_buf, Footprint::tiled(BLOCK, n))
+                .write(&flags, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let v = ctx.ld_co(&input, i);
+                let head = if ctx.ld_co(&head_buf, i) == 1 {
+                    1
+                } else {
+                    let prev = ctx.ld_co(&input, i - 1);
+                    ctx.add_inst(1);
+                    u32::from(prev != v)
+                };
+                ctx.st_co(&flags, i, head);
+            }
+        },
+    );
 
     let (positions, num_runs, scan_stats) = exclusive_scan(dev, &flags);
     stats += scan_stats;
     let num_runs = num_runs as usize;
     let values = dev.alloc_pooled_dirty::<u32>(num_runs);
     let starts = dev.alloc_pooled_dirty::<u32>(num_runs);
-    stats += dev.launch("rle_scatter", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            if ctx.ld_co(&flags, i) == 1 {
-                let p = ctx.ld_co(&positions, i) as usize;
-                let v = ctx.ld_co(&input, i);
-                ctx.st_rand(&values, p, v);
-                ctx.st_rand(&starts, p, i as u32);
+    stats += dev.launch_contracted(
+        "rle_scatter",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&flags, Footprint::tiled(BLOCK, n))
+                .read(&positions, Footprint::tiled(BLOCK, n))
+                .read(&input, Footprint::tiled(BLOCK, n))
+                .write(&values, scatter_footprint(&positions, n, num_runs))
+                .write(&starts, scatter_footprint(&positions, n, num_runs))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                if ctx.ld_co(&flags, i) == 1 {
+                    let p = ctx.ld_co(&positions, i) as usize;
+                    let v = ctx.ld_co(&input, i);
+                    ctx.st_rand(&values, p, v);
+                    ctx.st_rand(&starts, p, i as u32);
+                }
             }
-        }
-    });
+        },
+    );
 
     // Lengths from consecutive starts. Segments are contiguous in the
     // concatenation and every segment head is a forced run head, so the
     // next run's start is the current run's end even across a boundary.
     let lengths = dev.alloc_pooled_dirty::<u32>(num_runs);
     let run_grid = num_runs.div_ceil(BLOCK);
-    stats += dev.launch("rle_lengths", run_grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(num_runs);
-        for i in base..end {
-            let s = ctx.ld_co(&starts, i);
-            let e = if i + 1 < num_runs {
-                ctx.ld_co(&starts, i + 1)
-            } else {
-                n as u32
-            };
-            ctx.st_co(&lengths, i, e - s);
-        }
-    });
+    stats += dev.launch_contracted(
+        "rle_lengths",
+        run_grid,
+        || {
+            AccessContract::default()
+                .read(&starts, Footprint::tiled_with_next(BLOCK, num_runs))
+                .write(&lengths, Footprint::tiled(BLOCK, num_runs))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(num_runs);
+            for i in base..end {
+                let s = ctx.ld_co(&starts, i);
+                let e = if i + 1 < num_runs {
+                    ctx.ld_co(&starts, i + 1)
+                } else {
+                    n as u32
+                };
+                ctx.st_co(&lengths, i, e - s);
+            }
+        },
+    );
 
     let values_host = values.to_vec();
     let lengths_host = lengths.to_vec();
@@ -263,37 +326,58 @@ fn dict_gpu_segmented<B: ComputeBackend>(
     let head_buf = dev.upload_pooled(&heads);
     let grid = n.div_ceil(BLOCK);
     let flags = dev.alloc_pooled_dirty::<u32>(n);
-    let mut stats = dev.launch("unique_flags", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let v = ctx.ld_co(&sorted_buf, i);
-            let is_new = if ctx.ld_co(&head_buf, i) == 1 {
-                1
-            } else {
-                let prev = ctx.ld_co(&sorted_buf, i - 1);
-                ctx.add_inst(1);
-                u32::from(prev != v)
-            };
-            ctx.st_co(&flags, i, is_new);
-        }
-    });
+    let mut stats = dev.launch_contracted(
+        "unique_flags",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&sorted_buf, Footprint::tiled_with_prev(BLOCK, n))
+                .read(&head_buf, Footprint::tiled(BLOCK, n))
+                .write(&flags, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let v = ctx.ld_co(&sorted_buf, i);
+                let is_new = if ctx.ld_co(&head_buf, i) == 1 {
+                    1
+                } else {
+                    let prev = ctx.ld_co(&sorted_buf, i - 1);
+                    ctx.add_inst(1);
+                    u32::from(prev != v)
+                };
+                ctx.st_co(&flags, i, is_new);
+            }
+        },
+    );
 
     let (positions, dict_total, scan_stats) = exclusive_scan(dev, &flags);
     stats += scan_stats;
     let dict_total = dict_total as usize;
     let dict_buf = dev.alloc_pooled_dirty::<u32>(dict_total);
-    stats += dev.launch("unique_scatter", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            if ctx.ld_co(&flags, i) == 1 {
-                let pos = ctx.ld_co(&positions, i);
-                let v = ctx.ld_co(&sorted_buf, i);
-                ctx.st_rand(&dict_buf, pos as usize, v);
+    stats += dev.launch_contracted(
+        "unique_scatter",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&flags, Footprint::tiled(BLOCK, n))
+                .read(&positions, Footprint::tiled(BLOCK, n))
+                .read(&sorted_buf, Footprint::tiled(BLOCK, n))
+                .write(&dict_buf, scatter_footprint(&positions, n, dict_total))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                if ctx.ld_co(&flags, i) == 1 {
+                    let pos = ctx.ld_co(&positions, i);
+                    let v = ctx.ld_co(&sorted_buf, i);
+                    ctx.st_rand(&dict_buf, pos as usize, v);
+                }
             }
-        }
-    });
+        },
+    );
 
     // Segment j's dictionary occupies `dict_off[j]..dict_off[j + 1]` of
     // the compacted buffer: the scanned flag position at the segment's
@@ -316,33 +400,45 @@ fn dict_gpu_segmented<B: ComputeBackend>(
     let off_buf = dev.upload_pooled(&dict_off);
     let queries = dev.upload_pooled(data);
     let indices = dev.alloc_pooled_dirty::<u32>(n);
-    stats += dev.launch("binary_search", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let q = ctx.ld_co(&queries, i);
-            let j = ctx.ld_co(&seg_buf, i) as usize;
-            let d0 = ctx.ld_rand(&off_buf, j) as usize;
-            let d1 = ctx.ld_rand(&off_buf, j + 1) as usize;
-            let (mut lo, mut hi) = (d0, d1);
-            while lo + 1 < hi {
-                let mid = (lo + hi) / 2;
-                let v = ctx.ld_rand(&dict_buf, mid);
-                if v <= q {
-                    lo = mid;
-                } else {
-                    hi = mid;
+    stats += dev.launch_contracted(
+        "binary_search",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&queries, Footprint::tiled(BLOCK, n))
+                .read(&seg_buf, Footprint::tiled(BLOCK, n))
+                .read(&off_buf, Footprint::All)
+                .read(&dict_buf, Footprint::All)
+                .write(&indices, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let q = ctx.ld_co(&queries, i);
+                let j = ctx.ld_co(&seg_buf, i) as usize;
+                let d0 = ctx.ld_rand(&off_buf, j) as usize;
+                let d1 = ctx.ld_rand(&off_buf, j + 1) as usize;
+                let (mut lo, mut hi) = (d0, d1);
+                while lo + 1 < hi {
+                    let mid = (lo + hi) / 2;
+                    let v = ctx.ld_rand(&dict_buf, mid);
+                    if v <= q {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                    ctx.add_inst(2);
                 }
-                ctx.add_inst(2);
+                debug_assert_eq!(
+                    ctx.ld_rand(&dict_buf, lo),
+                    q,
+                    "query missing from dictionary"
+                );
+                ctx.st_co(&indices, i, (lo - d0) as u32);
             }
-            debug_assert_eq!(
-                ctx.ld_rand(&dict_buf, lo),
-                q,
-                "query missing from dictionary"
-            );
-            ctx.st_co(&indices, i, (lo - d0) as u32);
-        }
-    });
+        },
+    );
 
     let dict_host = dict_buf.to_vec();
     let idx_host = indices.to_vec();
@@ -439,6 +535,36 @@ mod tests {
         }
         assert_eq!(stats.counters.instructions, 0);
         assert_eq!(dev.ledger().launches, 0);
+    }
+
+    #[test]
+    fn compression_chain_contracts_verify_under_conformance() {
+        use gpu_sim::{DeviceConfig, SanitizerConfig};
+        let dev = gpu_sim::Device::new(DeviceConfig::tesla_m2050())
+            .with_sanitizer(SanitizerConfig::all().with_conformance())
+            .with_contracts();
+        let segs: Vec<Vec<u32>> = vec![
+            (0..1200).map(|i| 30 + ((i / 23) % 9)).collect(),
+            Vec::new(),
+            vec![7; 300],
+            (0..900).map(|i| (i / 37) % 11).collect(),
+        ];
+        let refs: Vec<&[u32]> = segs.iter().map(Vec::as_slice).collect();
+        let (bytes, _) = rledict_gpu_batch(&dev, &refs);
+        for (b, s) in bytes.iter().zip(&segs) {
+            assert_eq!(b, &rledict::encode_to_vec(s));
+        }
+        let (solo_bytes, _) = rledict_gpu(&dev, &segs[0]);
+        assert_eq!(solo_bytes, rledict::encode_to_vec(&segs[0]));
+
+        let report = dev.contract_report();
+        let totals = report.totals();
+        assert!(totals.verified > 0);
+        assert_eq!(totals.refuted, 0, "{:?}", report.diagnostics);
+        assert_eq!(totals.assumed, 0, "every compression launch is contracted");
+        let counts = dev.sanitizer_report().unwrap().counts;
+        assert_eq!(counts.conformance_escapes, 0);
+        assert_eq!(counts.overwide_declarations, 0);
     }
 
     proptest! {

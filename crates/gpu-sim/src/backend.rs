@@ -16,9 +16,12 @@
 //!   both arms run the same kernel bodies over the same buffers with the
 //!   same log tables — but the returned [`LaunchStats`] carry **zero**
 //!   hardware counters and zero modelled time: those are sim-only
-//!   observables, and the backend refuses outright (see
-//!   [`BackendError`]) when the device has sim-only features attached
-//!   rather than silently reporting zeros.
+//!   observables, and the backend refuses traced devices outright (see
+//!   [`BackendError`]) rather than silently reporting zeros. Sanitized
+//!   devices are admitted per launch: a statically verified
+//!   [`AccessContract`] stands in for the dynamic checks the native path
+//!   bypasses (see [`ComputeBackend::launch_contracted`]), while
+//!   uncontracted launches on such devices panic.
 //! * [`BackendDispatcher`] — picks one of the two per launch. With
 //!   [`BackendChoice::Auto`] the decision comes from the launch's grid
 //!   size against a calibrated GPU-worthwhile threshold
@@ -40,6 +43,7 @@ use rayon::prelude::*;
 
 use crate::buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 use crate::config::DeviceConfig;
+use crate::contract::AccessContract;
 use crate::counters::LaunchStats;
 use crate::ctx::{scratch_put, scratch_take, BlockCtx, SharedMem};
 use crate::launch::Device;
@@ -84,11 +88,6 @@ impl BackendChoice {
 /// Why a backend refused a device configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendError {
-    /// The device has a sanitizer attached. The shadow-state checkers hook
-    /// the simulator's access paths; the native executor performs raw
-    /// buffer operations the sanitizer never sees, so running it would
-    /// silently disable checking.
-    SanitizerRequiresSim,
     /// The device has a trace recorder attached. Kernel spans carry
     /// per-launch hardware counters and modelled compute/memory splits —
     /// sim-only observables the native executor cannot produce (and must
@@ -99,12 +98,6 @@ pub enum BackendError {
 impl std::fmt::Display for BackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BackendError::SanitizerRequiresSim => write!(
-                f,
-                "the native backend cannot run sanitized configs: the sanitizer's \
-                 shadow-state checks hook the simulator's instrumented access paths \
-                 (use --backend sim, or disable sanitize)"
-            ),
             BackendError::TraceRequiresSim => write!(
                 f,
                 "the native backend cannot run traced configs: kernel trace spans \
@@ -118,14 +111,31 @@ impl std::fmt::Display for BackendError {
 impl std::error::Error for BackendError {}
 
 /// Refuse sim-only device features for native execution.
+///
+/// A *sanitized* device is no longer refused outright: contracted
+/// launches on the native backend statically verify their
+/// [`AccessContract`] before running and reconcile the sanitizer's
+/// shadow state afterwards (see [`ComputeBackend::launch_contracted`]),
+/// so only *uncontracted* native launches are rejected — at launch time,
+/// per kernel — on such devices.
 fn validate_native(dev: &Device) -> Result<(), BackendError> {
-    if dev.sanitizer_enabled() {
-        return Err(BackendError::SanitizerRequiresSim);
-    }
     if dev.trace_enabled() {
         return Err(BackendError::TraceRequiresSim);
     }
     Ok(())
+}
+
+/// Uncontracted native launches on a sanitized device would perform raw
+/// buffer operations the shadow-state checkers never see, silently
+/// disabling checking; a verified contract is the admission ticket.
+fn require_contract_free(dev: &Device, name: &str) {
+    assert!(
+        !dev.sanitizer_enabled(),
+        "native launch `{name}` on a sanitized device requires a verified \
+         AccessContract: use launch_contracted so the static analyzer can \
+         prove the kernel's footprints before the sanitizer is bypassed \
+         (or run --backend sim)"
+    );
 }
 
 /// Per-backend launch and dispatch-decision tallies, kept on the
@@ -585,6 +595,47 @@ pub trait ComputeBackend: Sync {
     where
         F: FnMut(&mut KernelCtx<'_, '_>);
 
+    /// Launch with a declared [`AccessContract`]. The builder closure runs
+    /// only when the device wants the declaration (static checking,
+    /// conformance, or a sanitized native launch); the static analyzer
+    /// proves or refutes it before any block executes. The default
+    /// implementation routes through the simulator; the native backend
+    /// overrides it to execute uninstrumented *after* the proof.
+    ///
+    /// # Panics
+    /// Panics before executing any block when the contract is refuted.
+    fn launch_contracted<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        sim_launch_contracted(self.device(), name, grid_dim, contract, kernel)
+    }
+
+    /// Sequential counterpart of [`ComputeBackend::launch_contracted`].
+    ///
+    /// # Panics
+    /// Panics before executing any block when the contract is refuted.
+    fn launch_contracted_seq<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        sim_launch_contracted_seq(self.device(), name, grid_dim, contract, kernel)
+    }
+
     /// Device configuration (forwarded).
     fn config(&self) -> &DeviceConfig {
         self.device().config()
@@ -657,17 +708,13 @@ where
 /// task overhead would dwarf a couple of blocks' work.
 const NATIVE_PAR_MIN_GRID: usize = 4;
 
-/// Run a launch on the native executor: rayon over blocks, no
-/// instrumentation. Returns wall-clock only — counters and modelled time
-/// are sim-only observables and stay zero.
-fn native_launch<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+/// Execute the blocks of a native launch (no admission checks). Returns
+/// wall-clock only — counters and modelled time are sim-only observables
+/// and stay zero.
+fn native_run<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
 where
     F: Fn(&mut KernelCtx<'_, '_>) + Sync,
 {
-    // Zero-grid launches are device-wide no-ops on every backend.
-    if grid_dim == 0 {
-        return LaunchStats::default();
-    }
     let cfg = dev.config();
     let start = Instant::now();
     let run_block = |b: usize| {
@@ -688,14 +735,11 @@ where
     stats
 }
 
-/// Run a sequential launch on the native executor.
-fn native_launch_seq<F>(dev: &Device, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
+/// Sequential counterpart of [`native_run`].
+fn native_run_seq<F>(dev: &Device, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
 where
     F: FnMut(&mut KernelCtx<'_, '_>),
 {
-    if grid_dim == 0 {
-        return LaunchStats::default();
-    }
     let cfg = dev.config();
     let start = Instant::now();
     for b in 0..grid_dim {
@@ -709,6 +753,130 @@ where
     };
     dev.record_native_launch(name, &stats);
     stats
+}
+
+/// Run an uncontracted launch on the native executor: rayon over blocks,
+/// no instrumentation.
+///
+/// # Panics
+/// Panics when the device is sanitized (see [`require_contract_free`]).
+fn native_launch<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+where
+    F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+{
+    // Zero-grid launches are device-wide no-ops on every backend.
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    require_contract_free(dev, name);
+    dev.tally_assumed(name);
+    native_run(dev, name, grid_dim, kernel)
+}
+
+/// Run an uncontracted sequential launch on the native executor.
+///
+/// # Panics
+/// Panics when the device is sanitized (see [`require_contract_free`]).
+fn native_launch_seq<F>(dev: &Device, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
+where
+    F: FnMut(&mut KernelCtx<'_, '_>),
+{
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    require_contract_free(dev, name);
+    dev.tally_assumed(name);
+    native_run_seq(dev, name, grid_dim, kernel)
+}
+
+/// Run a contracted launch on the native executor: the static analyzer
+/// verifies the declared footprints *before* any block runs (refutations
+/// panic with structured diagnostics), the uninstrumented blocks then
+/// execute on the strength of the proof, and on sanitized devices the
+/// contract's declared write spans are replayed into the shadow state so
+/// later sim-side checking stays sound.
+fn native_launch_contracted<C, F>(
+    dev: &Device,
+    name: &str,
+    grid_dim: usize,
+    contract: C,
+    kernel: F,
+) -> LaunchStats
+where
+    C: FnOnce() -> AccessContract,
+    F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+{
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    if dev.sanitizer_enabled() || dev.contracts_enabled() {
+        let built = contract();
+        dev.enforce_contract(name, grid_dim, &built);
+        let stats = native_run(dev, name, grid_dim, kernel);
+        built.define_writes(grid_dim);
+        return stats;
+    }
+    native_run(dev, name, grid_dim, kernel)
+}
+
+/// Sequential counterpart of [`native_launch_contracted`].
+fn native_launch_contracted_seq<C, F>(
+    dev: &Device,
+    name: &str,
+    grid_dim: usize,
+    contract: C,
+    kernel: F,
+) -> LaunchStats
+where
+    C: FnOnce() -> AccessContract,
+    F: FnMut(&mut KernelCtx<'_, '_>),
+{
+    if grid_dim == 0 {
+        return LaunchStats::default();
+    }
+    if dev.sanitizer_enabled() || dev.contracts_enabled() {
+        let built = contract();
+        dev.enforce_contract(name, grid_dim, &built);
+        let stats = native_run_seq(dev, name, grid_dim, kernel);
+        built.define_writes(grid_dim);
+        return stats;
+    }
+    native_run_seq(dev, name, grid_dim, kernel)
+}
+
+/// Run a contracted launch on the instrumented simulator (delegates to
+/// [`Device::launch_contracted`]).
+fn sim_launch_contracted<C, F>(
+    dev: &Device,
+    name: &str,
+    grid_dim: usize,
+    contract: C,
+    kernel: F,
+) -> LaunchStats
+where
+    C: FnOnce() -> AccessContract,
+    F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+{
+    dev.launch_contracted(name, grid_dim, contract, |bctx| {
+        kernel(&mut KernelCtx::Sim(bctx));
+    })
+}
+
+/// Run a contracted sequential launch on the instrumented simulator.
+fn sim_launch_contracted_seq<C, F>(
+    dev: &Device,
+    name: &str,
+    grid_dim: usize,
+    contract: C,
+    mut kernel: F,
+) -> LaunchStats
+where
+    C: FnOnce() -> AccessContract,
+    F: FnMut(&mut KernelCtx<'_, '_>),
+{
+    dev.launch_contracted_seq(name, grid_dim, contract, |bctx| {
+        kernel(&mut KernelCtx::Sim(bctx));
+    })
 }
 
 /// A bare [`Device`] is the sim backend: existing call sites that pass
@@ -767,8 +935,11 @@ impl ComputeBackend for SimBackend<'_> {
     }
 }
 
-/// The native rayon executor. Construction refuses devices with sim-only
-/// features attached (sanitizer, trace) — see [`BackendError`].
+/// The native rayon executor. Construction refuses traced devices (trace
+/// spans are sim-only observables — see [`BackendError`]). Sanitized
+/// devices are accepted: contracted launches verify their declared
+/// footprints statically before running uninstrumented, while
+/// *uncontracted* launches on such a device panic at launch time.
 pub struct NativeBackend<'d> {
     dev: &'d Device,
 }
@@ -777,9 +948,9 @@ impl<'d> NativeBackend<'d> {
     /// Wrap a device for native execution.
     ///
     /// # Errors
-    /// Refuses when the device has a sanitizer or trace recorder attached:
-    /// those features observe the simulator's instrumented access paths,
-    /// which the native executor bypasses.
+    /// Refuses when the device has a trace recorder attached: trace spans
+    /// carry counters only the simulator's instrumented access paths can
+    /// produce.
     pub fn new(dev: &'d Device) -> Result<Self, BackendError> {
         validate_native(dev)?;
         Ok(NativeBackend { dev })
@@ -803,6 +974,34 @@ impl ComputeBackend for NativeBackend<'_> {
         F: FnMut(&mut KernelCtx<'_, '_>),
     {
         native_launch_seq(self.dev, name, grid_dim, kernel)
+    }
+
+    fn launch_contracted<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        native_launch_contracted(self.dev, name, grid_dim, contract, kernel)
+    }
+
+    fn launch_contracted_seq<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        native_launch_contracted_seq(self.dev, name, grid_dim, contract, kernel)
     }
 }
 
@@ -831,9 +1030,12 @@ impl Default for AutoPolicy {
 ///
 /// [`BackendChoice::Sim`] and [`BackendChoice::Native`] route every
 /// launch to the corresponding backend; [`BackendChoice::Auto`] decides
-/// per launch from the grid size (see [`AutoPolicy`]), always falling
-/// back to the simulator when the device carries sim-only features
-/// (sanitizer, trace) so those stay sound. Decisions are tallied on the
+/// per launch from the grid size (see [`AutoPolicy`]), falling back to
+/// the simulator when the device carries features the native path cannot
+/// honor: tracing always, the sanitizer for uncontracted launches (no
+/// proof to stand in for the checks), and conformance mode even for
+/// contracted ones (observed-⊆-declared needs instrumented accesses).
+/// Decisions are tallied on the
 /// ledger and, under a trace, recorded as instants on the kernel track.
 pub struct BackendDispatcher<'d> {
     dev: &'d Device,
@@ -845,9 +1047,8 @@ impl<'d> BackendDispatcher<'d> {
     /// Build a dispatcher with the default [`AutoPolicy`].
     ///
     /// # Errors
-    /// Refuses [`BackendChoice::Native`] on a device with sim-only
-    /// features attached (see [`NativeBackend::new`]); `Sim` and `Auto`
-    /// accept any device.
+    /// Refuses [`BackendChoice::Native`] on a traced device (see
+    /// [`NativeBackend::new`]); `Sim` and `Auto` accept any device.
     pub fn new(dev: &'d Device, choice: BackendChoice) -> Result<Self, BackendError> {
         Self::with_policy(dev, choice, AutoPolicy::default())
     }
@@ -876,10 +1077,23 @@ impl<'d> BackendDispatcher<'d> {
         self.choice
     }
 
-    /// Auto decision for one launch: `true` ⇒ simulator.
+    /// Auto decision for one *uncontracted* launch: `true` ⇒ simulator.
+    /// Sanitized devices force sim here because without a contract the
+    /// native path has no proof to run on.
     fn pick_sim(&self, grid_dim: usize) -> bool {
         self.dev.sanitizer_enabled()
             || self.dev.trace_enabled()
+            || grid_dim >= self.policy.gpu_min_blocks
+    }
+
+    /// Auto decision for one *contracted* launch: `true` ⇒ simulator.
+    /// A verified contract substitutes for the sanitizer's instrumented
+    /// checking, so plain sanitized devices may go native; conformance
+    /// mode must observe real accesses and stays on the simulator, as do
+    /// traced devices (sim-only observables).
+    fn pick_sim_contracted(&self, grid_dim: usize) -> bool {
+        self.dev.trace_enabled()
+            || self.dev.conformance_enabled()
             || grid_dim >= self.policy.gpu_min_blocks
     }
 }
@@ -928,6 +1142,70 @@ impl ComputeBackend for BackendDispatcher<'_> {
                     sim_launch_seq(self.dev, name, grid_dim, kernel)
                 } else {
                     native_launch_seq(self.dev, name, grid_dim, kernel)
+                }
+            }
+        }
+    }
+
+    fn launch_contracted<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: Fn(&mut KernelCtx<'_, '_>) + Sync,
+    {
+        match self.choice {
+            BackendChoice::Sim => sim_launch_contracted(self.dev, name, grid_dim, contract, kernel),
+            BackendChoice::Native => {
+                native_launch_contracted(self.dev, name, grid_dim, contract, kernel)
+            }
+            BackendChoice::Auto => {
+                if grid_dim == 0 {
+                    return LaunchStats::default();
+                }
+                let to_sim = self.pick_sim_contracted(grid_dim);
+                self.dev.record_auto_decision(to_sim);
+                if to_sim {
+                    sim_launch_contracted(self.dev, name, grid_dim, contract, kernel)
+                } else {
+                    native_launch_contracted(self.dev, name, grid_dim, contract, kernel)
+                }
+            }
+        }
+    }
+
+    fn launch_contracted_seq<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: FnMut(&mut KernelCtx<'_, '_>),
+    {
+        match self.choice {
+            BackendChoice::Sim => {
+                sim_launch_contracted_seq(self.dev, name, grid_dim, contract, kernel)
+            }
+            BackendChoice::Native => {
+                native_launch_contracted_seq(self.dev, name, grid_dim, contract, kernel)
+            }
+            BackendChoice::Auto => {
+                if grid_dim == 0 {
+                    return LaunchStats::default();
+                }
+                let to_sim = self.pick_sim_contracted(grid_dim);
+                self.dev.record_auto_decision(to_sim);
+                if to_sim {
+                    sim_launch_contracted_seq(self.dev, name, grid_dim, contract, kernel)
+                } else {
+                    native_launch_contracted_seq(self.dev, name, grid_dim, contract, kernel)
                 }
             }
         }
@@ -1043,15 +1321,93 @@ mod tests {
     }
 
     #[test]
-    fn native_refuses_sanitized_devices() {
+    fn native_accepts_sanitized_devices_for_contracted_launches() {
         let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
-        let err = NativeBackend::new(&dev).err().expect("must refuse");
-        assert_eq!(err, BackendError::SanitizerRequiresSim);
-        assert!(err.to_string().contains("sanitize"));
-        assert!(BackendDispatcher::new(&dev, BackendChoice::Native).is_err());
-        // Sim and Auto accept the same device.
+        let native = NativeBackend::new(&dev).expect("sanitized devices are accepted");
+        assert!(BackendDispatcher::new(&dev, BackendChoice::Native).is_ok());
         assert!(BackendDispatcher::new(&dev, BackendChoice::Sim).is_ok());
         assert!(BackendDispatcher::new(&dev, BackendChoice::Auto).is_ok());
+        // A contracted launch verifies statically, runs native, and
+        // reconciles the shadow state: the buffer starts poisoned (dirty
+        // pooled allocation), the native kernel fills it unobserved, and
+        // the declared write footprint clears the poison — so the sim
+        // side may then read the span without uninit-read findings.
+        let buf = dev.alloc_pooled_dirty::<u32>(64);
+        native.launch_contracted(
+            "fill",
+            2,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(32, 64)),
+            |ctx| {
+                let base = ctx.block_idx() * 32;
+                for t in 0..32 {
+                    ctx.st_co(&buf, base + t, (base + t) as u32);
+                }
+            },
+        );
+        dev.launch("readback", 2, |ctx| {
+            let base = ctx.block_idx * 32;
+            for t in 0..32 {
+                let v = ctx.ld_co(&buf, base + t);
+                assert_eq!(v, (base + t) as u32);
+            }
+        });
+        assert!(dev.sanitizer_report().unwrap().counts.is_clean());
+        assert_eq!(dev.ledger().backend.native, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a verified AccessContract")]
+    fn native_uncontracted_launch_panics_on_sanitized_devices() {
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let native = NativeBackend::new(&dev).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        native.launch("plain", 1, |ctx| ctx.st_co(&buf, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "contract refuted for kernel `oob`")]
+    fn native_contracted_launch_refutes_before_any_block_runs() {
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let native = NativeBackend::new(&dev).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(16);
+        // Declares 32 elements/block over a 16-element buffer: refuted
+        // statically; the kernel body must never execute.
+        native.launch_contracted(
+            "oob",
+            2,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(32, 64)),
+            |_ctx| panic!("kernel body must not run"),
+        );
+    }
+
+    #[test]
+    fn auto_contracted_routes_native_under_plain_sanitizer() {
+        // Plain sanitizer (no conformance): a small contracted launch may
+        // go native on the strength of the static proof.
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        disp.launch_contracted(
+            "tiny",
+            1,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 4)),
+            |ctx| ctx.st_co(&buf, ctx.block_idx(), 1),
+        );
+        assert_eq!(dev.ledger().backend.auto_native, 1);
+        assert_eq!(dev.ledger().backend.native, 1);
+
+        // Conformance mode needs instrumented accesses: forced to sim.
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all().with_conformance());
+        let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        disp.launch_contracted(
+            "tiny",
+            1,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 4)),
+            |ctx| ctx.st_co(&buf, ctx.block_idx(), 1),
+        );
+        assert_eq!(dev.ledger().backend.auto_sim, 1);
+        assert_eq!(dev.ledger().backend.native, 0);
     }
 
     #[test]

@@ -129,11 +129,22 @@ impl DeviceScalar for f64 {
 pub struct GlobalBuffer<T: DeviceScalar> {
     cells: RawCells,
     len: usize,
+    /// Process-unique tenancy id, used by access contracts to key declared
+    /// footprints to observed accesses. A recycled pool buffer gets a fresh
+    /// id with each tenancy, matching its fresh shadow state.
+    uid: u64,
     /// Sanitizer shadow state. `None` unless the buffer was allocated
     /// through a [`crate::Device`] with an attached sanitizer, so the only
     /// cost on unsanitized paths is one never-taken branch per host access.
     shadow: Option<Arc<BufferShadow>>,
     _marker: PhantomData<T>,
+}
+
+/// Tenancy-id source for [`GlobalBuffer::uid`].
+static NEXT_UID: AtomicU64 = AtomicU64::new(0);
+
+fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 
 impl<T: DeviceScalar> GlobalBuffer<T> {
@@ -142,6 +153,7 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells: raw_zeroed(len),
             len,
+            uid: next_uid(),
             shadow: None,
             _marker: PhantomData,
         }
@@ -153,6 +165,7 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells: data.iter().map(|&v| AtomicU64::new(v.to_raw())).collect(),
             len: data.len(),
+            uid: next_uid(),
             shadow: None,
             _marker: PhantomData,
         }
@@ -167,6 +180,7 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         GlobalBuffer {
             cells,
             len,
+            uid: next_uid(),
             shadow: None,
             _marker: PhantomData,
         }
@@ -187,6 +201,11 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     /// The attached shadow state, if any.
     pub(crate) fn shadow(&self) -> Option<&Arc<BufferShadow>> {
         self.shadow.as_ref()
+    }
+
+    /// Process-unique tenancy id (contract footprint key).
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of (logical) elements.
@@ -378,11 +397,14 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
         }
     }
 
+    // Plain lanes are legal on sanitized buffers *only* under a verified
+    // access contract: the static proof replaces the per-access dynamic
+    // checks, and `BufferShadow::define_span` reconciles the shadow state
+    // after the launch.
     #[allow(unsafe_code)]
     #[inline(always)]
     fn lanes_plain(&self, start: usize, len: usize) -> &[u64] {
         let cells = self.cells_span(start, len);
-        debug_assert!(self.shadow.is_none(), "plain access on a sanitized buffer");
         // SAFETY: `AtomicU64` has the same size, alignment, and bit
         // validity as `u64`; the view covers exactly the bounds-checked
         // span, which the caller guarantees no other thread touches.
@@ -394,7 +416,6 @@ impl<T: DeviceScalar> GlobalBuffer<T> {
     #[inline(always)]
     fn lanes_plain_mut(&self, start: usize, len: usize) -> &mut [u64] {
         let cells = self.cells_span(start, len);
-        debug_assert!(self.shadow.is_none(), "plain access on a sanitized buffer");
         // SAFETY: as above, plus exclusivity over the span — the caller
         // (one kernel block) is its only accessor for the view's
         // lifetime.

@@ -56,7 +56,15 @@ impl<'a> BlockCtx<'a> {
         kind: AccessKind,
     ) {
         if let Some(sess) = self.session {
-            sess.global_access(self.block_idx, buf.shadow(), buf.len(), start, n, kind);
+            sess.global_access(
+                self.block_idx,
+                buf.uid(),
+                buf.shadow(),
+                buf.len(),
+                start,
+                n,
+                kind,
+            );
         }
     }
 

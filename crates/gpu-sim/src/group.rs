@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use crate::config::DeviceConfig;
+use crate::contract::ContractReport;
 use crate::launch::{Device, DeviceLedger};
 use crate::sanitizer::{SanitizerConfig, SanitizerCounts};
 use crate::trace::TraceRecorder;
@@ -41,6 +42,28 @@ impl DeviceGroup {
                 .map(|d| d.with_sanitizer(cfg))
                 .collect(),
         }
+    }
+
+    /// Enable static contract checking on every member device (each keeps
+    /// its own proof tally; [`DeviceGroup::contract_report`] merges them).
+    pub fn with_contracts(self) -> Self {
+        DeviceGroup {
+            devices: self
+                .devices
+                .into_iter()
+                .map(Device::with_contracts)
+                .collect(),
+        }
+    }
+
+    /// Per-kernel contract proof table merged across every member device
+    /// (empty without [`DeviceGroup::with_contracts`]).
+    pub fn contract_report(&self) -> ContractReport {
+        let mut merged = ContractReport::default();
+        for d in &self.devices {
+            merged.merge(&d.contract_report());
+        }
+        merged
     }
 
     /// Attach one shared [`TraceRecorder`] to every member device. Each
@@ -163,6 +186,8 @@ fn sum_sanitizer(a: &SanitizerCounts, b: &SanitizerCounts) -> SanitizerCounts {
         uninit_reads: a.uninit_reads + b.uninit_reads,
         oob_accesses: a.oob_accesses + b.oob_accesses,
         shared_leaks: a.shared_leaks + b.shared_leaks,
+        conformance_escapes: a.conformance_escapes + b.conformance_escapes,
+        overwide_declarations: a.overwide_declarations + b.overwide_declarations,
         shared_high_water: a.shared_high_water.max(b.shared_high_water),
     }
 }

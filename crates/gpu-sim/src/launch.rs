@@ -19,6 +19,7 @@ use rayon::prelude::*;
 use crate::backend::BackendTallies;
 use crate::buffer::{ConstBuffer, DeviceScalar, GlobalBuffer};
 use crate::config::DeviceConfig;
+use crate::contract::{verify_contract, AccessContract, ContractLedger, ContractReport, Verdict};
 use crate::cost::CostModel;
 use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
 use crate::ctx::BlockCtx;
@@ -143,6 +144,7 @@ struct DeviceTrace {
     n_uninit: NameId,
     n_oob: NameId,
     n_leaks: NameId,
+    n_contract: NameId,
     /// Simulated device clock, seconds since trace start.
     cursor: Mutex<f64>,
     /// Sanitizer totals at the previous launch, for delta detection.
@@ -169,6 +171,7 @@ impl DeviceTrace {
             n_uninit: rec.intern("uninit_read"),
             n_oob: rec.intern("oob_access"),
             n_leaks: rec.intern("shared_leak"),
+            n_contract: rec.intern("contract_refuted"),
             rec: Arc::clone(rec),
             cursor: Mutex::new(0.0),
             last_san: Mutex::new(SanitizerCounts::default()),
@@ -251,6 +254,13 @@ impl DeviceTrace {
         }
         *last = counts;
     }
+
+    /// Mark a statically-refuted contract on the timeline (the launch
+    /// itself never runs, so this is an instant, not a span).
+    fn record_contract_refuted(&self) {
+        let ts = *self.cursor.lock();
+        self.rec.instant(self.sanitizer_track, self.n_contract, ts);
+    }
 }
 
 /// A simulated device: launch target for kernels and owner of the cost
@@ -262,6 +272,7 @@ pub struct Device {
     ledger: Mutex<DeviceLedger>,
     pool: Arc<BufferPool>,
     sanitizer: Option<Arc<Sanitizer>>,
+    contracts: Option<ContractLedger>,
     trace: Option<DeviceTrace>,
     schedule: Mutex<BlockSchedule>,
     /// Per-launch counter driving the permuted schedule's seed stream.
@@ -282,6 +293,7 @@ impl Device {
             ledger: Mutex::new(DeviceLedger::default()),
             pool: Arc::new(BufferPool::default()),
             sanitizer: None,
+            contracts: None,
             trace: None,
             schedule: Mutex::new(BlockSchedule::Parallel),
             schedule_stream: std::sync::atomic::AtomicU64::new(0),
@@ -307,6 +319,37 @@ impl Device {
     /// Whether a sanitizer is attached.
     pub fn sanitizer_enabled(&self) -> bool {
         self.sanitizer.is_some()
+    }
+
+    /// Whether the attached sanitizer has contract-conformance checking on.
+    pub(crate) fn conformance_enabled(&self) -> bool {
+        self.sanitizer.as_ref().is_some_and(|s| s.cfg.conformance)
+    }
+
+    /// Enable static contract checking: every contracted launch is
+    /// symbolically verified before execution (refutations panic with
+    /// structured diagnostics instead of faulting mid-kernel), and every
+    /// launch — contracted or not — lands in the per-kernel proof tally
+    /// read back through [`Device::contract_report`]. Independent of the
+    /// dynamic sanitizer; enable both (with conformance) to also prove the
+    /// declarations tight.
+    pub fn with_contracts(mut self) -> Self {
+        self.contracts = Some(ContractLedger::default());
+        self
+    }
+
+    /// Whether static contract checking is enabled.
+    pub fn contracts_enabled(&self) -> bool {
+        self.contracts.is_some()
+    }
+
+    /// The accumulated per-kernel proof table (empty without
+    /// [`Device::with_contracts`]).
+    pub fn contract_report(&self) -> ContractReport {
+        self.contracts
+            .as_ref()
+            .map(ContractLedger::report)
+            .unwrap_or_default()
     }
 
     /// Attach a trace recorder. Every subsequent kernel launch, transfer
@@ -544,13 +587,63 @@ impl Device {
     }
 
     /// Open a sanitizer session for one launch (a fresh racecheck epoch
-    /// plus the kernel name for diagnostics). `None` without a sanitizer.
-    fn launch_session<'k>(&'k self, name: &'k str) -> Option<LaunchSession<'k>> {
-        self.sanitizer.as_deref().map(|san| LaunchSession {
-            san,
-            epoch: san.next_epoch(),
-            kernel: name,
-        })
+    /// plus the kernel name for diagnostics, and — under conformance — the
+    /// launch's declared contract). `None` without a sanitizer.
+    fn launch_session<'k>(
+        &'k self,
+        name: &'k str,
+        contract: Option<&'k AccessContract>,
+    ) -> Option<LaunchSession<'k>> {
+        self.sanitizer
+            .as_deref()
+            .map(|san| LaunchSession::new(san, name, contract))
+    }
+
+    /// Whether a contracted launch should build its declaration at all:
+    /// static checking wants it for the proof, conformance wants it for
+    /// the observed-⊆-declared comparison. With neither, the builder
+    /// closure is dropped unexecuted and a contracted launch costs exactly
+    /// what an uncontracted one does.
+    fn wants_contract(&self) -> bool {
+        self.contracts_enabled() || self.conformance_enabled()
+    }
+
+    /// Statically verify a built contract before any lane executes:
+    /// verified launches are tallied, refuted launches record their
+    /// violations (plus a trace instant) and panic with the structured
+    /// diagnostics.
+    ///
+    /// # Panics
+    /// Panics when the contract is refuted.
+    pub(crate) fn enforce_contract(&self, name: &str, grid_dim: usize, contract: &AccessContract) {
+        match verify_contract(name, contract, grid_dim, self.cfg.shared_mem_per_block) {
+            Verdict::Verified => {
+                if let Some(ledger) = &self.contracts {
+                    ledger.tally_verified(name);
+                }
+            }
+            Verdict::Refuted(violations) => {
+                if let Some(ledger) = &self.contracts {
+                    ledger.tally_refuted(name, &violations);
+                }
+                if let Some(trace) = &self.trace {
+                    trace.record_contract_refuted();
+                }
+                let detail: Vec<String> = violations.iter().map(ToString::to_string).collect();
+                panic!(
+                    "contract refuted for kernel `{name}` (grid {grid_dim}): {}",
+                    detail.join("; ")
+                );
+            }
+        }
+    }
+
+    /// Tally an uncontracted launch: with static checking enabled it runs
+    /// on dynamic trust alone, which the proof table reports as `assumed`.
+    pub(crate) fn tally_assumed(&self, name: &str) {
+        if let Some(ledger) = &self.contracts {
+            ledger.tally_assumed(name);
+        }
     }
 
     /// Launch `grid_dim` blocks of the kernel. The closure runs once per
@@ -566,7 +659,52 @@ impl Device {
         if grid_dim == 0 {
             return LaunchStats::default();
         }
-        let session = self.launch_session(name);
+        self.tally_assumed(name);
+        self.run_launch(name, grid_dim, None, kernel)
+    }
+
+    /// Launch with a declared [`AccessContract`]: the builder runs only
+    /// when static checking or conformance wants the declaration, the
+    /// static analyzer proves (or refutes) it before any lane executes,
+    /// and under conformance the dynamic checker verifies observed ⊆
+    /// declared.
+    ///
+    /// # Panics
+    /// Panics before executing any block when the contract is refuted.
+    pub fn launch_contracted<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        if grid_dim == 0 {
+            return LaunchStats::default();
+        }
+        let built = self.wants_contract().then(contract);
+        if self.contracts_enabled() {
+            if let Some(c) = &built {
+                self.enforce_contract(name, grid_dim, c);
+            }
+        }
+        self.run_launch(name, grid_dim, built.as_ref(), kernel)
+    }
+
+    fn run_launch<F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: Option<&AccessContract>,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let session = self.launch_session(name, contract);
         let totals = AtomicCounters::default();
         // Critical path: a block runs on one SM, so the launch can never
         // finish before its heaviest block does. Tracked as f64 bits.
@@ -601,6 +739,9 @@ impl Device {
                 }
             }
         }
+        if let Some(sess) = &session {
+            sess.finish_conformance(grid_dim);
+        }
         let wall = start.elapsed().as_secs_f64();
         let counters = totals.snapshot();
         let balanced = self.cost.kernel_time(&counters);
@@ -625,14 +766,59 @@ impl Device {
     /// Launch a kernel sequentially (block 0..grid in order, one host
     /// thread). Used when a deterministic block order is required, e.g. for
     /// bitwise-reproducible reductions.
-    pub fn launch_seq<F>(&self, name: &str, grid_dim: usize, mut kernel: F) -> LaunchStats
+    pub fn launch_seq<F>(&self, name: &str, grid_dim: usize, kernel: F) -> LaunchStats
     where
         F: FnMut(&mut BlockCtx<'_>),
     {
         if grid_dim == 0 {
             return LaunchStats::default();
         }
-        let session = self.launch_session(name);
+        self.tally_assumed(name);
+        self.run_launch_seq(name, grid_dim, None, kernel)
+    }
+
+    /// Sequential counterpart of [`Device::launch_contracted`]. Sequential
+    /// launches are single-threaded, so inter-block overlap findings mean
+    /// "order-dependent result", not a data race — still a refutation,
+    /// because such kernels must declare honestly and stay off the
+    /// parallel path.
+    ///
+    /// # Panics
+    /// Panics before executing any block when the contract is refuted.
+    pub fn launch_contracted_seq<C, F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: C,
+        kernel: F,
+    ) -> LaunchStats
+    where
+        C: FnOnce() -> AccessContract,
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        if grid_dim == 0 {
+            return LaunchStats::default();
+        }
+        let built = self.wants_contract().then(contract);
+        if self.contracts_enabled() {
+            if let Some(c) = &built {
+                self.enforce_contract(name, grid_dim, c);
+            }
+        }
+        self.run_launch_seq(name, grid_dim, built.as_ref(), kernel)
+    }
+
+    fn run_launch_seq<F>(
+        &self,
+        name: &str,
+        grid_dim: usize,
+        contract: Option<&AccessContract>,
+        mut kernel: F,
+    ) -> LaunchStats
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let session = self.launch_session(name, contract);
         let totals = AtomicCounters::default();
         let start = Instant::now();
         for b in 0..grid_dim {
@@ -642,6 +828,9 @@ impl Device {
                 sess.block_retire(b, ctx.shared_used, ctx.shared_high);
             }
             totals.flush(&ctx.take_counters());
+        }
+        if let Some(sess) = &session {
+            sess.finish_conformance(grid_dim);
         }
         let wall = start.elapsed().as_secs_f64();
         let counters = totals.snapshot();

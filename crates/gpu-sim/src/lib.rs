@@ -47,6 +47,7 @@
 pub mod backend;
 pub mod buffer;
 pub mod config;
+pub mod contract;
 pub mod cost;
 pub mod counters;
 pub mod ctx;
@@ -63,6 +64,10 @@ pub use backend::{
 };
 pub use buffer::{ConstBuffer, DeviceInt, DeviceScalar, GlobalBuffer};
 pub use config::DeviceConfig;
+pub use contract::{
+    verify_contract, AccessContract, AccessMode, AffineExpr, BlockInterval, ContractReport,
+    ContractTally, ContractViolation, Footprint, SharedDecl, Verdict, ViolationKind,
+};
 pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};

@@ -5,16 +5,22 @@
 //! are implemented here as ordinary kernels so that the compression path
 //! runs on the same executor — and is charged by the same cost model — as
 //! the likelihood kernels.
+//!
+//! Every primitive declares an [`AccessContract`] at its launch site: the
+//! static analyzer proves the per-block footprints in-bounds and
+//! non-overlapping before a single lane executes, which is what lets the
+//! native backend run these kernels uninstrumented on sanitized devices.
 
 use crate::backend::ComputeBackend;
 use crate::buffer::GlobalBuffer;
+use crate::contract::{AccessContract, BlockInterval, Footprint};
 use crate::counters::LaunchStats;
 
 /// Elements processed per block by the primitives.
 pub const BLOCK: usize = 256;
 
 fn grid_for(n: usize) -> usize {
-    n.div_ceil(BLOCK).max(1)
+    n.div_ceil(BLOCK)
 }
 
 /// Tree-reduce a `u64` buffer to its sum. Per-block partial sums are staged
@@ -27,37 +33,52 @@ pub fn reduce_sum<B: ComputeBackend>(dev: &B, input: &GlobalBuffer<u64>) -> (u64
     }
     let grid = grid_for(n);
     let partials: GlobalBuffer<u64> = dev.alloc(grid);
-    let mut stats = dev.launch("reduce_sum", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        let mut tile = ctx.shared_alloc::<u64>(BLOCK);
-        for (t, i) in (base..end).enumerate() {
-            let v = ctx.ld_co(input, i);
-            tile.write(ctx, t, v);
-        }
-        // In-block tree reduction.
-        let mut width = end - base;
-        while width > 1 {
-            let half = width.div_ceil(2);
-            for t in 0..width / 2 {
-                let a = tile.read(ctx, t);
-                let b = tile.read(ctx, t + half);
-                tile.write(ctx, t, a.wrapping_add(b));
+    let mut stats = dev.launch_contracted(
+        "reduce_sum",
+        grid,
+        || {
+            AccessContract::default()
+                .read(input, Footprint::tiled(BLOCK, n))
+                .write(&partials, Footprint::elem_per_block())
+                .shared::<u64>(BLOCK)
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            let mut tile = ctx.shared_alloc::<u64>(BLOCK);
+            for (t, i) in (base..end).enumerate() {
+                let v = ctx.ld_co(input, i);
+                tile.write(ctx, t, v);
+            }
+            // In-block tree reduction.
+            let mut width = end - base;
+            while width > 1 {
+                let half = width.div_ceil(2);
+                for t in 0..width / 2 {
+                    let a = tile.read(ctx, t);
+                    let b = tile.read(ctx, t + half);
+                    tile.write(ctx, t, a.wrapping_add(b));
+                    ctx.add_inst(1);
+                }
+                width = half;
+            }
+            let sum = tile.read(ctx, 0);
+            ctx.st_co(&partials, ctx.block_idx(), sum);
+            ctx.shared_free(tile);
+        },
+    );
+    let mut total = 0u64;
+    let combine = dev.launch_contracted_seq(
+        "reduce_combine",
+        1,
+        || AccessContract::default().read(&partials, Footprint::span(0, grid)),
+        |ctx| {
+            for b in 0..grid {
+                total = total.wrapping_add(ctx.ld_co(&partials, b));
                 ctx.add_inst(1);
             }
-            width = half;
-        }
-        let sum = tile.read(ctx, 0);
-        ctx.st_co(&partials, ctx.block_idx(), sum);
-        ctx.shared_free(tile);
-    });
-    let mut total = 0u64;
-    let combine = dev.launch_seq("reduce_combine", 1, |ctx| {
-        for b in 0..grid {
-            total = total.wrapping_add(ctx.ld_co(&partials, b));
-            ctx.add_inst(1);
-        }
-    });
+        },
+    );
     stats += combine;
     (total, stats)
 }
@@ -77,38 +98,62 @@ pub fn exclusive_scan<B: ComputeBackend>(
     let grid = grid_for(n);
     let block_totals: GlobalBuffer<u32> = dev.alloc(grid);
 
-    let mut stats = dev.launch("scan_blocks", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        let mut acc = 0u32;
-        for i in base..end {
-            let v = ctx.ld_co(input, i);
-            ctx.st_co(&output, i, acc);
-            acc = acc.wrapping_add(v);
-            ctx.add_inst(1);
-        }
-        ctx.st_co(&block_totals, ctx.block_idx(), acc);
-    });
+    let mut stats = dev.launch_contracted(
+        "scan_blocks",
+        grid,
+        || {
+            AccessContract::default()
+                .read(input, Footprint::tiled(BLOCK, n))
+                .write(&output, Footprint::tiled(BLOCK, n))
+                .write(&block_totals, Footprint::elem_per_block())
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            let mut acc = 0u32;
+            for i in base..end {
+                let v = ctx.ld_co(input, i);
+                ctx.st_co(&output, i, acc);
+                acc = acc.wrapping_add(v);
+                ctx.add_inst(1);
+            }
+            ctx.st_co(&block_totals, ctx.block_idx(), acc);
+        },
+    );
 
     let mut total = 0u32;
-    stats += dev.launch_seq("scan_totals", 1, |ctx| {
-        for b in 0..grid {
-            let v = ctx.ld_co(&block_totals, b);
-            ctx.st_co(&block_totals, b, total);
-            total = total.wrapping_add(v);
-            ctx.add_inst(1);
-        }
-    });
+    stats += dev.launch_contracted_seq(
+        "scan_totals",
+        1,
+        || AccessContract::default().read_write(&block_totals, Footprint::span(0, grid)),
+        |ctx| {
+            for b in 0..grid {
+                let v = ctx.ld_co(&block_totals, b);
+                ctx.st_co(&block_totals, b, total);
+                total = total.wrapping_add(v);
+                ctx.add_inst(1);
+            }
+        },
+    );
 
-    stats += dev.launch("scan_fixup", grid, |ctx| {
-        let offset = ctx.ld_co(&block_totals, ctx.block_idx());
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let v = ctx.ld_co(&output, i);
-            ctx.st_co(&output, i, v.wrapping_add(offset));
-        }
-    });
+    stats += dev.launch_contracted(
+        "scan_fixup",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&block_totals, Footprint::elem_per_block())
+                .read_write(&output, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let offset = ctx.ld_co(&block_totals, ctx.block_idx());
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let v = ctx.ld_co(&output, i);
+                ctx.st_co(&output, i, v.wrapping_add(offset));
+            }
+        },
+    );
 
     (output, total, stats)
 }
@@ -126,36 +171,78 @@ pub fn unique_sorted<B: ComputeBackend>(
     // Flags: 1 where a new run starts.
     let flags: GlobalBuffer<u32> = dev.alloc(n);
     let grid = grid_for(n);
-    let mut stats = dev.launch("unique_flags", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let v = ctx.ld_co(sorted, i);
-            let is_new = if i == 0 {
-                1
-            } else {
-                let prev = ctx.ld_co(sorted, i - 1);
-                ctx.add_inst(1);
-                u32::from(prev != v)
-            };
-            ctx.st_co(&flags, i, is_new);
-        }
-    });
+    let mut stats = dev.launch_contracted(
+        "unique_flags",
+        grid,
+        || {
+            AccessContract::default()
+                .read(sorted, Footprint::tiled_with_prev(BLOCK, n))
+                .write(&flags, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let v = ctx.ld_co(sorted, i);
+                let is_new = if i == 0 {
+                    1
+                } else {
+                    let prev = ctx.ld_co(sorted, i - 1);
+                    ctx.add_inst(1);
+                    u32::from(prev != v)
+                };
+                ctx.st_co(&flags, i, is_new);
+            }
+        },
+    );
     let (positions, count, scan_stats) = exclusive_scan(dev, &flags);
     stats += scan_stats;
     let dict: GlobalBuffer<u32> = dev.alloc(count as usize);
-    stats += dev.launch("unique_scatter", grid, |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            if ctx.ld_co(&flags, i) == 1 {
-                let pos = ctx.ld_co(&positions, i);
-                let v = ctx.ld_co(sorted, i);
-                ctx.st_rand(&dict, pos as usize, v);
+    stats += dev.launch_contracted(
+        "unique_scatter",
+        grid,
+        || {
+            AccessContract::default()
+                .read(&flags, Footprint::tiled(BLOCK, n))
+                .read(&positions, Footprint::tiled(BLOCK, n))
+                .read(sorted, Footprint::tiled(BLOCK, n))
+                .write(&dict, scatter_footprint(&positions, n, count as usize))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                if ctx.ld_co(&flags, i) == 1 {
+                    let pos = ctx.ld_co(&positions, i);
+                    let v = ctx.ld_co(sorted, i);
+                    ctx.st_rand(&dict, pos as usize, v);
+                }
             }
-        }
-    });
+        },
+    );
     (dict.to_vec(), stats)
+}
+
+/// The per-block write footprint of a scatter driven by an exclusive scan:
+/// block `b` writes exactly the destination slots `positions[b·BLOCK] ..
+/// positions[(b+1)·BLOCK]` (the scan is monotone, so the block intervals
+/// partition the output). The boundary values are read back host-side at
+/// contract-build time — a handful of elements per launch, and only when a
+/// checker actually wants the declaration.
+pub fn scatter_footprint(positions: &GlobalBuffer<u32>, n: usize, out_len: usize) -> Footprint {
+    let grid = n.div_ceil(BLOCK);
+    let mut intervals = Vec::with_capacity(grid);
+    for b in 0..grid {
+        let lo = positions.get(b * BLOCK) as usize;
+        let next = (b + 1) * BLOCK;
+        let hi = if next < n {
+            positions.get(next) as usize
+        } else {
+            out_len
+        };
+        intervals.push(BlockInterval { block: b, lo, hi });
+    }
+    Footprint::per_block(intervals)
 }
 
 /// Parallel binary search: for each element of `queries`, find its index in
@@ -174,26 +261,36 @@ pub fn binary_search_indices<B: ComputeBackend>(
         return (out, LaunchStats::default());
     }
     assert!(m > 0, "binary search over an empty dictionary");
-    let stats = dev.launch("binary_search", grid_for(n), |ctx| {
-        let base = ctx.block_idx() * BLOCK;
-        let end = (base + BLOCK).min(n);
-        for i in base..end {
-            let q = ctx.ld_co(queries, i);
-            let (mut lo, mut hi) = (0usize, m);
-            while lo + 1 < hi {
-                let mid = (lo + hi) / 2;
-                let v = ctx.ld_rand(dict, mid);
-                if v <= q {
-                    lo = mid;
-                } else {
-                    hi = mid;
+    let stats = dev.launch_contracted(
+        "binary_search",
+        grid_for(n),
+        || {
+            AccessContract::default()
+                .read(queries, Footprint::tiled(BLOCK, n))
+                .read(dict, Footprint::All)
+                .write(&out, Footprint::tiled(BLOCK, n))
+        },
+        |ctx| {
+            let base = ctx.block_idx() * BLOCK;
+            let end = (base + BLOCK).min(n);
+            for i in base..end {
+                let q = ctx.ld_co(queries, i);
+                let (mut lo, mut hi) = (0usize, m);
+                while lo + 1 < hi {
+                    let mid = (lo + hi) / 2;
+                    let v = ctx.ld_rand(dict, mid);
+                    if v <= q {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                    ctx.add_inst(2);
                 }
-                ctx.add_inst(2);
+                debug_assert_eq!(ctx.ld_rand(dict, lo), q, "query missing from dictionary");
+                ctx.st_co(&out, i, lo as u32);
             }
-            debug_assert_eq!(ctx.ld_rand(dict, lo), q, "query missing from dictionary");
-            ctx.st_co(&out, i, lo as u32);
-        }
-    });
+        },
+    );
     (out, stats)
 }
 
@@ -201,6 +298,7 @@ pub fn binary_search_indices<B: ComputeBackend>(
 mod tests {
     use super::*;
     use crate::launch::Device;
+    use crate::sanitizer::SanitizerConfig;
 
     #[test]
     fn reduce_sum_matches_host() {
@@ -265,5 +363,34 @@ mod tests {
         let queries = dev.upload(&[21u32, 2, 8, 8, 5, 13]);
         let (idx, _) = binary_search_indices(&dev, &dict, &queries);
         assert_eq!(idx.to_vec(), vec![4, 0, 2, 2, 1, 3]);
+    }
+
+    #[test]
+    fn primitives_verify_their_contracts() {
+        // Contracts + conformance on: every primitive must come out of the
+        // proof table verified, with zero dynamic escapes.
+        let dev = Device::m2050()
+            .with_sanitizer(SanitizerConfig::all().with_conformance())
+            .with_contracts();
+        let data: Vec<u32> = (0..2000).map(|i| (i * 37 % 256) as u32).collect();
+        let mut sorted_host = data.clone();
+        sorted_host.sort_unstable();
+        let sorted = dev.upload(&sorted_host);
+        let (dict, _) = unique_sorted(&dev, &sorted);
+        let dict_buf = dev.upload(&dict);
+        let queries = dev.upload(&sorted_host);
+        binary_search_indices(&dev, &dict_buf, &queries);
+        let words: Vec<u64> = (0..700u64).collect();
+        let wbuf = dev.upload(&words);
+        reduce_sum(&dev, &wbuf);
+
+        let report = dev.contract_report();
+        let totals = report.totals();
+        assert!(totals.verified > 0);
+        assert_eq!(totals.refuted, 0, "{:?}", report.diagnostics);
+        assert_eq!(totals.assumed, 0, "every primitive launch is contracted");
+        let counts = dev.sanitizer_report().unwrap().counts;
+        assert_eq!(counts.conformance_escapes, 0);
+        assert_eq!(counts.overwide_declarations, 0);
     }
 }

@@ -41,9 +41,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::contract::AccessContract;
 use crate::launch::{BlockSchedule, Device};
 
-/// Which checkers to enable. All four default to on.
+/// Which checkers to enable. The four classic checkers default to on;
+/// contract conformance is opt-in (it requires contracted launches to be
+/// meaningful).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SanitizerConfig {
     /// Detect inter-block conflicting accesses to the same global word.
@@ -54,6 +57,11 @@ pub struct SanitizerConfig {
     pub boundscheck: bool,
     /// Detect shared-memory allocations leaked past block retirement.
     pub leakcheck: bool,
+    /// Contract-conformance mode: flag observed accesses escaping the
+    /// kernel's declared [`AccessContract`] footprint, and declarations
+    /// grossly wider than anything observed. Keeps static contracts from
+    /// rotting; off by default and **not** part of [`SanitizerConfig::all`].
+    pub conformance: bool,
 }
 
 impl Default for SanitizerConfig {
@@ -63,14 +71,21 @@ impl Default for SanitizerConfig {
 }
 
 impl SanitizerConfig {
-    /// Every checker enabled.
+    /// Every classic checker enabled (conformance stays opt-in).
     pub fn all() -> Self {
         SanitizerConfig {
             racecheck: true,
             initcheck: true,
             boundscheck: true,
             leakcheck: true,
+            conformance: false,
         }
+    }
+
+    /// Enable contract-conformance checking on top of this configuration.
+    pub fn with_conformance(mut self) -> Self {
+        self.conformance = true;
+        self
     }
 }
 
@@ -85,6 +100,10 @@ pub enum CheckKind {
     Boundscheck,
     /// Shared-memory leak at block retirement.
     Leakcheck,
+    /// Observed access escaped the kernel's declared contract footprint.
+    Conformance,
+    /// Declared contract footprint grossly wider than anything observed.
+    Overwide,
 }
 
 /// Block id standing in for "the host" (or "not applicable") in a
@@ -121,6 +140,10 @@ pub struct SanitizerCounts {
     pub oob_accesses: u64,
     /// Blocks retired with live shared allocations.
     pub shared_leaks: u64,
+    /// Observed accesses escaping their declared contract footprint.
+    pub conformance_escapes: u64,
+    /// Declared contract footprints grossly wider than observed.
+    pub overwide_declarations: u64,
     /// Peak per-block shared-memory bytes observed (leakcheck only).
     pub shared_high_water: u64,
 }
@@ -128,7 +151,12 @@ pub struct SanitizerCounts {
 impl SanitizerCounts {
     /// Total findings (the high-water mark is a gauge, not a finding).
     pub fn total(&self) -> u64 {
-        self.races + self.uninit_reads + self.oob_accesses + self.shared_leaks
+        self.races
+            + self.uninit_reads
+            + self.oob_accesses
+            + self.shared_leaks
+            + self.conformance_escapes
+            + self.overwide_declarations
     }
 
     /// Whether no checker fired.
@@ -238,6 +266,14 @@ impl Sanitizer {
             CheckKind::Leakcheck => {
                 per.shared_leaks += 1;
                 rep.counts.shared_leaks += 1;
+            }
+            CheckKind::Conformance => {
+                per.conformance_escapes += 1;
+                rep.counts.conformance_escapes += 1;
+            }
+            CheckKind::Overwide => {
+                per.overwide_declarations += 1;
+                rep.counts.overwide_declarations += 1;
             }
         }
         if rep.diagnostics.len() < MAX_DIAGNOSTICS {
@@ -455,6 +491,24 @@ impl BufferShadow {
             bit_clear(&mut st.poison, i);
         }
     }
+
+    /// Define a span without recording any access — used after a
+    /// *contract-verified* native launch, whose plain lanes bypass
+    /// per-access instrumentation: the declared write footprints are known
+    /// written, but crediting them as host writes would pollute racecheck
+    /// participant state.
+    pub(crate) fn define_span(&self, start: usize, n: usize) {
+        if !self.san.cfg.initcheck {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.poison.is_empty() {
+            return;
+        }
+        for i in start..(start + n).min(self.len) {
+            bit_clear(&mut st.poison, i);
+        }
+    }
 }
 
 /// Per-launch sanitizer context threaded into every [`crate::BlockCtx`].
@@ -462,14 +516,39 @@ pub(crate) struct LaunchSession<'k> {
     pub(crate) san: &'k Sanitizer,
     pub(crate) epoch: u64,
     pub(crate) kernel: &'k str,
+    /// The launch's declared access contract, when one was registered and
+    /// conformance checking is on.
+    pub(crate) contract: Option<&'k AccessContract>,
+    /// Observed per-buffer access hulls (`uid → [lo, hi)`), for the
+    /// end-of-launch over-wide declaration check. Empty maps do not
+    /// allocate, so uncontracted launches pay nothing.
+    pub(crate) observed: Mutex<BTreeMap<u64, (usize, usize)>>,
 }
 
-impl LaunchSession<'_> {
-    /// Check one global-buffer access: precise bounds first, then shadow
-    /// state (if the buffer has any).
+impl<'k> LaunchSession<'k> {
+    pub(crate) fn new(
+        san: &'k Sanitizer,
+        kernel: &'k str,
+        contract: Option<&'k AccessContract>,
+    ) -> Self {
+        LaunchSession {
+            san,
+            epoch: san.next_epoch(),
+            kernel,
+            // Conformance is per-config: without it, carry no contract so
+            // the per-access fast path stays a single `None` check.
+            contract: contract.filter(|_| san.cfg.conformance),
+            observed: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Check one global-buffer access: precise bounds first, then contract
+    /// conformance, then shadow state (if the buffer has any).
+    #[allow(clippy::too_many_arguments)] // the hot access path stays flat
     pub(crate) fn global_access(
         &self,
         block: usize,
+        uid: u64,
         shadow: Option<&Arc<BufferShadow>>,
         len: usize,
         start: usize,
@@ -495,8 +574,78 @@ impl LaunchSession<'_> {
             });
             panic!("{detail}");
         }
+        if let Some(contract) = self.contract {
+            self.observed
+                .lock()
+                .entry(uid)
+                .and_modify(|h| {
+                    h.0 = h.0.min(start);
+                    h.1 = h.1.max(start + n);
+                })
+                .or_insert((start, start + n));
+            if !contract.covers(uid, block, start, n, kind) {
+                let buffer = shadow.map_or_else(
+                    || {
+                        contract
+                            .label_of(uid)
+                            .map_or_else(|| format!("buf#{uid}[{len}]"), str::to_string)
+                    },
+                    |s| s.label().to_string(),
+                );
+                self.san.record(Diagnostic {
+                    kind: CheckKind::Conformance,
+                    kernel: self.kernel.to_string(),
+                    buffer: buffer.clone(),
+                    index: start,
+                    len,
+                    blocks: (block, HOST),
+                    detail: format!(
+                        "conformance: kernel `{}` block {block} {kind:?} at \
+                         {buffer}[{start}..{}] escapes the declared footprint",
+                        self.kernel,
+                        start + n,
+                    ),
+                });
+            }
+        }
         if let Some(sh) = shadow {
             sh.kernel_access(self.kernel, block, self.epoch, start, n, kind);
+        }
+    }
+
+    /// End-of-launch conformance pass: flag declarations whose hull is
+    /// grossly wider than the observed hull (8× plus slack), so contracts
+    /// stay tight instead of devolving into blanket `All` claims.
+    /// [`crate::contract::Footprint::All`] declarations are exempt — they
+    /// *mean* "whole buffer" (read-only tables).
+    pub(crate) fn finish_conformance(&self, grid: usize) {
+        let Some(contract) = self.contract else {
+            return;
+        };
+        for (&uid, &(olo, ohi)) in self.observed.lock().iter() {
+            let Some((dlo, dhi)) = contract.declared_hull(uid, grid) else {
+                continue;
+            };
+            let declared = dhi.saturating_sub(dlo);
+            let observed = ohi.saturating_sub(olo);
+            if declared > 8 * observed + 1024 {
+                let buffer = contract
+                    .label_of(uid)
+                    .map_or_else(|| format!("buf#{uid}"), str::to_string);
+                self.san.record(Diagnostic {
+                    kind: CheckKind::Overwide,
+                    kernel: self.kernel.to_string(),
+                    buffer: buffer.clone(),
+                    index: dlo,
+                    len: declared,
+                    blocks: (HOST, HOST),
+                    detail: format!(
+                        "conformance: kernel `{}` declares [{dlo}, {dhi}) on {buffer} \
+                         but only [{olo}, {ohi}) was observed — tighten the footprint",
+                        self.kernel
+                    ),
+                });
+            }
         }
     }
 

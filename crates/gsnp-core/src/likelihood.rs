@@ -19,7 +19,10 @@
 
 use std::sync::Arc;
 
-use gpu_sim::{ComputeBackend, ConstBuffer, Device, DeviceGroup, GlobalBuffer, LaunchStats};
+use gpu_sim::{
+    AccessContract, BlockInterval, ComputeBackend, ConstBuffer, Device, DeviceGroup, Footprint,
+    GlobalBuffer, LaunchStats,
+};
 use sortnet::multipass::{multipass_sort_into, MultipassReport, MultipassScratch};
 
 use crate::baseword;
@@ -484,8 +487,55 @@ fn comp_gpu_impl<B: ComputeBackend>(
         }
     };
 
+    // Declared access pattern, built lazily (only when a checker is
+    // attached): each block's `words` footprint is the hull of its sites'
+    // spans — data-dependent, so it is materialized from the launch
+    // parameters; the per-site outputs tile cleanly by construction.
+    let contract = || {
+        let mut word_ivs = Vec::with_capacity(grid);
+        for b in 0..grid {
+            let first = b * SITES_PER_BLOCK;
+            let last = (first + SITES_PER_BLOCK).min(num_sites);
+            let (mut lo, mut hi) = (usize::MAX, 0usize);
+            for &(off, len) in &spans[first..last] {
+                if len > 0 {
+                    lo = lo.min(off);
+                    hi = hi.max(off + len);
+                }
+            }
+            if hi > lo {
+                word_ivs.push(BlockInterval { block: b, lo, hi });
+            }
+        }
+        let mut c = AccessContract::new()
+            .read(words, Footprint::per_block(word_ivs))
+            .read_write(
+                type_likely,
+                Footprint::tiled(SITES_PER_BLOCK * NUM_GENOTYPES, num_sites * NUM_GENOTYPES),
+            )
+            .read_write(
+                dep_count,
+                Footprint::tiled(SITES_PER_BLOCK * 2 * read_len, num_sites * 2 * read_len),
+            );
+        c = if variant.uses_new_table() {
+            c.read(&tables.new_p, Footprint::All)
+        } else {
+            c.read(&tables.p_matrix, Footprint::All)
+        };
+        if let Some(sbuf) = summary_buf {
+            c = c.write(
+                sbuf,
+                Footprint::tiled(SITES_PER_BLOCK * SUMMARY_WORDS, num_sites * SUMMARY_WORDS),
+            );
+        }
+        if variant.uses_shared() {
+            c = c.shared::<f64>(NUM_GENOTYPES);
+        }
+        c
+    };
+
     #[allow(clippy::needless_range_loop)] // kernel-style: site indexes several parallel arrays
-    let stats = dev.launch(name, grid, |ctx| {
+    let stats = dev.launch_contracted(name, grid, contract, |ctx| {
         let first = ctx.block_idx() * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
         if ctx.is_native() && variant.uses_new_table() {
@@ -685,9 +735,22 @@ pub fn likelihood_dense_gpu<B: ComputeBackend>(
     );
     const ROW: usize = 2 * crate::tables::COORD_DIM;
     let type_likely: GlobalBuffer<f64> = dev.alloc(num_sites * NUM_GENOTYPES);
-    let grid = num_sites.div_ceil(SITES_PER_BLOCK).max(1);
+    let grid = num_sites.div_ceil(SITES_PER_BLOCK);
 
-    let stats = dev.launch("likelihood_dense", grid, |ctx| {
+    // Dense scan: every block strides the whole transposed matrix (the
+    // `[cell][site]` layout interleaves blocks at warp granularity), so
+    // the read footprint is honestly the full buffer.
+    let contract = || {
+        AccessContract::new()
+            .read(occ, Footprint::All)
+            .read(&tables.new_p, Footprint::All)
+            .write(
+                &type_likely,
+                Footprint::tiled(SITES_PER_BLOCK * NUM_GENOTYPES, num_sites * NUM_GENOTYPES),
+            )
+            .shared::<f64>(NUM_GENOTYPES)
+    };
+    let stats = dev.launch_contracted("likelihood_dense", grid, contract, |ctx| {
         let first = ctx.block_idx() * SITES_PER_BLOCK;
         let last = (first + SITES_PER_BLOCK).min(num_sites);
         for site in first..last {
@@ -978,6 +1041,81 @@ mod tests {
                 assert_eq!(g[n].to_bits(), e[n].to_bits(), "site {site}");
             }
         }
+    }
+
+    #[test]
+    fn zero_site_window_launches_nothing() {
+        // Regression: a zero-site window must not tally a launch — the
+        // dense grid used to be clamped to `.max(1)`, charging launch
+        // overhead (and a ledger entry) for a kernel that touches nothing.
+        let f = fixture(49);
+        let dev = Device::m2050();
+        let tables = DeviceTables::upload(&dev, &f.p, &f.np, &f.lt);
+        let occ: GlobalBuffer<u8> = dev.alloc(0);
+        let (out, stats) = likelihood_dense_gpu(&dev, &occ, 0, &tables);
+        assert!(out.is_empty());
+        assert_eq!(stats.grid_dim, 0);
+        let words: GlobalBuffer<u32> = dev.alloc(0);
+        let (comp, comp_stats) = likelihood_comp_gpu(
+            &dev,
+            KernelVariant::Optimized,
+            &words,
+            &[],
+            f.read_len,
+            &tables,
+        );
+        assert!(comp.is_empty());
+        assert_eq!(comp_stats.grid_dim, 0);
+        assert_eq!(dev.ledger().launches, 0);
+        assert!(dev.kernel_launches().is_empty());
+    }
+
+    #[test]
+    fn likelihood_contracts_verify_under_conformance() {
+        use gpu_sim::SanitizerConfig;
+        let f = fixture(50);
+        let dev = Device::m2050()
+            .with_sanitizer(SanitizerConfig::all().with_conformance())
+            .with_contracts();
+        let tables = DeviceTables::upload(&dev, &f.p, &f.np, &f.lt);
+        let words = dev.upload(&f.sw.words);
+        for variant in KernelVariant::ALL {
+            likelihood_comp_gpu(&dev, variant, &words, &f.sw.spans, f.read_len, &tables);
+        }
+        let mut fused = Vec::new();
+        let mut summaries = Vec::new();
+        likelihood_comp_fused_gpu_into(
+            &dev,
+            KernelVariant::Optimized,
+            &words,
+            &f.sw.spans,
+            f.read_len,
+            &tables,
+            &mut fused,
+            &mut summaries,
+        );
+        let sites = 8usize;
+        let mut small = DenseWindow::alloc(sites);
+        for site in 0..sites {
+            let m = small.site_mut(site);
+            for &w in f.sw.site_words(site) {
+                let (b, s, c, st, _) = baseword::unpack(w);
+                let idx = base_occ_index(b, s, c, st);
+                m[idx] = m[idx].saturating_add(1);
+            }
+        }
+        let occ = upload_dense_transposed(&dev, &small, sites);
+        likelihood_dense_gpu(&dev, &occ, sites, &tables);
+
+        let report = dev.contract_report();
+        let t = report.totals();
+        assert!(t.verified >= 6, "expected every launch proved: {t:?}");
+        assert_eq!(t.refuted, 0, "{:?}", report.diagnostics);
+        assert_eq!(t.assumed, 0, "uncontracted launch: {:?}", report.per_kernel);
+        let counts = dev.sanitizer_report().unwrap().counts;
+        assert_eq!(counts.conformance_escapes, 0);
+        assert_eq!(counts.overwide_declarations, 0);
+        assert!(counts.is_clean());
     }
 
     #[test]

@@ -279,12 +279,33 @@ pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
         ("uninit_read", san.uninit_reads),
         ("oob_access", san.oob_accesses),
         ("shared_leak", san.shared_leaks),
+        ("conformance_escape", san.conformance_escapes),
+        ("overwide_declaration", san.overwide_declarations),
     ] {
         m.push(
             "gsnp_sanitizer_findings_total",
             "Dynamic-checker findings by check (zero unless --sanitize)",
             Counter,
             &[("check", check)],
+            v as f64,
+        );
+    }
+
+    // ---- static contract proofs ----
+    // One counter per verdict: `verified` launches ran on a proved
+    // contract, `refuted` were rejected before execution, `assumed` ran
+    // with no contract at all (dynamic checking only).
+    let proofs = stats.contracts.totals();
+    for (result, v) in [
+        ("verified", proofs.verified),
+        ("refuted", proofs.refuted),
+        ("assumed", proofs.assumed),
+    ] {
+        m.push(
+            "gsnp_contract_checks_total",
+            "Static access-contract checks by verdict (zero unless --contracts)",
+            Counter,
+            &[("result", result)],
             v as f64,
         );
     }
@@ -395,6 +416,37 @@ mod tests {
             Some(3.0)
         );
         assert!(text.contains("gsnp_launch_overhead_seconds{kernel=\"likelihood_comp_fused\"}"));
+        assert_eq!(
+            m.get("gsnp_contract_checks_total", &[("result", "verified")]),
+            Some(0.0)
+        );
+        assert!(text.contains("gsnp_sanitizer_findings_total{check=\"conformance_escape\"}"));
+    }
+
+    #[test]
+    fn contract_tallies_flow_into_the_proof_counters() {
+        let mut out = empty_output();
+        let tally = out
+            .stats
+            .contracts
+            .per_kernel
+            .entry("likelihood_comp_fused".into())
+            .or_default();
+        tally.verified = 5;
+        tally.refuted = 1;
+        let m = call_metrics(&out);
+        assert_eq!(
+            m.get("gsnp_contract_checks_total", &[("result", "verified")]),
+            Some(5.0)
+        );
+        assert_eq!(
+            m.get("gsnp_contract_checks_total", &[("result", "refuted")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            m.get("gsnp_contract_checks_total", &[("result", "assumed")]),
+            Some(0.0)
+        );
     }
 
     #[test]

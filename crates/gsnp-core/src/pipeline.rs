@@ -127,6 +127,10 @@ pub struct PipelineStats {
     /// (sorted). The mega-batching layer's figure of merit — launches per
     /// site — derives from this and [`PipelineStats::num_sites`].
     pub kernel_launches: Vec<gpu_sim::KernelTally>,
+    /// Static access-contract proof table merged across the device group
+    /// (per-kernel verified/refuted/assumed tallies plus retained
+    /// refutation diagnostics); empty unless [`GsnpConfig::contracts`].
+    pub contracts: gpu_sim::ContractReport,
 }
 
 /// GSNP configuration.
@@ -181,6 +185,13 @@ pub struct GsnpConfig {
     /// [`PipelineStats::sanitizer`]. Off by default — recorded experiments
     /// must never enable it.
     pub sanitize: bool,
+    /// Statically verify every kernel's declared [`gpu_sim::AccessContract`]
+    /// before it launches (bounds + inter-block race-freedom by interval
+    /// arithmetic — no lane executes on a refuted contract) and tally the
+    /// per-kernel proof table into [`PipelineStats::contracts`]. Cheap
+    /// (symbolic, per launch); results and hardware counters are
+    /// unchanged. Off by default.
+    pub contracts: bool,
     /// Attach a shared [`gpu_sim::TraceRecorder`]: every device in the
     /// group records kernel/transfer/pool events under its own
     /// `device{i}` process (simulated device clock), and the window loop
@@ -216,6 +227,7 @@ impl Default for GsnpConfig {
             num_devices: 1,
             pooled: true,
             sanitize: false,
+            contracts: false,
             trace: None,
             backend: BackendChoice::Sim,
         }
@@ -287,6 +299,9 @@ impl GsnpPipeline {
         let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices);
         if cfg.sanitize {
             group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
+        }
+        if cfg.contracts {
+            group = group.with_contracts();
         }
         if let Some(rec) = &cfg.trace {
             group = group.with_trace(rec);
@@ -555,6 +570,7 @@ impl GsnpPipeline {
         stats.sanitizer = total.sanitizer;
         stats.ledgers = ledger.per_device;
         stats.kernel_launches = group.kernel_launches();
+        stats.contracts = group.contract_report();
 
         // A serial run is, by definition, one stage busy at a time.
         let device_busy =
@@ -972,6 +988,7 @@ impl GsnpPipeline {
         stats.sanitizer = total.sanitizer;
         stats.ledgers = ledger.per_device;
         stats.kernel_launches = group.kernel_launches();
+        stats.contracts = group.contract_report();
 
         GsnpOutput {
             tables: out_tables,
@@ -1430,6 +1447,37 @@ mod tests {
         for (i, t) in out.tables.iter().enumerate() {
             assert_eq!(t.start_pos, i as u64 * 1_000);
         }
+    }
+
+    #[test]
+    fn contracted_run_proves_every_launch_and_changes_nothing() {
+        let d = Dataset::generate(SynthConfig::tiny(63));
+        let plain = GsnpPipeline::new(tiny_cfg()).run(&d.reads, &d.reference, &d.priors);
+        let proved = GsnpPipeline::new(GsnpConfig {
+            contracts: true,
+            ..tiny_cfg()
+        })
+        .run(&d.reads, &d.reference, &d.priors);
+        assert_eq!(
+            plain.tables, proved.tables,
+            "proofs must not perturb output"
+        );
+        let report = &proved.stats.contracts;
+        let t = report.totals();
+        assert!(t.verified > 0, "no contracted launch recorded");
+        assert!(
+            report.all_verified(),
+            "refuted {} / assumed {}: {:?}",
+            t.refuted,
+            t.assumed,
+            report.per_kernel
+        );
+        // The proof table names the paper kernels.
+        assert!(report
+            .per_kernel
+            .keys()
+            .any(|k| k.starts_with("likelihood_comp")));
+        assert!(plain.stats.contracts.per_kernel.is_empty());
     }
 
     #[test]

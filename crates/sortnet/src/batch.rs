@@ -8,10 +8,33 @@
 //! global memory (the multipass heuristic of He et al. keeps this path
 //! cold for GSNP's workloads).
 
-use gpu_sim::{ComputeBackend, GlobalBuffer, LaunchStats};
+use gpu_sim::{
+    AccessContract, BlockInterval, ComputeBackend, Footprint, GlobalBuffer, LaunchStats,
+};
 
 use crate::bitonic::{for_each_pair, pad_to_pow2};
 use crate::Span;
+
+/// The per-block footprint of a batch sort: block `b` reads and writes
+/// exactly the spans in its group, nothing else. Overlapping spans handed
+/// to different blocks therefore surface as an inter-block overlap
+/// refutation before the kernel runs.
+fn group_footprint(spans: &[Span], apb: usize) -> Footprint {
+    let grid = spans.len().div_ceil(apb);
+    let mut intervals = Vec::with_capacity(spans.len());
+    for b in 0..grid {
+        let first = b * apb;
+        let last = (first + apb).min(spans.len());
+        for &(off, len) in &spans[first..last] {
+            intervals.push(BlockInterval {
+                block: b,
+                lo: off,
+                hi: off + len,
+            });
+        }
+    }
+    Footprint::per_block(intervals)
+}
 
 /// Sort every span of `data` in place on the device.
 ///
@@ -41,49 +64,63 @@ pub fn batch_sort<B: ComputeBackend>(
     let shared_elems = dev.config().shared_mem_per_block / std::mem::size_of::<u32>();
 
     if m <= shared_elems {
-        dev.launch("batch_sort_shared", grid, |ctx| {
-            let first = ctx.block_idx() * apb;
-            let last = (first + apb).min(spans.len());
-            let mut tile = ctx.shared_alloc::<u32>(m);
-            for &(off, len) in &spans[first..last] {
-                // Metadata fetch for the span descriptor.
-                ctx.add_inst(2);
-                // Stage: coalesced load of the array, MAX padding beyond.
-                tile.stage_co(ctx, data, off, 0, len);
-                tile.fill_span(ctx, len, m, u32::MAX);
-                // The network runs entirely in shared memory; the fused
-                // compare-exchange tallies the same counters as scalar
-                // read/read(/write/write) sequences. Handing the whole
-                // network to the tile lets the native backend sort the
-                // lanes directly instead of replaying every pair.
-                tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
-                // Write back the real prefix.
-                tile.flush_co(ctx, data, 0, off, len);
-            }
-            ctx.shared_free(tile);
-        })
+        dev.launch_contracted(
+            "batch_sort_shared",
+            grid,
+            || {
+                AccessContract::default()
+                    .read_write(data, group_footprint(spans, apb))
+                    .shared::<u32>(m)
+            },
+            |ctx| {
+                let first = ctx.block_idx() * apb;
+                let last = (first + apb).min(spans.len());
+                let mut tile = ctx.shared_alloc::<u32>(m);
+                for &(off, len) in &spans[first..last] {
+                    // Metadata fetch for the span descriptor.
+                    ctx.add_inst(2);
+                    // Stage: coalesced load of the array, MAX padding beyond.
+                    tile.stage_co(ctx, data, off, 0, len);
+                    tile.fill_span(ctx, len, m, u32::MAX);
+                    // The network runs entirely in shared memory; the fused
+                    // compare-exchange tallies the same counters as scalar
+                    // read/read(/write/write) sequences. Handing the whole
+                    // network to the tile lets the native backend sort the
+                    // lanes directly instead of replaying every pair.
+                    tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
+                    // Write back the real prefix.
+                    tile.flush_co(ctx, data, 0, off, len);
+                }
+                ctx.shared_free(tile);
+            },
+        )
     } else {
         // Oversized arrays: compare-exchange directly in global memory.
-        dev.launch("batch_sort_global", grid, |ctx| {
-            let first = ctx.block_idx() * apb;
-            let last = (first + apb).min(spans.len());
-            for &(off, len) in &spans[first..last] {
-                ctx.add_inst(2);
-                let mp = pad_to_pow2(len);
-                for_each_pair(mp, |lo, hi| {
-                    ctx.add_inst(1);
-                    if lo >= len || hi >= len {
-                        return; // virtual MAX padding: no exchange needed
-                    }
-                    let a = ctx.ld_rand(data, off + lo);
-                    let b = ctx.ld_rand(data, off + hi);
-                    if a > b {
-                        ctx.st_rand(data, off + lo, b);
-                        ctx.st_rand(data, off + hi, a);
-                    }
-                });
-            }
-        })
+        dev.launch_contracted(
+            "batch_sort_global",
+            grid,
+            || AccessContract::default().read_write(data, group_footprint(spans, apb)),
+            |ctx| {
+                let first = ctx.block_idx() * apb;
+                let last = (first + apb).min(spans.len());
+                for &(off, len) in &spans[first..last] {
+                    ctx.add_inst(2);
+                    let mp = pad_to_pow2(len);
+                    for_each_pair(mp, |lo, hi| {
+                        ctx.add_inst(1);
+                        if lo >= len || hi >= len {
+                            return; // virtual MAX padding: no exchange needed
+                        }
+                        let a = ctx.ld_rand(data, off + lo);
+                        let b = ctx.ld_rand(data, off + hi);
+                        if a > b {
+                            ctx.st_rand(data, off + lo, b);
+                            ctx.st_rand(data, off + hi, a);
+                        }
+                    });
+                }
+            },
+        )
     }
 }
 
@@ -104,41 +141,67 @@ pub fn batch_sort_blockmax<B: ComputeBackend>(
     }
     let grid = spans.len().div_ceil(apb);
     let shared_elems = dev.config().shared_mem_per_block / std::mem::size_of::<u32>();
-    dev.launch("batch_sort_blockmax", grid, |ctx| {
-        let first = ctx.block_idx() * apb;
-        let last = (first + apb).min(spans.len());
-        let group = &spans[first..last];
-        let cap = group.iter().map(|&(_, l)| l).max().unwrap_or(1);
-        let m = pad_to_pow2(cap);
-        if m <= shared_elems {
-            let mut tile = ctx.shared_alloc::<u32>(m);
-            for &(off, len) in group {
-                ctx.add_inst(2);
-                tile.stage_co(ctx, data, off, 0, len);
-                tile.fill_span(ctx, len, m, u32::MAX);
-                tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
-                tile.flush_co(ctx, data, 0, off, len);
+    dev.launch_contracted(
+        "batch_sort_blockmax",
+        grid,
+        || {
+            // Worst-case tile over all block groups: blocks whose padded
+            // group maximum exceeds shared capacity take the global path
+            // and allocate nothing, so they don't raise the declaration.
+            let tile_worst = (0..grid)
+                .map(|b| {
+                    let first = b * apb;
+                    let last = (first + apb).min(spans.len());
+                    let cap = spans[first..last]
+                        .iter()
+                        .map(|&(_, l)| l)
+                        .max()
+                        .unwrap_or(1);
+                    pad_to_pow2(cap)
+                })
+                .filter(|&m| m <= shared_elems)
+                .max()
+                .unwrap_or(0);
+            AccessContract::default()
+                .read_write(data, group_footprint(spans, apb))
+                .shared::<u32>(tile_worst)
+        },
+        |ctx| {
+            let first = ctx.block_idx() * apb;
+            let last = (first + apb).min(spans.len());
+            let group = &spans[first..last];
+            let cap = group.iter().map(|&(_, l)| l).max().unwrap_or(1);
+            let m = pad_to_pow2(cap);
+            if m <= shared_elems {
+                let mut tile = ctx.shared_alloc::<u32>(m);
+                for &(off, len) in group {
+                    ctx.add_inst(2);
+                    tile.stage_co(ctx, data, off, 0, len);
+                    tile.fill_span(ctx, len, m, u32::MAX);
+                    tile.sort_network(ctx, m, |cx| for_each_pair(m, cx));
+                    tile.flush_co(ctx, data, 0, off, len);
+                }
+                ctx.shared_free(tile);
+            } else {
+                for &(off, len) in group {
+                    ctx.add_inst(2);
+                    let mp = pad_to_pow2(len);
+                    for_each_pair(mp, |lo, hi| {
+                        ctx.add_inst(1);
+                        if lo >= len || hi >= len {
+                            return;
+                        }
+                        let a = ctx.ld_rand(data, off + lo);
+                        let b = ctx.ld_rand(data, off + hi);
+                        if a > b {
+                            ctx.st_rand(data, off + lo, b);
+                            ctx.st_rand(data, off + hi, a);
+                        }
+                    });
+                }
             }
-            ctx.shared_free(tile);
-        } else {
-            for &(off, len) in group {
-                ctx.add_inst(2);
-                let mp = pad_to_pow2(len);
-                for_each_pair(mp, |lo, hi| {
-                    ctx.add_inst(1);
-                    if lo >= len || hi >= len {
-                        return;
-                    }
-                    let a = ctx.ld_rand(data, off + lo);
-                    let b = ctx.ld_rand(data, off + hi);
-                    if a > b {
-                        ctx.st_rand(data, off + lo, b);
-                        ctx.st_rand(data, off + hi, a);
-                    }
-                });
-            }
-        }
-    })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -224,6 +287,50 @@ mod tests {
         let dev = Device::m2050();
         let data = dev.upload(&[1u32; 8]);
         batch_sort(&dev, &data, &[(4, 8)], 8, 1);
+    }
+
+    #[test]
+    fn batch_sort_contracts_verify_under_conformance() {
+        use gpu_sim::{DeviceConfig, SanitizerConfig};
+        let dev = gpu_sim::Device::new(DeviceConfig::tesla_m2050())
+            .with_sanitizer(SanitizerConfig::all().with_conformance())
+            .with_contracts();
+        let mut rng = StdRng::seed_from_u64(9);
+        let host: Vec<u32> = (0..1024).map(|_| rng.gen()).collect();
+        let data = dev.upload(&host);
+        let spans: Vec<Span> = (0..64).map(|i| (i * 16, 16)).collect();
+        batch_sort(&dev, &data, &spans, 16, 4);
+        check_sorted(&dev, &data, &spans, &host);
+        let varied = vec![(0usize, 1usize), (1, 7), (8, 13), (21, 32), (53, 47)];
+        batch_sort_blockmax(&dev, &data, &varied, 2);
+
+        let report = dev.contract_report();
+        let totals = report.totals();
+        assert!(totals.verified > 0);
+        assert_eq!(totals.refuted, 0, "{:?}", report.diagnostics);
+        assert_eq!(totals.assumed, 0);
+        let counts = dev.sanitizer_report().unwrap().counts;
+        assert_eq!(counts.conformance_escapes, 0);
+        assert_eq!(counts.overwide_declarations, 0);
+    }
+
+    #[test]
+    fn overlapping_spans_across_blocks_are_refuted() {
+        use gpu_sim::SanitizerConfig;
+        let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
+        let dev = dev.with_contracts();
+        let data = dev.upload(&(0..64u32).rev().collect::<Vec<_>>());
+        // Two blocks (one span each) whose spans overlap at [8, 16): a
+        // write/write hazard the static sweep must catch pre-launch.
+        let spans = vec![(0usize, 16usize), (8, 16)];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch_sort(&dev, &data, &spans, 16, 1);
+        }))
+        .expect_err("overlapping spans must refute");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("contract refuted"), "{msg}");
+        let report = dev.contract_report();
+        assert_eq!(report.totals().refuted, 1);
     }
 
     proptest! {

@@ -5,9 +5,11 @@
 //! gsnp synth   <out_dir> [--sites N] [--depth X] [--seed S]
 //! gsnp call    <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
 //!              [--window N] [--devices N] [--batch N] [--backend B] [--cpu]
-//!              [--text <out.txt>] [--trace <out.json>] [--metrics <out.prom>]
+//!              [--contracts] [--text <out.txt>] [--trace <out.json>]
+//!              [--metrics <out.prom>]
 //! gsnp profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N]
 //!              [--batch N] [--backend B] [--seed S] [--trace <out.json>]
+//! gsnp analyze [--sites N] [--window N] [--seed S]
 //! gsnp decode  <in.gsnp> [<out.txt>]
 //! gsnp stats   <in.gsnp> [--format prom]
 //! gsnp validate-trace <trace.json>
@@ -40,15 +42,17 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("call") => cmd_call(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gsnp <synth|call|profile|decode|stats|validate-trace> ...\n\
+                "usage: gsnp <synth|call|profile|analyze|decode|stats|validate-trace> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--cpu] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--cpu] [--contracts] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
                  profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--backend sim|auto] [--seed S] [--trace out.json]\n\
+                 analyze [--sites N] [--window N] [--seed S]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp> [--format prom]\n\
                  validate-trace <trace.json>"
@@ -91,7 +95,8 @@ fn positional(args: &[String]) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") {
-            skip = a != "--cpu"; // value-less flags don't consume the next arg
+            // value-less flags don't consume the next arg
+            skip = !matches!(a.as_str(), "--cpu" | "--contracts");
             continue;
         }
         out.push(a);
@@ -163,10 +168,12 @@ fn cmd_call(args: &[String]) -> CliResult {
         ))),
         None => None,
     };
+    let contracts = args.iter().any(|a| a == "--contracts");
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
         launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
+        contracts,
         trace: recorder.clone(),
         backend,
         ..Default::default()
@@ -189,6 +196,16 @@ fn cmd_call(args: &[String]) -> CliResult {
     if let Some(path) = flag_value(args, "--metrics") {
         fs::write(path, call_metrics(&result).render_text())?;
         println!("wrote metrics to {path}");
+    }
+    if contracts {
+        let t = result.stats.contracts.totals();
+        println!(
+            "contracts: {} verified, {} refuted, {} assumed across {} kernels",
+            t.verified,
+            t.refuted,
+            t.assumed,
+            result.stats.contracts.per_kernel.len()
+        );
     }
     println!(
         "{} sites in {} windows, {} variants → {} ({} bytes)",
@@ -401,6 +418,99 @@ fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
     }
 }
 
+/// `gsnp analyze`: statically prove every paper kernel's access contract.
+///
+/// Runs a synthetic workload through the device pipeline once per
+/// `likelihood_comp` variant with contract checking on — covering the
+/// counting-fused likelihood kernel, the multipass-sort batch kernels,
+/// and the scan/RLE/DICT compression chain — plus the Fig. 5 dense
+/// strawman kernel directly, then prints the merged per-kernel proof
+/// table. Exits nonzero if any launch was refuted or ran unverified
+/// (`assumed`), so CI can gate on the proof.
+fn cmd_analyze(args: &[String]) -> CliResult {
+    use gsnp::core::counting::{base_occ_index, DenseWindow, SparseWindow};
+    use gsnp::core::likelihood::{
+        likelihood_dense_gpu, upload_dense_transposed, DeviceTables, KernelVariant,
+    };
+    use gsnp::core::tables::{LogTable, NewPMatrix, PMatrix};
+    use gsnp::core::ModelParams;
+    use gsnp::gpu_sim::{ContractReport, Device};
+    use gsnp::seqio::window::WindowReader;
+
+    let mut synth = SynthConfig::tiny(flag_value(args, "--seed").map_or(Ok(1), str::parse)?);
+    synth.chr_name = "chrS".into();
+    synth.num_sites = flag_value(args, "--sites").map_or(Ok(10_000), str::parse)?;
+    synth.read_len = 100;
+    let d = Dataset::generate(synth);
+    let window = flag_value(args, "--window").map_or(Ok(4_000), str::parse)?;
+
+    let mut report = ContractReport::default();
+    for variant in KernelVariant::ALL {
+        let cfg = GsnpConfig {
+            window_size: window,
+            variant,
+            contracts: true,
+            ..Default::default()
+        };
+        let out = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
+        report.merge(&out.stats.contracts);
+    }
+
+    // The dense strawman runs outside the pipeline; prove it directly.
+    let p = PMatrix::calibrate(&d.reads, &d.reference, &ModelParams::default());
+    let np = NewPMatrix::precompute(&p);
+    let lt = LogTable::new();
+    let mut wr = WindowReader::new(d.reads.iter().cloned().map(Ok), d.config.num_sites, 64);
+    if let Ok(Some(w)) = wr.next_window() {
+        let sw = SparseWindow::count(&w);
+        let sites = sw.num_sites().min(16);
+        let mut dense = DenseWindow::alloc(sites);
+        for site in 0..sites {
+            let m = dense.site_mut(site);
+            for &word in sw.site_words(site) {
+                let (b, s, c, st, _) = gsnp::core::baseword::unpack(word);
+                let idx = base_occ_index(b, s, c, st);
+                m[idx] = m[idx].saturating_add(1);
+            }
+        }
+        let dev = Device::m2050().with_contracts();
+        let tables = DeviceTables::upload(&dev, &p, &np, &lt);
+        let occ = upload_dense_transposed(&dev, &dense, sites);
+        likelihood_dense_gpu(&dev, &occ, sites, &tables);
+        report.merge(&dev.contract_report());
+    }
+
+    println!("static contract proof table");
+    println!(
+        "  {:<28} {:>9} {:>8} {:>8}",
+        "kernel", "verified", "refuted", "assumed"
+    );
+    for (kernel, t) in &report.per_kernel {
+        println!(
+            "  {:<28} {:>9} {:>8} {:>8}",
+            kernel, t.verified, t.refuted, t.assumed
+        );
+    }
+    let t = report.totals();
+    println!(
+        "  {:<28} {:>9} {:>8} {:>8}",
+        "total", t.verified, t.refuted, t.assumed
+    );
+    for diag in &report.diagnostics {
+        eprintln!("gsnp: refutation: {diag}");
+    }
+    if t.refuted > 0 || t.assumed > 0 {
+        return Err(format!(
+            "{} refuted and {} unverified (assumed) launches — every kernel must \
+             carry a statically proved contract",
+            t.refuted, t.assumed
+        )
+        .into());
+    }
+    println!("all {} launches statically verified", t.verified);
+    Ok(())
+}
+
 fn cmd_decode(args: &[String]) -> CliResult {
     let pos = positional(args);
     let input = pos.first().ok_or("decode requires an input file")?;
@@ -502,5 +612,42 @@ fn cmd_validate_trace(args: &[String]) -> CliResult {
             Ok(())
         }
         Err(e) => Err(format!("{input}: invalid trace: {e}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: an invalid trace must come back as `Err`, which `main`
+    /// maps to `ExitCode::FAILURE` — CI greps rely on the nonzero exit.
+    #[test]
+    fn validate_trace_rejects_violations_with_an_error() {
+        let dir = std::env::temp_dir().join(format!("gsnp_vt_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"X\"}]").unwrap();
+        let err = cmd_validate_trace(&[bad.display().to_string()]);
+        assert!(err.is_err(), "invalid trace must yield Err (exit FAILURE)");
+        assert!(err.unwrap_err().to_string().contains("invalid trace"));
+
+        let good = dir.join("good.json");
+        let rec = TraceRecorder::new(64);
+        let t = rec.register_track("device0", "kernels", gsnp::gpu_sim::TrackKind::Spans);
+        rec.span(
+            t,
+            rec.intern("work"),
+            0.0,
+            1.0,
+            gsnp::gpu_sim::SpanArgs::None,
+        );
+        fs::write(&good, rec.snapshot().to_chrome_json()).unwrap();
+        assert!(cmd_validate_trace(&[good.display().to_string()]).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_trace_file_is_an_error() {
+        assert!(cmd_validate_trace(&["/nonexistent/trace.json".to_string()]).is_err());
     }
 }

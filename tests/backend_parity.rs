@@ -122,15 +122,34 @@ fn auto_mixed_stream_is_byte_identical() {
     );
 }
 
-/// `Native` refuses configurations that need simulator-only observability
-/// instead of silently dropping it.
+/// A sanitized config no longer refuses the native backend: every
+/// pipeline kernel carries an `AccessContract`, so the static analyzer
+/// proves each launch before the uninstrumented blocks run and replays
+/// the declared writes into the sanitizer's shadow state. The run
+/// completes, stays byte-identical to the simulator, proves every
+/// launch, and ends sanitizer-clean. (Uncontracted native launches on a
+/// sanitized device still panic — covered by gpu-sim's backend tests.)
 #[test]
-#[should_panic(expected = "sanitizer")]
-fn native_backend_refuses_sanitize() {
+fn native_backend_admits_sanitize_on_proved_contracts() {
     let d = dataset(0xFA11, 1_000);
+    let reference = run(&d, &d.reads, cfg(BackendChoice::Sim, 1, 1, 1));
     let c = GsnpConfig {
         sanitize: true,
+        contracts: true,
         ..cfg(BackendChoice::Native, 1, 1, 1)
     };
-    run(&d, &d.reads, c);
+    let out = run(&d, &d.reads, c);
+    assert_eq!(out.tables, reference.tables, "sanitized native diverged");
+    assert_eq!(out.compressed, reference.compressed);
+    assert!(out.stats.sanitizer.is_clean(), "{:?}", out.stats.sanitizer);
+    let proofs = out.stats.contracts.totals();
+    assert!(proofs.verified > 0, "no launch was proved");
+    assert!(
+        out.stats.contracts.all_verified(),
+        "{:?}",
+        out.stats.contracts.per_kernel
+    );
+    let t = backend_tallies(&out);
+    assert_eq!(t.sim, 0, "no launch may fall back to the simulator");
+    assert!(t.native > 0);
 }
