@@ -1,0 +1,70 @@
+//! Cohort calling vs N independent single-sample runs.
+//!
+//! Both sides call the same N samples over the same reference; the
+//! cohort pays calibration, table precompute, the per-device table
+//! upload and pipeline bring-up once, while the independent baseline
+//! repays them per sample. See the `cohort_amortization` experiment for
+//! the calibrated sweep with upload-byte accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsnp_core::cohort::{CohortCallConfig, CohortPipeline, SampleReads};
+use gsnp_core::pipeline::{GsnpConfig, GsnpPipeline};
+use seqio::synth::{Cohort, CohortConfig, SynthConfig};
+
+fn cohort() -> Cohort {
+    let mut base = SynthConfig::tiny(0xC080);
+    base.num_sites = 4_000;
+    base.read_len = 60;
+    base.depth = 3.0;
+    Cohort::generate(CohortConfig {
+        base,
+        num_samples: 4,
+        shared_rate: 0.6,
+    })
+}
+
+fn cfg() -> GsnpConfig {
+    GsnpConfig {
+        window_size: 1_000,
+        launch_batch: 4,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let data = cohort();
+    let mut g = c.benchmark_group("cohort_amortization");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::from_parameter("4_independent"),
+        &data,
+        |b, data| {
+            b.iter(|| {
+                for s in &data.samples {
+                    GsnpPipeline::new(cfg()).run(&s.reads, &data.reference, &data.priors);
+                }
+            });
+        },
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("cohort_4"), &data, |b, data| {
+        let inputs: Vec<SampleReads<'_>> = data
+            .samples
+            .iter()
+            .map(|s| SampleReads {
+                name: &s.name,
+                reads: &s.reads,
+            })
+            .collect();
+        b.iter(|| {
+            CohortPipeline::new(CohortCallConfig {
+                base: cfg(),
+                ..Default::default()
+            })
+            .run(&inputs, &data.reference, &data.priors)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

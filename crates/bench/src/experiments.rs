@@ -1549,6 +1549,7 @@ pub fn native_backend(scale: f64) -> String {
     let mut json_rows = Vec::new();
     let mut sim_wall = f64::NAN;
     let mut native_wall = f64::NAN;
+    let mut auto_wall = f64::NAN;
     let mut baseline: Option<Vec<u8>> = None;
     for choice in [
         BackendChoice::Sim,
@@ -1580,7 +1581,7 @@ pub fn native_backend(scale: f64) -> String {
         match choice {
             BackendChoice::Sim => sim_wall = wall,
             BackendChoice::Native => native_wall = wall,
-            BackendChoice::Auto => {}
+            BackendChoice::Auto => auto_wall = wall,
         }
         rows.push(vec![
             choice.name().into(),
@@ -1601,6 +1602,7 @@ pub fn native_backend(scale: f64) -> String {
         ));
     }
     let speedup = sim_wall / native_wall;
+    let auto_speedup = sim_wall / auto_wall;
     // Below recorded scale the windows are a few hundred sites and fixed
     // host costs dominate both backends; the ≥2x bar is asserted where it
     // is recorded. (Recorded margin on a single-core host is ~2.1x — the
@@ -1611,10 +1613,18 @@ pub fn native_backend(scale: f64) -> String {
             speedup >= 2.0,
             "native backend must be >=2x faster than sim end-to-end (got {speedup:.2}x)"
         );
+        // The Auto dispatcher must capture most of the native win: its
+        // policy routes every large launch natively and only keeps
+        // sub-`native_min_blocks` grids (and sim-only observability) on
+        // the simulator, so it cannot regress to sim-like wall clock.
+        assert!(
+            auto_speedup >= 1.5,
+            "auto dispatch must recover >=1.5x over sim (got {auto_speedup:.2}x)"
+        );
     }
 
     let json = format!(
-        "{{\n  \"experiment\": \"native_backend\",\n  \"scale\": {scale},\n  \"native_speedup_vs_sim\": {speedup:.4},\n  \"byte_identical\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"native_backend\",\n  \"scale\": {scale},\n  \"native_speedup_vs_sim\": {speedup:.4},\n  \"auto_speedup_vs_sim\": {auto_speedup:.4},\n  \"byte_identical\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     let json_note = match std::fs::write("BENCH_native_backend.json", &json) {
@@ -1626,8 +1636,8 @@ pub fn native_backend(scale: f64) -> String {
         "Extension — compute backends on the launch_batching workload, Ch.1 (scale {scale}; best of {REPS})
 {}
 Native backend end-to-end speedup over the instrumented simulator:
-{speedup:.2}x (output byte-identical across all three backends, asserted
-above). {json_note}
+{speedup:.2}x; Auto dispatch recovers {auto_speedup:.2}x of it (output
+byte-identical across all three backends, asserted above). {json_note}
 Paper shape: the simulator pays per-access bookkeeping (counters, cost
 model, shared-memory shadowing) on every word a kernel touches — the
 instrumentation that reproduces Table III. The native backend runs the
@@ -1644,6 +1654,178 @@ launch needs sim-only observability.
                 "sim launches",
                 "native launches",
                 "auto sim/native",
+            ],
+            &rows
+        )
+    )
+}
+
+// ---------------------------------------------------------------------
+// Extension — cohort-scale multi-sample calling
+// ---------------------------------------------------------------------
+
+/// Extension: the cohort amortization sweep. An 8-sample synthetic cohort
+/// over one Ch.21-scale reference is called once through
+/// [`gsnp_core::CohortPipeline`] and compared against the honest
+/// baseline: 8 fully independent single-sample runs, each paying its own
+/// calibration, score-table upload and window bring-up. The report
+/// records both wall clocks at N ∈ {1, 2, 4, 8}, asserts the ≥1.5x
+/// cohort win at N=8 at recorded scales, asserts per-sample
+/// byte-identity (against a shared-tables single run — pooled
+/// calibration IS the shared work) and the O(devices) table-upload
+/// relation, and emits `BENCH_cohort_amortization.json`.
+pub fn cohort_amortization(scale: f64) -> String {
+    use gsnp_core::{CohortCallConfig, CohortPipeline, SampleReads, SharedTables};
+    use seqio::synth::{Cohort, CohortConfig};
+
+    // The classic cohort regime: many LOW-coverage samples over one
+    // reference (1000-Genomes-style population calling sequences samples
+    // at 2–6x and recovers power from the cohort, not from depth). Low
+    // depth is also where amortization matters most — the per-sample
+    // observation-proportional work shrinks while the reference-shaped
+    // work each independent run would repay stays fixed.
+    let mut base_synth = SynthConfig::ch21_mini(scale);
+    base_synth.depth = 3.0;
+    let cfg = || GsnpConfig {
+        window_size: scaled_window(256_000, scale),
+        launch_batch: 8,
+        // The production configuration: Auto routes every large launch to
+        // the native executor (byte-identical by construction) and both
+        // sides of the comparison get it, so the ratio isolates what the
+        // cohort amortizes rather than simulator bookkeeping.
+        backend: gpu_sim::BackendChoice::Auto,
+        ..Default::default()
+    };
+    let num_devices = 1u64;
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut speedup_at_8 = f64::NAN;
+    for num_samples in [1usize, 2, 4, 8] {
+        let c = Cohort::generate(CohortConfig {
+            base: base_synth.clone(),
+            num_samples,
+            shared_rate: 0.6,
+        });
+        let inputs: Vec<SampleReads<'_>> = c
+            .samples
+            .iter()
+            .map(|s| SampleReads {
+                name: &s.name,
+                reads: &s.reads,
+            })
+            .collect();
+
+        // The baseline: N fully independent runs, each calibrating and
+        // uploading for itself — what N users without a cohort pipeline
+        // would pay. (Their summed ledger H2D also anchors the upload
+        // relation below: score-table dimensions don't depend on the
+        // calibration values, so each run pays exactly one table upload.)
+        let t0 = Instant::now();
+        let mut singles_h2d = 0u64;
+        for s in &c.samples {
+            let single = GsnpPipeline::new(cfg()).run(&s.reads, &c.reference, &c.priors);
+            singles_h2d += single
+                .stats
+                .ledgers
+                .iter()
+                .map(|l| l.counters.h2d_bytes)
+                .sum::<u64>();
+        }
+        let singles_wall = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let out = CohortPipeline::new(CohortCallConfig {
+            base: cfg(),
+            ..Default::default()
+        })
+        .run(&inputs, &c.reference, &c.priors);
+        let cohort_wall = t0.elapsed().as_secs_f64();
+
+        // Correctness riding along with the measurement: lane 0 must be
+        // byte-identical to a single run injected with the cohort's
+        // pooled tables, and the ledger H2D bytes must show one table
+        // upload per device, not per sample.
+        let shared = std::sync::Arc::new(SharedTables::calibrate_pooled(
+            c.samples.iter().map(|s| s.reads.as_slice()),
+            &c.reference,
+            &cfg().params,
+        ));
+        let single = GsnpPipeline::new(GsnpConfig {
+            shared_tables: Some(std::sync::Arc::clone(&shared)),
+            ..cfg()
+        })
+        .run(&c.samples[0].reads, &c.reference, &c.priors);
+        assert_eq!(
+            out.samples[0].compressed, single.compressed,
+            "cohort lane 0 diverged from the shared-tables single run at N={num_samples}"
+        );
+        let cohort_h2d: u64 = out.stats.ledgers.iter().map(|l| l.counters.h2d_bytes).sum();
+        let table = out.stats.table_bytes;
+        assert_eq!(
+            cohort_h2d,
+            singles_h2d - num_samples as u64 * table + num_devices * table,
+            "cohort table uploads must be O(devices), not O(samples) at N={num_samples}"
+        );
+
+        let speedup = singles_wall / cohort_wall;
+        if num_samples == 8 {
+            speedup_at_8 = speedup;
+        }
+        rows.push(vec![
+            format!("{num_samples}"),
+            secs(singles_wall),
+            secs(cohort_wall),
+            ratio(speedup),
+            format!("{}", out.stats.table_bytes * num_devices),
+            format!("{}", out.stats.table_bytes * num_samples as u64),
+        ]);
+        json_rows.push(format!(
+            "    {{\"samples\": {num_samples}, \"independent_wall_seconds\": {singles_wall:.6}, \"cohort_wall_seconds\": {cohort_wall:.6}, \"speedup\": {speedup:.4}, \"table_upload_bytes\": {}, \"independent_upload_bytes\": {}}}",
+            out.stats.table_bytes * num_devices,
+            out.stats.table_bytes * num_samples as u64
+        ));
+    }
+    // Below recorded scale the genome is a few thousand sites and the
+    // fixed per-run bring-up is noise-dominated; the bar is asserted
+    // where it is recorded.
+    if scale >= 0.01 {
+        assert!(
+            speedup_at_8 >= 1.5,
+            "cohort at N=8 must beat 8 independent runs by >=1.5x (got {speedup_at_8:.2}x)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"cohort_amortization\",\n  \"scale\": {scale},\n  \"speedup_at_8_samples\": {speedup_at_8:.4},\n  \"byte_identical\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let json_note = match std::fs::write("BENCH_cohort_amortization.json", &json) {
+        Ok(()) => "Summary written to BENCH_cohort_amortization.json.".to_string(),
+        Err(e) => format!("(BENCH_cohort_amortization.json not written: {e})"),
+    };
+
+    format!(
+        "Extension — cohort-scale multi-sample calling, Ch.21-shaped cohort (scale {scale})
+{}
+Cohort over 8 samples beat 8 independent runs {speedup_at_8:.2}x
+(per-sample output byte-identical to a shared-tables single run, and table
+uploads O(devices), both asserted above). {json_note}
+Paper shape: everything reference-shaped — quality calibration, the
+cal_p/new_p/log score tables, their one-per-device upload, and the window
+scan — is paid once for the whole cohort instead of once per sample; the
+per-sample work (counting, sort, likelihood, posterior, output) rides the
+same mega-batched launches, so the fixed per-launch cost is also divided
+across the N samples sharing each window batch.
+",
+        table(
+            &[
+                "samples",
+                "N independent",
+                "cohort",
+                "speedup",
+                "cohort upload B",
+                "independent upload B",
             ],
             &rows
         )
@@ -1706,6 +1888,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "native_backend",
             "EXT: sim vs native vs auto compute backends",
             native_backend,
+        ),
+        (
+            "cohort_amortization",
+            "EXT: cohort vs N independent single-sample runs",
+            cohort_amortization,
         ),
     ]
 }
@@ -1782,8 +1969,22 @@ mod tests {
             "scaling",
             "launch_batching",
             "native_backend",
+            "cohort_amortization",
         ] {
             assert!(names.contains(&required), "{required} missing");
         }
+    }
+
+    #[test]
+    fn cohort_amortization_holds_its_invariants() {
+        // The runner asserts per-sample byte-identity and the O(devices)
+        // upload relation at every N; the ≥1.5x throughput bar is only
+        // enforced at recorded scales (bring-up noise dominates tiny
+        // genomes). Drop the JSON side-product — recorded summaries come
+        // from `reproduce`.
+        let report = cohort_amortization(TEST_SCALE);
+        let _ = std::fs::remove_file("BENCH_cohort_amortization.json");
+        assert!(report.contains("byte-identical"));
+        assert!(report.contains("O(devices)"));
     }
 }

@@ -24,13 +24,17 @@
 //!   uncontracted launches on such devices panic.
 //! * [`BackendDispatcher`] — picks one of the two per launch. With
 //!   [`BackendChoice::Auto`] the decision comes from the launch's grid
-//!   size against a calibrated GPU-worthwhile threshold
-//!   ([`AutoPolicy::gpu_min_blocks`]): big grids amortize the simulator's
-//!   parallel scheduling (and are what the cost model exists to price),
-//!   tiny grids run native. Every decision is tallied on the
-//!   [`crate::DeviceLedger`] ([`BackendTallies`]) and, when a trace is
-//!   attached, recorded as a `dispatch_sim`/`dispatch_native` instant on
-//!   the device's kernel track.
+//!   size against a calibrated native-worthwhile threshold
+//!   ([`AutoPolicy::native_min_blocks`]): grids wide enough to occupy the
+//!   native executor's rayon block fan-out run native for real wall-clock
+//!   speed, while sub-occupancy grids stay on the simulator, whose fixed
+//!   per-launch setup is negligible at that size and which keeps the cost
+//!   model fed. Sim-only features (trace always; sanitizer/conformance
+//!   per the contract rules) override the size rule. Every decision is
+//!   tallied on the [`crate::DeviceLedger`] ([`BackendTallies`]) and,
+//!   when a trace is attached, recorded as a
+//!   `dispatch_sim`/`dispatch_native` instant on the device's kernel
+//!   track.
 //!
 //! The CUDA analogy: `SimBackend` is the driver-API path that launches
 //! real kernels on the GPU (with profiler instrumentation enabled), while
@@ -1008,21 +1012,31 @@ impl ComputeBackend for NativeBackend<'_> {
 /// Workload-size policy for [`BackendChoice::Auto`].
 ///
 /// The grid size is the dispatcher's workload proxy: GSNP kernels put a
-/// fixed tile of work in each block, so blocks ∝ sites. The default
-/// threshold was calibrated on the launch-batching workload: above it the
-/// simulator's work-stealing pool amortizes its per-launch setup, below
-/// it a launch is cheaper run inline on the native path — the same
-/// break-even a host/GPU dispatcher measures against PCIe latency.
+/// fixed tile of work in each block, so blocks ∝ sites. The simulator
+/// prices and instruments every access, so its wall-clock cost grows with
+/// the work in the launch; the native path amortizes its rayon fan-out
+/// setup across blocks instead. Per-kernel `KernelTally.wall_seconds`
+/// measured on the launch-batching workload shows native cheaper than sim
+/// for every paper kernel once a grid spans a handful of blocks, and the
+/// sim's fixed setup negligible below that — so wide grids run native and
+/// sub-occupancy grids stay on the simulator. (An earlier revision had
+/// this backwards — routing big grids to sim — which pinned `Auto` at
+/// 1.09x vs native's 2.36x with 394 of 455 launches on the slow arm; see
+/// `BENCH_native_backend.json`.)
 #[derive(Debug, Clone, Copy)]
 pub struct AutoPolicy {
-    /// Minimum grid size (in blocks) for which the simulator is
-    /// considered GPU-worthwhile.
-    pub gpu_min_blocks: usize,
+    /// Minimum grid size (in blocks) routed to the native executor;
+    /// narrower grids run on the simulator. Calibrated from measured
+    /// per-kernel wall seconds; configurable as `--auto-threshold` on the
+    /// CLI.
+    pub native_min_blocks: usize,
 }
 
 impl Default for AutoPolicy {
     fn default() -> Self {
-        AutoPolicy { gpu_min_blocks: 8 }
+        AutoPolicy {
+            native_min_blocks: 8,
+        }
     }
 }
 
@@ -1079,22 +1093,23 @@ impl<'d> BackendDispatcher<'d> {
 
     /// Auto decision for one *uncontracted* launch: `true` ⇒ simulator.
     /// Sanitized devices force sim here because without a contract the
-    /// native path has no proof to run on.
+    /// native path has no proof to run on; sub-occupancy grids stay on
+    /// the simulator too (see [`AutoPolicy`]).
     fn pick_sim(&self, grid_dim: usize) -> bool {
         self.dev.sanitizer_enabled()
             || self.dev.trace_enabled()
-            || grid_dim >= self.policy.gpu_min_blocks
+            || grid_dim < self.policy.native_min_blocks
     }
 
     /// Auto decision for one *contracted* launch: `true` ⇒ simulator.
     /// A verified contract substitutes for the sanitizer's instrumented
     /// checking, so plain sanitized devices may go native; conformance
     /// mode must observe real accesses and stays on the simulator, as do
-    /// traced devices (sim-only observables).
+    /// traced devices (sim-only observables) and sub-occupancy grids.
     fn pick_sim_contracted(&self, grid_dim: usize) -> bool {
         self.dev.trace_enabled()
             || self.dev.conformance_enabled()
-            || grid_dim >= self.policy.gpu_min_blocks
+            || grid_dim < self.policy.native_min_blocks
     }
 }
 
@@ -1382,29 +1397,50 @@ mod tests {
 
     #[test]
     fn auto_contracted_routes_native_under_plain_sanitizer() {
-        // Plain sanitizer (no conformance): a small contracted launch may
+        // Plain sanitizer (no conformance): a wide contracted launch may
         // go native on the strength of the static proof.
         let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
         let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
-        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        let buf: GlobalBuffer<u32> = dev.alloc(32);
         disp.launch_contracted(
-            "tiny",
-            1,
-            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 4)),
-            |ctx| ctx.st_co(&buf, ctx.block_idx(), 1),
+            "wide",
+            8,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 32)),
+            |ctx| {
+                let base = ctx.block_idx() * 4;
+                for t in 0..4 {
+                    ctx.st_co(&buf, base + t, 1);
+                }
+            },
         );
         assert_eq!(dev.ledger().backend.auto_native, 1);
         assert_eq!(dev.ledger().backend.native, 1);
 
-        // Conformance mode needs instrumented accesses: forced to sim.
+        // A sub-occupancy contracted launch stays on the simulator even
+        // though the proof would admit it natively.
+        disp.launch_contracted(
+            "narrow",
+            1,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 32)),
+            |ctx| ctx.st_co(&buf, ctx.block_idx(), 1),
+        );
+        assert_eq!(dev.ledger().backend.auto_sim, 1);
+
+        // Conformance mode needs instrumented accesses: forced to sim
+        // regardless of grid width.
         let dev = Device::m2050().with_sanitizer(SanitizerConfig::all().with_conformance());
         let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
-        let buf: GlobalBuffer<u32> = dev.alloc(4);
+        let buf: GlobalBuffer<u32> = dev.alloc(32);
         disp.launch_contracted(
-            "tiny",
-            1,
-            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 4)),
-            |ctx| ctx.st_co(&buf, ctx.block_idx(), 1),
+            "wide",
+            8,
+            || AccessContract::default().write(&buf, crate::contract::Footprint::tiled(4, 32)),
+            |ctx| {
+                let base = ctx.block_idx() * 4;
+                for t in 0..4 {
+                    ctx.st_co(&buf, base + t, 1);
+                }
+            },
         );
         assert_eq!(dev.ledger().backend.auto_sim, 1);
         assert_eq!(dev.ledger().backend.native, 0);
@@ -1427,7 +1463,9 @@ mod tests {
         let disp = BackendDispatcher::with_policy(
             &dev,
             BackendChoice::Auto,
-            AutoPolicy { gpu_min_blocks: 8 },
+            AutoPolicy {
+                native_min_blocks: 8,
+            },
         )
         .unwrap();
         let buf: GlobalBuffer<u32> = dev.alloc(64);
@@ -1440,27 +1478,61 @@ mod tests {
         assert_eq!(led.backend.native, 1);
         assert_eq!(led.backend.sim, 1);
         assert_eq!(led.launches, 2, "zero-grid launch records nothing");
-        // Per-kernel attribution distinguishes the backends.
+        // Per-kernel attribution distinguishes the backends: wide grids
+        // occupy the native fan-out, narrow grids stay on the simulator.
         let tallies = dev.kernel_launches();
         let find = |n: &str| tallies.iter().find(|t| t.name == n).unwrap();
-        assert_eq!(find("small").native_launches, 1);
-        assert_eq!(find("big").native_launches, 0);
+        assert_eq!(find("small").native_launches, 0);
+        assert_eq!(find("big").native_launches, 1);
+    }
+
+    #[test]
+    fn auto_threshold_is_configurable() {
+        // Raising the threshold pushes the same launch back to sim;
+        // dropping it to 1 sends everything native.
+        let dev = Device::m2050();
+        let disp = BackendDispatcher::with_policy(
+            &dev,
+            BackendChoice::Auto,
+            AutoPolicy {
+                native_min_blocks: 64,
+            },
+        )
+        .unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        disp.launch("mid", 32, |ctx| ctx.st_co(&buf, ctx.block_idx(), 1));
+        assert_eq!(dev.ledger().backend.auto_sim, 1);
+
+        let dev = Device::m2050();
+        let disp = BackendDispatcher::with_policy(
+            &dev,
+            BackendChoice::Auto,
+            AutoPolicy {
+                native_min_blocks: 1,
+            },
+        )
+        .unwrap();
+        let buf: GlobalBuffer<u32> = dev.alloc(64);
+        disp.launch("one", 1, |ctx| ctx.st_co(&buf, ctx.block_idx(), 1));
+        assert_eq!(dev.ledger().backend.auto_native, 1);
     }
 
     #[test]
     fn auto_forces_sim_under_sanitizer_and_trace() {
+        // Grids wide enough for the native path (≥ the default threshold)
+        // still go to the simulator when it owns required observables.
         let dev = Device::m2050().with_sanitizer(SanitizerConfig::all());
         let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
-        let buf: GlobalBuffer<u32> = dev.alloc(4);
-        disp.launch("tiny", 1, |ctx| ctx.st_co(&buf, 0, 1));
+        let buf: GlobalBuffer<u32> = dev.alloc(8);
+        disp.launch("tiny", 8, |ctx| ctx.st_co(&buf, ctx.block_idx(), 1));
         assert_eq!(dev.ledger().backend.auto_sim, 1);
         assert_eq!(dev.ledger().backend.native, 0);
 
         let rec = Arc::new(TraceRecorder::new(64));
         let dev = Device::m2050().with_trace(&rec, 0);
         let disp = BackendDispatcher::new(&dev, BackendChoice::Auto).unwrap();
-        let buf: GlobalBuffer<u32> = dev.alloc(4);
-        disp.launch("tiny", 1, |ctx| ctx.st_co(&buf, 0, 1));
+        let buf: GlobalBuffer<u32> = dev.alloc(8);
+        disp.launch("tiny", 8, |ctx| ctx.st_co(&buf, ctx.block_idx(), 1));
         assert_eq!(dev.ledger().backend.auto_sim, 1);
         assert_eq!(dev.ledger().backend.native, 0);
         // The decision itself lands on the trace as an instant.

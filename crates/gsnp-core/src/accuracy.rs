@@ -146,6 +146,94 @@ pub fn titv_ratio(rows: &[SnpRow], min_quality: u8) -> f64 {
     }
 }
 
+/// Trio Mendelian-concordance counts: for each site the child calls a
+/// variant, is the child's genotype composable from one allele of the
+/// mother's called genotype and one of the father's? (With reference
+/// alleles assumed available from a parent whose site is not called
+/// variant.) This is the standard family-consistency check cohort
+/// pipelines run — on the synthetic trio (child haplotypes inherited
+/// whole from the parents, no de novo mutation) violations can come only
+/// from calling errors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrioConcordance {
+    /// Child variant calls assessed (quality-passing, in range).
+    pub assessed: u64,
+    /// Assessed calls consistent with Mendelian inheritance.
+    pub consistent: u64,
+}
+
+impl TrioConcordance {
+    /// Fraction of assessed child calls that are Mendelian-consistent.
+    pub fn rate(&self) -> f64 {
+        if self.assessed == 0 {
+            1.0
+        } else {
+            self.consistent as f64 / self.assessed as f64
+        }
+    }
+}
+
+/// Possible alleles at one site given a parent's called row: the called
+/// genotype's alleles when the parent confidently calls a variant, the
+/// reference base when it confidently calls reference, and *no* alleles
+/// (site unassessable) when the parent's call is below `min_quality` —
+/// a missed parental heterozygote must not masquerade as hom-ref and
+/// charge the child with a false Mendelian violation.
+fn parent_alleles(row: &SnpRow, min_quality: u8) -> Vec<Base> {
+    if row.ref_base >= 4 || row.quality < min_quality {
+        return Vec::new();
+    }
+    let r = Base::from_code(row.ref_base);
+    if !row.is_variant() {
+        return vec![r];
+    }
+    let mut alleles = Vec::new();
+    for a in Base::ALL {
+        for b in Base::ALL {
+            if a <= b && row.genotype == iupac(a, b) {
+                alleles.push(a);
+                alleles.push(b);
+            }
+        }
+    }
+    alleles
+}
+
+/// Check each child variant call (at `min_quality`) for Mendelian
+/// consistency against the parents' calls at the same site. The three row
+/// slices must cover the same site range (`rows[i]` = site `i`), which
+/// cohort outputs guarantee by construction.
+pub fn trio_concordance(
+    mother: &[SnpRow],
+    father: &[SnpRow],
+    child: &[SnpRow],
+    min_quality: u8,
+) -> TrioConcordance {
+    assert_eq!(mother.len(), child.len(), "trio row ranges must align");
+    assert_eq!(father.len(), child.len(), "trio row ranges must align");
+    let mut t = TrioConcordance::default();
+    for (site, row) in child.iter().enumerate() {
+        if !row.is_variant() || row.quality < min_quality || row.ref_base >= 4 {
+            continue;
+        }
+        let from_mother = parent_alleles(&mother[site], min_quality);
+        let from_father = parent_alleles(&father[site], min_quality);
+        if from_mother.is_empty() || from_father.is_empty() {
+            continue;
+        }
+        t.assessed += 1;
+        let consistent = from_mother.iter().any(|&m| {
+            from_father
+                .iter()
+                .any(|&f| row.genotype == iupac(m.min(f), m.max(f)))
+        });
+        if consistent {
+            t.consistent += 1;
+        }
+    }
+    t
+}
+
 /// Precision/recall sweep over quality thresholds (an ROC-style curve).
 pub fn quality_sweep(
     rows: &[SnpRow],
@@ -243,6 +331,39 @@ mod tests {
         }
         // Everything called at a high threshold is also called at zero.
         assert!(sweep[0].1.true_positives >= sweep[2].1.true_positives);
+    }
+
+    #[test]
+    fn trio_calls_are_mendelian_consistent() {
+        use seqio::synth::{Cohort, CohortConfig};
+        let mut base = SynthConfig::tiny(0x7210);
+        base.num_sites = 15_000;
+        base.snp_rate = 8e-3;
+        let trio = Cohort::generate_trio(CohortConfig {
+            base,
+            num_samples: 3,
+            shared_rate: 0.6,
+        });
+        let call = |reads: &[seqio::AlignedRead]| {
+            GsnpCpuPipeline::new(GsnpConfig {
+                window_size: 5_000,
+                ..Default::default()
+            })
+            .run(reads, &trio.reference, &trio.priors)
+            .all_rows()
+        };
+        let mother = call(&trio.sample("mother").unwrap().reads);
+        let father = call(&trio.sample("father").unwrap().reads);
+        let child = call(&trio.sample("child").unwrap().reads);
+        let t = trio_concordance(&mother, &father, &child, 13);
+        // The synthetic child inherits whole parental haplotypes with no
+        // de novo mutation, so inconsistencies are pure calling error.
+        assert!(t.assessed >= 10, "{t:?}");
+        assert!(t.rate() > 0.9, "concordance {:.3} ({t:?})", t.rate());
+        // Sanity: the statistic is not trivially 1.0 by construction —
+        // shuffled "parents" (child vs itself as both parents) differs.
+        let degenerate = trio_concordance(&child, &child, &mother, 13);
+        assert!(degenerate.assessed > 0);
     }
 
     #[test]

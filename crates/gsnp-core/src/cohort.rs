@@ -1,0 +1,907 @@
+//! Cohort-scale multi-sample calling with cross-sample amortization.
+//!
+//! Calling N samples over the same reference as N independent
+//! [`crate::pipeline::GsnpPipeline`] runs pays N× for everything
+//! *reference-shaped*: the `cal_p_matrix` calibration blend, the
+//! `new_p_matrix` precompute, the per-device score-table upload, and the
+//! per-run thread/channel setup. None of that depends on which sample a
+//! window came from. [`CohortPipeline`] pays each exactly once:
+//!
+//! * **One pooled calibration** ([`SharedTables::calibrate_pooled`])
+//!   over every sample's reads, and **one `DeviceTables` upload per
+//!   device** — ledger-counted table H2D bytes scale O(devices), not
+//!   O(N·devices) (`tests/cohort_parity.rs`).
+//! * **Sample-major mega-batching**: every sample reads the *same*
+//!   window grid (windows tile the reference — a structural property of
+//!   [`seqio::window::WindowReader`] — so site alignment across samples
+//!   is deterministic, no coordination needed). The producer concatenates
+//!   the same `k` windows of all N samples into ONE device batch, and the
+//!   existing batched device path ([`crate::pipeline`]'s fused
+//!   counting+likelihood launch) scores all of them in one launch group —
+//!   PR 6's `launch_batch` axis extended across samples, exactly the
+//!   inter-task batching genome-scale CUDA callers use.
+//! * **Per-sample outputs stay byte-identical** to single-sample runs
+//!   given the same tables: compressed bytes are grouping-invariant
+//!   (`tests/batch_parity.rs`), so demuxing a batch back into per-sample
+//!   compression groups reproduces each sample's single-run stream
+//!   bit-for-bit at any (samples, devices, batch) shape.
+//!
+//! On top of the shared scan, the cohort path adds two call-quality
+//! mechanisms single runs don't have: per-site [`QualityGates`] that
+//! replace unreliable calls with explicit NoCall rows, and a persistent
+//! [`BadSiteList`] that accumulates strikes against chronically noisy
+//! sites across runs and force-NoCalls them once they cross a threshold.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use compress::{column, input_codec};
+use crossbeam::channel::bounded;
+use gpu_sim::{BackendDispatcher, DeviceGroup, LaunchStats};
+use seqio::fasta::Reference;
+use seqio::prior::PriorMap;
+use seqio::result::{SnpRow, SnpTable};
+use seqio::soap::AlignedRead;
+use seqio::window::WindowReader;
+
+use crate::arena::ArenaPool;
+use crate::likelihood::DeviceTables;
+use crate::pipeline::{
+    add_times, join_stage, merge_stats, posterior_rows, run_device_batch, BatchScratch,
+    ComponentTimes, GsnpConfig, PipelineStats, StageReport,
+};
+use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, StageStats};
+use crate::tables::SharedTables;
+
+/// Per-site quality gates: calls failing either bound are replaced with
+/// an explicit NoCall row (genotype `N`, quality 0) that preserves the
+/// site's observed depth and reference base. The default (`0`/`0`) is
+/// inactive — gating off is what the cohort/single-run parity proof runs
+/// under, since gates intentionally change outputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityGates {
+    /// Minimum consensus quality (Phred) to keep a call.
+    pub min_quality: u8,
+    /// Minimum site depth (covering reads) to keep a call.
+    pub min_depth: u16,
+}
+
+impl QualityGates {
+    /// Whether any gate is configured.
+    pub fn is_active(&self) -> bool {
+        self.min_quality > 0 || self.min_depth > 0
+    }
+
+    /// Whether a called row passes both gates.
+    pub fn passes(&self, row: &SnpRow) -> bool {
+        row.quality >= self.min_quality && row.depth >= self.min_depth
+    }
+}
+
+/// Persistent cross-run feedback list of chronically noisy sites.
+///
+/// After a cohort run, sites where at least half the covered samples were
+/// quality-gated land in [`CohortOutput::noisy_sites`]; absorbing them
+/// here adds one strike each. A site at or above [`BadSiteList::threshold`]
+/// strikes is *bad*: later runs force-NoCall it outright (downweighting
+/// chronically unreliable loci — collapsed repeats, mapping artifacts —
+/// the way production pipelines maintain blacklist BEDs across batches).
+/// The list serializes to a two-column `pos\tstrikes` text file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadSiteList {
+    strikes: BTreeMap<u64, u32>,
+    /// Strike count at which a site is force-NoCalled (default 3).
+    pub threshold: u32,
+}
+
+impl Default for BadSiteList {
+    fn default() -> Self {
+        BadSiteList {
+            strikes: BTreeMap::new(),
+            threshold: 3,
+        }
+    }
+}
+
+impl BadSiteList {
+    /// An empty list with the default threshold.
+    pub fn new() -> BadSiteList {
+        BadSiteList::default()
+    }
+
+    /// Current strikes against `pos`.
+    pub fn strikes(&self, pos: u64) -> u32 {
+        self.strikes.get(&pos).copied().unwrap_or(0)
+    }
+
+    /// Whether `pos` has accumulated enough strikes to be force-NoCalled.
+    pub fn is_bad(&self, pos: u64) -> bool {
+        self.strikes(pos) >= self.threshold
+    }
+
+    /// Add one strike against each site (a run's noisy-site feedback).
+    pub fn absorb(&mut self, noisy_sites: &[u64]) {
+        for &pos in noisy_sites {
+            *self.strikes.entry(pos).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of sites with at least one strike.
+    pub fn len(&self) -> usize {
+        self.strikes.len()
+    }
+
+    /// Whether no site has a strike.
+    pub fn is_empty(&self) -> bool {
+        self.strikes.is_empty()
+    }
+
+    /// Serialize as `pos\tstrikes` lines (positions ascending).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for (pos, n) in &self.strikes {
+            out.push_str(&format!("{pos}\t{n}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`BadSiteList::serialize`] format (threshold keeps its
+    /// default; set [`BadSiteList::threshold`] separately).
+    pub fn parse(text: &str) -> Result<BadSiteList, String> {
+        let mut list = BadSiteList::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (pos, n) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("bad-site list line {}: missing tab", lineno + 1))?;
+            let pos: u64 = pos
+                .parse()
+                .map_err(|e| format!("bad-site list line {}: {e}", lineno + 1))?;
+            let n: u32 = n
+                .parse()
+                .map_err(|e| format!("bad-site list line {}: {e}", lineno + 1))?;
+            list.strikes.insert(pos, n);
+        }
+        Ok(list)
+    }
+}
+
+/// Cohort-run configuration: the base single-run config plus the
+/// cohort-only call-quality controls.
+#[derive(Debug, Clone, Default)]
+pub struct CohortCallConfig {
+    /// The underlying pipeline configuration (window size, device group,
+    /// batching, backend…). `base.shared_tables`, when set, overrides the
+    /// cohort's own pooled calibration.
+    pub base: GsnpConfig,
+    /// Per-site quality gates (default: inactive).
+    pub gates: QualityGates,
+    /// Chronically-noisy-site feedback from previous runs (default:
+    /// empty — no site is force-NoCalled).
+    pub bad_sites: BadSiteList,
+}
+
+/// One sample's input to a cohort run.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleReads<'a> {
+    /// Sample name (labels the per-sample output).
+    pub name: &'a str,
+    /// Position-sorted alignments.
+    pub reads: &'a [AlignedRead],
+}
+
+/// One sample's slice of a cohort run's output.
+#[derive(Debug)]
+pub struct SampleOutput {
+    /// Sample name.
+    pub name: String,
+    /// Per-window result tables.
+    pub tables: Vec<SnpTable>,
+    /// The sample's compressed result file — byte-identical to a
+    /// single-sample run over the same reads and tables.
+    pub compressed: Vec<u8>,
+    /// Variant calls emitted for this sample (after gating).
+    pub snp_count: u64,
+    /// Calls replaced with NoCall by [`QualityGates`].
+    pub gated_nocalls: u64,
+    /// Calls force-NoCalled by the [`BadSiteList`].
+    pub forced_nocalls: u64,
+}
+
+impl SampleOutput {
+    /// Flatten all windows into rows (for comparisons).
+    pub fn all_rows(&self) -> Vec<SnpRow> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.rows.iter().copied())
+            .collect()
+    }
+}
+
+/// Everything a cohort run produces.
+#[derive(Debug)]
+pub struct CohortOutput {
+    /// Per-sample outputs, in input order.
+    pub samples: Vec<SampleOutput>,
+    /// Aggregate statistics over the whole cohort
+    /// ([`PipelineStats::samples`] = N; site/window totals sum lanes).
+    pub stats: PipelineStats,
+    /// Modelled component times (device components use the cost model).
+    pub times: ComponentTimes,
+    /// Pure host wall-clock per component.
+    pub wall: ComponentTimes,
+    /// Sites where ≥ half the covered samples were quality-gated this
+    /// run — feed to [`BadSiteList::absorb`] to persist the signal.
+    pub noisy_sites: Vec<u64>,
+}
+
+impl CohortOutput {
+    /// The output of the sample named `name`, if present.
+    pub fn sample(&self, name: &str) -> Option<&SampleOutput> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+}
+
+/// Per-sample tallies the posterior stage accumulates alongside its
+/// [`StageReport`].
+#[derive(Default)]
+struct PostTallies {
+    snp: Vec<u64>,
+    gated: Vec<u64>,
+    forced: Vec<u64>,
+    /// Covered-but-gated sample count per site (noisy-site detection).
+    gated_by_site: BTreeMap<u64, u32>,
+}
+
+impl PostTallies {
+    fn new(num_samples: usize) -> Self {
+        PostTallies {
+            snp: vec![0; num_samples],
+            gated: vec![0; num_samples],
+            forced: vec![0; num_samples],
+            gated_by_site: BTreeMap::new(),
+        }
+    }
+}
+
+/// One sample-major launch batch: the same `wins` windows of every
+/// sample, arenas ordered `[s0:w0..][s1:w0..]…`.
+struct CProduced {
+    idx: usize,
+    wins: usize,
+    arenas: Vec<crate::arena::WindowArena>,
+}
+
+struct CScored {
+    idx: usize,
+    wins: usize,
+    arenas: Vec<crate::arena::WindowArena>,
+    tl_bytes: u64,
+    dev: usize,
+}
+
+struct CCalled {
+    idx: usize,
+    /// `per_sample[s]` = this batch's `(window_start, rows)` for sample s.
+    per_sample: Vec<Vec<(u64, Vec<SnpRow>)>>,
+    dev: usize,
+}
+
+/// The cohort pipeline driver.
+pub struct CohortPipeline {
+    config: CohortCallConfig,
+}
+
+impl CohortPipeline {
+    /// Create a cohort pipeline with the given configuration.
+    pub fn new(config: CohortCallConfig) -> Self {
+        CohortPipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CohortCallConfig {
+        &self.config
+    }
+
+    /// Call every sample over the shared reference in one run.
+    ///
+    /// Always streams (the sample-major batches need the channel
+    /// topology even at depth 1). Device tracing (`base.trace`) attaches
+    /// to the device group only; the cohort loop records no host-side
+    /// pipeline tracks.
+    pub fn run(
+        &self,
+        samples: &[SampleReads<'_>],
+        reference: &Reference,
+        priors: &PriorMap,
+    ) -> CohortOutput {
+        let cfg = &self.config.base;
+        let num_samples = samples.len();
+        assert!(num_samples >= 1, "cohort needs at least one sample");
+
+        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices);
+        if cfg.sanitize {
+            group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
+        }
+        if cfg.contracts {
+            group = group.with_contracts();
+        }
+        if let Some(rec) = &cfg.trace {
+            group = group.with_trace(rec);
+        }
+        group.set_pool_enabled(cfg.pooled);
+        let group = &group;
+        let dispatchers: Vec<BackendDispatcher<'_>> = group
+            .devices()
+            .iter()
+            .map(|d| {
+                BackendDispatcher::with_policy(d, cfg.backend, cfg.auto)
+                    .unwrap_or_else(|e| panic!("gsnp cohort: {e}"))
+            })
+            .collect();
+
+        let mut times = ComponentTimes::default();
+        let mut wall = ComponentTimes::default();
+        let mut stats = PipelineStats {
+            samples: num_samples as u64,
+            ..PipelineStats::default()
+        };
+
+        // ---- cal_p_matrix + load_table: ONCE for the whole cohort ----
+        let t0 = Instant::now();
+        let shared = match &cfg.shared_tables {
+            Some(st) => std::sync::Arc::clone(st),
+            None => std::sync::Arc::new(SharedTables::calibrate_pooled(
+                samples.iter().map(|s| s.reads),
+                reference,
+                &cfg.params,
+            )),
+        };
+        // One host image, one upload (one ledger charge) per DEVICE —
+        // not per sample. This is the O(devices) upload invariant.
+        let tables =
+            DeviceTables::upload_group(group, &shared.p_matrix, &shared.new_p, &shared.log_table);
+        // Per-sample temporary compressed inputs (§V-A) — the input codec
+        // is per sample, unchanged from single runs.
+        let temp_inputs: Option<Vec<Vec<u8>>> = if cfg.compress_input {
+            Some(
+                samples
+                    .iter()
+                    .map(|s| input_codec::compress_reads(&reference.name, s.reads))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let cal_wall = t0.elapsed().as_secs_f64();
+        wall.cal_p = cal_wall;
+        stats.table_bytes = tables[0].upload_bytes();
+        times.cal_p = cal_wall + stats.table_bytes as f64 / cfg.device.pcie_bw;
+        stats.peak_host_bytes += temp_inputs
+            .as_ref()
+            .map_or(0, |t| t.iter().map(|b| b.len() as u64).sum());
+
+        let depth = cfg.pipeline_depth.max(1);
+        let num_devices = group.len();
+        let params = &cfg.params;
+        let variant = cfg.variant;
+        let gpu_output = cfg.gpu_output;
+        let window_size = cfg.window_size;
+        let coalesced_bw = cfg.device.coalesced_bw;
+        let batch_size = cfg.launch_batch_size();
+        let ref_len = reference.len() as u64;
+        let device_table_bytes = tables[0].upload_bytes();
+        let gates = self.config.gates;
+        let bad_sites = &self.config.bad_sites;
+
+        let (win_tx, win_rx) = bounded::<CProduced>(depth);
+        let (score_tx, score_rx) = bounded::<CScored>(depth);
+        let (call_tx, call_rx) = bounded::<CCalled>(depth);
+
+        let mut out_tables: Vec<Vec<SnpTable>> = (0..num_samples).map(|_| Vec::new()).collect();
+        let mut compressed: Vec<Vec<u8>> = (0..num_samples).map(|_| Vec::new()).collect();
+        let mut out_rep = StageReport::default();
+        let arena_pool = ArenaPool::new(cfg.pooled);
+        let loop_start = Instant::now();
+
+        let (read_rep, device_reps, (post_rep, tallies)) = std::thread::scope(|s| {
+            // ---- producer: N lockstep readers over the shared grid ----
+            let prod_pool = std::sync::Arc::clone(&arena_pool);
+            let producer = s.spawn(move || {
+                let mut rep = StageReport::default();
+                let t0 = Instant::now();
+                let mut readers: Vec<_> = match temp_inputs {
+                    Some(blobs) => blobs
+                        .into_iter()
+                        .map(|bytes| {
+                            let owned = input_codec::decompress_reads(&bytes)
+                                .expect("pipeline-internal temporary input must decode");
+                            WindowReader::from_reads(owned, ref_len, window_size)
+                        })
+                        .collect(),
+                    None => samples
+                        .iter()
+                        .map(|s| WindowReader::from_reads(s.reads.to_vec(), ref_len, window_size))
+                        .collect(),
+                };
+                let dt = t0.elapsed().as_secs_f64();
+                rep.wall.read_site += dt;
+                rep.times.read_site += dt;
+                rep.stage.busy += dt;
+
+                let mut idx = 0usize;
+                loop {
+                    // Sample 0 decides how many windows this batch holds;
+                    // every other sample's reader must produce exactly the
+                    // same count (they tile the same reference).
+                    let t0 = Instant::now();
+                    let mut arenas = Vec::with_capacity(batch_size * num_samples);
+                    let mut wins = 0usize;
+                    while wins < batch_size {
+                        let mut arena = prod_pool.checkout();
+                        let got = readers[0]
+                            .next_window_into(&mut arena.window)
+                            .expect("in-memory reads are valid");
+                        if !got {
+                            prod_pool.checkin(arena);
+                            break;
+                        }
+                        arenas.push(arena);
+                        wins += 1;
+                    }
+                    for reader in readers.iter_mut().skip(1) {
+                        for w in 0..wins {
+                            let mut arena = prod_pool.checkout();
+                            let got = reader
+                                .next_window_into(&mut arena.window)
+                                .expect("in-memory reads are valid");
+                            assert!(
+                                got,
+                                "cohort window grids diverged at batch {idx} window {w}"
+                            );
+                            assert_eq!(
+                                arena.window.start, arenas[w].window.start,
+                                "cohort site alignment broke at batch {idx}"
+                            );
+                            arenas.push(arena);
+                        }
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.wall.read_site += dt;
+                    rep.times.read_site += dt;
+                    rep.stage.busy += dt;
+                    if wins == 0 {
+                        break;
+                    }
+
+                    let t0 = Instant::now();
+                    if win_tx.send(CProduced { idx, wins, arenas }).is_err() {
+                        break; // downstream died; its panic surfaces at join
+                    }
+                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                    idx += 1;
+                }
+                rep
+            });
+
+            // ---- device stage: N workers, one launch per cohort batch ----
+            let mut workers = Vec::with_capacity(num_devices);
+            for (worker_id, dev_tables) in tables.iter().enumerate().take(num_devices) {
+                let win_rx = win_rx.clone();
+                let score_tx = score_tx.clone();
+                let disp = &dispatchers[worker_id];
+                workers.push(s.spawn(move || {
+                    let mut rep = StageReport::default();
+                    let mut lane = DeviceLaneStats::default();
+                    let mut scratch = BatchScratch::default();
+                    loop {
+                        let t0 = Instant::now();
+                        let CProduced {
+                            idx,
+                            wins,
+                            mut arenas,
+                        } = match win_rx.recv() {
+                            Ok(p) => p,
+                            Err(_) => break,
+                        };
+                        let dt = t0.elapsed().as_secs_f64();
+                        rep.stage.stall_in += dt;
+                        lane.stage.stall_in += dt;
+                        let busy_start = Instant::now();
+
+                        // ONE fused launch group covers the same windows
+                        // of every sample — the sample-major batch.
+                        let k = arenas.len();
+                        let tl_bytes = run_device_batch(
+                            disp,
+                            dev_tables,
+                            variant,
+                            device_table_bytes,
+                            coalesced_bw,
+                            &mut arenas,
+                            &mut scratch,
+                            &mut rep.times,
+                            &mut rep.wall,
+                            &mut rep.stats,
+                        );
+                        lane.windows += k as u64;
+                        if idx % num_devices != worker_id {
+                            lane.steals += k as u64;
+                        }
+                        let dt = busy_start.elapsed().as_secs_f64();
+                        rep.stage.busy += dt;
+                        lane.stage.busy += dt;
+
+                        let t0 = Instant::now();
+                        let scored = CScored {
+                            idx,
+                            wins,
+                            arenas,
+                            tl_bytes,
+                            dev: worker_id,
+                        };
+                        if score_tx.send(scored).is_err() {
+                            break;
+                        }
+                        let dt = t0.elapsed().as_secs_f64();
+                        rep.stage.stall_out += dt;
+                        lane.stage.stall_out += dt;
+                    }
+                    (rep, lane)
+                }));
+            }
+            drop(win_rx);
+            drop(score_tx);
+
+            // ---- posterior stage: demux per sample, gate, feedback ----
+            let post_pool = std::sync::Arc::clone(&arena_pool);
+            let posterior_stage = s.spawn(move || {
+                let mut rep = StageReport::default();
+                let mut tallies = PostTallies::new(num_samples);
+                loop {
+                    let t0 = Instant::now();
+                    let CScored {
+                        idx,
+                        wins,
+                        arenas,
+                        tl_bytes,
+                        dev,
+                    } = match score_rx.recv() {
+                        Ok(sc) => sc,
+                        Err(_) => break,
+                    };
+                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                    let busy_start = Instant::now();
+
+                    debug_assert_eq!(arenas.len(), wins * num_samples);
+                    let t0 = Instant::now();
+                    let mut per_sample: Vec<Vec<(u64, Vec<SnpRow>)>> =
+                        (0..num_samples).map(|_| Vec::with_capacity(wins)).collect();
+                    let mut row_count = 0u64;
+                    for (i, arena) in arenas.into_iter().enumerate() {
+                        let sample = i / wins;
+                        let mut rows = posterior_rows(
+                            arena.window.start,
+                            &arena.type_likely,
+                            &arena.sw.summaries,
+                            reference,
+                            priors,
+                            params,
+                        );
+                        apply_site_policies(
+                            &mut rows,
+                            arena.window.start,
+                            sample,
+                            &gates,
+                            bad_sites,
+                            &mut tallies,
+                        );
+                        tallies.snp[sample] +=
+                            rows.iter().filter(|r| r.is_variant()).count() as u64;
+                        rep.stats.snp_count +=
+                            rows.iter().filter(|r| r.is_variant()).count() as u64;
+                        row_count += rows.len() as u64;
+                        per_sample[sample].push((arena.window.start, rows));
+                        post_pool.checkin(arena);
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.wall.posterior += dt;
+                    let mut post_stats = LaunchStats::default();
+                    group
+                        .device(dev)
+                        .charge_d2h(&mut post_stats, tl_bytes + row_count * 32);
+                    rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
+                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
+
+                    let t0 = Instant::now();
+                    let called = CCalled {
+                        idx,
+                        per_sample,
+                        dev,
+                    };
+                    if call_tx.send(called).is_err() {
+                        break;
+                    }
+                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                }
+                (rep, tallies)
+            });
+
+            // ---- output stage (this thread): per-sample reassembly ----
+            let mut reasm = OrderedReassembler::new();
+            loop {
+                let t0 = Instant::now();
+                let called = match call_rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                };
+                out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                let busy_start = Instant::now();
+                let mut next = reasm.offer(called.idx, (called.per_sample, called.dev));
+                while let Some((per_sample, dev)) = next {
+                    let t0 = Instant::now();
+                    for (sample, windows) in per_sample.into_iter().enumerate() {
+                        // One compression group per (sample, batch): the
+                        // RLE-DICT chain runs on the device that scored
+                        // the batch, into the sample's own stream.
+                        // Grouping invariance (batch_parity) keeps each
+                        // stream byte-identical to a single-sample run.
+                        let batch_tables: Vec<SnpTable> = windows
+                            .into_iter()
+                            .map(|(start, rows)| SnpTable::new(reference.name.clone(), start, rows))
+                            .collect();
+                        let out_stats = if gpu_output {
+                            column::write_windows_gpu_batch(
+                                &dispatchers[dev],
+                                &mut compressed[sample],
+                                &batch_tables,
+                            )
+                        } else {
+                            for table in &batch_tables {
+                                column::write_window(&mut compressed[sample], table);
+                            }
+                            LaunchStats::default()
+                        };
+                        out_rep.times.output += out_stats.sim_time;
+                        out_tables[sample].extend(batch_tables);
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    out_rep.wall.output += dt;
+                    out_rep.times.output += if gpu_output { dt * 0.25 } else { dt };
+                    next = reasm.pop_ready();
+                }
+                out_rep.stage.busy += busy_start.elapsed().as_secs_f64();
+            }
+            assert!(reasm.is_drained(), "cohort pipeline lost a batch");
+
+            let device_reps: Vec<(StageReport, DeviceLaneStats)> =
+                workers.into_iter().map(join_stage).collect();
+            (
+                join_stage(producer),
+                device_reps,
+                join_stage(posterior_stage),
+            )
+        });
+        let loop_wall = loop_start.elapsed().as_secs_f64();
+
+        let mut device_stage = StageStats::default();
+        let mut lanes = Vec::with_capacity(num_devices);
+        for (rep, lane) in &device_reps {
+            add_times(&mut times, &rep.times);
+            add_times(&mut wall, &rep.wall);
+            merge_stats(&mut stats, &rep.stats);
+            device_stage.busy += lane.stage.busy;
+            device_stage.stall_in += lane.stage.stall_in;
+            device_stage.stall_out += lane.stage.stall_out;
+            lanes.push(*lane);
+        }
+        for rep in [&read_rep, &post_rep, &out_rep] {
+            add_times(&mut times, &rep.times);
+            add_times(&mut wall, &rep.wall);
+            merge_stats(&mut stats, &rep.stats);
+        }
+        stats.overlap = OverlapStats {
+            depth,
+            read: read_rep.stage,
+            device: device_stage,
+            devices: lanes,
+            posterior: post_rep.stage,
+            output: out_rep.stage,
+            wall: loop_wall,
+        };
+        stats.arena = arena_pool.stats();
+        let ledger = group.ledger();
+        let total = ledger.total();
+        stats.pool = total.pool;
+        stats.sanitizer = total.sanitizer;
+        stats.ledgers = ledger.per_device;
+        stats.kernel_launches = group.kernel_launches();
+        stats.contracts = group.contract_report();
+
+        // Sites where at least half the covered samples were gated are
+        // this run's noisy-site feedback.
+        let noisy_sites: Vec<u64> = tallies
+            .gated_by_site
+            .iter()
+            .filter(|&(_, &gated)| gated as usize * 2 >= num_samples)
+            .map(|(&pos, _)| pos)
+            .collect();
+
+        let sample_outputs = samples
+            .iter()
+            .enumerate()
+            .zip(out_tables.into_iter().zip(compressed))
+            .map(|((i, s), (tables, compressed))| SampleOutput {
+                name: s.name.to_string(),
+                tables,
+                compressed,
+                snp_count: tallies.snp[i],
+                gated_nocalls: tallies.gated[i],
+                forced_nocalls: tallies.forced[i],
+            })
+            .collect();
+
+        CohortOutput {
+            samples: sample_outputs,
+            stats,
+            times,
+            wall,
+            noisy_sites,
+        }
+    }
+}
+
+/// Replace a called row with an explicit NoCall that keeps the site's
+/// evidence context (reference base and observed depth) but no call.
+fn nocall(row: &SnpRow) -> SnpRow {
+    SnpRow {
+        ref_base: row.ref_base,
+        depth: row.depth,
+        ..SnpRow::default()
+    }
+}
+
+/// Apply the bad-site force-list and quality gates to one window's rows,
+/// updating the per-sample tallies and the per-site gating census.
+fn apply_site_policies(
+    rows: &mut [SnpRow],
+    start: u64,
+    sample: usize,
+    gates: &QualityGates,
+    bad_sites: &BadSiteList,
+    tallies: &mut PostTallies,
+) {
+    let force = !bad_sites.is_empty();
+    if !force && !gates.is_active() {
+        return;
+    }
+    for (site, row) in rows.iter_mut().enumerate() {
+        let pos = start + site as u64;
+        if force && bad_sites.is_bad(pos) {
+            if row.genotype != b'N' {
+                *row = nocall(row);
+                tallies.forced[sample] += 1;
+            }
+            continue;
+        }
+        if gates.is_active() && row.genotype != b'N' && !gates.passes(row) {
+            // Only covered sites count toward the noisy-site census: an
+            // uncovered site failing a depth gate is merely uncovered.
+            if row.depth > 0 {
+                *tallies.gated_by_site.entry(pos).or_insert(0) += 1;
+            }
+            *row = nocall(row);
+            tallies.gated[sample] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(quality: u8, depth: u16, genotype: u8) -> SnpRow {
+        SnpRow {
+            ref_base: 0,
+            genotype,
+            quality,
+            depth,
+            ..SnpRow::default()
+        }
+    }
+
+    #[test]
+    fn gates_default_inactive() {
+        let g = QualityGates::default();
+        assert!(!g.is_active());
+        assert!(g.passes(&row(0, 0, b'A')));
+    }
+
+    #[test]
+    fn gates_fail_low_quality_and_depth() {
+        let g = QualityGates {
+            min_quality: 20,
+            min_depth: 4,
+        };
+        assert!(g.is_active());
+        assert!(g.passes(&row(20, 4, b'A')));
+        assert!(!g.passes(&row(19, 4, b'A')));
+        assert!(!g.passes(&row(20, 3, b'A')));
+    }
+
+    #[test]
+    fn nocall_preserves_evidence_context() {
+        let r = row(45, 17, b'G');
+        let n = nocall(&r);
+        assert_eq!(n.genotype, b'N');
+        assert_eq!(n.quality, 0);
+        assert_eq!(n.depth, 17);
+        assert_eq!(n.ref_base, 0);
+        assert!(!n.is_variant());
+    }
+
+    #[test]
+    fn bad_site_list_roundtrips_and_thresholds() {
+        let mut list = BadSiteList::new();
+        assert!(list.is_empty());
+        list.absorb(&[100, 200]);
+        list.absorb(&[100]);
+        list.absorb(&[100]);
+        assert_eq!(list.strikes(100), 3);
+        assert_eq!(list.strikes(200), 1);
+        assert!(list.is_bad(100));
+        assert!(!list.is_bad(200));
+        assert!(!list.is_bad(999));
+
+        let text = list.serialize();
+        assert_eq!(text, "100\t3\n200\t1\n");
+        let parsed = BadSiteList::parse(&text).unwrap();
+        assert_eq!(parsed, list);
+        assert!(BadSiteList::parse("junk").is_err());
+        assert!(BadSiteList::parse("1\tx").is_err());
+        assert_eq!(BadSiteList::parse("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn site_policies_gate_and_force() {
+        let gates = QualityGates {
+            min_quality: 20,
+            min_depth: 2,
+        };
+        let mut bad = BadSiteList::new();
+        bad.threshold = 1;
+        bad.absorb(&[1002]);
+        let mut tallies = PostTallies::new(1);
+        let mut rows = vec![
+            row(30, 5, b'G'), // passes
+            row(10, 5, b'G'), // gated (covered → census)
+            row(30, 5, b'C'), // pos 1002: forced
+            row(10, 0, b'T'), // gated, uncovered → no census entry
+            row(0, 0, b'N'),  // already NoCall: untouched
+        ];
+        apply_site_policies(&mut rows, 1000, 0, &gates, &bad, &mut tallies);
+        assert_eq!(rows[0].genotype, b'G');
+        assert_eq!(rows[1].genotype, b'N');
+        assert_eq!(rows[2].genotype, b'N');
+        assert_eq!(rows[3].genotype, b'N');
+        assert_eq!(tallies.gated[0], 2);
+        assert_eq!(tallies.forced[0], 1);
+        assert_eq!(tallies.gated_by_site.get(&1001), Some(&1));
+        assert!(!tallies.gated_by_site.contains_key(&1003));
+    }
+
+    #[test]
+    fn inactive_policies_touch_nothing() {
+        let gates = QualityGates::default();
+        let bad = BadSiteList::new();
+        let mut tallies = PostTallies::new(1);
+        let mut rows = vec![row(1, 0, b'G')];
+        let before = rows.clone();
+        apply_site_policies(&mut rows, 0, 0, &gates, &bad, &mut tallies);
+        assert_eq!(rows, before);
+        assert_eq!(tallies.gated[0], 0);
+    }
+}

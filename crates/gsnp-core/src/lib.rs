@@ -24,6 +24,7 @@
 pub mod accuracy;
 pub mod arena;
 pub mod baseword;
+pub mod cohort;
 pub mod counting;
 pub mod likelihood;
 pub mod metrics;
@@ -33,10 +34,14 @@ pub mod stream;
 pub mod tables;
 
 pub use arena::{ArenaPool, ArenaPoolStats, WindowArena};
+pub use cohort::{
+    BadSiteList, CohortCallConfig, CohortOutput, CohortPipeline, QualityGates, SampleOutput,
+    SampleReads,
+};
 pub use metrics::call_metrics;
 pub use model::{ModelParams, SiteSummary};
 pub use pipeline::{ComponentTimes, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
 pub use stream::{
     verify_overlap_consistency, OrderedReassembler, OverlapStats, PipelineTrace, StageStats,
 };
-pub use tables::{LogTable, NewPMatrix, PMatrix};
+pub use tables::{LogTable, NewPMatrix, PMatrix, SharedTables};

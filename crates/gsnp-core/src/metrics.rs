@@ -10,7 +10,8 @@
 
 use gpu_sim::{MetricKind, MetricsSnapshot};
 
-use crate::pipeline::GsnpOutput;
+use crate::cohort::CohortOutput;
+use crate::pipeline::{ComponentTimes, GsnpOutput, PipelineStats};
 use crate::stream::StageStats;
 
 /// Build the canonical metrics snapshot for one finished run.
@@ -19,11 +20,79 @@ use crate::stream::StageStats;
 /// adds no new measurement, only stable names. Render it with
 /// [`MetricsSnapshot::render_text`].
 pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
+    run_metrics(&out.stats, &out.times, &out.wall, out.compressed.len())
+}
+
+/// Build the metrics snapshot for a cohort run: the same schema as
+/// [`call_metrics`] over the cohort's merged counters, plus per-sample
+/// series labelled with the sample name. The shared series make cohort
+/// and single runs directly comparable on one dashboard — in particular
+/// `gsnp_table_upload_bytes_total` stays O(devices) while
+/// `gsnp_samples` grows, which is the amortization in one ratio.
+pub fn cohort_metrics(out: &CohortOutput) -> MetricsSnapshot {
+    use MetricKind::{Counter, Gauge};
+    let compressed: usize = out.samples.iter().map(|s| s.compressed.len()).sum();
+    let mut m = run_metrics(&out.stats, &out.times, &out.wall, compressed);
+    for s in &out.samples {
+        let l = &[("sample", s.name.as_str())];
+        m.push(
+            "gsnp_sample_snp_calls_total",
+            "Variant calls emitted per cohort sample",
+            Counter,
+            l,
+            s.snp_count as f64,
+        );
+        m.push(
+            "gsnp_sample_output_bytes",
+            "Compressed result bytes per cohort sample",
+            Gauge,
+            l,
+            s.compressed.len() as f64,
+        );
+        for (reason, v) in [("gated", s.gated_nocalls), ("bad_site", s.forced_nocalls)] {
+            m.push(
+                "gsnp_sample_nocalls_total",
+                "NoCalls emitted per cohort sample by site policy",
+                Counter,
+                &[("sample", &s.name), ("reason", reason)],
+                v as f64,
+            );
+        }
+    }
+    m.push(
+        "gsnp_noisy_sites",
+        "Sites gated in at least half the covered cohort samples",
+        Gauge,
+        &[],
+        out.noisy_sites.len() as f64,
+    );
+    m
+}
+
+fn run_metrics(
+    stats: &PipelineStats,
+    times: &ComponentTimes,
+    wall: &ComponentTimes,
+    compressed_len: usize,
+) -> MetricsSnapshot {
     use MetricKind::{Counter, Gauge};
     let mut m = MetricsSnapshot::new();
-    let stats = &out.stats;
 
     // ---- run totals ----
+    m.push(
+        "gsnp_samples",
+        "Samples called in this run (1 for single pipelines, N for cohort)",
+        Gauge,
+        &[],
+        stats.samples as f64,
+    );
+    m.push(
+        "gsnp_table_upload_bytes_total",
+        "Score-table bytes uploaded host-to-device (once per device, shared by all samples)",
+        Counter,
+        &[],
+        (stats.table_bytes * stats.ledgers.len() as u64) as f64,
+    );
     m.push(
         "gsnp_sites_total",
         "Reference sites processed",
@@ -57,7 +126,7 @@ pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
         "Size of the compressed result file",
         Gauge,
         &[],
-        out.compressed.len() as f64,
+        compressed_len as f64,
     );
     m.push(
         "gsnp_peak_device_bytes",
@@ -75,7 +144,7 @@ pub fn call_metrics(out: &GsnpOutput) -> MetricsSnapshot {
     );
 
     // ---- per-component time, both clock domains ----
-    for (clock, t) in [("device", &out.times), ("wall", &out.wall)] {
+    for (clock, t) in [("device", times), ("wall", wall)] {
         for (component, v) in [
             ("cal_p", t.cal_p),
             ("read_site", t.read_site),
@@ -447,6 +516,75 @@ mod tests {
             m.get("gsnp_contract_checks_total", &[("result", "assumed")]),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn table_upload_bytes_scale_with_devices_not_samples() {
+        let mut out = empty_output();
+        out.stats.samples = 8;
+        out.stats.table_bytes = 1_000;
+        let m = call_metrics(&out);
+        assert_eq!(m.get("gsnp_samples", &[]), Some(8.0));
+        // Two ledgers in the fixture: 2 uploads, regardless of samples.
+        assert_eq!(m.get("gsnp_table_upload_bytes_total", &[]), Some(2_000.0));
+    }
+
+    #[test]
+    fn cohort_snapshot_carries_per_sample_series() {
+        use crate::cohort::SampleOutput;
+        let single = empty_output();
+        let out = CohortOutput {
+            samples: vec![
+                SampleOutput {
+                    name: "s0".into(),
+                    tables: Vec::new(),
+                    compressed: vec![0u8; 64],
+                    snp_count: 7,
+                    gated_nocalls: 2,
+                    forced_nocalls: 1,
+                },
+                SampleOutput {
+                    name: "s1".into(),
+                    tables: Vec::new(),
+                    compressed: vec![0u8; 32],
+                    snp_count: 3,
+                    gated_nocalls: 0,
+                    forced_nocalls: 0,
+                },
+            ],
+            stats: single.stats,
+            times: single.times,
+            wall: single.wall,
+            noisy_sites: vec![42, 99],
+        };
+        let m = cohort_metrics(&out);
+        assert_eq!(
+            m.get("gsnp_sample_snp_calls_total", &[("sample", "s0")]),
+            Some(7.0)
+        );
+        assert_eq!(
+            m.get(
+                "gsnp_sample_nocalls_total",
+                &[("sample", "s0"), ("reason", "gated")]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            m.get(
+                "gsnp_sample_nocalls_total",
+                &[("sample", "s1"), ("reason", "bad_site")]
+            ),
+            Some(0.0)
+        );
+        assert_eq!(
+            m.get("gsnp_sample_output_bytes", &[("sample", "s1")]),
+            Some(32.0)
+        );
+        // Run totals cover the whole cohort under the single-run names.
+        assert_eq!(m.get("gsnp_compressed_output_bytes", &[]), Some(96.0));
+        assert_eq!(m.get("gsnp_noisy_sites", &[]), Some(2.0));
+        let text = m.render_text();
+        assert!(text.contains("gsnp_sample_snp_calls_total{sample=\"s1\"}"));
     }
 
     #[test]

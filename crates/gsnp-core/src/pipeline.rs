@@ -25,7 +25,8 @@ use std::time::Instant;
 use compress::{column, input_codec};
 use crossbeam::channel::bounded;
 use gpu_sim::{
-    BackendChoice, BackendDispatcher, ComputeBackend, DeviceConfig, DeviceGroup, LaunchStats,
+    AutoPolicy, BackendChoice, BackendDispatcher, ComputeBackend, DeviceConfig, DeviceGroup,
+    LaunchStats,
 };
 use rayon::prelude::*;
 use seqio::fasta::Reference;
@@ -41,7 +42,7 @@ use crate::likelihood::{
 };
 use crate::model::{posterior, ModelParams, SiteSummary, NUM_GENOTYPES};
 use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, PipelineTrace, StageStats};
-use crate::tables::{LogTable, NewPMatrix, PMatrix};
+use crate::tables::SharedTables;
 
 /// Per-component elapsed time in seconds, matching the columns of the
 /// paper's Tables I and IV.
@@ -86,6 +87,10 @@ impl ComponentTimes {
 /// Aggregate pipeline statistics.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
+    /// Samples called in this run: 1 for the single-sample pipelines, `N`
+    /// for a cohort run (where the site/observation/window totals below
+    /// sum over all samples' lanes).
+    pub samples: u64,
     /// Sites processed.
     pub num_sites: u64,
     /// Aligned-base observations processed.
@@ -211,6 +216,17 @@ pub struct GsnpConfig {
     /// configs that need sim-only features (`sanitize`, `trace`); `Auto`
     /// falls back to the simulator for those launches.
     pub backend: BackendChoice,
+    /// Routing policy for the `Auto` backend (ignored by `Sim`/`Native`).
+    /// [`AutoPolicy::native_min_blocks`] is the occupancy threshold below
+    /// which a launch stays on the simulator; the CLI exposes it as
+    /// `--auto-threshold`.
+    pub auto: AutoPolicy,
+    /// Pre-calibrated score tables to run against, skipping this run's own
+    /// `cal_p_matrix`/`precompute` pass. `None` (the default) calibrates
+    /// from the input reads as usual. The cohort pipeline sets this so one
+    /// pooled calibration serves every sample; it is also how the parity
+    /// suite makes a single-sample run comparable to a cohort lane.
+    pub shared_tables: Option<std::sync::Arc<SharedTables>>,
 }
 
 impl Default for GsnpConfig {
@@ -230,6 +246,8 @@ impl Default for GsnpConfig {
             contracts: false,
             trace: None,
             backend: BackendChoice::Sim,
+            auto: AutoPolicy::default(),
+            shared_tables: None,
         }
     }
 }
@@ -320,19 +338,29 @@ impl GsnpPipeline {
         let dispatchers: Vec<BackendDispatcher<'_>> = group
             .devices()
             .iter()
-            .map(|d| BackendDispatcher::new(d, cfg.backend).unwrap_or_else(|e| panic!("gsnp: {e}")))
+            .map(|d| {
+                BackendDispatcher::with_policy(d, cfg.backend, cfg.auto)
+                    .unwrap_or_else(|e| panic!("gsnp: {e}"))
+            })
             .collect();
         let mut times = ComponentTimes::default();
         let mut wall = ComponentTimes::default();
-        let mut stats = PipelineStats::default();
+        let mut stats = PipelineStats {
+            samples: 1,
+            ..PipelineStats::default()
+        };
 
         // ---- cal_p_matrix + load_table (Fig. 2 left column) ----
         let t0 = Instant::now();
-        let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
-        let new_p = NewPMatrix::precompute(&p_matrix);
-        let log_table = std::sync::Arc::new(LogTable::new());
+        // Cohort runs inject pre-pooled tables (paying calibration once for
+        // all samples); a plain run calibrates from its own reads.
+        let shared = match &cfg.shared_tables {
+            Some(st) => std::sync::Arc::clone(st),
+            None => std::sync::Arc::new(SharedTables::calibrate(reads, reference, &cfg.params)),
+        };
         // One host image, one upload (and one ledger charge) per device.
-        let tables = DeviceTables::upload_group(&group, &p_matrix, &new_p, &log_table);
+        let tables =
+            DeviceTables::upload_group(&group, &shared.p_matrix, &shared.new_p, &shared.log_table);
         // Temporary compressed input written during the first pass (§V-A).
         let temp_input = if cfg.compress_input {
             Some(input_codec::compress_reads(&reference.name, reads))
@@ -1032,7 +1060,7 @@ struct Called {
 }
 
 /// Join a scoped stage thread, propagating its panic.
-fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+pub(crate) fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
     h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 
@@ -1041,7 +1069,7 @@ fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
 /// kernel's output columns. One per device lane, recycled across batches
 /// so the steady state allocates nothing (`tests/alloc_steady_state.rs`).
 #[derive(Default)]
-struct BatchScratch {
+pub(crate) struct BatchScratch {
     words: Vec<u32>,
     spans: Vec<(usize, usize)>,
     site_off: Vec<usize>,
@@ -1058,7 +1086,7 @@ struct BatchScratch {
 /// into each window's arena. Returns the batch's total `type_likely`
 /// byte count the posterior stage charges for reading back.
 #[allow(clippy::too_many_arguments)]
-fn run_device_batch<B: ComputeBackend>(
+pub(crate) fn run_device_batch<B: ComputeBackend>(
     dev: &B,
     tables: &DeviceTables,
     variant: KernelVariant,
@@ -1169,14 +1197,14 @@ fn emit_lane_batch(pt: &PipelineTrace, lane: usize, ts: f64, dt: f64, first_wind
 
 /// Per-stage partial accumulators, merged into the run totals at join.
 #[derive(Default)]
-struct StageReport {
-    times: ComponentTimes,
-    wall: ComponentTimes,
-    stats: PipelineStats,
-    stage: StageStats,
+pub(crate) struct StageReport {
+    pub(crate) times: ComponentTimes,
+    pub(crate) wall: ComponentTimes,
+    pub(crate) stats: PipelineStats,
+    pub(crate) stage: StageStats,
 }
 
-fn add_times(a: &mut ComponentTimes, b: &ComponentTimes) {
+pub(crate) fn add_times(a: &mut ComponentTimes, b: &ComponentTimes) {
     a.cal_p += b.cal_p;
     a.read_site += b.read_site;
     a.counting += b.counting;
@@ -1187,7 +1215,7 @@ fn add_times(a: &mut ComponentTimes, b: &ComponentTimes) {
     a.recycle += b.recycle;
 }
 
-fn merge_stats(a: &mut PipelineStats, b: &PipelineStats) {
+pub(crate) fn merge_stats(a: &mut PipelineStats, b: &PipelineStats) {
     a.num_sites += b.num_sites;
     a.num_obs += b.num_obs;
     a.windows += b.windows;
@@ -1240,7 +1268,7 @@ fn debug_verify_trace(pt: Option<&PipelineTrace>, overlap: &OverlapStats) {
 
 /// The per-site posterior loop, parallelized over sites (rayon). The map
 /// is order-preserving, so results are identical to the sequential loop.
-fn posterior_rows(
+pub(crate) fn posterior_rows(
     start: u64,
     type_likely: &[[f64; NUM_GENOTYPES]],
     summaries: &[crate::model::SiteSummary],
@@ -1292,12 +1320,21 @@ impl GsnpCpuPipeline {
     ) -> GsnpOutput {
         let cfg = &self.config;
         let mut times = ComponentTimes::default();
-        let mut stats = PipelineStats::default();
+        let mut stats = PipelineStats {
+            samples: 1,
+            ..PipelineStats::default()
+        };
 
         let t0 = Instant::now();
-        let p_matrix = PMatrix::calibrate(reads, reference, &cfg.params);
-        let new_p = NewPMatrix::precompute(&p_matrix);
-        let log_table = LogTable::new();
+        let shared = match &cfg.shared_tables {
+            Some(st) => std::sync::Arc::clone(st),
+            None => std::sync::Arc::new(SharedTables::calibrate(reads, reference, &cfg.params)),
+        };
+        let SharedTables {
+            p_matrix,
+            new_p,
+            log_table,
+        } = &*shared;
         let temp_input = if cfg.compress_input {
             Some(input_codec::compress_reads(&reference.name, reads))
         } else {
@@ -1354,8 +1391,8 @@ impl GsnpCpuPipeline {
                     crate::likelihood::likelihood_sparse_site(
                         sw.site_words(s),
                         read_len,
-                        &new_p,
-                        &log_table,
+                        new_p,
+                        log_table,
                     )
                 })
                 .collect();

@@ -12,6 +12,8 @@
 //!   computed once on the host and shared by every execution path, so CPU
 //!   and simulated-GPU results are bit-identical.
 
+use std::sync::Arc;
+
 use seqio::fasta::Reference;
 use seqio::soap::AlignedRead;
 
@@ -242,6 +244,60 @@ impl NewPMatrix {
     }
 }
 
+/// The full reference-shaped table set — calibrated `p_matrix`, its
+/// precomputed `new_p_matrix` expansion, and the shared `log_table` —
+/// computed once and injectable into any number of pipeline runs.
+///
+/// This is the cohort pipeline's amortization seam: every table here
+/// depends on the *input distribution*, not on which sample a window
+/// came from, so a cohort calibrates once over the pooled reads and
+/// every sample's windows score against the same bits. Injecting a
+/// `SharedTables` into [`crate::pipeline::GsnpConfig::shared_tables`]
+/// skips the per-run `cal_p_matrix` + `precompute` work and is also what
+/// defines cohort/single-run parity: a single-sample run given the
+/// cohort's tables produces byte-identical output to that sample's lane
+/// of the cohort run.
+#[derive(Debug, Clone)]
+pub struct SharedTables {
+    /// Calibrated recalibration matrix.
+    pub p_matrix: PMatrix,
+    /// Its 10×-expanded precomputed score table.
+    pub new_p: NewPMatrix,
+    /// Host log table (ref-counted into every device upload).
+    pub log_table: Arc<LogTable>,
+}
+
+impl SharedTables {
+    /// Calibrate from one sample's reads (the single-run path).
+    pub fn calibrate(
+        reads: &[AlignedRead],
+        reference: &Reference,
+        params: &ModelParams,
+    ) -> SharedTables {
+        Self::calibrate_pooled([reads], reference, params)
+    }
+
+    /// Calibrate from a cohort's pooled reads: the co-occurrence counts of
+    /// `cal_p_matrix` accumulate over every sample's alignments (chained
+    /// zero-copy — no concatenated buffer is built), then the expansion
+    /// tables are computed once. Per-sample error structure is averaged
+    /// into one matrix, exactly as one recalibration pass over a merged
+    /// alignment file would.
+    pub fn calibrate_pooled<'a>(
+        sample_reads: impl IntoIterator<Item = &'a [AlignedRead]>,
+        reference: &Reference,
+        params: &ModelParams,
+    ) -> SharedTables {
+        let p_matrix = PMatrix::calibrate(sample_reads.into_iter().flatten(), reference, params);
+        let new_p = NewPMatrix::precompute(&p_matrix);
+        SharedTables {
+            p_matrix,
+            new_p,
+            log_table: Arc::new(LogTable::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +390,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_calibration_over_one_sample_matches_single() {
+        let d = Dataset::generate(SynthConfig::tiny(34));
+        let params = ModelParams::default();
+        let single = SharedTables::calibrate(&d.reads, &d.reference, &params);
+        let direct = PMatrix::calibrate(&d.reads, &d.reference, &params);
+        assert_eq!(single.p_matrix, direct);
+        assert_eq!(single.new_p, NewPMatrix::precompute(&direct));
+    }
+
+    #[test]
+    fn pooled_calibration_chains_samples_deterministically() {
+        let a = Dataset::generate(SynthConfig::tiny(35));
+        let b = Dataset::generate(SynthConfig::tiny(36));
+        let params = ModelParams::default();
+        let pooled = SharedTables::calibrate_pooled(
+            [a.reads.as_slice(), b.reads.as_slice()],
+            &a.reference,
+            &params,
+        );
+        let again = SharedTables::calibrate_pooled(
+            [a.reads.as_slice(), b.reads.as_slice()],
+            &a.reference,
+            &params,
+        );
+        assert_eq!(pooled.p_matrix, again.p_matrix);
+        // Pooling genuinely mixes both samples: the result differs from
+        // either sample calibrated alone.
+        let solo = PMatrix::calibrate(&a.reads, &a.reference, &params);
+        assert_ne!(pooled.p_matrix, solo);
     }
 
     #[test]

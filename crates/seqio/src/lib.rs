@@ -30,5 +30,5 @@ pub use fasta::Reference;
 pub use prior::KnownSnp;
 pub use result::SnpRow;
 pub use soap::AlignedRead;
-pub use synth::{Dataset, SynthConfig};
+pub use synth::{Cohort, CohortConfig, CohortSample, Dataset, SynthConfig};
 pub use window::{SiteObs, Window, WindowReader};

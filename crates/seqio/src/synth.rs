@@ -155,23 +155,10 @@ impl Dataset {
         let n = config.num_sites as usize;
 
         // --- Reference ---
-        let mut seq: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
-        // N bases arrive in short runs, as they do in real assemblies.
-        let mut i = 0usize;
-        while i < n {
-            if rng.gen_bool(config.n_rate / 8.0) {
-                let run = rng.gen_range(1..=16usize).min(n - i);
-                seq[i..i + run].fill(N_CODE);
-                i += run;
-            } else {
-                i += 1;
-            }
-        }
-        let reference = Reference::new(config.chr_name.clone(), seq);
+        let reference = generate_reference(&mut rng, &config);
 
         // --- Covered intervals ---
         let intervals = covered_intervals(&mut rng, n as u64, config.coverage, config.read_len);
-        let covered_sites: u64 = intervals.iter().map(|&(s, e)| e - s).sum();
 
         // --- Diploid donor with planted SNPs ---
         let mut truth = Vec::new();
@@ -230,62 +217,7 @@ impl Dataset {
         }
 
         // --- Reads ---
-        let num_reads = ((config.depth * covered_sites as f64) / config.read_len as f64) as usize;
-        let mut reads = Vec::with_capacity(num_reads);
-        let usable: Vec<&(u64, u64)> = intervals
-            .iter()
-            .filter(|&&(s, e)| (e - s) as usize >= config.read_len)
-            .collect();
-        if !usable.is_empty() {
-            let weights: Vec<u64> = usable
-                .iter()
-                .map(|&&(s, e)| e - s - config.read_len as u64 + 1)
-                .collect();
-            let total_weight: u64 = weights.iter().sum();
-            for ridx in 0..num_reads {
-                // Weighted interval choice, then uniform start within it.
-                let mut pick = rng.gen_range(0..total_weight);
-                let mut iv = 0usize;
-                while pick >= weights[iv] {
-                    pick -= weights[iv];
-                    iv += 1;
-                }
-                let (s, _e) = *usable[iv];
-                let pos = s + pick;
-                reads.push(sequence_read(&mut rng, &config, &hap, pos, ridx));
-            }
-            // Pileup hotspots: real resequencing data has repeat-driven
-            // coverage spikes reaching hundreds of reads. They are what
-            // push the largest base_word arrays into the 128/256 sorting
-            // classes the paper observes (§VI-C, Fig. 7b).
-            let num_hotspots = (covered_sites / 25_000).max(1) as usize;
-            let hotspot_reads = num_reads / 25;
-            for h in 0..num_hotspots {
-                let mut pick = rng.gen_range(0..total_weight);
-                let mut iv = 0usize;
-                while pick >= weights[iv] {
-                    pick -= weights[iv];
-                    iv += 1;
-                }
-                let (s, _e) = *usable[iv];
-                let center = s + pick;
-                let per_spot = (hotspot_reads / num_hotspots).clamp(8, 48);
-                for k in 0..per_spot {
-                    // Starts cluster tightly so per-site depth spikes.
-                    let span = (config.read_len as u64 / 2).max(1);
-                    let lo = center.saturating_sub(span).max(s);
-                    let pos = rng.gen_range(lo..=center).min(_e - config.read_len as u64);
-                    reads.push(sequence_read(
-                        &mut rng,
-                        &config,
-                        &hap,
-                        pos.max(s),
-                        num_reads + h * per_spot + k,
-                    ));
-                }
-            }
-        }
-        reads.sort_by_key(|r| r.pos);
+        let reads = generate_reads(&mut rng, &config, &hap, &intervals);
 
         Dataset {
             config,
@@ -325,6 +257,92 @@ impl Dataset {
         }
         buf.len() as u64
     }
+}
+
+/// Generate a reference sequence: uniform A/C/G/T with N bases arriving
+/// in short runs, as they do in real assemblies.
+fn generate_reference(rng: &mut StdRng, config: &SynthConfig) -> Reference {
+    let n = config.num_sites as usize;
+    let mut seq: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
+    let mut i = 0usize;
+    while i < n {
+        if rng.gen_bool(config.n_rate / 8.0) {
+            let run = rng.gen_range(1..=16usize).min(n - i);
+            seq[i..i + run].fill(N_CODE);
+            i += run;
+        } else {
+            i += 1;
+        }
+    }
+    Reference::new(config.chr_name.clone(), seq)
+}
+
+/// Sequence a full read set over `hap` from the covered intervals:
+/// weighted-uniform read starts to the configured depth, plus pileup
+/// hotspots. Real resequencing data has repeat-driven coverage spikes
+/// reaching hundreds of reads; they are what push the largest
+/// `base_word` arrays into the 128/256 sorting classes the paper
+/// observes (§VI-C, Fig. 7b). Returns the reads position-sorted.
+fn generate_reads(
+    rng: &mut StdRng,
+    config: &SynthConfig,
+    hap: &[Vec<u8>; 2],
+    intervals: &[(u64, u64)],
+) -> Vec<AlignedRead> {
+    let covered_sites: u64 = intervals.iter().map(|&(s, e)| e - s).sum();
+    let num_reads = ((config.depth * covered_sites as f64) / config.read_len as f64) as usize;
+    let mut reads = Vec::with_capacity(num_reads);
+    let usable: Vec<&(u64, u64)> = intervals
+        .iter()
+        .filter(|&&(s, e)| (e - s) as usize >= config.read_len)
+        .collect();
+    if !usable.is_empty() {
+        let weights: Vec<u64> = usable
+            .iter()
+            .map(|&&(s, e)| e - s - config.read_len as u64 + 1)
+            .collect();
+        let total_weight: u64 = weights.iter().sum();
+        for ridx in 0..num_reads {
+            // Weighted interval choice, then uniform start within it.
+            let mut pick = rng.gen_range(0..total_weight);
+            let mut iv = 0usize;
+            while pick >= weights[iv] {
+                pick -= weights[iv];
+                iv += 1;
+            }
+            let (s, _e) = *usable[iv];
+            let pos = s + pick;
+            reads.push(sequence_read(rng, config, hap, pos, ridx));
+        }
+        let num_hotspots = (covered_sites / 25_000).max(1) as usize;
+        let hotspot_reads = num_reads / 25;
+        for h in 0..num_hotspots {
+            let mut pick = rng.gen_range(0..total_weight);
+            let mut iv = 0usize;
+            while pick >= weights[iv] {
+                pick -= weights[iv];
+                iv += 1;
+            }
+            let (s, _e) = *usable[iv];
+            let center = s + pick;
+            let per_spot = (hotspot_reads / num_hotspots).clamp(8, 48);
+            for k in 0..per_spot {
+                // Starts cluster tightly so per-site depth spikes.
+                let span = (config.read_len as u64 / 2).max(1);
+                let lo = center.saturating_sub(span).max(s);
+                let pos = rng.gen_range(lo..=center).min(_e - config.read_len as u64);
+                reads.push(sequence_read(
+                    rng,
+                    config,
+                    hap,
+                    pos.max(s),
+                    num_reads + h * per_spot + k,
+                ));
+            }
+        }
+    }
+    reads.sort_by_key(|r| r.pos);
+    reads
 }
 
 /// Draw an alternate allele with a 2:1 transition:transversion bias.
@@ -447,6 +465,293 @@ fn sequence_read(
     }
 }
 
+/// Configuration for a synthetic multi-sample cohort over one reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortConfig {
+    /// Per-sample dataset shape (sites, depth, coverage, error model).
+    /// `base.seed` seeds the whole cohort.
+    pub base: SynthConfig,
+    /// Number of samples.
+    pub num_samples: usize,
+    /// Fraction of planted variant sites carried by *every* sample
+    /// (population-shared variants); the rest are private to one sample.
+    pub shared_rate: f64,
+}
+
+impl CohortConfig {
+    /// Tiny cohort for unit and property tests.
+    pub fn tiny(num_samples: usize, seed: u64) -> Self {
+        CohortConfig {
+            base: SynthConfig::tiny(seed),
+            num_samples,
+            shared_rate: 0.6,
+        }
+    }
+}
+
+/// A variant site planted somewhere in the cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortSite {
+    /// 0-based site.
+    pub pos: u64,
+    /// The cohort's alternate allele at this site (every carrier shares
+    /// it, as segregating population variants do).
+    pub alt: Base,
+    /// `None`: shared — every sample carries the variant (genotype drawn
+    /// per sample). `Some(s)`: private to sample `s`.
+    pub owner: Option<usize>,
+}
+
+/// One sample's slice of a cohort.
+#[derive(Debug, Clone)]
+pub struct CohortSample {
+    /// Sample name (`s0`, `s1`, … or trio roles).
+    pub name: String,
+    /// Position-sorted alignments.
+    pub reads: Vec<AlignedRead>,
+    /// This sample's planted variants (ground truth).
+    pub truth: Vec<PlantedSnp>,
+    /// The diploid donor haplotypes the reads were sequenced from (kept
+    /// for trio construction and debugging).
+    pub haplotypes: [Vec<u8>; 2],
+}
+
+/// A synthetic cohort: N samples sequenced against one shared reference,
+/// with population-shared variants present in every sample plus private
+/// per-sample variants and fully independent per-sample sequencing noise.
+///
+/// Determinism contract: the reference, intervals, site map and priors
+/// are drawn from the cohort seed; sample `s`'s genotypes and reads are
+/// drawn from an independent stream seeded `seed ^ GOLDEN·(s+1)`, so a
+/// cohort is reproducible end-to-end from `(config)` alone and samples
+/// never share noise.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    /// The configuration that generated this cohort.
+    pub config: CohortConfig,
+    /// The shared reference sequence.
+    pub reference: Reference,
+    /// Known-SNP priors (drawn from the shared variant sites — private
+    /// singletons are never in the population database).
+    pub priors: PriorMap,
+    /// Every planted site with its allele and ownership.
+    pub sites: Vec<CohortSite>,
+    /// The samples.
+    pub samples: Vec<CohortSample>,
+}
+
+/// Per-sample RNG stream separation constant (golden-ratio increment).
+const SAMPLE_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Cohort {
+    /// Generate a cohort. Deterministic in `config.base.seed`.
+    pub fn generate(config: CohortConfig) -> Cohort {
+        assert!(config.num_samples >= 1, "cohort needs at least one sample");
+        let mut rng = StdRng::seed_from_u64(config.base.seed);
+        let n = config.base.num_sites as usize;
+
+        // Reference-shaped state, drawn once from the cohort stream.
+        let reference = generate_reference(&mut rng, &config.base);
+        let intervals = covered_intervals(
+            &mut rng,
+            n as u64,
+            config.base.coverage,
+            config.base.read_len,
+        );
+
+        // Variant site map: position, cohort allele, shared/private.
+        let mut sites = Vec::new();
+        for &(s, e) in &intervals {
+            for pos in s..e {
+                let r = reference.seq[pos as usize];
+                if r >= 4 || !rng.gen_bool(config.base.snp_rate) {
+                    continue;
+                }
+                let alt = sample_alt(&mut rng, Base::from_code(r));
+                let owner = if rng.gen_bool(config.shared_rate) {
+                    None
+                } else {
+                    Some(rng.gen_range(0..config.num_samples))
+                };
+                sites.push(CohortSite { pos, alt, owner });
+            }
+        }
+
+        // Priors come from the population-shared sites only.
+        let mut prior_sites = Vec::new();
+        for site in sites.iter().filter(|s| s.owner.is_none()) {
+            if !rng.gen_bool(config.base.known_fraction) {
+                continue;
+            }
+            let ref_base = Base::from_code(reference.seq[site.pos as usize]);
+            let mut freqs = [0.0f64; 4];
+            let alt_f = rng.gen_range(0.05..0.5);
+            freqs[ref_base.code() as usize] = 1.0 - alt_f;
+            freqs[site.alt.code() as usize] += alt_f;
+            prior_sites.push(KnownSnp {
+                pos: site.pos,
+                ref_base,
+                freqs,
+            });
+        }
+
+        let samples = (0..config.num_samples)
+            .map(|s| {
+                let mut srng = sample_rng(config.base.seed, s);
+                generate_sample(
+                    &mut srng,
+                    format!("s{s}"),
+                    &config.base,
+                    &reference,
+                    &intervals,
+                    &sites,
+                    s,
+                )
+            })
+            .collect();
+
+        Cohort {
+            config,
+            reference,
+            priors: PriorMap::from_sites(prior_sites),
+            sites,
+            samples,
+        }
+    }
+
+    /// Generate a mother/father/child trio: the parents are two cohort
+    /// samples, and the child's diploid genome is one whole haplotype
+    /// inherited from each parent (no recombination — every child variant
+    /// is Mendelian-consistent by construction, which is what the
+    /// `accuracy::trio_concordance` check relies on). Child sequencing
+    /// noise is its own stream.
+    pub fn generate_trio(config: CohortConfig) -> Cohort {
+        let mut cohort = Cohort::generate(CohortConfig {
+            num_samples: 2,
+            ..config.clone()
+        });
+        cohort.config = config;
+        cohort.samples[0].name = "mother".into();
+        cohort.samples[1].name = "father".into();
+
+        let mut crng = sample_rng(cohort.config.base.seed, 2);
+        let from_mother = usize::from(crng.gen_bool(0.5));
+        let from_father = usize::from(crng.gen_bool(0.5));
+        let hap = [
+            cohort.samples[0].haplotypes[from_mother].clone(),
+            cohort.samples[1].haplotypes[from_father].clone(),
+        ];
+        let truth = truth_from_haplotypes(&cohort.reference, &hap);
+        let reads = generate_reads(
+            &mut crng,
+            &cohort.config.base,
+            &hap,
+            &covered_intervals_of(&cohort),
+        );
+        cohort.samples.push(CohortSample {
+            name: "child".into(),
+            reads,
+            truth,
+            haplotypes: hap,
+        });
+        cohort
+    }
+
+    /// The sample named `name`, if present.
+    pub fn sample(&self, name: &str) -> Option<&CohortSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+}
+
+/// The per-sample RNG stream: seed XOR a golden-ratio multiple, so sample
+/// streams never collide with each other or the cohort stream.
+fn sample_rng(seed: u64, sample: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ SAMPLE_STREAM.wrapping_mul(sample as u64 + 1))
+}
+
+/// Re-derive the cohort's covered intervals (they are a pure function of
+/// the cohort stream's first draws, so replaying the prefix is exact).
+fn covered_intervals_of(cohort: &Cohort) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(cohort.config.base.seed);
+    let _ = generate_reference(&mut rng, &cohort.config.base);
+    covered_intervals(
+        &mut rng,
+        cohort.config.base.num_sites,
+        cohort.config.base.coverage,
+        cohort.config.base.read_len,
+    )
+}
+
+/// Plant one sample's genotypes into fresh haplotypes and sequence its
+/// reads, all from the sample's own RNG stream.
+fn generate_sample(
+    srng: &mut StdRng,
+    name: String,
+    base: &SynthConfig,
+    reference: &Reference,
+    intervals: &[(u64, u64)],
+    sites: &[CohortSite],
+    sample: usize,
+) -> CohortSample {
+    let mut hap = [reference.seq.clone(), reference.seq.clone()];
+    let mut truth = Vec::new();
+    for site in sites {
+        let carried = match site.owner {
+            None => true,
+            Some(owner) => owner == sample,
+        };
+        if !carried {
+            continue;
+        }
+        let ref_base = Base::from_code(reference.seq[site.pos as usize]);
+        // Same genotype mix as the single-sample generator: 2/3
+        // heterozygous, 1/3 homozygous alternate — drawn per sample, so a
+        // shared site segregates with different zygosity across carriers.
+        let (a1, a2) = if srng.gen_bool(2.0 / 3.0) {
+            (ref_base, site.alt)
+        } else {
+            (site.alt, site.alt)
+        };
+        if a1 != ref_base {
+            hap[0][site.pos as usize] = a1.code();
+        }
+        if a2 != ref_base {
+            hap[1][site.pos as usize] = a2.code();
+        }
+        truth.push(PlantedSnp {
+            pos: site.pos,
+            alleles: if a1 <= a2 { (a1, a2) } else { (a2, a1) },
+        });
+    }
+    let reads = generate_reads(srng, base, &hap, intervals);
+    CohortSample {
+        name,
+        reads,
+        truth,
+        haplotypes: hap,
+    }
+}
+
+/// Recover a truth set by diffing diploid haplotypes against the
+/// reference (used for the trio child, whose genome is inherited rather
+/// than planted).
+fn truth_from_haplotypes(reference: &Reference, hap: &[Vec<u8>; 2]) -> Vec<PlantedSnp> {
+    let mut truth = Vec::new();
+    for (pos, &r) in reference.seq.iter().enumerate() {
+        let (h0, h1) = (hap[0][pos], hap[1][pos]);
+        if r >= 4 || (h0 == r && h1 == r) {
+            continue;
+        }
+        let a1 = Base::from_code(h0.min(h1));
+        let a2 = Base::from_code(h0.max(h1));
+        truth.push(PlantedSnp {
+            pos: pos as u64,
+            alleles: (a1, a2),
+        });
+    }
+    truth
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +840,78 @@ mod tests {
         let c21 = SynthConfig::ch21_mini(1.0);
         assert!(c1.num_sites > 5 * c21.num_sites);
         assert!(c1.coverage > c21.coverage);
+    }
+
+    #[test]
+    fn cohort_is_deterministic() {
+        let a = Cohort::generate(CohortConfig::tiny(4, 41));
+        let b = Cohort::generate(CohortConfig::tiny(4, 41));
+        assert_eq!(a.reference, b.reference);
+        assert_eq!(a.sites, b.sites);
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.reads, y.reads);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn cohort_shared_sites_are_in_every_sample() {
+        let c = Cohort::generate(CohortConfig::tiny(4, 42));
+        let shared: Vec<u64> = c
+            .sites
+            .iter()
+            .filter(|s| s.owner.is_none())
+            .map(|s| s.pos)
+            .collect();
+        assert!(!shared.is_empty(), "expected shared variants");
+        for sample in &c.samples {
+            let planted: std::collections::HashSet<u64> =
+                sample.truth.iter().map(|t| t.pos).collect();
+            for pos in &shared {
+                assert!(planted.contains(pos), "sample {} misses {pos}", sample.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_private_sites_have_one_carrier() {
+        let c = Cohort::generate(CohortConfig::tiny(4, 43));
+        for site in c.sites.iter().filter(|s| s.owner.is_some()) {
+            let carriers = c
+                .samples
+                .iter()
+                .filter(|smp| smp.truth.iter().any(|t| t.pos == site.pos))
+                .count();
+            assert_eq!(carriers, 1, "site {} carried by {carriers}", site.pos);
+        }
+    }
+
+    #[test]
+    fn cohort_samples_have_independent_noise() {
+        let c = Cohort::generate(CohortConfig::tiny(2, 44));
+        assert_ne!(c.samples[0].reads, c.samples[1].reads);
+    }
+
+    #[test]
+    fn trio_child_inherits_one_haplotype_per_parent() {
+        let c = Cohort::generate_trio(CohortConfig::tiny(3, 45));
+        assert_eq!(c.samples.len(), 3);
+        let child = c.sample("child").unwrap();
+        let mother = c.sample("mother").unwrap();
+        let father = c.sample("father").unwrap();
+        assert!(mother.haplotypes.iter().any(|h| *h == child.haplotypes[0]));
+        assert!(father.haplotypes.iter().any(|h| *h == child.haplotypes[1]));
+        assert!(!child.reads.is_empty());
+        // Every child variant appears in a parent's truth (no de novo).
+        let parent_sites: std::collections::HashSet<u64> = mother
+            .truth
+            .iter()
+            .chain(&father.truth)
+            .map(|t| t.pos)
+            .collect();
+        for t in &child.truth {
+            assert!(parent_sites.contains(&t.pos), "de novo at {}", t.pos);
+        }
     }
 
     #[test]

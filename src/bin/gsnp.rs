@@ -3,17 +3,30 @@
 //!
 //! ```text
 //! gsnp synth   <out_dir> [--sites N] [--depth X] [--seed S]
+//!              [--samples N] [--shared-rate X]
 //! gsnp call    <alignments.soap> <reference.fa> <priors.txt> <out.gsnp>
 //!              [--window N] [--devices N] [--batch N] [--backend B] [--cpu]
 //!              [--contracts] [--text <out.txt>] [--trace <out.json>]
-//!              [--metrics <out.prom>]
+//!              [--metrics <out.prom>] [--auto-threshold N]
+//! gsnp call    --cohort <cohort.tsv> <reference.fa> <priors.txt> <out_dir>
+//!              [--min-quality Q] [--min-depth D] [--bad-sites <file>]
+//!              [--bad-site-threshold N] [...call flags]
 //! gsnp profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N]
-//!              [--batch N] [--backend B] [--seed S] [--trace <out.json>]
+//!              [--batch N] [--backend B] [--seed S] [--samples N]
+//!              [--auto-threshold N] [--trace <out.json>]
 //! gsnp analyze [--sites N] [--window N] [--seed S]
 //! gsnp decode  <in.gsnp> [<out.txt>]
 //! gsnp stats   <in.gsnp> [--format prom]
 //! gsnp validate-trace <trace.json>
 //! ```
+//!
+//! `synth --samples N` writes a *cohort*: per-sample alignment files over
+//! one shared reference plus a `cohort.tsv` manifest; `call --cohort`
+//! consumes the manifest and calls all samples in one run, paying the
+//! reference-shaped work (score-table upload, window scan) once. With
+//! `--bad-sites <file>` the run both *applies* the persistent bad-site
+//! list and *feeds back* its own noisy sites into the file for the next
+//! run.
 //!
 //! `--trace` writes a Chrome trace-event file loadable in Perfetto
 //! (`ui.perfetto.dev`): one process per simulated device (kernel,
@@ -29,12 +42,19 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use gsnp::compress::column::WindowStream;
-use gsnp::core::{call_metrics, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
-use gsnp::gpu_sim::{BackendChoice, MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot};
+use gsnp::core::metrics::cohort_metrics;
+use gsnp::core::pipeline::{ComponentTimes, PipelineStats};
+use gsnp::core::{
+    call_metrics, BadSiteList, CohortCallConfig, CohortPipeline, GsnpConfig, GsnpCpuPipeline,
+    GsnpPipeline, QualityGates, SampleReads,
+};
+use gsnp::gpu_sim::{
+    AutoPolicy, BackendChoice, MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot,
+};
 use gsnp::seqio::fasta::Reference;
 use gsnp::seqio::prior::PriorMap;
 use gsnp::seqio::soap::{write_alignments, AlignmentReader};
-use gsnp::seqio::synth::{Dataset, SynthConfig};
+use gsnp::seqio::synth::{Cohort, CohortConfig, Dataset, SynthConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,9 +69,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: gsnp <synth|call|profile|analyze|decode|stats|validate-trace> ...\n\
-                 synth  <out_dir> [--sites N] [--depth X] [--seed S]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--cpu] [--contracts] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
-                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--backend sim|auto] [--seed S] [--trace out.json]\n\
+                 synth  <out_dir> [--sites N] [--depth X] [--seed S] [--samples N] [--shared-rate X]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--auto-threshold N] [--cpu] [--contracts] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 call   --cohort <cohort.tsv> <reference.fa> <priors.txt> <out_dir> [--min-quality Q] [--min-depth D] [--bad-sites file] [--bad-site-threshold N] [...call flags]\n\
+                 profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--backend sim|auto] [--auto-threshold N] [--seed S] [--samples N] [--trace out.json]\n\
                  analyze [--sites N] [--window N] [--seed S]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp> [--format prom]\n\
@@ -86,6 +107,17 @@ fn backend_flag(args: &[String]) -> Result<BackendChoice, Box<dyn std::error::Er
     }
 }
 
+/// Auto-dispatch policy from `--auto-threshold` (minimum grid blocks for
+/// the native backend; smaller launches stay on the simulator where the
+/// per-launch fixed cost is lower).
+fn auto_flag(args: &[String]) -> Result<AutoPolicy, Box<dyn std::error::Error>> {
+    let mut policy = AutoPolicy::default();
+    if let Some(v) = flag_value(args, "--auto-threshold") {
+        policy.native_min_blocks = v.parse()?;
+    }
+    Ok(policy)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -113,6 +145,50 @@ fn cmd_synth(args: &[String]) -> CliResult {
     cfg.num_sites = flag_value(args, "--sites").map_or(Ok(50_000), str::parse)?;
     cfg.depth = flag_value(args, "--depth").map_or(Ok(10.0), str::parse)?;
     cfg.read_len = 100;
+
+    let num_samples: usize = flag_value(args, "--samples").map_or(Ok(0), str::parse)?;
+    if num_samples > 0 {
+        let shared_rate = flag_value(args, "--shared-rate").map_or(Ok(0.6), str::parse)?;
+        let c = Cohort::generate(CohortConfig {
+            base: cfg,
+            num_samples,
+            shared_rate,
+        });
+        let mut f = fs::File::create(dir.join("reference.fa"))?;
+        c.reference.write_fasta(&mut f)?;
+        let mut f = fs::File::create(dir.join("priors.txt"))?;
+        c.priors.write(&c.config.base.chr_name, &mut f)?;
+        let mut manifest = String::new();
+        let mut total_reads = 0usize;
+        for s in &c.samples {
+            let reads_file = format!("{}.soap", s.name);
+            let mut f = fs::File::create(dir.join(&reads_file))?;
+            write_alignments(&s.reads, &mut f)?;
+            let mut f = fs::File::create(dir.join(format!("truth.{}.txt", s.name)))?;
+            for t in &s.truth {
+                writeln!(
+                    f,
+                    "{}\t{}\t{}{}",
+                    c.config.base.chr_name,
+                    t.pos + 1,
+                    t.alleles.0.to_ascii() as char,
+                    t.alleles.1.to_ascii() as char
+                )?;
+            }
+            manifest.push_str(&format!("{}\t{}\n", s.name, reads_file));
+            total_reads += s.reads.len();
+        }
+        fs::write(dir.join("cohort.tsv"), manifest)?;
+        println!(
+            "wrote cohort of {} samples ({} reads, {} shared sites of {}) to {}",
+            num_samples,
+            total_reads,
+            c.sites.iter().filter(|s| s.owner.is_none()).count(),
+            c.sites.len(),
+            dir.display()
+        );
+        return Ok(());
+    }
     let d = Dataset::generate(cfg);
 
     let mut f = fs::File::create(dir.join("reads.soap"))?;
@@ -143,6 +219,9 @@ fn cmd_synth(args: &[String]) -> CliResult {
 }
 
 fn cmd_call(args: &[String]) -> CliResult {
+    if flag_value(args, "--cohort").is_some() {
+        return cmd_call_cohort(args);
+    }
     let pos = positional(args);
     let [aln, fa, prior, out] = pos.as_slice() else {
         return Err("call requires <alignments> <reference> <priors> <out.gsnp>".into());
@@ -176,6 +255,7 @@ fn cmd_call(args: &[String]) -> CliResult {
         contracts,
         trace: recorder.clone(),
         backend,
+        auto: auto_flag(args)?,
         ..Default::default()
     };
     let result = if cpu {
@@ -218,6 +298,144 @@ fn cmd_call(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `gsnp call --cohort`: call every sample of a manifest in one cohort
+/// run. The manifest is TSV (`sample<TAB>reads-file`, paths relative to
+/// the manifest); outputs land in `<out_dir>/<sample>.gsnp`, byte-
+/// identical to what per-sample single runs sharing the cohort's pooled
+/// calibration would write.
+fn cmd_call_cohort(args: &[String]) -> CliResult {
+    let manifest_path = flag_value(args, "--cohort").expect("checked by caller");
+    if args.iter().any(|a| a == "--cpu") {
+        return Err("--cohort uses the device pipeline (drop --cpu)".into());
+    }
+    let pos = positional(args);
+    let [fa, prior, out_dir] = pos.as_slice() else {
+        return Err("call --cohort requires <cohort.tsv> <reference> <priors> <out_dir>".into());
+    };
+    let reference = Reference::read_fasta(BufReader::new(fs::File::open(fa)?))?;
+    let priors = PriorMap::read(BufReader::new(fs::File::open(prior)?))?;
+
+    let manifest_dir = Path::new(manifest_path)
+        .parent()
+        .unwrap_or_else(|| Path::new("."));
+    let mut names = Vec::new();
+    let mut sample_reads = Vec::new();
+    for line in fs::read_to_string(manifest_path)?.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, reads_file) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("manifest line {line:?}: expected sample<TAB>reads-file"))?;
+        let reads: Vec<_> = AlignmentReader::new(BufReader::new(fs::File::open(
+            manifest_dir.join(reads_file),
+        )?))
+        .collect::<Result<_, _>>()?;
+        names.push(name.to_string());
+        sample_reads.push(reads);
+    }
+    if names.is_empty() {
+        return Err("cohort manifest lists no samples".into());
+    }
+    let samples: Vec<SampleReads<'_>> = names
+        .iter()
+        .zip(&sample_reads)
+        .map(|(name, reads)| SampleReads { name, reads })
+        .collect();
+
+    let backend = backend_flag(args)?;
+    let recorder = match flag_value(args, "--trace") {
+        Some(_) if backend == BackendChoice::Native => {
+            return Err(
+                "--backend native cannot trace (kernel counters are sim-only); \
+                 use --backend sim or auto"
+                    .into(),
+            )
+        }
+        Some(_) => Some(Arc::new(TraceRecorder::new(
+            gsnp::gpu_sim::trace::DEFAULT_CAPACITY,
+        ))),
+        None => None,
+    };
+    let contracts = args.iter().any(|a| a == "--contracts");
+    let base = GsnpConfig {
+        window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
+        num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
+        launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
+        contracts,
+        trace: recorder.clone(),
+        backend,
+        auto: auto_flag(args)?,
+        ..Default::default()
+    };
+    let gates = QualityGates {
+        min_quality: flag_value(args, "--min-quality").map_or(Ok(0), str::parse)?,
+        min_depth: flag_value(args, "--min-depth").map_or(Ok(0), str::parse)?,
+    };
+    let mut bad_sites = match flag_value(args, "--bad-sites") {
+        Some(p) if Path::new(p).exists() => BadSiteList::parse(&fs::read_to_string(p)?)?,
+        _ => BadSiteList::new(),
+    };
+    if let Some(t) = flag_value(args, "--bad-site-threshold") {
+        bad_sites.threshold = t.parse()?;
+    }
+
+    let result = CohortPipeline::new(CohortCallConfig {
+        base,
+        gates,
+        bad_sites,
+    })
+    .run(&samples, &reference, &priors);
+
+    fs::create_dir_all(out_dir)?;
+    let dir = Path::new(out_dir.as_str());
+    for lane in &result.samples {
+        fs::write(dir.join(format!("{}.gsnp", lane.name)), &lane.compressed)?;
+        println!(
+            "  {}: {} variants, {} gated, {} forced → {} bytes",
+            lane.name,
+            lane.snp_count,
+            lane.gated_nocalls,
+            lane.forced_nocalls,
+            lane.compressed.len()
+        );
+    }
+    if let (Some(rec), Some(path)) = (&recorder, flag_value(args, "--trace")) {
+        write_trace(rec, path)?;
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        fs::write(path, cohort_metrics(&result).render_text())?;
+        println!("wrote metrics to {path}");
+    }
+    // Persistent feedback: sites gated in at least half the covered
+    // samples earn a strike; the rewritten file downweights them next run.
+    if let Some(path) = flag_value(args, "--bad-sites") {
+        let mut list = match Path::new(path).exists() {
+            true => BadSiteList::parse(&fs::read_to_string(path)?)?,
+            false => BadSiteList::new(),
+        };
+        list.absorb(&result.noisy_sites);
+        fs::write(path, list.serialize())?;
+        println!(
+            "bad-site feedback: {} noisy sites this run, {} tracked in {path}",
+            result.noisy_sites.len(),
+            list.len()
+        );
+    }
+    let n = result.samples.len() as u64;
+    println!(
+        "cohort of {}: {} sites x {} samples in {} windows, one table upload per device ({} bytes x{})",
+        n,
+        result.stats.num_sites / n.max(1),
+        n,
+        result.stats.windows / n.max(1),
+        result.stats.table_bytes,
+        result.stats.ledgers.len()
+    );
+    Ok(())
+}
+
 /// Snapshot a recorder and write the Chrome trace-event JSON.
 fn write_trace(rec: &Arc<TraceRecorder>, path: &str) -> CliResult {
     let snap = rec.snapshot();
@@ -246,7 +464,6 @@ fn cmd_profile(args: &[String]) -> CliResult {
     synth.num_sites = flag_value(args, "--sites").map_or(Ok(50_000), str::parse)?;
     synth.depth = flag_value(args, "--depth").map_or(Ok(10.0), str::parse)?;
     synth.read_len = 100;
-    let d = Dataset::generate(synth);
 
     let backend = backend_flag(args)?;
     if backend == BackendChoice::Native {
@@ -262,21 +479,57 @@ fn cmd_profile(args: &[String]) -> CliResult {
         launch_batch: flag_value(args, "--batch").map_or(Ok(0), str::parse)?,
         trace: Some(Arc::clone(&recorder)),
         backend,
+        auto: auto_flag(args)?,
         ..Default::default()
     };
+    let num_samples: usize = flag_value(args, "--samples").map_or(Ok(0), str::parse)?;
+    if num_samples > 0 {
+        // Cohort profile: one run over N synthetic samples sharing the
+        // reference; the per-stage tables then show the amortized shape.
+        let c = Cohort::generate(CohortConfig {
+            base: synth,
+            num_samples,
+            shared_rate: 0.6,
+        });
+        let samples: Vec<SampleReads<'_>> = c
+            .samples
+            .iter()
+            .map(|s| SampleReads {
+                name: &s.name,
+                reads: &s.reads,
+            })
+            .collect();
+        let result = CohortPipeline::new(CohortCallConfig {
+            base: cfg,
+            ..Default::default()
+        })
+        .run(&samples, &c.reference, &c.priors);
+        let snap = recorder.snapshot();
+        print_profile(&result.stats, &result.times, &result.wall, &snap);
+        if let Some(path) = flag_value(args, "--trace") {
+            write_trace(&recorder, path)?;
+        }
+        return Ok(());
+    }
+    let d = Dataset::generate(synth);
     let result = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
     let snap = recorder.snapshot();
-    print_profile(&result, &snap);
+    print_profile(&result.stats, &result.times, &result.wall, &snap);
     if let Some(path) = flag_value(args, "--trace") {
         write_trace(&recorder, path)?;
     }
     Ok(())
 }
 
-fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
-    let stats = &result.stats;
+fn print_profile(
+    stats: &PipelineStats,
+    times: &ComponentTimes,
+    wall: &ComponentTimes,
+    snap: &TraceSnapshot,
+) {
     println!(
-        "profile: {} sites, {} obs, {} windows, {} devices, depth {}",
+        "profile: {} samples, {} sites, {} obs, {} windows, {} devices, depth {}",
+        stats.samples,
         stats.num_sites,
         stats.num_obs,
         stats.windows,
@@ -290,8 +543,8 @@ fn print_profile(result: &GsnpOutput, snap: &TraceSnapshot) {
         "  {:<16} {:>12} {:>12}",
         "component", "device-model", "host-wall"
     );
-    let t = &result.times;
-    let w = &result.wall;
+    let t = times;
+    let w = wall;
     for (name, tv, wv) in [
         ("cal_p", t.cal_p, w.cal_p),
         ("read_site", t.read_site, w.read_site),
