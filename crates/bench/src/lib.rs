@@ -15,6 +15,7 @@
 //! `EXPERIMENTS.md` records both side by side.
 
 pub mod bandwidth;
+pub mod check;
 pub mod data;
 pub mod experiments;
 pub mod report;

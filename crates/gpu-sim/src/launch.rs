@@ -23,6 +23,7 @@ use crate::contract::{verify_contract, AccessContract, ContractLedger, ContractR
 use crate::cost::CostModel;
 use crate::counters::{AtomicCounters, HwCounters, LaunchStats};
 use crate::ctx::BlockCtx;
+use crate::hist::{Histogram, SharedHistogram};
 use crate::pool::{BufferPool, PoolStats, PooledBuffer};
 use crate::sanitizer::{
     permuted_order, splitmix64, LaunchSession, Sanitizer, SanitizerConfig, SanitizerCounts,
@@ -99,6 +100,10 @@ pub struct KernelTally {
     /// seconds. Unlike the modelled `overhead_seconds`, this is measured
     /// time and is comparable across backends.
     pub wall_seconds: f64,
+    /// Log-bucketed distribution of per-launch wall times (the p50/p95/
+    /// p99 latency surface of `gsnp profile` and the `gsnp_kernel_wall_
+    /// seconds` exposition). Fixed-size; recording never allocates.
+    pub wall_hist: Histogram,
 }
 
 impl DeviceLedger {
@@ -281,6 +286,10 @@ pub struct Device {
     /// interned on first launch; steady-state updates are a linear scan
     /// over a handful of entries and never allocate.
     kernel_tallies: Mutex<Vec<KernelTally>>,
+    /// Optional live launch-wall sink (all kernels folded into one
+    /// histogram) read by the heartbeat `/metrics` endpoint while a run
+    /// is in flight. Shared across the devices of a group.
+    launch_hist: Option<Arc<SharedHistogram>>,
 }
 
 impl Device {
@@ -298,6 +307,7 @@ impl Device {
             schedule: Mutex::new(BlockSchedule::Parallel),
             schedule_stream: std::sync::atomic::AtomicU64::new(0),
             kernel_tallies: Mutex::new(Vec::new()),
+            launch_hist: None,
         }
     }
 
@@ -365,6 +375,15 @@ impl Device {
     /// Whether a trace recorder is attached.
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Attach a shared live launch-wall histogram: every subsequent
+    /// launch (simulated or native) also records its wall time there, so
+    /// a heartbeat endpoint can expose kernel latency quantiles while
+    /// the run executes. Per-kernel tallies are unaffected.
+    pub fn with_launch_hist(mut self, hist: Arc<SharedHistogram>) -> Self {
+        self.launch_hist = Some(hist);
+        self
     }
 
     /// The accumulated sanitizer findings (`None` without a sanitizer).
@@ -441,14 +460,22 @@ impl Device {
             t.overhead_seconds += overhead;
             t.native_launches += u64::from(native);
             t.wall_seconds += wall;
+            t.wall_hist.record(wall);
         } else {
+            let mut wall_hist = Histogram::new();
+            wall_hist.record(wall);
             tallies.push(KernelTally {
                 name: name.to_string(),
                 launches: 1,
                 overhead_seconds: overhead,
                 native_launches: u64::from(native),
                 wall_seconds: wall,
+                wall_hist,
             });
+        }
+        drop(tallies);
+        if let Some(h) = &self.launch_hist {
+            h.record(wall);
         }
     }
 

@@ -52,6 +52,7 @@ pub mod cost;
 pub mod counters;
 pub mod ctx;
 pub mod group;
+pub mod hist;
 pub mod launch;
 pub mod pool;
 pub mod primitives;
@@ -72,6 +73,7 @@ pub use cost::CostModel;
 pub use counters::{HwCounters, LaunchStats};
 pub use ctx::{BlockCtx, SharedMem};
 pub use group::{DeviceGroup, GroupLedger};
+pub use hist::{Histogram, HistogramDigest, SharedHistogram};
 pub use launch::{BlockSchedule, Device, DeviceLedger, KernelTally};
 pub use pool::{BufferPool, PoolStats, PooledBuffer};
 pub use sanitizer::{
@@ -79,6 +81,6 @@ pub use sanitizer::{
     SanitizerCounts, SanitizerReport,
 };
 pub use trace::{
-    validate_chrome_json, EventKind, KernelProfile, MetricKind, MetricsSnapshot, NameId, SpanArgs,
-    TraceEvent, TraceRecorder, TraceSnapshot, TrackId, TrackKind,
+    parse_json, validate_chrome_json, EventKind, Json, KernelProfile, MetricKind, MetricsSnapshot,
+    NameId, SpanArgs, TraceEvent, TraceRecorder, TraceSnapshot, TrackId, TrackKind,
 };

@@ -860,6 +860,9 @@ pub enum MetricKind {
     Counter,
     /// Point-in-time value.
     Gauge,
+    /// Classic Prometheus histogram (`_bucket{le=...}`/`_sum`/`_count`);
+    /// populated via [`MetricsSnapshot::push_histogram`].
+    Histogram,
 }
 
 #[derive(Debug, Clone)]
@@ -868,6 +871,7 @@ struct Metric {
     help: String,
     kind: MetricKind,
     samples: Vec<(Vec<(String, String)>, f64)>,
+    hists: Vec<(Vec<(String, String)>, crate::hist::Histogram)>,
 }
 
 /// An ordered set of named metrics rendering to the Prometheus text
@@ -909,7 +913,71 @@ impl MetricsSnapshot {
             help: help.to_string(),
             kind,
             samples: vec![(labels, value)],
+            hists: Vec::new(),
         });
+    }
+
+    /// Add one histogram series. Series of the same metric `name` (one
+    /// per label set — e.g. per stage or per kernel) group under a single
+    /// `# HELP`/`# TYPE <name> histogram` header and render as the
+    /// classic cumulative `_bucket{le=...}`/`_sum`/`_count` exposition.
+    pub fn push_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &crate::hist::Histogram,
+    ) {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(m) = self.metrics.iter_mut().find(|m| m.name == name) {
+            m.hists.push((labels, hist.clone()));
+            return;
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            samples: Vec::new(),
+            hists: vec![(labels, hist.clone())],
+        });
+    }
+
+    /// The histogram series of `name` with exactly the given labels.
+    pub fn get_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&crate::hist::Histogram> {
+        let m = self.metrics.iter().find(|m| m.name == name)?;
+        m.hists
+            .iter()
+            .find(|(ls, _)| {
+                ls.len() == labels.len()
+                    && ls
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|(_, h)| h)
+    }
+
+    /// Fold another snapshot in: families with the same name merge their
+    /// samples under this snapshot's header (HELP/TYPE stay emitted once
+    /// per family), new families append in `other`'s order. This is how
+    /// the live `/metrics` endpoint composes progress gauges with core
+    /// and cohort series without duplicating headers.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for m in &other.metrics {
+            if let Some(mine) = self.metrics.iter_mut().find(|x| x.name == m.name) {
+                mine.samples.extend(m.samples.iter().cloned());
+                mine.hists.extend(m.hists.iter().cloned());
+            } else {
+                self.metrics.push(m.clone());
+            }
+        }
     }
 
     /// Number of distinct metric names.
@@ -949,28 +1017,58 @@ impl MetricsSnapshot {
                 match m.kind {
                     MetricKind::Counter => "counter",
                     MetricKind::Gauge => "gauge",
+                    MetricKind::Histogram => "histogram",
                 }
             );
             for (labels, value) in &m.samples {
                 if labels.is_empty() {
                     let _ = writeln!(out, "{} {}", m.name, prom_f64(*value));
                 } else {
-                    let rendered: Vec<String> = labels
-                        .iter()
-                        .map(|(k, v)| format!("{k}=\"{}\"", prom_label_escape(v)))
-                        .collect();
                     let _ = writeln!(
                         out,
                         "{}{{{}}} {}",
                         m.name,
-                        rendered.join(","),
+                        render_labels(labels),
                         prom_f64(*value)
                     );
+                }
+            }
+            for (labels, hist) in &m.hists {
+                let prefix = render_labels(labels);
+                let sep = if prefix.is_empty() { "" } else { "," };
+                for (upper, cumulative) in hist.cumulative_buckets() {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{{prefix}{sep}le=\"{}\"}} {cumulative}",
+                        m.name,
+                        prom_f64(upper)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{{prefix}{sep}le=\"+Inf\"}} {}",
+                    m.name,
+                    hist.count()
+                );
+                if prefix.is_empty() {
+                    let _ = writeln!(out, "{}_sum {}", m.name, prom_f64(hist.sum()));
+                    let _ = writeln!(out, "{}_count {}", m.name, hist.count());
+                } else {
+                    let _ = writeln!(out, "{}_sum{{{prefix}}} {}", m.name, prom_f64(hist.sum()));
+                    let _ = writeln!(out, "{}_count{{{prefix}}} {}", m.name, hist.count());
                 }
             }
         }
         out
     }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_label_escape(v)))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn prom_f64(v: f64) -> String {

@@ -47,9 +47,10 @@ use seqio::window::WindowReader;
 use crate::arena::ArenaPool;
 use crate::likelihood::DeviceTables;
 use crate::pipeline::{
-    add_times, join_stage, merge_stats, posterior_rows, run_device_batch, BatchScratch,
-    ComponentTimes, GsnpConfig, PipelineStats, StageReport,
+    add_times, join_stage, journal_run_stats, merge_stats, posterior_rows, run_device_batch,
+    BatchScratch, ComponentTimes, GsnpConfig, PipelineStats, StageReport,
 };
+use crate::progress::{ProgressTracker, STAGE_OUTPUT, STAGE_POSTERIOR, STAGE_READ};
 use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, StageStats};
 use crate::tables::SharedTables;
 
@@ -322,7 +323,13 @@ impl CohortPipeline {
         let num_samples = samples.len();
         assert!(num_samples >= 1, "cohort needs at least one sample");
 
-        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices);
+        let tracker = cfg
+            .progress
+            .clone()
+            .unwrap_or_else(|| std::sync::Arc::new(ProgressTracker::new()));
+        let journal = cfg.journal.clone();
+        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices)
+            .with_launch_hist(&tracker.kernel_hist());
         if cfg.sanitize {
             group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
         }
@@ -396,6 +403,11 @@ impl CohortPipeline {
         let device_table_bytes = tables[0].upload_bytes();
         let gates = self.config.gates;
         let bad_sites = &self.config.bad_sites;
+        tracker.set_samples(num_samples as u64);
+        tracker.set_total_windows(ref_len.div_ceil(window_size.max(1) as u64) * num_samples as u64);
+        tracker.begin_lanes(num_devices);
+        let tracker = &*tracker;
+        let journal_ref = journal.as_deref();
 
         let (win_tx, win_rx) = bounded::<CProduced>(depth);
         let (score_tx, score_rx) = bounded::<CScored>(depth);
@@ -431,6 +443,7 @@ impl CohortPipeline {
                 rep.wall.read_site += dt;
                 rep.times.read_site += dt;
                 rep.stage.busy += dt;
+                tracker.stage_busy(STAGE_READ, dt);
 
                 let mut idx = 0usize;
                 loop {
@@ -473,6 +486,7 @@ impl CohortPipeline {
                     rep.wall.read_site += dt;
                     rep.times.read_site += dt;
                     rep.stage.busy += dt;
+                    tracker.stage_busy(STAGE_READ, dt);
                     if wins == 0 {
                         break;
                     }
@@ -481,7 +495,9 @@ impl CohortPipeline {
                     if win_tx.send(CProduced { idx, wins, arenas }).is_err() {
                         break; // downstream died; its panic surfaces at join
                     }
-                    rep.stage.stall_out += t0.elapsed().as_secs_f64();
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.stage.stall_out += dt;
+                    tracker.stage_stall(STAGE_READ, dt);
                     idx += 1;
                 }
                 rep
@@ -510,11 +526,13 @@ impl CohortPipeline {
                         let dt = t0.elapsed().as_secs_f64();
                         rep.stage.stall_in += dt;
                         lane.stage.stall_in += dt;
+                        tracker.lane_wait(worker_id, dt);
                         let busy_start = Instant::now();
 
                         // ONE fused launch group covers the same windows
                         // of every sample — the sample-major batch.
                         let k = arenas.len();
+                        let sites_before = rep.stats.num_sites;
                         let tl_bytes = run_device_batch(
                             disp,
                             dev_tables,
@@ -530,10 +548,26 @@ impl CohortPipeline {
                         lane.windows += k as u64;
                         if idx % num_devices != worker_id {
                             lane.steals += k as u64;
+                            tracker.lane_steal(worker_id, k as u64);
                         }
                         let dt = busy_start.elapsed().as_secs_f64();
                         rep.stage.busy += dt;
                         lane.stage.busy += dt;
+                        tracker.lane_batch(
+                            worker_id,
+                            k as u64,
+                            rep.stats.num_sites - sites_before,
+                            dt,
+                        );
+                        if let Some(j) = journal_ref {
+                            j.event(
+                                "batch",
+                                &format!(
+                                    "\"lane\":{worker_id},\"idx\":{idx},\"windows\":{k},\
+                                     \"busy_seconds\":{dt:.6}"
+                                ),
+                            );
+                        }
 
                         let t0 = Instant::now();
                         let scored = CScored {
@@ -573,7 +607,9 @@ impl CohortPipeline {
                         Ok(sc) => sc,
                         Err(_) => break,
                     };
-                    rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                    let dt = t0.elapsed().as_secs_f64();
+                    rep.stage.stall_in += dt;
+                    tracker.stage_stall(STAGE_POSTERIOR, dt);
                     let busy_start = Instant::now();
 
                     debug_assert_eq!(arenas.len(), wins * num_samples);
@@ -614,7 +650,9 @@ impl CohortPipeline {
                         .device(dev)
                         .charge_d2h(&mut post_stats, tl_bytes + row_count * 32);
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
-                    rep.stage.busy += busy_start.elapsed().as_secs_f64();
+                    let dt = busy_start.elapsed().as_secs_f64();
+                    rep.stage.busy += dt;
+                    tracker.stage_busy(STAGE_POSTERIOR, dt);
 
                     let t0 = Instant::now();
                     let called = CCalled {
@@ -638,7 +676,9 @@ impl CohortPipeline {
                     Ok(c) => c,
                     Err(_) => break,
                 };
-                out_rep.stage.stall_in += t0.elapsed().as_secs_f64();
+                let dt = t0.elapsed().as_secs_f64();
+                out_rep.stage.stall_in += dt;
+                tracker.stage_stall(STAGE_OUTPUT, dt);
                 let busy_start = Instant::now();
                 let mut next = reasm.offer(called.idx, (called.per_sample, called.dev));
                 while let Some((per_sample, dev)) = next {
@@ -673,7 +713,9 @@ impl CohortPipeline {
                     out_rep.times.output += if gpu_output { dt * 0.25 } else { dt };
                     next = reasm.pop_ready();
                 }
-                out_rep.stage.busy += busy_start.elapsed().as_secs_f64();
+                let dt = busy_start.elapsed().as_secs_f64();
+                out_rep.stage.busy += dt;
+                tracker.stage_busy(STAGE_OUTPUT, dt);
             }
             assert!(reasm.is_drained(), "cohort pipeline lost a batch");
 
@@ -720,6 +762,10 @@ impl CohortPipeline {
         stats.ledgers = ledger.per_device;
         stats.kernel_launches = group.kernel_launches();
         stats.contracts = group.contract_report();
+        stats.hists = tracker.latency();
+        if let Some(j) = journal_ref {
+            journal_run_stats(j, &stats);
+        }
 
         // Sites where at least half the covered samples were gated are
         // this run's noisy-site feedback.
@@ -730,7 +776,7 @@ impl CohortPipeline {
             .map(|(&pos, _)| pos)
             .collect();
 
-        let sample_outputs = samples
+        let sample_outputs: Vec<SampleOutput> = samples
             .iter()
             .enumerate()
             .zip(out_tables.into_iter().zip(compressed))
@@ -743,6 +789,23 @@ impl CohortPipeline {
                 forced_nocalls: tallies.forced[i],
             })
             .collect();
+        if let Some(j) = journal_ref {
+            for s in &sample_outputs {
+                j.event(
+                    "sample",
+                    &format!(
+                        "\"name\":\"{}\",\"snp_calls\":{},\"gated_nocalls\":{},\
+                         \"forced_nocalls\":{},\"output_bytes\":{}",
+                        crate::journal::json_escape(&s.name),
+                        s.snp_count,
+                        s.gated_nocalls,
+                        s.forced_nocalls,
+                        s.compressed.len()
+                    ),
+                );
+            }
+            j.event("gates", &format!("\"noisy_sites\":{}", noisy_sites.len()));
+        }
 
         CohortOutput {
             samples: sample_outputs,

@@ -26,10 +26,13 @@ pub mod arena;
 pub mod baseword;
 pub mod cohort;
 pub mod counting;
+pub mod journal;
 pub mod likelihood;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
+pub mod progress;
+pub mod serve;
 pub mod stream;
 pub mod tables;
 
@@ -38,9 +41,12 @@ pub use cohort::{
     BadSiteList, CohortCallConfig, CohortOutput, CohortPipeline, QualityGates, SampleOutput,
     SampleReads,
 };
+pub use journal::Journal;
 pub use metrics::call_metrics;
 pub use model::{ModelParams, SiteSummary};
 pub use pipeline::{ComponentTimes, GsnpConfig, GsnpCpuPipeline, GsnpOutput, GsnpPipeline};
+pub use progress::{LaneProgress, LatencyHists, ProgressSnapshot, ProgressTracker};
+pub use serve::StatsServer;
 pub use stream::{
     verify_overlap_consistency, OrderedReassembler, OverlapStats, PipelineTrace, StageStats,
 };

@@ -77,6 +77,7 @@ fn run_metrics(
 ) -> MetricsSnapshot {
     use MetricKind::{Counter, Gauge};
     let mut m = MetricsSnapshot::new();
+    crate::progress::push_build_info(&mut m);
 
     // ---- run totals ----
     m.push(
@@ -276,7 +277,18 @@ fn run_metrics(
             l,
             tally.overhead_seconds,
         );
+        m.push_histogram(
+            "gsnp_kernel_launch_wall_seconds",
+            "Per-launch wall time by kernel name (group merge)",
+            l,
+            &tally.wall_hist,
+        );
     }
+
+    // ---- latency histograms (window / stage / queue / kernel) ----
+    // The same families the live `--stats-addr` endpoint exposes
+    // mid-run, here with the run's final contents.
+    stats.hists.push_metrics(&mut m);
 
     // ---- backend dispatch (group sum) ----
     // Which compute backend executed each launch, and — for Auto — which
@@ -452,6 +464,7 @@ mod tests {
                     overhead_seconds: 1.5e-5,
                     native_launches: 1,
                     wall_seconds: 0.25,
+                    wall_hist: Default::default(),
                 }],
                 ..Default::default()
             },
@@ -585,6 +598,47 @@ mod tests {
         assert_eq!(m.get("gsnp_noisy_sites", &[]), Some(2.0));
         let text = m.render_text();
         assert!(text.contains("gsnp_sample_snp_calls_total{sample=\"s1\"}"));
+    }
+
+    #[test]
+    fn exposition_has_unique_headers_and_histogram_families() {
+        use crate::cohort::SampleOutput;
+        let mut single = empty_output();
+        single.stats.hists.window.record(1e-3);
+        single.stats.kernel_launches[0].wall_hist.record(2e-4);
+        let out = CohortOutput {
+            samples: vec![SampleOutput {
+                name: "s0".into(),
+                tables: Vec::new(),
+                compressed: Vec::new(),
+                snp_count: 0,
+                gated_nocalls: 0,
+                forced_nocalls: 0,
+            }],
+            stats: single.stats,
+            times: single.times,
+            wall: single.wall,
+            noisy_sites: Vec::new(),
+        };
+        let text = cohort_metrics(&out).render_text();
+        assert!(text.contains("gsnp_build_info{"), "{text}");
+        assert!(text.contains("# TYPE gsnp_window_seconds histogram"));
+        assert!(text
+            .contains("gsnp_kernel_launch_wall_seconds_bucket{kernel=\"likelihood_comp_fused\","));
+        assert!(text.contains("gsnp_stage_busy_seconds_bucket{stage=\"device\","));
+        // Every # HELP / # TYPE name appears exactly once in the merged
+        // cohort+core exposition.
+        for marker in ["# HELP", "# TYPE"] {
+            let mut names: Vec<&str> = text
+                .lines()
+                .filter(|l| l.starts_with(marker))
+                .map(|l| l.split(' ').nth(2).unwrap())
+                .collect();
+            let total = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(total, names.len(), "duplicate {marker} header");
+        }
     }
 
     #[test]

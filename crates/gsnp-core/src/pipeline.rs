@@ -37,10 +37,12 @@ use seqio::window::WindowReader;
 
 use crate::arena::{ArenaPool, ArenaPoolStats, WindowArena};
 use crate::counting::SparseWindow;
+use crate::journal::Journal;
 use crate::likelihood::{
     likelihood_comp_fused_gpu_into, likelihood_sort_gpu_into, DeviceTables, KernelVariant,
 };
 use crate::model::{posterior, ModelParams, SiteSummary, NUM_GENOTYPES};
+use crate::progress::{LatencyHists, ProgressTracker, STAGE_OUTPUT, STAGE_POSTERIOR, STAGE_READ};
 use crate::stream::{DeviceLaneStats, OrderedReassembler, OverlapStats, PipelineTrace, StageStats};
 use crate::tables::SharedTables;
 
@@ -136,6 +138,13 @@ pub struct PipelineStats {
     /// (per-kernel verified/refuted/assumed tallies plus retained
     /// refutation diagnostics); empty unless [`GsnpConfig::contracts`].
     pub contracts: gpu_sim::ContractReport,
+    /// Latency histograms accumulated by the run's
+    /// [`crate::progress::ProgressTracker`]: per-window wall time,
+    /// per-stage busy/stall, per-kernel launch wall, and device queue
+    /// wait. Always populated (the pipeline creates a private tracker
+    /// when [`GsnpConfig::progress`] is `None`); rendered by
+    /// `gsnp profile` and the Prometheus expositions.
+    pub hists: LatencyHists,
 }
 
 /// GSNP configuration.
@@ -227,6 +236,19 @@ pub struct GsnpConfig {
     /// pooled calibration serves every sample; it is also how the parity
     /// suite makes a single-sample run comparable to a cohort lane.
     pub shared_tables: Option<std::sync::Arc<SharedTables>>,
+    /// Live heartbeat/latency tracker, shared with the CLI's `--progress`
+    /// stderr thread and the `--stats-addr` HTTP endpoint so the run can
+    /// be observed while the window loop executes. `None` (the default)
+    /// makes the pipeline create a private tracker — there is exactly
+    /// one recording path either way — whose histograms still land in
+    /// [`PipelineStats::hists`]. Recording never touches results: output
+    /// is byte-identical with or without an external tracker.
+    pub progress: Option<std::sync::Arc<ProgressTracker>>,
+    /// Structured JSONL run journal (`--journal`). The pipeline appends
+    /// per-batch, per-stage, per-lane, and per-device lifecycle events;
+    /// the CLI brackets them with the `run_start` manifest and `run_end`
+    /// summary. `None` (the default) journals nothing.
+    pub journal: Option<std::sync::Arc<Journal>>,
 }
 
 impl Default for GsnpConfig {
@@ -248,6 +270,8 @@ impl Default for GsnpConfig {
             backend: BackendChoice::Sim,
             auto: AutoPolicy::default(),
             shared_tables: None,
+            progress: None,
+            journal: None,
         }
     }
 }
@@ -314,7 +338,16 @@ impl GsnpPipeline {
         priors: &PriorMap,
     ) -> GsnpOutput {
         let cfg = &self.config;
-        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices);
+        // One tracker per run, external or private — every latency
+        // observation flows through it either way (see
+        // [`PipelineStats::hists`]).
+        let tracker = cfg
+            .progress
+            .clone()
+            .unwrap_or_else(|| std::sync::Arc::new(ProgressTracker::new()));
+        let journal = cfg.journal.clone();
+        let mut group = DeviceGroup::new(cfg.device.clone(), cfg.num_devices)
+            .with_launch_hist(&tracker.kernel_hist());
         if cfg.sanitize {
             group = group.with_sanitizer(gpu_sim::SanitizerConfig::all());
         }
@@ -324,6 +357,8 @@ impl GsnpPipeline {
         if let Some(rec) = &cfg.trace {
             group = group.with_trace(rec);
         }
+        tracker.set_total_windows((reference.len() as u64).div_ceil(cfg.window_size.max(1) as u64));
+        tracker.begin_lanes(group.len());
         // Host-side pipeline tracks (one per stage + device lane); all
         // registration and interning happens here, before the first window.
         let ptrace = cfg
@@ -376,7 +411,7 @@ impl GsnpPipeline {
         times.cal_p = cal_wall + stats.table_bytes as f64 / cfg.device.pcie_bw;
         stats.peak_host_bytes += temp_input.as_ref().map_or(0, |t| t.len() as u64);
 
-        if cfg.pipeline_depth <= 1 && group.len() == 1 {
+        let mut out = if cfg.pipeline_depth <= 1 && group.len() == 1 {
             self.window_loop_serial(
                 &group,
                 &dispatchers,
@@ -386,6 +421,8 @@ impl GsnpPipeline {
                 reference,
                 priors,
                 ptrace.as_ref(),
+                &tracker,
+                journal.as_deref(),
                 times,
                 wall,
                 stats,
@@ -402,11 +439,18 @@ impl GsnpPipeline {
                 reference,
                 priors,
                 ptrace.as_ref(),
+                &tracker,
+                journal.as_deref(),
                 times,
                 wall,
                 stats,
             )
+        };
+        out.stats.hists = tracker.latency();
+        if let Some(j) = &journal {
+            journal_run_stats(j, &out.stats);
         }
+        out
     }
 
     /// The window loop at `pipeline_depth = 1`, `num_devices = 1`: every
@@ -422,6 +466,8 @@ impl GsnpPipeline {
         reference: &Reference,
         priors: &PriorMap,
         ptrace: Option<&PipelineTrace>,
+        tracker: &ProgressTracker,
+        journal: Option<&Journal>,
         mut times: ComponentTimes,
         mut wall: ComponentTimes,
         mut stats: PipelineStats,
@@ -445,6 +491,7 @@ impl GsnpPipeline {
             None => reads,
         };
         let decompress_wall = t0.elapsed().as_secs_f64();
+        tracker.stage_busy(STAGE_READ, decompress_wall);
         if let Some(pt) = ptrace {
             pt.read_span(ts, decompress_wall);
         }
@@ -467,6 +514,7 @@ impl GsnpPipeline {
         let mut batch: Vec<WindowArena> = Vec::with_capacity(batch_size);
         let mut batch_tables: Vec<SnpTable> = Vec::with_capacity(batch_size);
         let mut eof = false;
+        let mut batch_idx = 0usize;
 
         while !eof {
             // ---- read_site: fill one launch batch ----
@@ -480,6 +528,7 @@ impl GsnpPipeline {
                 let dt = t0.elapsed().as_secs_f64();
                 wall.read_site += dt;
                 times.read_site += dt;
+                tracker.stage_busy(STAGE_READ, dt);
                 if let Some(pt) = ptrace {
                     pt.read_span(ts, dt);
                 }
@@ -498,6 +547,7 @@ impl GsnpPipeline {
             // The serial loop's device-lane busy time is the growth of the
             // four device-component wall clocks across this batch.
             let first_window = stats.windows;
+            let sites_before = stats.num_sites;
             let dev_wall_before =
                 wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
             let ts = trace_now(ptrace);
@@ -513,17 +563,26 @@ impl GsnpPipeline {
                 &mut wall,
                 &mut stats,
             );
-            if let Some(pt) = ptrace {
-                let dev_wall =
-                    wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle;
-                emit_lane_batch(
-                    pt,
-                    0,
-                    ts,
-                    dev_wall - dev_wall_before,
-                    first_window,
-                    batch.len(),
+            let dev_dt = wall.counting + wall.likelihood_sort + wall.likelihood_comp + wall.recycle
+                - dev_wall_before;
+            tracker.lane_batch(
+                0,
+                batch.len() as u64,
+                stats.num_sites - sites_before,
+                dev_dt,
+            );
+            if let Some(j) = journal {
+                j.event(
+                    "batch",
+                    &format!(
+                        "\"lane\":0,\"idx\":{batch_idx},\"windows\":{},\"busy_seconds\":{dev_dt:.6}",
+                        batch.len()
+                    ),
                 );
+            }
+            batch_idx += 1;
+            if let Some(pt) = ptrace {
+                emit_lane_batch(pt, 0, ts, dev_dt, first_window, batch.len());
             }
 
             // ---- posterior (per window; one readback charge per batch) ----
@@ -564,6 +623,7 @@ impl GsnpPipeline {
             let mut post_stats = LaunchStats::default();
             dev.charge_d2h(&mut post_stats, tl_bytes + row_count * 32);
             times.posterior += post_dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
+            tracker.stage_busy(STAGE_POSTERIOR, post_dt);
 
             // ---- output: ONE batched compress chain per batch ----
             let t0 = Instant::now();
@@ -578,6 +638,7 @@ impl GsnpPipeline {
             };
             let dt = t0.elapsed().as_secs_f64();
             wall.output += dt;
+            tracker.stage_busy(STAGE_OUTPUT, dt);
             if let Some(pt) = ptrace {
                 pt.output_span(ts, dt);
             }
@@ -667,6 +728,8 @@ impl GsnpPipeline {
         reference: &Reference,
         priors: &PriorMap,
         ptrace: Option<&PipelineTrace>,
+        tracker: &ProgressTracker,
+        journal: Option<&Journal>,
         mut times: ComponentTimes,
         mut wall: ComponentTimes,
         mut stats: PipelineStats,
@@ -710,6 +773,7 @@ impl GsnpPipeline {
                 rep.wall.read_site += dt;
                 rep.times.read_site += dt;
                 rep.stage.busy += dt;
+                tracker.stage_busy(STAGE_READ, dt);
                 if let Some(pt) = ptrace {
                     pt.read_span(ts, dt);
                 }
@@ -728,6 +792,7 @@ impl GsnpPipeline {
                         rep.wall.read_site += dt;
                         rep.times.read_site += dt;
                         rep.stage.busy += dt;
+                        tracker.stage_busy(STAGE_READ, dt);
                         if let Some(pt) = ptrace {
                             pt.read_span(ts, dt);
                         }
@@ -749,6 +814,7 @@ impl GsnpPipeline {
                     }
                     let dt = t0.elapsed().as_secs_f64();
                     rep.stage.stall_out += dt;
+                    tracker.stage_stall(STAGE_READ, dt);
                     if let Some(pt) = ptrace {
                         pt.read_stall_out(ts, dt);
                     }
@@ -777,6 +843,7 @@ impl GsnpPipeline {
                         let dt = t0.elapsed().as_secs_f64();
                         rep.stage.stall_in += dt;
                         lane.stage.stall_in += dt;
+                        tracker.lane_wait(worker_id, dt);
                         if let Some(pt) = ptrace {
                             pt.lane_stall_in(worker_id, ts, dt);
                         }
@@ -784,6 +851,7 @@ impl GsnpPipeline {
                         let ts = trace_now(ptrace);
 
                         let k = arenas.len();
+                        let sites_before = rep.stats.num_sites;
                         let tl_bytes = run_device_batch(
                             disp,
                             dev_tables,
@@ -799,6 +867,7 @@ impl GsnpPipeline {
                         lane.windows += k as u64;
                         if idx % num_devices != worker_id {
                             lane.steals += k as u64;
+                            tracker.lane_steal(worker_id, k as u64);
                             if let Some(pt) = ptrace {
                                 for _ in 0..k {
                                     pt.lane_steal(worker_id, ts);
@@ -808,6 +877,21 @@ impl GsnpPipeline {
                         let dt = busy_start.elapsed().as_secs_f64();
                         rep.stage.busy += dt;
                         lane.stage.busy += dt;
+                        tracker.lane_batch(
+                            worker_id,
+                            k as u64,
+                            rep.stats.num_sites - sites_before,
+                            dt,
+                        );
+                        if let Some(j) = journal {
+                            j.event(
+                                "batch",
+                                &format!(
+                                    "\"lane\":{worker_id},\"idx\":{idx},\"windows\":{k},\
+                                     \"busy_seconds\":{dt:.6}"
+                                ),
+                            );
+                        }
                         if let Some(pt) = ptrace {
                             // Every batch but the last is full, so the
                             // batch's first global window index is exact.
@@ -858,6 +942,7 @@ impl GsnpPipeline {
                     };
                     let dt = t0.elapsed().as_secs_f64();
                     rep.stage.stall_in += dt;
+                    tracker.stage_stall(STAGE_POSTERIOR, dt);
                     if let Some(pt) = ptrace {
                         pt.posterior_stall_in(ts, dt);
                     }
@@ -893,6 +978,7 @@ impl GsnpPipeline {
                     rep.times.posterior += dt.min(post_stats.sim_time * 4.0) + post_stats.sim_time;
                     let dt = busy_start.elapsed().as_secs_f64();
                     rep.stage.busy += dt;
+                    tracker.stage_busy(STAGE_POSTERIOR, dt);
                     if let Some(pt) = ptrace {
                         pt.posterior_span(busy_ts, dt);
                     }
@@ -923,6 +1009,7 @@ impl GsnpPipeline {
                 };
                 let dt = t0.elapsed().as_secs_f64();
                 out_rep.stage.stall_in += dt;
+                tracker.stage_stall(STAGE_OUTPUT, dt);
                 if let Some(pt) = ptrace {
                     pt.output_stall_in(ts, dt);
                 }
@@ -967,6 +1054,7 @@ impl GsnpPipeline {
                 }
                 let dt = busy_start.elapsed().as_secs_f64();
                 out_rep.stage.busy += dt;
+                tracker.stage_busy(STAGE_OUTPUT, dt);
                 if let Some(pt) = ptrace {
                     pt.output_span(busy_ts, dt);
                 }
@@ -1062,6 +1150,66 @@ struct Called {
 /// Join a scoped stage thread, propagating its panic.
 pub(crate) fn join_stage<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
     h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
+
+/// Append the end-of-run lifecycle events the pipeline owns — per-stage
+/// busy/stall totals, per-lane window/steal counts, per-device ledger
+/// and sanitizer summaries, and the merged contract proof tally — to the
+/// run journal. Shared by [`GsnpPipeline`] and
+/// [`crate::cohort::CohortPipeline`]; the CLI brackets these with the
+/// `run_start` manifest and `run_end` summary.
+pub(crate) fn journal_run_stats(j: &Journal, stats: &PipelineStats) {
+    let ov = &stats.overlap;
+    for (name, st) in [
+        ("read", &ov.read),
+        ("device", &ov.device),
+        ("posterior", &ov.posterior),
+        ("output", &ov.output),
+    ] {
+        j.event(
+            "stage",
+            &format!(
+                "\"stage\":\"{name}\",\"busy_seconds\":{:.6},\"stall_in_seconds\":{:.6},\
+                 \"stall_out_seconds\":{:.6}",
+                st.busy, st.stall_in, st.stall_out
+            ),
+        );
+    }
+    for (i, lane) in ov.devices.iter().enumerate() {
+        j.event(
+            "lane",
+            &format!(
+                "\"device\":{i},\"windows\":{},\"steals\":{},\"busy_seconds\":{:.6}",
+                lane.windows, lane.steals, lane.stage.busy
+            ),
+        );
+    }
+    for (i, led) in stats.ledgers.iter().enumerate() {
+        let s = &led.sanitizer;
+        let findings = s.races
+            + s.uninit_reads
+            + s.oob_accesses
+            + s.shared_leaks
+            + s.conformance_escapes
+            + s.overwide_declarations;
+        j.event(
+            "device",
+            &format!(
+                "\"device\":{i},\"launches\":{},\"transfers\":{},\"sanitizer_findings\":{findings}",
+                led.launches, led.transfers
+            ),
+        );
+    }
+    let proofs = stats.contracts.totals();
+    if proofs.verified + proofs.refuted + proofs.assumed > 0 {
+        j.event(
+            "contracts",
+            &format!(
+                "\"verified\":{},\"refuted\":{},\"assumed\":{}",
+                proofs.verified, proofs.refuted, proofs.assumed
+            ),
+        );
+    }
 }
 
 /// Reusable host-side staging for one launch batch: the concatenated

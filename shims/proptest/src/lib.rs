@@ -138,6 +138,22 @@ macro_rules! int_range_strategy {
 }
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Uniform in [0, 1) with 53 random mantissa bits, scaled
+                // into the range (upstream draws uniform-in-value too).
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
 macro_rules! tuple_strategy {
     ($(($($n:ident),+))+) => {$(
         impl<$($n: Strategy),+> Strategy for ($($n,)+) {
@@ -313,10 +329,15 @@ pub mod test_runner {
     }
 }
 
+/// Upstream-compatible `prop::` alias (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
 /// Everything tests import.
 pub mod prelude {
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{any, Just, Strategy};
+    pub use crate::{any, prop, Just, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 

@@ -8,6 +8,8 @@
 //!              [--window N] [--devices N] [--batch N] [--backend B] [--cpu]
 //!              [--contracts] [--text <out.txt>] [--trace <out.json>]
 //!              [--metrics <out.prom>] [--auto-threshold N]
+//!              [--progress] [--quiet|-q] [--journal <run.jsonl>]
+//!              [--stats-addr HOST:PORT] [--stats-hold MS]
 //! gsnp call    --cohort <cohort.tsv> <reference.fa> <priors.txt> <out_dir>
 //!              [--min-quality Q] [--min-depth D] [--bad-sites <file>]
 //!              [--bad-site-threshold N] [...call flags]
@@ -17,6 +19,7 @@
 //! gsnp analyze [--sites N] [--window N] [--seed S]
 //! gsnp decode  <in.gsnp> [<out.txt>]
 //! gsnp stats   <in.gsnp> [--format prom]
+//! gsnp report  <run.jsonl>
 //! gsnp validate-trace <trace.json>
 //! ```
 //!
@@ -27,6 +30,16 @@
 //! `--bad-sites <file>` the run both *applies* the persistent bad-site
 //! list and *feeds back* its own noisy sites into the file for the next
 //! run.
+//!
+//! Live introspection for long `call` runs: `--progress` prints a
+//! heartbeat line to stderr every half second (windows done/total,
+//! Msites/s, ETA, per-lane utilization); `--stats-addr` serves the same
+//! snapshot over HTTP (`/health`, `/progress`, `/metrics` in Prometheus
+//! text format) while the run executes; `--journal` appends a structured
+//! JSONL run journal — manifest, per-batch lifecycle, device and gate
+//! tallies, end-of-run latency digests — that `gsnp report` validates
+//! and renders after the fact. Diagnostics go to stderr (suppressed by
+//! `--quiet`); stdout stays clean for piped data.
 //!
 //! `--trace` writes a Chrome trace-event file loadable in Perfetto
 //! (`ui.perfetto.dev`): one process per simulated device (kernel,
@@ -39,14 +52,17 @@ use std::fs;
 use std::io::{BufReader, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use gsnp::compress::column::WindowStream;
+use gsnp::core::journal;
 use gsnp::core::metrics::cohort_metrics;
 use gsnp::core::pipeline::{ComponentTimes, PipelineStats};
 use gsnp::core::{
     call_metrics, BadSiteList, CohortCallConfig, CohortPipeline, GsnpConfig, GsnpCpuPipeline,
-    GsnpPipeline, QualityGates, SampleReads,
+    GsnpPipeline, Journal, ProgressTracker, QualityGates, SampleReads, StatsServer,
 };
 use gsnp::gpu_sim::{
     AutoPolicy, BackendChoice, MetricKind, MetricsSnapshot, TraceRecorder, TraceSnapshot,
@@ -65,17 +81,19 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gsnp <synth|call|profile|analyze|decode|stats|validate-trace> ...\n\
+                "usage: gsnp <synth|call|profile|analyze|decode|stats|report|validate-trace> ...\n\
                  synth  <out_dir> [--sites N] [--depth X] [--seed S] [--samples N] [--shared-rate X]\n\
-                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--auto-threshold N] [--cpu] [--contracts] [--text out.txt] [--trace out.json] [--metrics out.prom]\n\
+                 call   <alignments.soap> <reference.fa> <priors.txt> <out.gsnp> [--window N] [--devices N] [--batch N] [--backend sim|native|auto] [--auto-threshold N] [--cpu] [--contracts] [--text out.txt] [--trace out.json] [--metrics out.prom] [--progress] [--quiet|-q] [--journal run.jsonl] [--stats-addr HOST:PORT] [--stats-hold MS]\n\
                  call   --cohort <cohort.tsv> <reference.fa> <priors.txt> <out_dir> [--min-quality Q] [--min-depth D] [--bad-sites file] [--bad-site-threshold N] [...call flags]\n\
                  profile [--sites N] [--depth X] [--devices N] [--pipeline-depth N] [--batch N] [--backend sim|auto] [--auto-threshold N] [--seed S] [--samples N] [--trace out.json]\n\
                  analyze [--sites N] [--window N] [--seed S]\n\
                  decode <in.gsnp> [<out.txt>]\n\
                  stats  <in.gsnp> [--format prom]\n\
+                 report <run.jsonl>\n\
                  validate-trace <trace.json>"
             );
             return ExitCode::from(2);
@@ -126,14 +144,185 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = false;
             continue;
         }
+        if a == "-q" {
+            continue;
+        }
         if a.starts_with("--") {
             // value-less flags don't consume the next arg
-            skip = !matches!(a.as_str(), "--cpu" | "--contracts");
+            skip = !matches!(
+                a.as_str(),
+                "--cpu" | "--contracts" | "--progress" | "--quiet"
+            );
             continue;
         }
         out.push(a);
     }
     out
+}
+
+/// Live-introspection plumbing shared by `call` and `call --cohort`:
+/// the progress tracker is always created (it feeds `PipelineStats::
+/// hists` and the end-of-run journal digest); the heartbeat thread,
+/// HTTP endpoint and journal are each opt-in flags.
+struct Introspection {
+    tracker: Arc<ProgressTracker>,
+    journal: Option<Arc<Journal>>,
+    server: Option<StatsServer>,
+    heartbeat: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
+    /// `--stats-hold`: keep the endpoint answering this long after the
+    /// run finishes, so a scraper can catch the final counters.
+    hold: Duration,
+    quiet: bool,
+}
+
+impl Introspection {
+    fn from_args(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+        let tracker = Arc::new(ProgressTracker::new());
+        let journal = match flag_value(args, "--journal") {
+            Some(p) => Some(Arc::new(
+                Journal::create(Path::new(p)).map_err(|e| format!("--journal {p}: {e}"))?,
+            )),
+            None => None,
+        };
+        let server = match flag_value(args, "--stats-addr") {
+            Some(addr) => {
+                let s = StatsServer::start(addr, Arc::clone(&tracker))
+                    .map_err(|e| format!("--stats-addr {addr}: {e}"))?;
+                if !quiet {
+                    eprintln!(
+                        "gsnp: stats endpoint on http://{}/ (routes: /health /progress /metrics)",
+                        s.addr()
+                    );
+                }
+                Some(s)
+            }
+            None => None,
+        };
+        let hold =
+            Duration::from_millis(flag_value(args, "--stats-hold").map_or(Ok(0), str::parse)?);
+        let heartbeat = match args.iter().any(|a| a == "--progress") {
+            false => None,
+            true => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let (t, s) = (Arc::clone(&tracker), Arc::clone(&stop));
+                let handle = std::thread::Builder::new()
+                    .name("gsnp-progress".into())
+                    .spawn(move || {
+                        while !s.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(500));
+                            eprintln!("{}", t.progress().render_line());
+                        }
+                    })?;
+                Some((stop, handle))
+            }
+        };
+        Ok(Introspection {
+            tracker,
+            journal,
+            server,
+            heartbeat,
+            hold,
+            quiet,
+        })
+    }
+
+    /// Journal `run_start`: schema, crate version, subcommand, the
+    /// reproducibility-relevant config fields, and the input manifest
+    /// (path, size, FNV-1a 64 checksum per file).
+    fn journal_run_start(&self, cmd: &str, cfg: &GsnpConfig, inputs: &[&str]) -> CliResult {
+        let Some(j) = &self.journal else {
+            return Ok(());
+        };
+        let mut manifest = String::new();
+        for (i, path) in inputs.iter().enumerate() {
+            let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            if i > 0 {
+                manifest.push(',');
+            }
+            manifest.push_str(&format!(
+                "{{\"path\":\"{}\",\"bytes\":{},\"fnv64\":\"{:016x}\"}}",
+                journal::json_escape(path),
+                bytes.len(),
+                journal::fnv64(&bytes),
+            ));
+        }
+        j.event(
+            "run_start",
+            &format!(
+                "\"schema\":{},\"version\":\"{}\",\"cmd\":\"{}\",\
+                 \"config\":{{\"window_size\":{},\"num_devices\":{},\"launch_batch\":{},\
+                 \"pipeline_depth\":{},\"backend\":\"{}\",\"contracts\":{}}},\
+                 \"inputs\":[{}]",
+                journal::SCHEMA_VERSION,
+                env!("CARGO_PKG_VERSION"),
+                cmd,
+                cfg.window_size,
+                cfg.num_devices,
+                cfg.launch_batch,
+                cfg.pipeline_depth,
+                cfg.backend.name(),
+                cfg.contracts,
+                manifest,
+            ),
+        );
+        Ok(())
+    }
+
+    /// End of run: flip the tracker to done, stop the heartbeat (its
+    /// final line reports 100%), write the journal `run_end` summary
+    /// with the latency digests, hold the endpoint for late scrapers,
+    /// then tear it down.
+    fn finish(self, stats: &PipelineStats) -> CliResult {
+        self.tracker.finish();
+        if let Some((stop, handle)) = self.heartbeat {
+            stop.store(true, Ordering::Relaxed);
+            handle
+                .join()
+                .map_err(|_| "progress heartbeat thread panicked")?;
+            eprintln!("{}", self.tracker.progress().render_line());
+        }
+        let wall = self.tracker.elapsed_seconds();
+        if let Some(j) = &self.journal {
+            let hists: Vec<String> = stats
+                .hists
+                .digest_rows()
+                .iter()
+                .map(|(name, d)| journal::digest_json(name, d))
+                .collect();
+            j.event(
+                "run_end",
+                &format!(
+                    "\"windows\":{},\"sites\":{},\"snp_calls\":{},\"samples\":{},\
+                     \"wall_seconds\":{:.6},\"sites_per_second\":{:.3},\"hists\":[{}]",
+                    stats.windows,
+                    stats.num_sites,
+                    stats.snp_count,
+                    stats.samples,
+                    wall,
+                    stats.num_sites as f64 / wall.max(1e-9),
+                    hists.join(","),
+                ),
+            );
+            j.flush();
+            if j.take_error() {
+                return Err("journal write failed (disk full or file removed?)".into());
+            }
+        }
+        if let Some(server) = self.server {
+            if !self.hold.is_zero() {
+                if !self.quiet {
+                    eprintln!(
+                        "gsnp: holding stats endpoint {:.1}s (--stats-hold)",
+                        self.hold.as_secs_f64()
+                    );
+                }
+                std::thread::sleep(self.hold);
+            }
+            server.shutdown();
+        }
+        Ok(())
+    }
 }
 
 fn cmd_synth(args: &[String]) -> CliResult {
@@ -226,10 +415,10 @@ fn cmd_call(args: &[String]) -> CliResult {
     let [aln, fa, prior, out] = pos.as_slice() else {
         return Err("call requires <alignments> <reference> <priors> <out.gsnp>".into());
     };
-    let reference = Reference::read_fasta(BufReader::new(fs::File::open(fa)?))?;
-    let priors = PriorMap::read(BufReader::new(fs::File::open(prior)?))?;
+    let reference = Reference::read_fasta(BufReader::new(open(fa)?))?;
+    let priors = PriorMap::read(BufReader::new(open(prior)?))?;
     let reads: Vec<_> =
-        AlignmentReader::new(BufReader::new(fs::File::open(aln)?)).collect::<Result<_, _>>()?;
+        AlignmentReader::new(BufReader::new(open(aln)?)).collect::<Result<_, _>>()?;
 
     let cpu = args.iter().any(|a| a == "--cpu");
     let backend = backend_flag(args)?;
@@ -248,6 +437,7 @@ fn cmd_call(args: &[String]) -> CliResult {
         None => None,
     };
     let contracts = args.iter().any(|a| a == "--contracts");
+    let intro = Introspection::from_args(args)?;
     let cfg = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
@@ -256,30 +446,35 @@ fn cmd_call(args: &[String]) -> CliResult {
         trace: recorder.clone(),
         backend,
         auto: auto_flag(args)?,
+        progress: Some(Arc::clone(&intro.tracker)),
+        journal: intro.journal.clone(),
         ..Default::default()
     };
+    intro.journal_run_start("call", &cfg, &[aln, fa, prior])?;
     let result = if cpu {
         GsnpCpuPipeline::new(cfg).run(&reads, &reference, &priors)
     } else {
         GsnpPipeline::new(cfg).run(&reads, &reference, &priors)
     };
-    fs::write(out, &result.compressed)?;
+    fs::write(out, &result.compressed).map_err(|e| format!("{out}: {e}"))?;
     if let Some(text_path) = flag_value(args, "--text") {
-        let mut f = fs::File::create(text_path)?;
+        let mut f = fs::File::create(text_path).map_err(|e| format!("{text_path}: {e}"))?;
         for t in &result.tables {
             t.write_text(&mut f)?;
         }
     }
     if let (Some(rec), Some(path)) = (&recorder, flag_value(args, "--trace")) {
-        write_trace(rec, path)?;
+        write_trace(rec, path, intro.quiet)?;
     }
     if let Some(path) = flag_value(args, "--metrics") {
-        fs::write(path, call_metrics(&result).render_text())?;
-        println!("wrote metrics to {path}");
+        fs::write(path, call_metrics(&result).render_text()).map_err(|e| format!("{path}: {e}"))?;
+        if !intro.quiet {
+            eprintln!("wrote metrics to {path}");
+        }
     }
-    if contracts {
+    if contracts && !intro.quiet {
         let t = result.stats.contracts.totals();
-        println!(
+        eprintln!(
             "contracts: {} verified, {} refuted, {} assumed across {} kernels",
             t.verified,
             t.refuted,
@@ -287,14 +482,18 @@ fn cmd_call(args: &[String]) -> CliResult {
             result.stats.contracts.per_kernel.len()
         );
     }
-    println!(
-        "{} sites in {} windows, {} variants → {} ({} bytes)",
-        result.stats.num_sites,
-        result.stats.windows,
-        result.stats.snp_count,
-        out,
-        result.compressed.len()
-    );
+    let quiet = intro.quiet;
+    intro.finish(&result.stats)?;
+    if !quiet {
+        eprintln!(
+            "{} sites in {} windows, {} variants → {} ({} bytes)",
+            result.stats.num_sites,
+            result.stats.windows,
+            result.stats.snp_count,
+            out,
+            result.compressed.len()
+        );
+    }
     Ok(())
 }
 
@@ -312,15 +511,18 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
     let [fa, prior, out_dir] = pos.as_slice() else {
         return Err("call --cohort requires <cohort.tsv> <reference> <priors> <out_dir>".into());
     };
-    let reference = Reference::read_fasta(BufReader::new(fs::File::open(fa)?))?;
-    let priors = PriorMap::read(BufReader::new(fs::File::open(prior)?))?;
+    let reference = Reference::read_fasta(BufReader::new(open(fa)?))?;
+    let priors = PriorMap::read(BufReader::new(open(prior)?))?;
 
     let manifest_dir = Path::new(manifest_path)
         .parent()
         .unwrap_or_else(|| Path::new("."));
     let mut names = Vec::new();
     let mut sample_reads = Vec::new();
-    for line in fs::read_to_string(manifest_path)?.lines() {
+    for line in fs::read_to_string(manifest_path)
+        .map_err(|e| format!("{manifest_path}: {e}"))?
+        .lines()
+    {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -328,9 +530,10 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
         let (name, reads_file) = line
             .split_once('\t')
             .ok_or_else(|| format!("manifest line {line:?}: expected sample<TAB>reads-file"))?;
-        let reads: Vec<_> = AlignmentReader::new(BufReader::new(fs::File::open(
-            manifest_dir.join(reads_file),
-        )?))
+        let reads_path = manifest_dir.join(reads_file);
+        let reads: Vec<_> = AlignmentReader::new(BufReader::new(
+            fs::File::open(&reads_path).map_err(|e| format!("{}: {e}", reads_path.display()))?,
+        ))
         .collect::<Result<_, _>>()?;
         names.push(name.to_string());
         sample_reads.push(reads);
@@ -359,6 +562,7 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
         None => None,
     };
     let contracts = args.iter().any(|a| a == "--contracts");
+    let intro = Introspection::from_args(args)?;
     let base = GsnpConfig {
         window_size: flag_value(args, "--window").map_or(Ok(256_000), str::parse)?,
         num_devices: flag_value(args, "--devices").map_or(Ok(1), str::parse)?,
@@ -367,8 +571,11 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
         trace: recorder.clone(),
         backend,
         auto: auto_flag(args)?,
+        progress: Some(Arc::clone(&intro.tracker)),
+        journal: intro.journal.clone(),
         ..Default::default()
     };
+    intro.journal_run_start("call --cohort", &base, &[manifest_path, fa, prior])?;
     let gates = QualityGates {
         min_quality: flag_value(args, "--min-quality").map_or(Ok(0), str::parse)?,
         min_depth: flag_value(args, "--min-depth").map_or(Ok(0), str::parse)?,
@@ -392,21 +599,26 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
     let dir = Path::new(out_dir.as_str());
     for lane in &result.samples {
         fs::write(dir.join(format!("{}.gsnp", lane.name)), &lane.compressed)?;
-        println!(
-            "  {}: {} variants, {} gated, {} forced → {} bytes",
-            lane.name,
-            lane.snp_count,
-            lane.gated_nocalls,
-            lane.forced_nocalls,
-            lane.compressed.len()
-        );
+        if !intro.quiet {
+            eprintln!(
+                "  {}: {} variants, {} gated, {} forced → {} bytes",
+                lane.name,
+                lane.snp_count,
+                lane.gated_nocalls,
+                lane.forced_nocalls,
+                lane.compressed.len()
+            );
+        }
     }
     if let (Some(rec), Some(path)) = (&recorder, flag_value(args, "--trace")) {
-        write_trace(rec, path)?;
+        write_trace(rec, path, intro.quiet)?;
     }
     if let Some(path) = flag_value(args, "--metrics") {
-        fs::write(path, cohort_metrics(&result).render_text())?;
-        println!("wrote metrics to {path}");
+        fs::write(path, cohort_metrics(&result).render_text())
+            .map_err(|e| format!("{path}: {e}"))?;
+        if !intro.quiet {
+            eprintln!("wrote metrics to {path}");
+        }
     }
     // Persistent feedback: sites gated in at least half the covered
     // samples earn a strike; the rewritten file downweights them next run.
@@ -416,41 +628,70 @@ fn cmd_call_cohort(args: &[String]) -> CliResult {
             false => BadSiteList::new(),
         };
         list.absorb(&result.noisy_sites);
-        fs::write(path, list.serialize())?;
-        println!(
-            "bad-site feedback: {} noisy sites this run, {} tracked in {path}",
-            result.noisy_sites.len(),
-            list.len()
+        fs::write(path, list.serialize()).map_err(|e| format!("{path}: {e}"))?;
+        if !intro.quiet {
+            eprintln!(
+                "bad-site feedback: {} noisy sites this run, {} tracked in {path}",
+                result.noisy_sites.len(),
+                list.len()
+            );
+        }
+    }
+    let quiet = intro.quiet;
+    intro.finish(&result.stats)?;
+    let n = result.samples.len() as u64;
+    if !quiet {
+        eprintln!(
+            "cohort of {}: {} sites x {} samples in {} windows, one table upload per device ({} bytes x{})",
+            n,
+            result.stats.num_sites / n.max(1),
+            n,
+            result.stats.windows / n.max(1),
+            result.stats.table_bytes,
+            result.stats.ledgers.len()
         );
     }
-    let n = result.samples.len() as u64;
-    println!(
-        "cohort of {}: {} sites x {} samples in {} windows, one table upload per device ({} bytes x{})",
-        n,
-        result.stats.num_sites / n.max(1),
-        n,
-        result.stats.windows / n.max(1),
-        result.stats.table_bytes,
-        result.stats.ledgers.len()
-    );
     Ok(())
 }
 
+/// Open a file for reading with the path baked into any error (bare
+/// `io::Error` strings like "No such file or directory" are useless
+/// once the shell line has scrolled away).
+fn open(path: &str) -> Result<fs::File, String> {
+    fs::File::open(path).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Snapshot a recorder and write the Chrome trace-event JSON.
-fn write_trace(rec: &Arc<TraceRecorder>, path: &str) -> CliResult {
+fn write_trace(rec: &Arc<TraceRecorder>, path: &str, quiet: bool) -> CliResult {
     let snap = rec.snapshot();
-    fs::write(path, snap.to_chrome_json())?;
+    fs::write(path, snap.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
     if snap.dropped > 0 {
         eprintln!(
             "gsnp: warning: trace ring overflowed, {} oldest events dropped",
             snap.dropped
         );
     }
-    println!(
-        "wrote {} trace events on {} tracks to {path} (load at ui.perfetto.dev)",
-        snap.events.len(),
-        snap.tracks.len()
-    );
+    if !quiet {
+        eprintln!(
+            "wrote {} trace events on {} tracks to {path} (load at ui.perfetto.dev)",
+            snap.events.len(),
+            snap.tracks.len()
+        );
+    }
+    Ok(())
+}
+
+/// `gsnp report <run.jsonl>`: parse a structured run journal, check its
+/// invariants, and render the human-readable post-run report from the
+/// journal alone — no other run artifact needed. The report goes to
+/// stdout (it IS the data); an invalid journal exits nonzero.
+fn cmd_report(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let input = pos.first().ok_or("report requires a journal file")?;
+    let text = fs::read_to_string(input.as_str()).map_err(|e| format!("{input}: {e}"))?;
+    let report =
+        journal::render_report(&text).map_err(|e| format!("{input}: invalid journal: {e}"))?;
+    print!("{report}");
     Ok(())
 }
 
@@ -507,7 +748,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
         let snap = recorder.snapshot();
         print_profile(&result.stats, &result.times, &result.wall, &snap);
         if let Some(path) = flag_value(args, "--trace") {
-            write_trace(&recorder, path)?;
+            write_trace(&recorder, path, false)?;
         }
         return Ok(());
     }
@@ -516,7 +757,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
     let snap = recorder.snapshot();
     print_profile(&result.stats, &result.times, &result.wall, &snap);
     if let Some(path) = flag_value(args, "--trace") {
-        write_trace(&recorder, path)?;
+        write_trace(&recorder, path, false)?;
     }
     Ok(())
 }
@@ -640,6 +881,27 @@ fn print_profile(
             "  backend launches: {} sim, {} native (auto decisions: {} sim, {} native)",
             backend.sim, backend.native, backend.auto_sim, backend.auto_native
         );
+    }
+
+    // Latency quantile digests from the log-bucketed histograms the
+    // tracker records on the hot path (estimates are bucket upper
+    // bounds — within 2x of the true quantile, exact for max).
+    let rows = stats.hists.digest_rows();
+    if rows.iter().any(|(_, d)| d.count > 0) {
+        println!("\nlatency quantiles (host-wall seconds; log-bucketed upper bounds)");
+        println!(
+            "  {:<22} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "series", "count", "p50", "p95", "p99", "max"
+        );
+        for (name, d) in &rows {
+            if d.count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<22} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                name, d.count, d.p50, d.p95, d.p99, d.max
+            );
+        }
     }
 
     // Table IV analogue: per-kernel breakdown from the trace.
@@ -767,7 +1029,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
 fn cmd_decode(args: &[String]) -> CliResult {
     let pos = positional(args);
     let input = pos.first().ok_or("decode requires an input file")?;
-    let bytes = fs::read(input)?;
+    let bytes = fs::read(input.as_str()).map_err(|e| format!("{input}: {e}"))?;
     let mut sink: Box<dyn Write> = match pos.get(1) {
         Some(p) => Box::new(fs::File::create(p)?),
         None => Box::new(std::io::stdout().lock()),
@@ -781,7 +1043,7 @@ fn cmd_decode(args: &[String]) -> CliResult {
 fn cmd_stats(args: &[String]) -> CliResult {
     let pos = positional(args);
     let input = pos.first().ok_or("stats requires an input file")?;
-    let bytes = fs::read(input)?;
+    let bytes = fs::read(input.as_str()).map_err(|e| format!("{input}: {e}"))?;
     let mut sites = 0u64;
     let mut variants = 0u64;
     let mut windows = 0u64;

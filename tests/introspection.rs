@@ -1,0 +1,311 @@
+//! The live-introspection layer's contract, end to end:
+//!
+//! 1. **Histograms are mergeable and honest.** Log-bucketed merge is
+//!    associative and order-free (property test), so per-lane histograms
+//!    can fold in any order without changing the published quantiles —
+//!    and every reported quantile brackets the true order statistic
+//!    within the bucket resolution bound `[q, 2q]`.
+//! 2. **The journal reconstructs the run.** A 4-device cohort run
+//!    journaled exactly as the CLI does (`run_start` manifest …
+//!    lifecycle events … `run_end` digests) passes [`journal::validate`]
+//!    and `gsnp report`'s renderer reproduces samples, devices, and
+//!    latency digests from the file alone.
+//! 3. **The stats endpoint is live.** `/health`, `/progress`, and
+//!    `/metrics` answer over real TCP while the window loop executes,
+//!    and the terminal snapshot agrees with the pipeline's own stats.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use gsnp::core::cohort::{CohortCallConfig, CohortPipeline, SampleReads};
+use gsnp::core::journal::{self, Journal};
+use gsnp::core::{GsnpConfig, GsnpPipeline, ProgressTracker, StatsServer};
+use gsnp::gpu_sim::{parse_json, Histogram, Json};
+use gsnp::seqio::synth::{Cohort, CohortConfig, Dataset, SynthConfig};
+
+/// Everything merge order may legitimately NOT change: the populated
+/// cumulative buckets (bit-exact — counts are integer adds), the total
+/// count, and the max. The float `sum` is compared separately with a
+/// tolerance because addition order varies.
+fn fingerprint(h: &Histogram) -> (Vec<(u64, u64)>, u64, u64) {
+    let buckets: Vec<(u64, u64)> = h
+        .cumulative_buckets()
+        .map(|(upper, c)| (upper.to_bits(), c))
+        .collect();
+    (buckets, h.count(), h.max().to_bits())
+}
+
+fn build(values: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket-wise merge is associative and equals single-pass recording,
+    /// so lane-local histograms may fold in any grouping.
+    #[test]
+    fn histogram_merge_is_associative_and_order_free(
+        values in prop::collection::vec(1e-9f64..10.0, 3..120),
+        cut_a in 0usize..1000,
+        cut_b in 0usize..1000,
+    ) {
+        let (i, j) = (cut_a % values.len(), cut_b % values.len());
+        let (lo, hi) = (i.min(j), i.max(j));
+        let a = build(&values[..lo]);
+        let b = build(&values[lo..hi]);
+        let c = build(&values[hi..]);
+
+        let mut left = a.clone();   // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();     // a ⊕ (b ⊕ c)
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        let whole = build(&values); // single-pass ground truth
+
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        prop_assert_eq!(fingerprint(&left), fingerprint(&whole));
+        prop_assert!((left.sum() - whole.sum()).abs() <= 1e-9 * values.len() as f64);
+        prop_assert_eq!(left.quantile(0.5).to_bits(), whole.quantile(0.5).to_bits());
+        prop_assert_eq!(left.quantile(0.99).to_bits(), whole.quantile(0.99).to_bits());
+    }
+
+    /// Every quantile estimate brackets the true order statistic: the
+    /// powers-of-two bucket ladder guarantees `truth <= est <= 2 * truth`
+    /// for observations at or above the 1 ns base resolution.
+    #[test]
+    fn quantile_brackets_the_true_order_statistic(
+        values in prop::collection::vec(1e-9f64..500.0, 1..200),
+        p in 0.01f64..1.0,
+    ) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(p);
+        prop_assert!(
+            est >= truth && est <= truth * 2.0,
+            "p={p} est={est} truth={truth} n={}",
+            sorted.len()
+        );
+    }
+}
+
+fn tmppath(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gsnp-introspection-{name}-{}", std::process::id()));
+    p
+}
+
+fn event_kind(ev: &Json) -> Option<&str> {
+    ev.get("event").and_then(Json::as_str)
+}
+
+/// Journal round trip on a 4-device cohort run: emit `run_start` and
+/// `run_end` exactly as the CLI does around a real [`CohortPipeline`]
+/// run, then reconstruct the whole run from the file alone.
+#[test]
+fn journal_round_trips_through_report_on_a_four_device_cohort() {
+    let mut base_cfg = SynthConfig::tiny(20_260_809);
+    base_cfg.num_sites = 6_000;
+    base_cfg.depth = 3.0;
+    let c = Cohort::generate(CohortConfig {
+        base: base_cfg,
+        num_samples: 3,
+        shared_rate: 0.6,
+    });
+
+    let path = tmppath("cohort.jsonl");
+    let journal = Arc::new(Journal::create(&path).expect("create journal"));
+    let tracker = Arc::new(ProgressTracker::new());
+
+    journal.event(
+        "run_start",
+        &format!(
+            "\"schema\":{},\"version\":\"{}\",\"cmd\":\"call --cohort\",\
+             \"config\":{{\"window_size\":1500,\"num_devices\":4}},\
+             \"inputs\":[{{\"path\":\"synthetic\",\"bytes\":5,\"fnv64\":\"{:016x}\"}}]",
+            journal::SCHEMA_VERSION,
+            env!("CARGO_PKG_VERSION"),
+            journal::fnv64(b"smoke"),
+        ),
+    );
+
+    let inputs: Vec<SampleReads<'_>> = c
+        .samples
+        .iter()
+        .map(|s| SampleReads {
+            name: &s.name,
+            reads: &s.reads,
+        })
+        .collect();
+    let base = GsnpConfig {
+        window_size: 1_500,
+        num_devices: 4,
+        pipeline_depth: 2,
+        progress: Some(Arc::clone(&tracker)),
+        journal: Some(Arc::clone(&journal)),
+        ..Default::default()
+    };
+    let out = CohortPipeline::new(CohortCallConfig {
+        base,
+        ..Default::default()
+    })
+    .run(&inputs, &c.reference, &c.priors);
+
+    tracker.finish();
+    let wall = tracker.elapsed_seconds();
+    let hists: Vec<String> = out
+        .stats
+        .hists
+        .digest_rows()
+        .iter()
+        .map(|(name, d)| journal::digest_json(name, d))
+        .collect();
+    journal.event(
+        "run_end",
+        &format!(
+            "\"windows\":{},\"sites\":{},\"snp_calls\":{},\"samples\":{},\
+             \"wall_seconds\":{wall:.6},\"sites_per_second\":{:.3},\"hists\":[{}]",
+            out.stats.windows,
+            out.stats.num_sites,
+            out.stats.snp_count,
+            out.stats.samples,
+            out.stats.num_sites as f64 / wall.max(1e-9),
+            hists.join(","),
+        ),
+    );
+    assert!(!journal.take_error(), "journal write failed");
+    drop(journal);
+
+    let text = std::fs::read_to_string(&path).expect("read journal back");
+    std::fs::remove_file(&path).ok();
+
+    // Invariants hold, and the cohort's full lifecycle made it to disk.
+    let s = journal::validate(&text).expect("journal invariants hold");
+    let kinds = |k: &str| s.events.iter().filter(|e| event_kind(e) == Some(k)).count();
+    assert!(kinds("batch") >= 1, "no batch events journaled");
+    assert_eq!(kinds("stage"), 4, "one stage event per pipeline stage");
+    assert_eq!(kinds("lane"), 4, "one lane event per device");
+    assert_eq!(kinds("device"), 4, "one device event per ledger");
+    assert_eq!(kinds("sample"), 3, "one sample event per cohort sample");
+    assert_eq!(kinds("gates"), 1);
+
+    // The report reconstructs the run from the journal alone.
+    let report = journal::render_report(&text).expect("report renders");
+    for smp in &c.samples {
+        assert!(
+            report.contains(&smp.name),
+            "sample {} missing:\n{report}",
+            smp.name
+        );
+    }
+    assert!(report.contains("cohort: 3 samples"), "{report}");
+    assert!(report.contains("device d3:"), "{report}");
+    assert!(
+        report.contains("\nlatency "),
+        "digest table missing:\n{report}"
+    );
+    assert!(report.contains("journal invariants: ok"), "{report}");
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect stats endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response has a body")
+        .trim()
+}
+
+/// `/health`, `/progress`, and `/metrics` answer over real TCP while the
+/// window loop executes, and the terminal snapshot matches the
+/// pipeline's own stats.
+#[test]
+fn live_endpoints_answer_while_a_run_executes() {
+    let mut sc = SynthConfig::tiny(20_260_811);
+    sc.num_sites = 6_000;
+    sc.depth = 3.0;
+    let d = Dataset::generate(sc);
+
+    let tracker = Arc::new(ProgressTracker::new());
+    let server = StatsServer::start("127.0.0.1:0", Arc::clone(&tracker)).expect("bind port 0");
+    let addr = server.addr();
+
+    // Liveness before the first window.
+    let health = http_get(addr, "/health");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let cfg = GsnpConfig {
+        window_size: 300,
+        num_devices: 2,
+        pipeline_depth: 2,
+        progress: Some(Arc::clone(&tracker)),
+        ..Default::default()
+    };
+    let run =
+        std::thread::spawn(move || GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors));
+
+    // Poll /progress until the run completes; every response — mid-run
+    // or terminal — must be a 200 carrying parseable JSON.
+    let mut polls = 0u32;
+    while !run.is_finished() {
+        let resp = http_get(addr, "/progress");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        parse_json(body_of(&resp)).expect("mid-run progress is valid JSON");
+        polls += 1;
+        assert!(polls < 60_000, "pipeline never finished");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let out = run.join().expect("pipeline run");
+    tracker.finish();
+
+    let progress = http_get(addr, "/progress");
+    let v = parse_json(body_of(&progress)).expect("terminal progress parses");
+    assert_eq!(
+        v.get("windows_done").and_then(Json::as_num),
+        Some(out.stats.windows as f64),
+        "{progress}"
+    );
+    assert!(body_of(&progress).contains("\"done\":true"), "{progress}");
+
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    for needle in [
+        "# TYPE gsnp_window_seconds histogram",
+        "gsnp_window_seconds_bucket",
+        "le=\"+Inf\"",
+        "gsnp_progress_windows_done_total",
+        "gsnp_lane_windows_total{device=\"0\"}",
+        "gsnp_build_info{",
+        "gsnp_run_active 0",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+
+    let health = http_get(addr, "/health");
+    assert!(health.contains("\"done\":true"), "{health}");
+    server.shutdown();
+}

@@ -247,6 +247,51 @@ fn real_sharded_export_passes_the_validator() {
     assert!(n > 50, "expected a substantial event stream, got {n}");
 }
 
+/// Introspection is a pure observer too: a run with the progress
+/// tracker, the run journal, AND the trace recorder all attached leaves
+/// every output byte identical to a bare run.
+#[test]
+fn introspection_on_outputs_are_byte_identical() {
+    let d = dataset();
+    let plain = run(&d, 4, 2, None);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "gsnp-trace-introspection-{}.jsonl",
+        std::process::id()
+    ));
+    let tracker = Arc::new(gsnp::core::ProgressTracker::new());
+    let journal = Arc::new(gsnp::core::Journal::create(&path).expect("create journal"));
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    let cfg = GsnpConfig {
+        window_size: 1_500,
+        num_devices: 4,
+        pipeline_depth: 2,
+        trace: Some(Arc::clone(&rec)),
+        progress: Some(Arc::clone(&tracker)),
+        journal: Some(journal),
+        ..Default::default()
+    };
+    let out = GsnpPipeline::new(cfg).run(&d.reads, &d.reference, &d.priors);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(plain.compressed, out.compressed, "compressed bytes differ");
+    let rows: Vec<String> = out
+        .tables
+        .iter()
+        .flat_map(|t| t.rows.iter().map(|r| format!("{r:?}")))
+        .collect();
+    assert_eq!(plain.rows, rows, "result rows differ");
+    // And the observers really observed: the tracker saw every window,
+    // and the latency histograms are populated.
+    assert_eq!(
+        tracker.progress().windows_done,
+        4,
+        "6000 sites / 1500 = 4 windows"
+    );
+    assert!(!tracker.latency().window.is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
